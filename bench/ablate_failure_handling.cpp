@@ -1,0 +1,135 @@
+// Ablation: the failure-handling ladder of §4.5 — what each mechanism buys
+// on top of plain SimEra.
+//
+// A pinned initiator/responder pair exchanges a 1 KB message every 10 s
+// for 30 minutes under harsh churn (median 10 min). Four configurations:
+//   1. none        — SimEra(4, 2), no reaction to failures;
+//   2. reconstruct — + ack-timeout detection with rebuild-and-resend;
+//   3. proactive   — + predictor-threshold path replacement;
+//   4. on-demand   — combined construction+payload per message (§4.2).
+// Reported: fraction of messages the responder reconstructs.
+#include <cstdio>
+
+#include "anon/protocols.hpp"
+#include "anon/session.hpp"
+#include "common/config.hpp"
+#include "common/strings.hpp"
+#include "harness/environment.hpp"
+#include "harness/parallel.hpp"
+#include "metrics/table.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool auto_reconstruct;
+  double replace_threshold;
+  bool on_demand;
+};
+
+double run_mode(const Mode& mode, std::uint64_t seed, std::size_t nodes) {
+  EnvironmentConfig env_config;
+  env_config.num_nodes = nodes;
+  env_config.seed = seed;
+  env_config.session_distribution = "pareto:median=600";
+  Environment env(env_config);
+  env.churn().pin_up(0);
+  env.churn().pin_up(1);
+
+  anon::SessionConfig session_config =
+      anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kBiased)
+          .session_config({});
+  session_config.auto_reconstruct = mode.auto_reconstruct;
+  session_config.replace_threshold = mode.replace_threshold;
+  session_config.replace_check_interval = 20 * kSecond;
+
+  anon::Session session(env.router(), env.membership().cache(0), 0, 1,
+                        session_config, Rng(seed * 131));
+
+  std::size_t sent = 0;
+  std::size_t delivered = 0;
+  env.router().set_message_handler([&](const anon::ReceivedMessage& msg) {
+    if (msg.responder == 1) ++delivered;
+  });
+
+  const SimTime start = 30 * kMinute;
+  const SimTime end = start + 30 * kMinute;
+  auto sender = std::make_shared<std::function<void()>>();
+  *sender = [&, sender] {
+    if (env.simulator().now() > end) return;
+    Bytes payload(1024, 0x5c);
+    ++sent;  // application attempts count, delivered or not
+    if (mode.on_demand) {
+      session.send_message_on_demand(payload);
+    } else {
+      session.send_message(payload);
+    }
+    env.simulator().schedule_after(10 * kSecond, *sender);
+  };
+
+  env.simulator().schedule_at(start, [&] {
+    if (mode.on_demand) {
+      (*sender)();  // no up-front construction at all
+    } else {
+      session.construct([&](bool ok, std::size_t) {
+        if (ok) (*sender)();
+      });
+    }
+  });
+
+  env.start();
+  env.simulator().run_until(end + 30 * kSecond);
+  return sent ? static_cast<double>(delivered) / static_cast<double>(sent)
+              : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  auto& nodes = flags.add_int("nodes", 512, "network size");
+  auto& seed = flags.add_int("seed", 1, "base RNG seed");
+  auto& seeds = flags.add_int("seeds", 6, "runs to average");
+  auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  flags.parse(argc, argv);
+  const auto runs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
+  const std::size_t workers =
+      threads > 0 ? static_cast<std::size_t>(threads)
+                  : default_worker_threads();
+
+  const Mode modes[] = {
+      {"none (static paths)", false, 0.0, false},
+      {"reconstruct on ack timeout", true, 0.0, false},
+      {"+ proactive replacement (q < 0.3)", true, 0.3, false},
+      {"on-demand construct+payload", false, 0.0, true},
+  };
+
+  std::printf("# Ablation: §4.5 failure handling, SimEra(4,2)/biased, "
+              "median 10 min churn, 30 min of 1 KB messages, %zu seeds\n",
+              runs);
+  metrics::Table table({"mode", "delivery rate"});
+  for (const Mode& mode : modes) {
+    std::vector<double> rates(runs);
+    parallel_for(runs, workers, [&](std::size_t i) {
+      rates[i] = run_mode(mode, static_cast<std::uint64_t>(seed) + i,
+                          static_cast<std::size_t>(nodes));
+    });
+    double total = 0;
+    for (double r : rates) total += r;
+    table.add_row({mode.name,
+                   format_double(100.0 * total / static_cast<double>(runs), 1) +
+                       "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: static paths decay as relays churn away; reactive "
+              "rebuilds recover most losses at the cost of one ack timeout "
+              "per failure; proactive replacement trims the remaining "
+              "gap; on-demand combined construction rebuilds continuously "
+              "and pays asymmetric crypto per rebuild instead of up "
+              "front.\n");
+  return 0;
+}

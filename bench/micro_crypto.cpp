@@ -1,0 +1,104 @@
+// Microbenchmarks: crypto substrate and onion-layer operations.
+#include <benchmark/benchmark.h>
+
+#include "anon/onion.hpp"
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/sealed_box.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace {
+
+using namespace p2panon;
+using namespace p2panon::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Bytes data(size);
+  rng.fill(data.data(), data.size());
+  for (auto _ : state) {
+    auto digest = Sha256::hash(data);
+    benchmark::DoNotOptimize(digest.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_ChaCha20(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  Bytes data(size);
+  rng.fill(data.data(), data.size());
+  for (auto _ : state) {
+    chacha20_xor(key, nonce_from_seq(1), 0, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_ChaCha20)->Arg(1024)->Arg(65536);
+
+void BM_AeadSeal(benchmark::State& state) {
+  Rng rng(3);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  Bytes data(1024);
+  rng.fill(data.data(), data.size());
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    auto sealed = aead_seal(key, nonce_from_seq(seq++), {}, data);
+    benchmark::DoNotOptimize(sealed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_AeadSeal);
+
+void BM_X25519(benchmark::State& state) {
+  Rng rng(4);
+  const KeyPair a = KeyPair::generate(rng);
+  const KeyPair b = KeyPair::generate(rng);
+  for (auto _ : state) {
+    auto shared = x25519(a.private_key, b.public_key);
+    benchmark::DoNotOptimize(shared.data());
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_SealedBoxSeal(benchmark::State& state) {
+  Rng rng(5);
+  const KeyPair recipient = KeyPair::generate(rng);
+  Bytes msg(1024);
+  rng.fill(msg.data(), msg.size());
+  for (auto _ : state) {
+    auto sealed = sealed_box_seal(recipient.public_key, msg, rng);
+    benchmark::DoNotOptimize(sealed.data());
+  }
+}
+BENCHMARK(BM_SealedBoxSeal);
+
+template <typename Codec>
+void BM_BuildPathOnion(benchmark::State& state) {
+  Rng rng(6);
+  KeyDirectory directory;
+  auto keys = directory.provision(8, rng);
+  const Codec codec;
+  const std::vector<NodeId> relays = {1, 2, 3};
+  std::vector<anon::RelayKey> relay_keys;
+  for (int i = 0; i < 3; ++i) relay_keys.push_back(random_symmetric_key(rng));
+  for (auto _ : state) {
+    auto onion = codec.build_path_onion(relays, relay_keys, 7, directory, rng);
+    benchmark::DoNotOptimize(onion.data());
+  }
+}
+BENCHMARK(BM_BuildPathOnion<anon::RealOnionCodec>)->Name("BM_BuildPathOnion/real");
+BENCHMARK(BM_BuildPathOnion<anon::FastOnionCodec>)->Name("BM_BuildPathOnion/fast");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Microbenchmarks: erasure coding throughput (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "erasure/gf256.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "erasure/replication.hpp"
+
+namespace {
+
+using namespace p2panon;
+using namespace p2panon::erasure;
+
+void BM_Gf256MulAddRow(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Bytes src(size), dst(size);
+  rng.fill(src.data(), src.size());
+  rng.fill(dst.data(), dst.size());
+  for (auto _ : state) {
+    GF256::mul_add_row(0x9c, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Gf256MulAddRow)->Arg(1024)->Arg(65536);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const ReedSolomonCodec codec(m, n);
+  Rng rng(2);
+  Bytes msg(1024);
+  rng.fill(msg.data(), msg.size());
+  for (auto _ : state) {
+    auto segments = codec.encode(msg);
+    benchmark::DoNotOptimize(segments.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->Args({4, 16})
+    ->Args({16, 32});
+
+void BM_RsDecodeParityOnly(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const ReedSolomonCodec codec(m, n);
+  Rng rng(3);
+  Bytes msg(1024);
+  rng.fill(msg.data(), msg.size());
+  const auto segments = codec.encode(msg);
+  // Worst case: decode purely from parity (matrix inversion every call).
+  std::vector<Segment> parity(segments.end() - static_cast<long>(m),
+                              segments.end());
+  for (auto _ : state) {
+    auto decoded = codec.decode(parity, msg.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_RsDecodeParityOnly)->Args({2, 4})->Args({4, 16})->Args({16, 32});
+
+void BM_RsDecodeSystematic(benchmark::State& state) {
+  const ReedSolomonCodec codec(4, 8);
+  Rng rng(4);
+  Bytes msg(1024);
+  rng.fill(msg.data(), msg.size());
+  const auto segments = codec.encode(msg);
+  std::vector<Segment> systematic(segments.begin(), segments.begin() + 4);
+  for (auto _ : state) {
+    auto decoded = codec.decode(systematic, msg.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_RsDecodeSystematic);
+
+void BM_ReplicationEncode(benchmark::State& state) {
+  const ReplicationCodec codec(4);
+  Bytes msg(1024, 0x5a);
+  for (auto _ : state) {
+    auto segments = codec.encode(msg);
+    benchmark::DoNotOptimize(segments.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_ReplicationEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

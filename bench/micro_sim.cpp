@@ -1,0 +1,83 @@
+// Microbenchmarks: event engine and membership substrate throughput.
+#include <benchmark/benchmark.h>
+
+#include "churn/churn_model.hpp"
+#include "churn/distributions.hpp"
+#include "membership/gossip.hpp"
+#include "net/demux.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.schedule(static_cast<SimTime>(rng.next_below(1000000)), [] {});
+    }
+    while (!queue.empty()) queue.pop();
+    benchmark::DoNotOptimize(queue.scheduled_total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(65536);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t counter = 0;
+    std::function<void()> tick = [&] {
+      if (++counter < 10000) simulator.schedule_after(1, tick);
+    };
+    simulator.schedule_after(0, tick);
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_GossipMinuteOfSimulation(benchmark::State& state) {
+  // One simulated minute of a churning gossip overlay.
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    auto latency = net::LatencyMatrix::synthetic(nodes, Rng(2));
+    churn::ParetoLifetime dist = churn::ParetoLifetime::with_median(3600.0);
+    churn::ChurnModel churn_model(simulator, nodes, dist, Rng(3), 0.5);
+    net::SimTransport transport(
+        simulator, latency,
+        [&](NodeId node) { return churn_model.is_up(node); });
+    net::Demux demux(transport, nodes);
+    membership::GossipMembership gossip(simulator, demux, churn_model,
+                                        membership::GossipConfig{}, Rng(4));
+    gossip.start();
+    churn_model.start();
+    simulator.run_until(1 * kMinute);
+    benchmark::DoNotOptimize(gossip.gossip_messages_sent());
+  }
+}
+BENCHMARK(BM_GossipMinuteOfSimulation)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LatencyMatrixSynthesis(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto matrix = net::LatencyMatrix::synthetic(nodes, Rng(5));
+    benchmark::DoNotOptimize(matrix.mean_rtt());
+  }
+}
+BENCHMARK(BM_LatencyMatrixSynthesis)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

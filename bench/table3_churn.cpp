@@ -1,0 +1,81 @@
+// Table 3: SimEra(k = 4, r = 4) under varying churn — median node lifetime
+// 20, 30, 60, 80, 120 minutes. Cells are [random, biased].
+#include <cstdio>
+#include <string>
+
+#include "common/config.hpp"
+#include "harness/durability_experiment.hpp"
+#include "harness/parallel.hpp"
+#include "metrics/bootstrap.hpp"
+#include "metrics/table.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  auto& nodes = flags.add_int("nodes", 1024, "network size");
+  auto& seed = flags.add_int("seed", 1, "base RNG seed");
+  auto& seeds = flags.add_int("seeds", 10, "runs to average");
+  auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  flags.parse(argc, argv);
+  const auto runs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
+  const std::size_t workers =
+      threads > 0 ? static_cast<std::size_t>(threads)
+                  : default_worker_threads();
+
+  const int lifetimes_minutes[] = {20, 30, 60, 80, 120};
+
+  std::printf("# Table 3: SimEra(k=4, r=4) vs median node lifetime, %zu "
+              "seeds (cells are [random, biased])\n", runs);
+
+  std::string ci_lines;
+  metrics::Table table({"Lifetime(minutes)", "Durability(sec)",
+                        "Path construction attempts", "Latency(ms)",
+                        "Bandwidth(KB)"});
+  for (const int minutes : lifetimes_minutes) {
+    DurabilityAverages by_mix[2];
+    for (int mix = 0; mix < 2; ++mix) {
+      DurabilityConfig config;
+      config.environment.num_nodes = static_cast<std::size_t>(nodes);
+      config.environment.seed = static_cast<std::uint64_t>(seed);
+      config.environment.session_distribution =
+          "pareto:median=" + std::to_string(minutes * 60);
+      config.spec = anon::ProtocolSpec::simera(
+          4, 4,
+          mix == 0 ? anon::MixChoice::kRandom : anon::MixChoice::kBiased);
+      by_mix[mix] = run_durability_average(config, runs, workers);
+    }
+    table.add_row(
+        {std::to_string(minutes),
+         metrics::pair_cell(by_mix[0].durability_seconds,
+                            by_mix[1].durability_seconds),
+         metrics::pair_cell(by_mix[0].construct_attempts,
+                            by_mix[1].construct_attempts, 1),
+         metrics::pair_cell(by_mix[0].latency_ms, by_mix[1].latency_ms),
+         metrics::pair_cell(by_mix[0].bandwidth_kb, by_mix[1].bandwidth_kb,
+                            1)});
+    ci_lines += std::string("  ") + std::to_string(minutes) + " min" +
+                ": durability 95% bootstrap CI  random " +
+                metrics::bootstrap_mean_ci(by_mix[0].durability_runs)
+                    .to_string(0) +
+                "  biased " +
+                metrics::bootstrap_mean_ci(by_mix[1].durability_runs)
+                    .to_string(0) +
+                "\n";
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Durability uncertainty (percentile bootstrap over seeds):\n%s\n",
+              ci_lines.c_str());
+  std::printf(
+      "Paper reference (minutes: durability / attempts / latency / KB):\n"
+      "  20:  [987, 1263]   [27.4, 1]  [270, 262]  [7.4, 11]\n"
+      "  30:  [1101, 1889]  [10, 1]    [371, 182]  [8.2, 12]\n"
+      "  60:  [1377, 2472]  [2.4, 1]   [406, 231]  [8.8, 12.4]\n"
+      "  80:  [2448, 3014]  [1.4, 1]   [365, 274]  [9.2, 12.6]\n"
+      "  120: [2549, 3304]  [1, 1]     [288, 225]  [10.4, 12.8]\n"
+      "Shape checks: durability grows with lifetime; random-mix attempts\n"
+      "shrink sharply; biased stays at ~1 attempt and higher bandwidth.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Anonymous file transfer under churn: moves a 64 KB "file" in 1 KB chunks
+// from a pinned sender to a pinned receiver across a churning 256-node
+// overlay, once with the single-path baseline (CurMix) and once with
+// erasure-coded multipath (SimEra k = 4, r = 4) — the side-by-side that
+// motivates the paper.
+//
+// Build & run:  ./build/examples/file_transfer
+#include <cstdio>
+#include <unordered_set>
+
+#include "anon/protocols.hpp"
+#include "anon/session.hpp"
+#include "harness/environment.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+struct TransferResult {
+  std::size_t chunks_total = 0;
+  std::size_t chunks_sent = 0;
+  std::size_t chunks_delivered = 0;
+  std::size_t path_failures = 0;
+  double seconds = 0.0;
+};
+
+TransferResult transfer(const anon::ProtocolSpec& spec, std::uint64_t seed,
+                        bool auto_reconstruct) {
+  constexpr std::size_t kFileBytes = 64 * 1024;
+  constexpr std::size_t kChunk = 1024;
+  constexpr NodeId kSender = 0;
+  constexpr NodeId kReceiver = 1;
+
+  EnvironmentConfig env_config;
+  env_config.num_nodes = 256;
+  env_config.seed = seed;
+  env_config.session_distribution = "pareto:median=300";  // 5 min median sessions
+  Environment env(env_config);
+  env.churn().pin_up(kSender);
+  env.churn().pin_up(kReceiver);
+
+  anon::SessionConfig session_config = spec.session_config({});
+  session_config.auto_reconstruct = auto_reconstruct;
+
+  anon::Session session(env.router(), env.membership().cache(kSender),
+                        kSender, kReceiver, session_config, Rng(seed * 31));
+
+  TransferResult result;
+  result.chunks_total = kFileBytes / kChunk;
+  std::unordered_set<MessageId> outstanding;
+  env.router().set_message_handler([&](const anon::ReceivedMessage& msg) {
+    if (msg.responder == kReceiver && outstanding.erase(msg.message_id)) {
+      ++result.chunks_delivered;
+    }
+  });
+  session.set_path_failure_handler(
+      [&](std::size_t) { ++result.path_failures; });
+
+  const SimTime start = 2 * kMinute;  // membership warm-up
+  env.simulator().schedule_at(start, [&] {
+    session.construct([&](bool ok, std::size_t) {
+      if (!ok) return;
+      // One chunk every 4 s — a steady anonymous download.
+      for (std::size_t chunk = 0; chunk * kChunk < kFileBytes; ++chunk) {
+        env.simulator().schedule_after(
+            static_cast<SimDuration>(chunk) * 4 * kSecond, [&, chunk] {
+              Bytes data(kChunk, static_cast<std::uint8_t>(chunk));
+              const MessageId id = session.send_message(data);
+              if (id != 0) {
+                ++result.chunks_sent;
+                outstanding.insert(id);
+              }
+            });
+      }
+    });
+  });
+
+  env.start();
+  env.simulator().run_until(start + 8 * kMinute);
+  result.seconds = to_seconds(env.simulator().now() - start);
+  return result;
+}
+
+void report(const char* label, const TransferResult& result) {
+  std::printf("%-34s %3zu/%zu chunks of the file (%.1f%%), %zu path "
+              "failures detected\n",
+              label, result.chunks_delivered, result.chunks_total,
+              100.0 * static_cast<double>(result.chunks_delivered) /
+                  static_cast<double>(result.chunks_total),
+              result.path_failures);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("anonymous 64 KB file transfer, 256 nodes, Pareto churn "
+              "(median 5 min), L = 3\n\n");
+
+  const auto curmix = transfer(
+      anon::ProtocolSpec::curmix(anon::MixChoice::kRandom), 7, false);
+  report("CurMix/random (baseline)", curmix);
+
+  const auto simera = transfer(
+      anon::ProtocolSpec::simera(4, 4, anon::MixChoice::kBiased), 7, false);
+  report("SimEra(4,4)/biased", simera);
+
+  const auto simera_rebuild = transfer(
+      anon::ProtocolSpec::simera(4, 4, anon::MixChoice::kBiased), 7, true);
+  report("SimEra(4,4)/biased + reconstruct", simera_rebuild);
+
+  std::printf("\nExpected: the single random path dies mid-transfer and "
+              "loses the tail of the file; erasure-coded multipath with "
+              "biased relays absorbs the first path deaths and delivers "
+              "more; adding automatic path reconstruction (§4.5) delivers "
+              "the whole file even at this churn rate.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: send one message anonymously through erasure-coded multipath
+// onion routing, with the real crypto stack end to end.
+//
+//   * 64 nodes, no churn (this is the hello-world; see anonymous_chat and
+//     file_transfer for churn);
+//   * X25519 sealed boxes for path construction, ChaCha20-Poly1305 layers
+//     for payloads;
+//   * SimEra(k = 4, r = 2): the 1 KB message becomes 4 coded segments of
+//     512 B, any 2 reconstruct, spread over 4 node-disjoint 3-relay paths.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "anon/protocols.hpp"
+#include "anon/router.hpp"
+#include "anon/session.hpp"
+#include "membership/node_cache.hpp"
+#include "net/demux.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/simulator.hpp"
+
+using namespace p2panon;
+
+int main() {
+  constexpr std::size_t kNodes = 64;
+  constexpr NodeId kInitiator = 0;
+  constexpr NodeId kResponder = 1;
+
+  // --- substrate: simulator, network, PKI, onion router -------------------
+  sim::Simulator simulator;
+  const auto latency = net::LatencyMatrix::synthetic(kNodes, Rng(7));
+  net::SimTransport transport(simulator, latency,
+                              [](NodeId) { return true; });
+  net::Demux demux(transport, kNodes);
+
+  Rng rng(42);
+  crypto::KeyDirectory directory;
+  auto node_keys = directory.provision(kNodes, rng);  // the PKI
+
+  anon::RealOnionCodec onion;  // real X25519 + ChaCha20-Poly1305
+  anon::AnonRouter router(simulator, demux, onion, directory,
+                          std::move(node_keys), [](NodeId) { return true; },
+                          anon::RouterConfig{}, rng.fork());
+  router.start();
+
+  // The initiator's view of the membership (here: everyone, fresh).
+  membership::NodeCache cache(kNodes);
+  for (NodeId node = 0; node < kNodes; ++node) {
+    cache.heard_directly(node, 10 * kMinute, simulator.now());
+  }
+
+  // --- responder application ----------------------------------------------
+  router.set_message_handler([&](const anon::ReceivedMessage& msg) {
+    std::printf("[responder %u] reconstructed message %016llx from %zu "
+                "segments at t = %.0f ms:\n  \"%s\"\n",
+                msg.responder,
+                static_cast<unsigned long long>(msg.message_id),
+                msg.segments_received, to_millis(msg.reconstructed_at),
+                string_of(msg.data).c_str());
+    router.send_response(msg.responder, msg.message_id,
+                         bytes_of("anonymous hello received loud and clear"));
+  });
+
+  // --- initiator session ----------------------------------------------------
+  anon::SessionConfig config =
+      anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kBiased)
+          .session_config({});
+  anon::Session session(router, cache, kInitiator, kResponder, config,
+                        rng.fork());
+
+  session.set_response_handler([&](MessageId, Bytes data) {
+    std::printf("[initiator] response arrived over the reverse paths: "
+                "\"%s\"\n", string_of(data).c_str());
+  });
+
+  session.construct([&](bool ok, std::size_t attempts) {
+    std::printf("[initiator] path construction %s after %zu attempt(s); "
+                "%zu/%zu paths up\n", ok ? "succeeded" : "failed", attempts,
+                session.established_paths(), session.config().erasure.k);
+    if (!ok) return;
+    for (std::size_t j = 0; j < session.paths().size(); ++j) {
+      std::printf("  path %zu:", j);
+      for (NodeId relay : session.paths()[j].relays) {
+        std::printf(" %u", relay);
+      }
+      std::printf(" -> %u\n", kResponder);
+    }
+    const MessageId id = session.send_message(
+        bytes_of("hello from nobody in particular"));
+    std::printf("[initiator] sent message %016llx as %zu coded segments "
+                "(any %zu reconstruct)\n",
+                static_cast<unsigned long long>(id),
+                session.config().erasure.n, session.config().erasure.m);
+  });
+
+  simulator.run_until(30 * kSecond);
+  std::printf("\ndone: %llu onion messages relayed, %llu payload bytes on "
+              "the wire, 0 peel failures expected (got %llu)\n",
+              static_cast<unsigned long long>(router.messages_forwarded()),
+              static_cast<unsigned long long>(router.payload_bytes()),
+              static_cast<unsigned long long>(router.peel_failures()));
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, test, and smoke-run every bench and
+# example at reduced scale. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== quick bench smoke (P2PANON_BENCH_SCALE=0.05) =="
+export P2PANON_BENCH_SCALE=0.05
+for bench in build/bench/*; do
+  if [ -f "$bench" ] && [ -x "$bench" ]; then
+    echo "--- $bench"
+    case "$bench" in
+      # Statistical churn benches get tiny configs for the smoke run.
+      *table*|*fig5*) "$bench" --nodes 128 >/dev/null ;;
+      *ablate_failure*) "$bench" --nodes 128 --seeds 1 >/dev/null ;;
+      *sec_*) "$bench" --nodes 128 >/dev/null ;;
+      *micro*) "$bench" --benchmark_min_time=0.01s >/dev/null ;;
+      *) "$bench" >/dev/null ;;
+    esac
+  fi
+done
+
+echo "== examples =="
+./build/examples/quickstart >/dev/null
+./build/examples/allocation_planner >/dev/null
+echo "all checks passed"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Regenerates the paper's figures as PNGs from the bench binaries, if
+# gnuplot is installed. Usage: scripts/plot_figures.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-plots}"
+mkdir -p "$out"
+
+command -v gnuplot >/dev/null || {
+  echo "gnuplot not found; the bench binaries print gnuplot-ready series" >&2
+  exit 1
+}
+
+# Figure 1: lifetime CDF.
+./build/bench/fig1_lifetime_cdf | sed -n '/^#/d;/^[0-9]/p' > "$out/fig1.dat"
+gnuplot <<EOF
+set terminal png size 800,600
+set output "$out/fig1.png"
+set xlabel "Node lifetimes (x10^4 sec)"
+set ylabel "CDF"
+set key bottom right
+plot "$out/fig1.dat" using 1:2 with lines title "measured (stand-in)", \
+     "$out/fig1.dat" using 1:3 with lines title "Pareto(0.83, 1560s)"
+EOF
+
+# Figure 2: observations (model columns: 3, 5, 7).
+./build/bench/fig2_observations | sed -n '/^[0-9]/p' > "$out/fig2.dat"
+gnuplot <<EOF
+set terminal png size 800,600
+set output "$out/fig2.png"
+set xlabel "k (number of paths)"
+set ylabel "P(k) (probability of success)"
+set yrange [0:1]
+set key bottom right
+plot "$out/fig2.dat" using 1:3 with linespoints title "Obser. 3 (0.70)", \
+     "$out/fig2.dat" using 1:5 with linespoints title "Obser. 2 (0.86)", \
+     "$out/fig2.dat" using 1:7 with linespoints title "Obser. 1 (0.95)"
+EOF
+
+# Figure 3: replication factor.
+./build/bench/fig3_replication_factor | sed -n '/^[0-9]/p' > "$out/fig3.dat"
+gnuplot <<EOF
+set terminal png size 800,600
+set output "$out/fig3.png"
+set xlabel "k (number of paths)"
+set ylabel "P(k) (probability of success)"
+set yrange [0:1]
+plot "$out/fig3.dat" using 1:3 with linespoints title "r=2", \
+     "$out/fig3.dat" using 1:5 with linespoints title "r=3", \
+     "$out/fig3.dat" using 1:7 with linespoints title "r=4"
+EOF
+
+# Figure 4: bandwidth.
+./build/bench/fig4_bandwidth | sed -n '/^[0-9]/p' > "$out/fig4.dat"
+gnuplot <<EOF
+set terminal png size 800,600
+set output "$out/fig4.png"
+set xlabel "k (number of paths)"
+set ylabel "Bandwidth cost (KB)"
+plot "$out/fig4.dat" using 1:2 with linespoints title "r=2", \
+     "$out/fig4.dat" using 1:3 with linespoints title "r=3", \
+     "$out/fig4.dat" using 1:4 with linespoints title "r=4"
+EOF
+
+echo "wrote $out/fig{1,2,3,4}.png"
+echo "(fig5 prints one block per (mix, r); plot from its output manually)"

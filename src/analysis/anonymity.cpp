@@ -1,0 +1,54 @@
+#include "analysis/anonymity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p2panon::analysis {
+
+namespace {
+void check_f(double f) {
+  if (f < 0.0 || f >= 1.0) {
+    throw std::invalid_argument("fraction of attackers must be in [0, 1)");
+  }
+}
+}  // namespace
+
+double first_relay_compromised_weight(double f, std::size_t L) {
+  check_f(f);
+  double total = 0.0;
+  for (std::size_t i = 1; i <= L; ++i) {
+    total += (static_cast<double>(i) / static_cast<double>(L)) *
+             std::pow(f, static_cast<double>(i)) *
+             std::pow(1.0 - f, static_cast<double>(L - i));
+  }
+  return total;
+}
+
+double initiator_identification_probability(std::size_t N, double f,
+                                            std::size_t L) {
+  check_f(f);
+  if (N == 0 || L == 0) {
+    throw std::invalid_argument("need N >= 1 and L >= 1");
+  }
+  const double s = first_relay_compromised_weight(f, L);
+  const double honest_pool = static_cast<double>(N) * (1.0 - f);
+  return s + (1.0 / honest_pool) * (1.0 - 1.0 / static_cast<double>(L)) * s;
+}
+
+double first_relay_compromised_monte_carlo(double f, std::size_t L,
+                                           std::size_t trials, Rng& rng) {
+  check_f(f);
+  (void)L;
+  std::size_t hits = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (rng.bernoulli(f)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double multipath_first_relay_exposure(double f, std::size_t k) {
+  check_f(f);
+  return 1.0 - std::pow(1.0 - f, static_cast<double>(k));
+}
+
+}  // namespace p2panon::analysis

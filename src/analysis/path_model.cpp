@@ -1,0 +1,68 @@
+#include "analysis/path_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p2panon::analysis {
+
+double path_success_probability(double node_availability,
+                                std::size_t path_length) {
+  if (node_availability < 0.0 || node_availability > 1.0) {
+    throw std::invalid_argument("availability must be in [0, 1]");
+  }
+  return std::pow(node_availability, static_cast<double>(path_length));
+}
+
+double log_binomial(std::size_t n, std::size_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double at_least_successes(std::size_t needed, std::size_t k, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("p must be in [0, 1]");
+  }
+  if (needed == 0) return 1.0;
+  if (needed > k) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  double total = 0.0;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  for (std::size_t i = needed; i <= k; ++i) {
+    const double log_term = log_binomial(k, i) +
+                            static_cast<double>(i) * log_p +
+                            static_cast<double>(k - i) * log_q;
+    total += std::exp(log_term);
+  }
+  return std::min(total, 1.0);
+}
+
+double simera_success_probability(std::size_t k, double r, double p) {
+  if (k == 0 || r < 1.0) {
+    throw std::invalid_argument("need k >= 1 and r >= 1");
+  }
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(k) / r - 1e-12));
+  return at_least_successes(std::max<std::size_t>(needed, 1), k, p);
+}
+
+double simera_success_monte_carlo(std::size_t k, double r, double p,
+                                  std::size_t trials, Rng& rng) {
+  const auto needed = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(k) / r - 1e-12)));
+  std::size_t wins = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t alive = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (rng.bernoulli(p)) ++alive;
+    }
+    if (alive >= needed) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(trials);
+}
+
+}  // namespace p2panon::analysis

@@ -1,0 +1,40 @@
+// The paper's Bernoulli path-failure model (§4.7).
+//
+// Paths fail independently; a path of L relays succeeds with probability
+// p = pa^L where pa is node availability (the responder is assumed up).
+// SimEra with k paths and replication factor r delivers iff at least k/r
+// paths succeed:
+//
+//   P(k) = sum_{i = ceil(k/r)}^{k} C(k, i) p^i (1 - p)^{k - i}
+//
+// Figures 2-4 are drawn from this model, both in closed form and by
+// Monte-Carlo simulation of the Bernoulli process (which the tests check
+// against each other).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace p2panon::analysis {
+
+/// p = pa^L.
+double path_success_probability(double node_availability,
+                                std::size_t path_length);
+
+/// Binomial tail: P(at least `needed` of `k` trials succeed | p).
+double at_least_successes(std::size_t needed, std::size_t k, double p);
+
+/// The paper's P(k) for SimEra: at least ceil(k/r) of k paths succeed.
+/// `r` need not divide k; the paper's plots use k a multiple of r.
+double simera_success_probability(std::size_t k, double r, double p);
+
+/// Monte-Carlo estimate of the same quantity (used to validate the closed
+/// form and drive Figure 2/3 the way the paper's "simulations" do).
+double simera_success_monte_carlo(std::size_t k, double r, double p,
+                                  std::size_t trials, Rng& rng);
+
+/// log C(n, k) via lgamma (stable for large n).
+double log_binomial(std::size_t n, std::size_t k);
+
+}  // namespace p2panon::analysis

@@ -1,0 +1,153 @@
+#include "anon/adaptive.hpp"
+
+#include <cmath>
+
+#include "analysis/path_model.hpp"
+#include "common/logging.hpp"
+
+namespace p2panon::anon {
+
+AdaptiveSessionController::AdaptiveSessionController(
+    AnonRouter& router, const membership::NodeCache& cache, NodeId initiator,
+    NodeId responder, AdaptiveConfig config, Rng rng)
+    : router_(router),
+      cache_(cache),
+      initiator_(initiator),
+      responder_(responder),
+      config_(std::move(config)),
+      rng_(rng) {}
+
+AdaptiveSessionController::~AdaptiveSessionController() { *alive_ = false; }
+
+std::unique_ptr<Session> AdaptiveSessionController::make_session(
+    const ErasureParams& params) {
+  SessionConfig session_config = config_.session;
+  session_config.erasure = params;
+  // Migration candidates must fail fast: a stuck candidate blocks further
+  // adaptation, so cap its whole-set retries well below the session
+  // default and let the next evaluation try again with fresher estimates.
+  session_config.max_construct_attempts =
+      std::min<std::size_t>(session_config.max_construct_attempts, 8);
+  return std::make_unique<Session>(router_, cache_, initiator_, responder_,
+                                   session_config, rng_.fork());
+}
+
+void AdaptiveSessionController::start(std::function<void(bool)> ready) {
+  active_ = make_session(config_.session.erasure);
+  active_->construct(
+      [this, ready = std::move(ready), alive = alive_](bool ok,
+                                                       std::size_t) {
+        if (!*alive) return;
+        ready(ok);
+      });
+  evaluator_ = std::make_unique<sim::PeriodicTask>(
+      router_.simulator(), config_.evaluation_interval,
+      [this] { evaluate(); });
+  evaluator_->start();
+}
+
+MessageId AdaptiveSessionController::send_message(ByteView data) {
+  if (!active_) return 0;
+  return active_->send_message(data);
+}
+
+void AdaptiveSessionController::evaluate() {
+  if (!active_) return;
+
+  // Segment outcomes since the last evaluation: acked / sent.
+  const std::uint64_t segments = active_->segments_sent();
+  const std::uint64_t acks = active_->acks_received();
+  const std::uint64_t new_segments = segments - last_segments_;
+  const std::uint64_t new_acks = acks - last_acks_;
+  last_segments_ = segments;
+  last_acks_ = acks;
+
+  if (new_segments == 0) {
+    // No traffic flowed. If that is because the path set is dead (fewer
+    // live paths than the reconstruction minimum), the session is
+    // starving — treat the window as total loss so the advisor reacts;
+    // otherwise there is simply nothing to learn from.
+    if (active_->established_paths() >=
+        active_->config().erasure.min_paths()) {
+      return;
+    }
+    path_success_ewma_ *= (1.0 - config_.ewma_alpha);
+    observations_ += config_.min_observations;  // unblock adaptation
+  } else {
+    observations_ += new_segments;
+    const double window_success =
+        static_cast<double>(new_acks) / static_cast<double>(new_segments);
+    path_success_ewma_ = config_.ewma_alpha * window_success +
+                         (1.0 - config_.ewma_alpha) * path_success_ewma_;
+  }
+  if (observations_ < config_.min_observations) return;
+
+  // Invert p = pa^L for the availability the advisor expects, clamping
+  // away from the degenerate edges.
+  const double p = std::clamp(path_success_ewma_, 0.01, 0.999);
+  const double pa =
+      std::pow(p, 1.0 / static_cast<double>(config_.session.path_length));
+
+  const auto choices = analysis::advise_parameters(
+      pa, config_.session.path_length, config_.target_success, config_.max_r,
+      config_.max_k);
+  // When nothing within budget reaches the target, run best-effort: the
+  // (k, r) maximizing delivery probability beats freezing on parameters
+  // sized for a healthier network.
+  analysis::ParameterChoice best;
+  if (choices.empty()) {
+    best = analysis::best_effort_parameters(pa, config_.session.path_length,
+                                            config_.max_r, config_.max_k);
+  } else {
+    // Among target-meeting choices prefer the fewest paths (k * L relays
+    // is the scarce resource in a finite overlay), then the cheapest r.
+    best = choices.front();
+    for (const auto& choice : choices) {
+      if (choice.k < best.k ||
+          (choice.k == best.k && choice.r < best.r)) {
+        best = choice;
+      }
+    }
+  }
+  if (best.k == 0 || best.r == 0) return;
+  ErasureParams params = ErasureParams::simera(best.k, best.r);
+  const ErasureParams& current = active_->config().erasure;
+  if (params.k == current.k && params.m == current.m &&
+      params.n == current.n) {
+    return;
+  }
+  migrate(params);
+}
+
+void AdaptiveSessionController::migrate(const ErasureParams& params) {
+  if (candidate_) return;  // a migration is already in flight
+  LOG_DEBUG << "adaptive: migrating toward (k=" << params.k
+            << ",m=" << params.m << ",n=" << params.n << ")";
+  candidate_ = make_session(params);
+  candidate_->construct([this, alive = alive_](bool ok,
+                                               std::size_t attempts) {
+    if (!*alive) return;
+    if (!ok) {
+      LOG_DEBUG << "adaptive: candidate construction failed after "
+                << attempts << " attempts; retrying next evaluation";
+      candidate_.reset();  // keep the old set; try again next evaluation
+      return;
+    }
+    const ErasureParams from = active_->config().erasure;
+    const ErasureParams to = candidate_->config().erasure;
+    active_->teardown();
+    active_ = std::move(candidate_);
+    ++reconfigurations_;
+    // Reset the outcome window: the new parameter set starts clean.
+    last_segments_ = active_->segments_sent();
+    last_acks_ = active_->acks_received();
+    LOG_INFO << "adaptive: migrated (k=" << from.k << ",m=" << from.m
+             << ",n=" << from.n << ") -> (k=" << to.k << ",m=" << to.m
+             << ",n=" << to.n << ")";
+    if (reconfigure_handler_) {
+      reconfigure_handler_(from, to, path_success_ewma_);
+    }
+  });
+}
+
+}  // namespace p2panon::anon

@@ -1,0 +1,92 @@
+// Adaptive (k, r) control: closing the loop between the paper's §4.7
+// guideline and live measurements.
+//
+// The paper's three observations tell an operator how to pick (k, r) given
+// node availability — but availability drifts. This controller estimates
+// per-path delivery success from the session's own ack stream (an EWMA of
+// segment outcomes), converts it to an availability estimate via
+// p = pa^L, asks analysis::advise_parameters for the cheapest (k, r) that
+// meets the delivery target, and live-migrates the session when the
+// recommendation changes: it builds a new path set with the new
+// parameters, and only after that set is up does it tear the old one
+// down (make-before-break).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "analysis/observations.hpp"
+#include "anon/session.hpp"
+
+namespace p2panon::anon {
+
+struct AdaptiveConfig {
+  double target_success = 0.99;  // delivery probability to maintain
+  SimDuration evaluation_interval = 2 * kMinute;
+  std::size_t min_observations = 16;  // outcomes before the first adaptation
+  double ewma_alpha = 0.25;           // smoothing for segment outcomes
+  std::size_t max_r = 4;
+  std::size_t max_k = 16;
+  SessionConfig session;  // timeouts, L, mix choice; erasure is managed
+};
+
+class AdaptiveSessionController {
+ public:
+  using ReconfigureHandler =
+      std::function<void(const ErasureParams& from, const ErasureParams& to,
+                         double estimated_path_success)>;
+
+  AdaptiveSessionController(AnonRouter& router,
+                            const membership::NodeCache& cache,
+                            NodeId initiator, NodeId responder,
+                            AdaptiveConfig config, Rng rng);
+  ~AdaptiveSessionController();
+  AdaptiveSessionController(const AdaptiveSessionController&) = delete;
+  AdaptiveSessionController& operator=(const AdaptiveSessionController&) =
+      delete;
+
+  /// Constructs the initial session (with config.session.erasure) and
+  /// starts the evaluation timer.
+  void start(std::function<void(bool ok)> ready);
+
+  /// Sends through the currently active session.
+  MessageId send_message(ByteView data);
+
+  /// Fires whenever the controller migrates to new parameters.
+  void set_reconfigure_handler(ReconfigureHandler handler) {
+    reconfigure_handler_ = std::move(handler);
+  }
+
+  const ErasureParams& current_parameters() const {
+    return active_ ? active_->config().erasure : config_.session.erasure;
+  }
+  double estimated_path_success() const { return path_success_ewma_; }
+  std::size_t reconfigurations() const { return reconfigurations_; }
+  Session* active_session() { return active_.get(); }
+
+ private:
+  void evaluate();
+  void migrate(const ErasureParams& params);
+  std::unique_ptr<Session> make_session(const ErasureParams& params);
+
+  AnonRouter& router_;
+  const membership::NodeCache& cache_;
+  NodeId initiator_;
+  NodeId responder_;
+  AdaptiveConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<Session> active_;
+  std::unique_ptr<Session> candidate_;  // make-before-break target
+  std::unique_ptr<sim::PeriodicTask> evaluator_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  double path_success_ewma_ = 1.0;
+  std::uint64_t last_segments_ = 0;
+  std::uint64_t last_acks_ = 0;
+  std::uint64_t observations_ = 0;
+  std::size_t reconfigurations_ = 0;
+  ReconfigureHandler reconfigure_handler_;
+};
+
+}  // namespace p2panon::anon

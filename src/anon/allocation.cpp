@@ -1,0 +1,127 @@
+#include "anon/allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace p2panon::anon {
+
+void ErasureParams::validate() const {
+  if (m < 1 || n < m || k < 1) {
+    throw std::invalid_argument("ErasureParams: need 1 <= m <= n, k >= 1");
+  }
+  if (n % k != 0) {
+    throw std::invalid_argument(
+        "ErasureParams: n must be a multiple of k for even allocation");
+  }
+  if (n > 255) {
+    throw std::invalid_argument("ErasureParams: n <= 255 (GF(256) codec)");
+  }
+}
+
+ErasureParams ErasureParams::simera(std::size_t k, std::size_t r) {
+  if (r < 1 || k < 1 || k % r != 0) {
+    throw std::invalid_argument("simera: k must be a positive multiple of r");
+  }
+  ErasureParams p;
+  p.k = k;
+  p.m = k / r;
+  p.n = k;
+  p.validate();
+  return p;
+}
+
+ErasureParams ErasureParams::simrep(std::size_t r) {
+  ErasureParams p;
+  p.k = r;
+  p.m = 1;
+  p.n = r;
+  p.validate();
+  return p;
+}
+
+ErasureParams ErasureParams::curmix() {
+  ErasureParams p;
+  p.k = 1;
+  p.m = 1;
+  p.n = 1;
+  return p;
+}
+
+Allocation allocate_even(const ErasureParams& params) {
+  params.validate();
+  Allocation alloc(params.n);
+  for (std::size_t s = 0; s < params.n; ++s) alloc[s] = s % params.k;
+  return alloc;
+}
+
+Allocation allocate_weighted(const ErasureParams& params,
+                             const std::vector<double>& path_scores,
+                             std::size_t spread) {
+  params.validate();
+  if (path_scores.size() != params.k) {
+    throw std::invalid_argument("allocate_weighted: one score per path");
+  }
+  const double total =
+      std::accumulate(path_scores.begin(), path_scores.end(), 0.0);
+  if (total <= 0.0) return allocate_even(params);
+
+  const std::size_t per = params.segments_per_path();
+  const std::size_t cap = per + spread;
+
+  // Largest-remainder apportionment of n segments by score, capped.
+  struct Share {
+    std::size_t path;
+    std::size_t count;
+    double remainder;
+  };
+  std::vector<Share> shares(params.k);
+  std::size_t assigned = 0;
+  for (std::size_t j = 0; j < params.k; ++j) {
+    const double ideal =
+        static_cast<double>(params.n) * path_scores[j] / total;
+    std::size_t base = static_cast<std::size_t>(ideal);
+    base = std::min(base, cap);
+    shares[j] = Share{j, base, ideal - static_cast<double>(base)};
+    assigned += base;
+  }
+  // Distribute the rest by largest remainder, respecting the cap.
+  std::vector<std::size_t> order(params.k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (shares[a].remainder != shares[b].remainder) {
+      return shares[a].remainder > shares[b].remainder;
+    }
+    return a < b;
+  });
+  std::size_t cursor = 0;
+  while (assigned < params.n) {
+    Share& s = shares[order[cursor % params.k]];
+    if (s.count < cap) {
+      ++s.count;
+      ++assigned;
+    }
+    ++cursor;
+    if (cursor > 4 * params.k * (spread + 1) + params.n) {
+      // Cap too tight to place n segments; fall back to even.
+      return allocate_even(params);
+    }
+  }
+
+  Allocation alloc;
+  alloc.reserve(params.n);
+  for (const Share& s : shares) {
+    for (std::size_t c = 0; c < s.count; ++c) alloc.push_back(s.path);
+  }
+  return alloc;
+}
+
+std::size_t segments_delivered(const Allocation& alloc,
+                               const std::vector<bool>& path_alive) {
+  std::size_t delivered = 0;
+  for (const std::size_t path : alloc) {
+    if (path < path_alive.size() && path_alive[path]) ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace p2panon::anon

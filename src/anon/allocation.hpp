@@ -1,0 +1,68 @@
+// Allocation of erasure-coded message segments among paths (paper §4.7,
+// plus the weighted scheme from the paper's future work).
+//
+// SimEra's even allocation (the paper's only evaluated scheme) requires k
+// to be a multiple of r = n/m and puts n/k segments on each path; losing
+// any k(1 - 1/r) paths still leaves >= m segments. The weighted scheme
+// allocates more segments to paths with higher stability scores while
+// never putting more than n/k + spread segments on one path (capping how
+// much one path failure can hurt).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace p2panon::anon {
+
+/// Erasure parameterization for a protocol run: n segments (need m) over k
+/// disjoint paths.
+struct ErasureParams {
+  std::size_t m = 1;  // segments needed
+  std::size_t n = 1;  // segments produced
+  std::size_t k = 1;  // paths
+
+  double replication_factor() const {
+    return static_cast<double>(n) / static_cast<double>(m);
+  }
+  std::size_t segments_per_path() const { return n / k; }
+  /// Paths whose simultaneous failure the even allocation tolerates.
+  std::size_t tolerated_path_failures() const { return k - min_paths(); }
+  /// Minimum surviving paths for reconstruction: ceil(m / (n/k)).
+  std::size_t min_paths() const {
+    const std::size_t per = segments_per_path();
+    return (m + per - 1) / per;
+  }
+
+  /// The paper's SimEra(k, r): one segment of size |M| * r / k per path
+  /// (m = k / r, n = k). Requires k % r == 0.
+  static ErasureParams simera(std::size_t k, std::size_t r);
+  /// SimRep(r): r full copies over k = r paths (m = 1, n = r).
+  static ErasureParams simrep(std::size_t r);
+  /// CurMix: single path, single copy.
+  static ErasureParams curmix();
+
+  /// Validates n % k == 0, m <= n, k >= 1; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// segment index -> path index assignments.
+using Allocation = std::vector<std::size_t>;
+
+/// Even allocation: segment s goes to path s % k (round-robin, n/k each).
+Allocation allocate_even(const ErasureParams& params);
+
+/// Weighted allocation (future-work extension): distributes the n segments
+/// proportionally to `path_scores` (e.g. mean liveness predictor of the
+/// path's relays), but never more than n/k + `spread` on one path and at
+/// least one segment fewer... see implementation notes. Scores must be
+/// non-negative; all-zero scores degrade to even allocation.
+Allocation allocate_weighted(const ErasureParams& params,
+                             const std::vector<double>& path_scores,
+                             std::size_t spread = 1);
+
+/// Given which paths survived, how many segments arrive under `alloc`?
+std::size_t segments_delivered(const Allocation& alloc,
+                               const std::vector<bool>& path_alive);
+
+}  // namespace p2panon::anon

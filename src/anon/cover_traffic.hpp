@@ -1,0 +1,66 @@
+// Cover traffic (paper §4.6).
+//
+// Each participating node periodically builds k paths of random relays to
+// a randomly chosen destination and sends a dummy message that is
+// byte-indistinguishable from a real one (same Session machinery, same
+// channels, same framing — only the source and the destination could tell,
+// and the destination simply reconstructs bytes it discards).
+//
+// k is per-node ("k is unnecessary [a] system-wide parameter and each node
+// may pick a value corresponding to its bandwidth constraints"), so the
+// generator takes a per-node config callback.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "anon/session.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::anon {
+
+struct CoverTrafficConfig {
+  SimDuration interval = 30 * kSecond;  // per-node dummy-message cadence
+  std::size_t k = 2;                    // paths per cover message
+  std::size_t message_size = 1024;      // bytes per dummy message
+  std::size_t path_length = 3;          // L
+};
+
+class CoverTrafficGenerator {
+ public:
+  using LivenessOracle = std::function<bool(NodeId)>;
+  using CacheProvider = std::function<const membership::NodeCache&(NodeId)>;
+  using ConfigProvider = std::function<CoverTrafficConfig(NodeId)>;
+
+  /// `nodes` lists the participants. Config may differ per node.
+  CoverTrafficGenerator(AnonRouter& router, CacheProvider caches,
+                        LivenessOracle is_up, std::vector<NodeId> nodes,
+                        ConfigProvider config, Rng rng);
+  ~CoverTrafficGenerator();
+  CoverTrafficGenerator(const CoverTrafficGenerator&) = delete;
+  CoverTrafficGenerator& operator=(const CoverTrafficGenerator&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint64_t cover_messages_sent() const { return messages_sent_; }
+
+ private:
+  void tick(std::size_t index);
+
+  AnonRouter& router_;
+  CacheProvider caches_;
+  LivenessOracle is_up_;
+  std::vector<NodeId> nodes_;
+  ConfigProvider config_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+  // Ephemeral sessions kept alive until their message round completes.
+  std::vector<std::unique_ptr<Session>> in_flight_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace p2panon::anon

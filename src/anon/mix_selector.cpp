@@ -1,0 +1,42 @@
+#include "anon/mix_selector.hpp"
+
+#include <unordered_set>
+
+namespace p2panon::anon {
+
+const char* to_string(MixChoice choice) {
+  return choice == MixChoice::kRandom ? "random" : "biased";
+}
+
+std::optional<std::vector<std::vector<NodeId>>> MixSelector::select_paths(
+    const membership::NodeCache& cache, std::size_t paths,
+    std::size_t path_length, SimTime now, NodeId initiator,
+    NodeId responder, const std::vector<NodeId>& extra_exclude) {
+  const std::size_t need = paths * path_length;
+  std::unordered_set<NodeId> exclude = {initiator, responder};
+  exclude.insert(extra_exclude.begin(), extra_exclude.end());
+
+  std::vector<NodeId> picked;
+  switch (choice_) {
+    case MixChoice::kRandom:
+      picked = cache.sample_known(need, rng_, exclude);
+      break;
+    case MixChoice::kBiased:
+      picked = cache.top_by_predictor(need, now, exclude);
+      break;
+  }
+  if (picked.size() < need) return std::nullopt;
+
+  // Breadth-first deal: relay slot (i, j) gets picked[i * paths + j], so
+  // for biased choice the best nodes spread evenly across the k paths.
+  std::vector<std::vector<NodeId>> out(paths);
+  for (std::size_t j = 0; j < paths; ++j) out[j].reserve(path_length);
+  for (std::size_t i = 0; i < path_length; ++i) {
+    for (std::size_t j = 0; j < paths; ++j) {
+      out[j].push_back(picked[i * paths + j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace p2panon::anon

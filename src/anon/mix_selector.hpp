@@ -1,0 +1,50 @@
+// Mix (relay) selection (paper §4.9 "Biased Mix Choice").
+//
+// Selects the k * L distinct relay nodes for a path set from the
+// initiator's NodeCache:
+//   - Random: uniform over all known nodes, ignoring liveness entirely —
+//     how the paper characterizes existing mix-based protocols.
+//   - Biased: the nodes with the highest Eq. 3 liveness predictor.
+// The initiator and responder are always excluded, and the k paths are
+// node-disjoint by construction.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "membership/node_cache.hpp"
+
+namespace p2panon::anon {
+
+enum class MixChoice { kRandom, kBiased };
+
+const char* to_string(MixChoice choice);
+
+class MixSelector {
+ public:
+  MixSelector(MixChoice choice, Rng rng) : choice_(choice), rng_(rng) {}
+
+  /// Picks `paths * path_length` distinct relays and splits them into
+  /// `paths` disjoint relay lists of length `path_length`. Returns nullopt
+  /// if the cache has too few eligible nodes.
+  ///
+  /// For biased choice the best nodes go breadth-first across paths (path
+  /// j gets the (j)th, (k+j)th, ... best), so path quality is as even as a
+  /// top-q selection allows.
+  std::optional<std::vector<std::vector<NodeId>>> select_paths(
+      const membership::NodeCache& cache, std::size_t paths,
+      std::size_t path_length, SimTime now, NodeId initiator,
+      NodeId responder,
+      const std::vector<NodeId>& extra_exclude = {});
+
+  MixChoice choice() const { return choice_; }
+
+ private:
+  MixChoice choice_;
+  Rng rng_;
+};
+
+}  // namespace p2panon::anon

@@ -1,0 +1,50 @@
+#include "anon/protocols.hpp"
+
+namespace p2panon::anon {
+
+std::string ProtocolSpec::name() const {
+  std::string base;
+  switch (kind) {
+    case ProtocolKind::kCurMix:
+      base = "CurMix";
+      break;
+    case ProtocolKind::kSimRep:
+      base = "SimRep(r=" + std::to_string(r) + ")";
+      break;
+    case ProtocolKind::kSimEra:
+      base = "SimEra(k=" + std::to_string(k) + ",r=" + std::to_string(r) + ")";
+      break;
+  }
+  return base + "/" + to_string(mix);
+}
+
+SessionConfig ProtocolSpec::session_config(SessionConfig base) const {
+  switch (kind) {
+    case ProtocolKind::kCurMix:
+      base.erasure = ErasureParams::curmix();
+      break;
+    case ProtocolKind::kSimRep:
+      base.erasure = ErasureParams::simrep(r);
+      break;
+    case ProtocolKind::kSimEra:
+      base.erasure = ErasureParams::simera(k, r);
+      break;
+  }
+  base.mix_choice = mix;
+  return base;
+}
+
+ProtocolSpec ProtocolSpec::curmix(MixChoice mix) {
+  return ProtocolSpec{ProtocolKind::kCurMix, 1, 1, mix};
+}
+
+ProtocolSpec ProtocolSpec::simrep(std::size_t r, MixChoice mix) {
+  return ProtocolSpec{ProtocolKind::kSimRep, r, r, mix};
+}
+
+ProtocolSpec ProtocolSpec::simera(std::size_t k, std::size_t r,
+                                  MixChoice mix) {
+  return ProtocolSpec{ProtocolKind::kSimEra, k, r, mix};
+}
+
+}  // namespace p2panon::anon

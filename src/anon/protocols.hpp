@@ -1,0 +1,40 @@
+// The three anonymity protocols evaluated in the paper, as Session
+// parameterizations sharing all machinery:
+//
+//   CurMix       — current mix-based protocols: one onion path, one copy.
+//   SimRep(r)    — simple replication: r full copies over k = r disjoint
+//                  paths (m = 1, n = r).
+//   SimEra(k, r) — simple erasure coding: k disjoint paths, replication
+//                  factor r = n/m, one coded segment of size |M| * r / k
+//                  per path (m = k/r, n = k; requires r | k). Tolerates
+//                  k(1 - 1/r) path failures.
+//
+// Each comes in random and biased mix-choice variants (§4.9).
+#pragma once
+
+#include <string>
+
+#include "anon/session.hpp"
+
+namespace p2panon::anon {
+
+enum class ProtocolKind { kCurMix, kSimRep, kSimEra };
+
+struct ProtocolSpec {
+  ProtocolKind kind = ProtocolKind::kCurMix;
+  std::size_t k = 1;  // paths (SimRep: k == r)
+  std::size_t r = 1;  // replication factor
+  MixChoice mix = MixChoice::kRandom;
+
+  std::string name() const;
+
+  /// Lowers the spec onto a SessionConfig (path length L, timeouts etc.
+  /// come from `base`; erasure params and mix choice are overwritten).
+  SessionConfig session_config(SessionConfig base = {}) const;
+
+  static ProtocolSpec curmix(MixChoice mix);
+  static ProtocolSpec simrep(std::size_t r, MixChoice mix);
+  static ProtocolSpec simera(std::size_t k, std::size_t r, MixChoice mix);
+};
+
+}  // namespace p2panon::anon

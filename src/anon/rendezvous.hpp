@@ -1,0 +1,134 @@
+// Mutual anonymity via rendezvous (paper §3: "responder anonymity and
+// mutual anonymity can be easily achieved by extending our design, i.e.,
+// using an additional level of redirection").
+//
+// Composition of the existing primitives — nothing new on the wire below
+// the application payloads:
+//
+//   service S (anonymous)          rendezvous node R          client C (anonymous)
+//   Session(S -> R) ---REGISTER(service id)--->  host table
+//                                  host <---CALL(service id, conv, data)--- Session(C -> R)
+//   response path <--forwarded call-- host
+//   Session(S -> R) ---REPLY(conv, data)---> host --response path--> C
+//
+// R learns neither S's nor C's identity (both sit behind their own onion
+// paths); S and C never learn each other. The host pushes forwarded calls
+// and replies down the registration/call reverse paths using the router's
+// multi-response mechanism; the service re-registers periodically because
+// responder-side reassembly state (its return path handle) has a TTL.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "anon/session.hpp"
+
+namespace p2panon::anon {
+
+using ServiceId = std::uint64_t;
+using ConversationId = std::uint64_t;
+
+/// Application-level frames carried inside ordinary anonymous messages.
+struct RendezvousFrame {
+  enum class Kind : std::uint8_t {
+    kRegister = 1,       // service -> host
+    kCall = 2,           // client -> host
+    kForwardedCall = 3,  // host -> service (as response)
+    kReply = 4,          // service -> host
+    kForwardedReply = 5, // host -> client (as response)
+  };
+  Kind kind = Kind::kRegister;
+  ServiceId service = 0;
+  ConversationId conversation = 0;
+  Bytes data;
+};
+
+Bytes serialize_frame(const RendezvousFrame& frame);
+std::optional<RendezvousFrame> parse_frame(ByteView payload);
+
+/// The rendezvous host: application logic running at node R. Plug its
+/// on_message into the router's message handler (directly or via a
+/// dispatcher) for messages addressed to R.
+class RendezvousHost {
+ public:
+  explicit RendezvousHost(AnonRouter& router, NodeId host_node)
+      : router_(router), node_(host_node) {}
+
+  /// Feeds a reconstructed anonymous message to the host. Returns true if
+  /// it was a rendezvous frame handled here.
+  bool on_message(const ReceivedMessage& message);
+
+  std::size_t registered_services() const { return services_.size(); }
+  std::size_t open_conversations() const { return conversations_.size(); }
+
+ private:
+  struct Registration {
+    MessageId registration_message = 0;  // reverse-path handle to S
+  };
+  struct Conversation {
+    MessageId call_message = 0;  // reverse-path handle to C
+  };
+
+  AnonRouter& router_;
+  NodeId node_;
+  std::unordered_map<ServiceId, Registration> services_;
+  std::unordered_map<ConversationId, Conversation> conversations_;
+};
+
+/// Service-side helper (the anonymous responder S): owns a Session to the
+/// rendezvous node, registers the service id, re-registers on an interval,
+/// surfaces forwarded calls and sends replies.
+class AnonymousService {
+ public:
+  using CallHandler =
+      std::function<void(ConversationId conversation, const Bytes& data)>;
+
+  AnonymousService(AnonRouter& router, Session& session, ServiceId service,
+                   SimDuration reregister_interval = kMinute);
+
+  /// Constructs the session paths and sends the first registration.
+  void start(std::function<void(bool ok)> ready);
+
+  void set_call_handler(CallHandler handler) {
+    call_handler_ = std::move(handler);
+  }
+
+  /// Replies to a forwarded call.
+  void reply(ConversationId conversation, ByteView data);
+
+ private:
+  void register_now();
+
+  AnonRouter& router_;
+  Session& session_;
+  ServiceId service_;
+  std::unique_ptr<sim::PeriodicTask> reregister_;
+  CallHandler call_handler_;
+};
+
+/// Client-side helper (the anonymous initiator C): calls a service through
+/// the rendezvous node and surfaces the replies.
+class AnonymousClient {
+ public:
+  using ReplyHandler =
+      std::function<void(ConversationId conversation, const Bytes& data)>;
+
+  AnonymousClient(Session& session, Rng rng);
+
+  void start(std::function<void(bool ok)> ready);
+
+  /// Sends a call; returns the conversation id (0 if no usable path).
+  ConversationId call(ServiceId service, ByteView data);
+
+  void set_reply_handler(ReplyHandler handler) {
+    reply_handler_ = std::move(handler);
+  }
+
+ private:
+  Session& session_;
+  Rng rng_;
+  ReplyHandler reply_handler_;
+};
+
+}  // namespace p2panon::anon

@@ -1,0 +1,640 @@
+#include "anon/router.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace p2panon::anon {
+
+namespace {
+constexpr std::uint8_t kTypeConstruct = 1;
+constexpr std::uint8_t kTypeConstructAck = 2;
+constexpr std::uint8_t kTypePayload = 3;
+constexpr std::uint8_t kTypePayloadRev = 4;
+constexpr std::uint8_t kTypeTeardown = 5;
+constexpr std::uint8_t kTypeRetarget = 6;
+constexpr std::uint8_t kTypeConstructPayload = 7;
+}  // namespace
+
+Bytes serialize_reverse_core(const ReverseCore& core) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(core.type));
+  put_u64be(out, core.message_id);
+  put_u32be(out, core.segment_index);
+  if (core.type == ReverseCore::Type::kResponseSegment) {
+    put_u32be(out, core.response_id);
+    put_u32be(out, core.original_size);
+    put_u16be(out, core.needed_segments);
+    put_u16be(out, core.total_segments);
+    put_u32be(out, static_cast<std::uint32_t>(core.segment.size()));
+    append(out, core.segment);
+  }
+  return out;
+}
+
+std::optional<ReverseCore> parse_reverse_core(ByteView plain) {
+  if (plain.size() < 13) return std::nullopt;
+  ReverseCore core;
+  const std::uint8_t type = plain[0];
+  if (type != 1 && type != 2) return std::nullopt;
+  core.type = static_cast<ReverseCore::Type>(type);
+  core.message_id = get_u64be(plain, 1);
+  core.segment_index = get_u32be(plain, 9);
+  if (core.type == ReverseCore::Type::kAck) {
+    return plain.size() == 13 ? std::optional<ReverseCore>(core)
+                              : std::nullopt;
+  }
+  if (plain.size() < 13 + 4 + 4 + 2 + 2 + 4) return std::nullopt;
+  core.response_id = get_u32be(plain, 13);
+  core.original_size = get_u32be(plain, 17);
+  core.needed_segments = get_u16be(plain, 21);
+  core.total_segments = get_u16be(plain, 23);
+  const std::size_t seg_len = get_u32be(plain, 25);
+  if (plain.size() != 29 + seg_len) return std::nullopt;
+  const ByteView seg = plain.subspan(29);
+  core.segment.assign(seg.begin(), seg.end());
+  return core;
+}
+
+AnonRouter::AnonRouter(sim::Simulator& simulator, net::Demux& demux,
+                       const OnionCodec& onion,
+                       const crypto::KeyDirectory& directory,
+                       std::vector<crypto::KeyPair> node_keys,
+                       LivenessOracle is_up, RouterConfig config, Rng rng)
+    : simulator_(simulator),
+      demux_(demux),
+      onion_(onion),
+      directory_(directory),
+      node_keys_(std::move(node_keys)),
+      is_up_(std::move(is_up)),
+      config_(config),
+      rng_(rng) {
+  const std::size_t n = node_keys_.size();
+  tables_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) tables_.emplace_back(rng_.fork());
+  pending_.resize(n);
+  reverse_handlers_.resize(n);
+  reassembly_.resize(n);
+}
+
+void AnonRouter::start() {
+  demux_.set_handler(net::Channel::kAnonForward,
+                     [this](NodeId from, NodeId to, ByteView payload) {
+                       handle_forward(from, to, payload);
+                     });
+  demux_.set_handler(net::Channel::kAnonReverse,
+                     [this](NodeId from, NodeId to, ByteView payload) {
+                       handle_reverse(from, to, payload);
+                     });
+  sweeper_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, config_.sweep_interval, [this] { sweep(); });
+  sweeper_->start();
+}
+
+// --- framing --------------------------------------------------------------------
+
+void AnonRouter::send_forward(NodeId from, NodeId to, std::uint8_t type,
+                              StreamId sid, std::uint64_t seq,
+                              ByteView blob) {
+  Bytes msg;
+  msg.reserve(17 + blob.size());
+  msg.push_back(type);
+  put_u64be(msg, sid);
+  if (type == kTypePayload || type == kTypeRetarget ||
+      type == kTypeConstructPayload) {
+    put_u64be(msg, seq);
+  }
+  append(msg, blob);
+  if (type == kTypeConstruct || type == kTypeRetarget) {
+    construct_bytes_ += msg.size();
+  } else if (type == kTypePayload || type == kTypeConstructPayload) {
+    payload_bytes_ += msg.size();
+  }
+  demux_.send(net::Channel::kAnonForward, from, to, msg);
+}
+
+void AnonRouter::send_reverse(NodeId from, NodeId to, std::uint8_t type,
+                              StreamId sid, std::uint64_t seq,
+                              ByteView blob) {
+  Bytes msg;
+  msg.reserve(18 + blob.size());
+  msg.push_back(type);
+  put_u64be(msg, sid);
+  if (type == kTypePayloadRev) {
+    put_u64be(msg, seq);
+  }
+  append(msg, blob);
+  reverse_bytes_ += msg.size();
+  demux_.send(net::Channel::kAnonReverse, from, to, msg);
+}
+
+// --- initiator primitives ----------------------------------------------------------
+
+StreamId AnonRouter::initiate_path(NodeId initiator,
+                                   const std::vector<NodeId>& relays,
+                                   const std::vector<RelayKey>& relay_keys,
+                                   NodeId responder, SimDuration timeout,
+                                   ConstructCallback callback) {
+  if (relays.empty()) {
+    throw std::invalid_argument("initiate_path: need at least one relay");
+  }
+  const Bytes onion_blob =
+      onion_.build_path_onion(relays, relay_keys, responder, directory_, rng_);
+
+  // The initiator's own sid for this path: what P_1 will see as its
+  // upstream sid.
+  StreamId sid;
+  do {
+    sid = rng_.next_u64();
+  } while (sid == 0 || pending_[initiator].count(sid) > 0 ||
+           reverse_handlers_[initiator].count(sid) > 0);
+
+  PendingConstruction pending;
+  pending.callback = std::move(callback);
+  pending.timeout_event =
+      simulator_.schedule_after(timeout, [this, initiator, sid] {
+        auto& pmap = pending_[initiator];
+        const auto it = pmap.find(sid);
+        if (it == pmap.end()) return;
+        ConstructCallback cb = std::move(it->second.callback);
+        pmap.erase(it);
+        cb(false);
+      });
+  pending_[initiator].emplace(sid, std::move(pending));
+
+  send_forward(initiator, relays.front(), kTypeConstruct, sid, 0, onion_blob);
+  return sid;
+}
+
+void AnonRouter::register_reverse_handler(NodeId initiator, StreamId sid,
+                                          ReverseHandler handler) {
+  reverse_handlers_[initiator][sid] = std::move(handler);
+}
+
+void AnonRouter::unregister_reverse_handler(NodeId initiator, StreamId sid) {
+  reverse_handlers_[initiator].erase(sid);
+}
+
+void AnonRouter::send_payload(NodeId initiator, StreamId sid,
+                              NodeId first_relay, std::uint64_t seq,
+                              Bytes blob) {
+  send_forward(initiator, first_relay, kTypePayload, sid, seq, blob);
+}
+
+void AnonRouter::send_teardown(NodeId initiator, StreamId sid,
+                               NodeId first_relay) {
+  send_forward(initiator, first_relay, kTypeTeardown, sid, 0, {});
+}
+
+// --- receive paths -------------------------------------------------------------------
+
+void AnonRouter::handle_forward(NodeId from, NodeId to, ByteView payload) {
+  if (payload.size() < 9) return;
+  const std::uint8_t type = payload[0];
+  const StreamId sid = get_u64be(payload, 1);
+  switch (type) {
+    case kTypeConstruct:
+      on_construct(from, to, sid, payload.subspan(9));
+      break;
+    case kTypePayload: {
+      if (payload.size() < 17) return;
+      const std::uint64_t seq = get_u64be(payload, 9);
+      on_payload(from, to, sid, seq, payload.subspan(17));
+      break;
+    }
+    case kTypeTeardown:
+      on_teardown(to, sid);
+      break;
+    case kTypeRetarget: {
+      if (payload.size() < 17) return;
+      const std::uint64_t seq = get_u64be(payload, 9);
+      on_retarget(to, sid, seq, payload.subspan(17));
+      break;
+    }
+    case kTypeConstructPayload: {
+      if (payload.size() < 17) return;
+      const std::uint64_t seq = get_u64be(payload, 9);
+      on_construct_payload(from, to, sid, seq, payload.subspan(17));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void AnonRouter::handle_reverse(NodeId from, NodeId to, ByteView payload) {
+  (void)from;
+  if (payload.size() < 9) return;
+  const std::uint8_t type = payload[0];
+  const StreamId sid = get_u64be(payload, 1);
+  switch (type) {
+    case kTypeConstructAck: {
+      if (payload.size() < 10) return;
+      on_construct_ack(to, sid, payload[9] != 0);
+      break;
+    }
+    case kTypePayloadRev: {
+      if (payload.size() < 17) return;
+      const std::uint64_t seq = get_u64be(payload, 9);
+      on_payload_rev(to, sid, seq, payload.subspan(17));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void AnonRouter::on_construct(NodeId from, NodeId to, StreamId sid,
+                              ByteView onion_blob) {
+  const auto peeled = onion_.peel_path_onion(node_keys_[to], onion_blob);
+  if (!peeled.has_value()) {
+    ++peel_failures_;
+    return;
+  }
+  RelayEntry entry;
+  entry.upstream = from;
+  entry.upstream_sid = sid;
+  entry.downstream = peeled->hop.next;
+  entry.key = peeled->hop.relay_key;
+  entry.last_relay = peeled->hop.last;
+  const SimTime now = simulator_.now();
+  const StreamId down_sid =
+      tables_[to].install(std::move(entry), now, config_.state_ttl);
+  ++messages_forwarded_;
+
+  if (peeled->hop.last) {
+    // End of the forwarding path (§4.1): the construct message stops here;
+    // confirm to the initiator along the cached upstream chain.
+    Bytes status(1, 1);
+    send_reverse(to, from, kTypeConstructAck, sid, 0, status);
+  } else {
+    send_forward(to, peeled->hop.next, kTypeConstruct, down_sid, 0,
+                 peeled->rest);
+  }
+}
+
+void AnonRouter::on_construct_ack(NodeId to, StreamId sid, bool ok) {
+  // Am I a relay on this path? Then map downstream sid -> upstream sid.
+  RelayEntry* entry = tables_[to].find_by_downstream(sid);
+  if (entry != nullptr) {
+    Bytes status(1, ok ? 1 : 0);
+    send_reverse(to, entry->upstream, kTypeConstructAck, entry->upstream_sid,
+                 0, status);
+    return;
+  }
+  // Otherwise it may be addressed to me as the initiator.
+  auto& pmap = pending_[to];
+  const auto it = pmap.find(sid);
+  if (it == pmap.end()) return;
+  simulator_.cancel(it->second.timeout_event);
+  ConstructCallback cb = std::move(it->second.callback);
+  pmap.erase(it);
+  cb(ok);
+}
+
+void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
+                            std::uint64_t seq, ByteView blob) {
+  RelayEntry* entry = tables_[to].find_by_upstream(sid);
+  if (entry == nullptr) {
+    // First contact as the responder: the last relay has stripped every
+    // layer, so `blob` should be a sealed core addressed to us. If it
+    // opens, create the terminal ⊥ entry [P_L, sid_L, ⊥, R_{L+1}] (§4.4).
+    const auto core = onion_.open_payload_core(node_keys_[to], blob);
+    if (!core.has_value()) {
+      ++peel_failures_;
+      return;
+    }
+    RelayEntry terminal;
+    terminal.upstream = from;
+    terminal.upstream_sid = sid;
+    terminal.key = core->responder_key;
+    tables_[to].install_terminal(std::move(terminal), simulator_.now(),
+                                 config_.state_ttl);
+    RelayEntry* installed = tables_[to].find_by_upstream(sid);
+    deliver_to_responder(to, *installed, *core);
+    return;
+  }
+  if (entry->at_responder) {
+    // Follow-up message on an established stream.
+    const auto core = onion_.open_payload_core(node_keys_[to], blob);
+    if (!core.has_value()) {
+      ++peel_failures_;
+      return;
+    }
+    deliver_to_responder(to, *entry, *core);
+    return;
+  }
+  tables_[to].refresh(*entry, simulator_.now(), config_.state_ttl);
+  const auto inner = onion_.unwrap_layer(entry->key, seq, blob);
+  if (!inner.has_value()) {
+    ++peel_failures_;
+    return;
+  }
+  ++messages_forwarded_;
+  send_forward(to, entry->downstream, kTypePayload, entry->downstream_sid,
+               seq, *inner);
+}
+
+StreamId AnonRouter::new_initiator_sid(NodeId initiator) {
+  StreamId sid;
+  do {
+    sid = rng_.next_u64();
+  } while (sid == 0 || pending_[initiator].count(sid) > 0 ||
+           reverse_handlers_[initiator].count(sid) > 0);
+  return sid;
+}
+
+void AnonRouter::send_construct_with_payload(NodeId initiator, StreamId sid,
+                                             NodeId first_relay,
+                                             std::uint64_t seq,
+                                             ByteView onion_blob,
+                                             ByteView payload_blob) {
+  Bytes combined;
+  combined.reserve(4 + onion_blob.size() + payload_blob.size());
+  put_u32be(combined, static_cast<std::uint32_t>(onion_blob.size()));
+  append(combined, onion_blob);
+  append(combined, payload_blob);
+  send_forward(initiator, first_relay, kTypeConstructPayload, sid, seq,
+               combined);
+}
+
+void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
+                                      std::uint64_t seq, ByteView blob) {
+  if (blob.size() < 4) return;
+  const std::size_t onion_len = get_u32be(blob, 0);
+  if (blob.size() < 4 + onion_len) return;
+  const ByteView onion_blob = blob.subspan(4, onion_len);
+  const ByteView payload_blob = blob.subspan(4 + onion_len);
+
+  const auto peeled = onion_.peel_path_onion(node_keys_[to], onion_blob);
+  if (!peeled.has_value()) {
+    ++peel_failures_;
+    return;
+  }
+  RelayEntry entry;
+  entry.upstream = from;
+  entry.upstream_sid = sid;
+  entry.downstream = peeled->hop.next;
+  entry.key = peeled->hop.relay_key;
+  entry.last_relay = peeled->hop.last;
+  const SimTime now = simulator_.now();
+  const StreamId down_sid =
+      tables_[to].install(std::move(entry), now, config_.state_ttl);
+  ++messages_forwarded_;
+
+  const auto inner = onion_.unwrap_layer(peeled->hop.relay_key, seq,
+                                         payload_blob);
+  if (!inner.has_value()) {
+    ++peel_failures_;
+    return;
+  }
+  if (peeled->hop.last) {
+    // Construction ends here (§4.1); the stripped payload carries on to
+    // the responder as a normal payload message.
+    send_forward(to, peeled->hop.next, kTypePayload, down_sid, seq, *inner);
+  } else {
+    Bytes combined;
+    combined.reserve(4 + peeled->rest.size() + inner->size());
+    put_u32be(combined, static_cast<std::uint32_t>(peeled->rest.size()));
+    append(combined, peeled->rest);
+    append(combined, *inner);
+    send_forward(to, peeled->hop.next, kTypeConstructPayload, down_sid, seq,
+                 combined);
+  }
+}
+
+void AnonRouter::send_retarget(NodeId initiator, StreamId sid,
+                               NodeId first_relay, std::uint64_t seq,
+                               Bytes blob, SimDuration timeout,
+                               ConstructCallback callback) {
+  // The end-to-end confirmation reuses the construct-ack machinery keyed
+  // by the initiator-side sid.
+  PendingConstruction pending;
+  pending.callback = std::move(callback);
+  pending.timeout_event =
+      simulator_.schedule_after(timeout, [this, initiator, sid] {
+        auto& pmap = pending_[initiator];
+        const auto it = pmap.find(sid);
+        if (it == pmap.end()) return;
+        ConstructCallback cb = std::move(it->second.callback);
+        pmap.erase(it);
+        cb(false);
+      });
+  pending_[initiator][sid] = std::move(pending);
+  send_forward(initiator, first_relay, kTypeRetarget, sid, seq, blob);
+}
+
+void AnonRouter::on_retarget(NodeId to, StreamId sid, std::uint64_t seq,
+                             ByteView blob) {
+  RelayEntry* entry = tables_[to].find_by_upstream(sid);
+  if (entry == nullptr || entry->at_responder) return;
+  tables_[to].refresh(*entry, simulator_.now(), config_.state_ttl);
+  const auto inner = onion_.unwrap_layer(entry->key, seq, blob);
+  if (!inner.has_value()) {
+    ++peel_failures_;
+    return;
+  }
+  ++messages_forwarded_;
+  if (!entry->last_relay) {
+    send_forward(to, entry->downstream, kTypeRetarget, entry->downstream_sid,
+                 seq, *inner);
+    return;
+  }
+  // Last relay: the fully unwrapped blob is the 4-byte new destination.
+  if (inner->size() != 4) {
+    ++peel_failures_;
+    return;
+  }
+  const NodeId new_destination = get_u32be(*inner, 0);
+  if (new_destination >= node_keys_.size()) return;
+  tables_[to].retarget(*entry, new_destination);
+  Bytes status(1, 1);
+  send_reverse(to, entry->upstream, kTypeConstructAck, entry->upstream_sid,
+               0, status);
+}
+
+void AnonRouter::on_teardown(NodeId to, StreamId sid) {
+  RelayEntry* entry = tables_[to].find_by_upstream(sid);
+  if (entry == nullptr) return;
+  const NodeId downstream = entry->downstream;
+  const StreamId down_sid = entry->downstream_sid;
+  const bool forward_on = !entry->last_relay && !entry->at_responder &&
+                          downstream != kInvalidNode;
+  tables_[to].release_by_upstream(sid);
+  if (forward_on) {
+    send_forward(to, downstream, kTypeTeardown, down_sid, 0, {});
+  }
+}
+
+void AnonRouter::deliver_to_responder(NodeId responder, RelayEntry& entry,
+                                      const PayloadCore& core_value) {
+  const PayloadCore* core = &core_value;
+  tables_[responder].refresh(entry, simulator_.now(), config_.state_ttl);
+  entry.key = core->responder_key;  // R_{L+1} (idempotent per path)
+
+  const SimTime now = simulator_.now();
+  auto& rmap = reassembly_[responder];
+  auto [it, inserted] = rmap.try_emplace(core->message_id);
+  Reassembly& reassembly = it->second;
+  if (inserted) {
+    reassembly.needed = core->needed_segments;
+    reassembly.total = core->total_segments;
+    reassembly.original_size = core->original_size;
+  }
+  reassembly.expires = now + config_.reassembly_ttl;
+
+  // Track the arrival path for acks and responses (dedupe by sid).
+  bool known_path = false;
+  for (StreamId s : reassembly.arrival_sids) {
+    if (s == entry.upstream_sid) {
+      known_path = true;
+      break;
+    }
+  }
+  if (!known_path) reassembly.arrival_sids.push_back(entry.upstream_sid);
+
+  // Store the segment unless it's a duplicate index.
+  bool duplicate = false;
+  for (const auto& seg : reassembly.segments) {
+    if (seg.index == core->segment_index) {
+      duplicate = true;
+      break;
+    }
+  }
+  if (!duplicate) {
+    erasure::Segment seg;
+    seg.index = core->segment_index;
+    seg.data = core->segment;
+    reassembly.segments.push_back(std::move(seg));
+  }
+
+  if (config_.send_acks) {
+    responder_ack(responder, entry, core->message_id, core->segment_index);
+  }
+
+  if (!reassembly.delivered &&
+      reassembly.segments.size() >= reassembly.needed) {
+    const auto& codec = codec_for(reassembly.needed, reassembly.total);
+    const auto decoded =
+        codec.decode(reassembly.segments, reassembly.original_size);
+    if (decoded.has_value()) {
+      reassembly.delivered = true;
+      if (message_handler_) {
+        ReceivedMessage received;
+        received.responder = responder;
+        received.message_id = core->message_id;
+        received.data = *decoded;
+        received.segments_received = reassembly.segments.size();
+        received.reconstructed_at = now;
+        message_handler_(received);
+      }
+    }
+  }
+}
+
+void AnonRouter::responder_ack(NodeId responder, RelayEntry& entry,
+                               MessageId message_id,
+                               std::uint32_t segment_index) {
+  ReverseCore ack;
+  ack.type = ReverseCore::Type::kAck;
+  ack.message_id = message_id;
+  ack.segment_index = segment_index;
+  const std::uint64_t seq = entry.reverse_seq++;
+  const Bytes wrapped = onion_.wrap_layer(
+      entry.key, seq | kReverseBit, serialize_reverse_core(ack));
+  send_reverse(responder, entry.upstream, kTypePayloadRev, entry.upstream_sid,
+               seq, wrapped);
+}
+
+void AnonRouter::on_payload_rev(NodeId to, StreamId sid, std::uint64_t seq,
+                                ByteView blob) {
+  // Relay case: message came addressed with my downstream sid; add my
+  // layer and pass it upstream.
+  RelayEntry* entry = tables_[to].find_by_downstream(sid);
+  if (entry != nullptr) {
+    tables_[to].refresh(*entry, simulator_.now(), config_.state_ttl);
+    const Bytes wrapped =
+        onion_.wrap_layer(entry->key, seq | kReverseBit, blob);
+    ++messages_forwarded_;
+    send_reverse(to, entry->upstream, kTypePayloadRev, entry->upstream_sid,
+                 seq, wrapped);
+    return;
+  }
+  // Initiator case: hand the blob to the session owning this path.
+  const auto it = reverse_handlers_[to].find(sid);
+  if (it == reverse_handlers_[to].end()) return;
+  ReverseDelivery delivery;
+  delivery.sid = sid;
+  delivery.seq = seq;
+  delivery.blob = blob;
+  it->second(delivery);
+}
+
+bool AnonRouter::send_response(NodeId responder, MessageId message_id,
+                               ByteView data) {
+  auto& rmap = reassembly_[responder];
+  const auto it = rmap.find(message_id);
+  if (it == rmap.end() || !it->second.delivered) return false;
+  Reassembly& reassembly = it->second;
+
+  const auto& codec = codec_for(reassembly.needed, reassembly.total);
+  const auto segments = codec.encode(data);
+
+  // Round-robin the coded response segments over the arrival paths, as the
+  // paper's responder sends them "back over the k paths".
+  std::vector<RelayEntry*> paths;
+  for (StreamId sid : reassembly.arrival_sids) {
+    RelayEntry* entry = tables_[responder].find_by_upstream(sid);
+    if (entry != nullptr) paths.push_back(entry);
+  }
+  if (paths.empty()) return false;
+
+  const std::uint32_t response_id = reassembly.next_response_id++;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    RelayEntry* entry = paths[i % paths.size()];
+    ReverseCore core;
+    core.type = ReverseCore::Type::kResponseSegment;
+    core.message_id = message_id;
+    core.response_id = response_id;
+    core.segment_index = segments[i].index;
+    core.original_size = static_cast<std::uint32_t>(data.size());
+    core.needed_segments = static_cast<std::uint16_t>(reassembly.needed);
+    core.total_segments = static_cast<std::uint16_t>(reassembly.total);
+    core.segment = segments[i].data;
+    const std::uint64_t seq = entry->reverse_seq++;
+    const Bytes wrapped = onion_.wrap_layer(
+        entry->key, seq | kReverseBit, serialize_reverse_core(core));
+    send_reverse(responder, entry->upstream, kTypePayloadRev,
+                 entry->upstream_sid, seq, wrapped);
+  }
+  return true;
+}
+
+void AnonRouter::sweep() {
+  const SimTime now = simulator_.now();
+  for (auto& table : tables_) table.expire(now);
+  for (auto& rmap : reassembly_) {
+    for (auto it = rmap.begin(); it != rmap.end();) {
+      if (it->second.expires <= now) {
+        it = rmap.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+const erasure::Codec& AnonRouter::codec_for(std::size_t m, std::size_t n) {
+  const auto key = std::make_pair(m, n);
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    it = codecs_.emplace(key, erasure::make_codec(m, n)).first;
+  }
+  return *it->second;
+}
+
+std::size_t AnonRouter::path_state_count(NodeId node) const {
+  return tables_[node].size();
+}
+
+}  // namespace p2panon::anon

@@ -1,0 +1,253 @@
+// Anonymous-routing message plane (paper §4.1–§4.5).
+//
+// One AnonRouter instance drives the relay and responder behavior of every
+// node in the simulation (per-node state is strictly partitioned, so the
+// logical separation between nodes is preserved). It offers the initiator
+// primitives that Session builds on:
+//
+//   forward channel            reverse channel
+//   ---------------            ---------------
+//   Construct  sid, onion      ConstructAck  sid, status
+//   Payload    sid, seq, blob  PayloadRev    sid, seq, blob
+//   Teardown   sid
+//
+// Relays peel/wrap exactly one layer per message and know only their
+// neighbors. The responder reassembles erasure-coded segments by message
+// id, delivers reconstructed messages to the application handler, acks
+// every segment end-to-end (§4.5 failure detection) and can send coded
+// responses back over the arrival paths (§4.2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "anon/onion.hpp"
+#include "anon/path_state.hpp"
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "erasure/codec.hpp"
+#include "net/demux.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::anon {
+
+struct RouterConfig {
+  SimDuration state_ttl = 2 * kMinute;       // §4.3 TTL on cached path state
+  SimDuration sweep_interval = 30 * kSecond; // expiry sweep cadence
+  SimDuration reassembly_ttl = 2 * kMinute;  // responder reassembly buffers
+  bool send_acks = true;                     // per-segment end-to-end acks
+};
+
+/// What the responder's application sees for a reconstructed message.
+struct ReceivedMessage {
+  NodeId responder = kInvalidNode;
+  MessageId message_id = 0;
+  Bytes data;
+  std::size_t segments_received = 0;
+  SimTime reconstructed_at = 0;
+};
+
+/// What the initiator-side session receives from the reverse path (already
+/// stripped of the relay layers it asked the router to remove? No — the
+/// router hands over the raw blob; the session, which owns the relay keys,
+/// strips them).
+struct ReverseDelivery {
+  StreamId sid = 0;
+  std::uint64_t seq = 0;
+  ByteView blob;
+};
+
+class AnonRouter {
+ public:
+  using LivenessOracle = std::function<bool(NodeId)>;
+  using MessageHandler = std::function<void(const ReceivedMessage&)>;
+  using ConstructCallback = std::function<void(bool ok)>;
+  using ReverseHandler = std::function<void(const ReverseDelivery&)>;
+
+  AnonRouter(sim::Simulator& simulator, net::Demux& demux,
+             const OnionCodec& onion, const crypto::KeyDirectory& directory,
+             std::vector<crypto::KeyPair> node_keys, LivenessOracle is_up,
+             RouterConfig config, Rng rng);
+  AnonRouter(const AnonRouter&) = delete;
+  AnonRouter& operator=(const AnonRouter&) = delete;
+
+  /// Registers the channel handlers and starts the TTL sweeper.
+  void start();
+
+  /// Application handler invoked when any responder reconstructs a message.
+  void set_message_handler(MessageHandler handler) {
+    message_handler_ = std::move(handler);
+  }
+
+  // --- initiator primitives (used by Session) ---
+
+  /// Builds the §4.1 path onion and launches construction. The callback
+  /// fires once: true when the end-to-end construct-ack returns, false on
+  /// timeout. Returns the initiator-side stream id identifying the path.
+  StreamId initiate_path(NodeId initiator, const std::vector<NodeId>& relays,
+                         const std::vector<RelayKey>& relay_keys,
+                         NodeId responder, SimDuration timeout,
+                         ConstructCallback callback);
+
+  /// Registers the handler for reverse-path deliveries on a path.
+  void register_reverse_handler(NodeId initiator, StreamId sid,
+                                ReverseHandler handler);
+  void unregister_reverse_handler(NodeId initiator, StreamId sid);
+
+  /// Sends one already-built payload onion down a path (§4.2). The blob
+  /// must be the full layered payload; seq is the layer nonce the session
+  /// used for wrapping.
+  void send_payload(NodeId initiator, StreamId sid, NodeId first_relay,
+                    std::uint64_t seq, Bytes blob);
+
+  /// Combined construction + payload (§4.2 "path construction and message
+  /// sending in the same time"): each relay peels its construction layer,
+  /// caches the path state AND strips its payload layer in one message.
+  /// There is no construct-ack; the payload's end-to-end ack doubles as
+  /// the confirmation. `sid` must come from new_initiator_sid().
+  void send_construct_with_payload(NodeId initiator, StreamId sid,
+                                   NodeId first_relay, std::uint64_t seq,
+                                   ByteView onion_blob, ByteView payload_blob);
+
+  /// Mints an initiator-side stream id unused by this node's pending
+  /// constructions and reverse handlers.
+  StreamId new_initiator_sid(NodeId initiator);
+
+  /// Asks every relay on the path to release its cached state (§4.3).
+  void send_teardown(NodeId initiator, StreamId sid, NodeId first_relay);
+
+  /// Path reuse (§4.4): re-points the path's last relay at a new
+  /// destination without rebuilding the path (no asymmetric crypto). The
+  /// new destination rides inside the layered blob, so intermediate relays
+  /// never learn it; the last relay rewires its cached state (generating
+  /// the paper's sid'_L) and acks end-to-end. The callback fires true on
+  /// the ack, false on timeout. `blob` must be the relay-layered wrapping
+  /// of the 4-byte big-endian destination (Session::redirect builds it).
+  void send_retarget(NodeId initiator, StreamId sid, NodeId first_relay,
+                     std::uint64_t seq, Bytes blob, SimDuration timeout,
+                     ConstructCallback callback);
+
+  // --- responder primitives ---
+
+  /// Sends an application response for a previously reconstructed message:
+  /// erasure-codes `data` with the same (m, n) the request used and sends
+  /// the segments back over the arrival paths (§4.2). Returns false if the
+  /// reassembly record has expired.
+  bool send_response(NodeId responder, MessageId message_id, ByteView data);
+
+  // --- introspection / accounting ---
+
+  std::size_t path_state_count(NodeId node) const;
+
+  /// Shared codec cache keyed by (m, n) — sessions and the responder use
+  /// the same instances so RS matrices are built once.
+  const erasure::Codec& codec_for(std::size_t m, std::size_t n);
+
+  std::uint64_t construct_bytes() const { return construct_bytes_; }
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+  std::uint64_t reverse_bytes() const { return reverse_bytes_; }
+  std::uint64_t messages_forwarded() const { return messages_forwarded_; }
+  std::uint64_t peel_failures() const { return peel_failures_; }
+  const OnionCodec& onion() const { return onion_; }
+  const crypto::KeyDirectory& directory() const { return directory_; }
+  const crypto::KeyPair& node_key(NodeId node) const {
+    return node_keys_[node];
+  }
+  Rng& rng() { return rng_; }
+  sim::Simulator& simulator() { return simulator_; }
+  const RouterConfig& config() const { return config_; }
+
+  /// Reverse-direction nonce bit: reverse layer seq = seq | kReverseBit so
+  /// a (key, seq) pair is never reused across directions.
+  static constexpr std::uint64_t kReverseBit = 1ULL << 63;
+
+ private:
+  struct PendingConstruction {
+    ConstructCallback callback;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+
+  struct Reassembly {
+    std::size_t needed = 0;       // m
+    std::size_t total = 0;        // n
+    std::size_t original_size = 0;
+    std::vector<erasure::Segment> segments;
+    std::vector<StreamId> arrival_sids;  // responder terminal entries
+    bool delivered = false;
+    SimTime expires = 0;
+    std::uint32_t next_response_id = 0;
+  };
+
+  void handle_forward(NodeId from, NodeId to, ByteView payload);
+  void handle_reverse(NodeId from, NodeId to, ByteView payload);
+  void on_construct(NodeId from, NodeId to, StreamId sid, ByteView onion_blob);
+  void on_payload(NodeId from, NodeId to, StreamId sid, std::uint64_t seq,
+                  ByteView blob);
+  void on_teardown(NodeId to, StreamId sid);
+  void on_retarget(NodeId to, StreamId sid, std::uint64_t seq, ByteView blob);
+  void on_construct_payload(NodeId from, NodeId to, StreamId sid,
+                            std::uint64_t seq, ByteView blob);
+  void on_construct_ack(NodeId to, StreamId sid, bool ok);
+  void on_payload_rev(NodeId to, StreamId sid, std::uint64_t seq,
+                      ByteView blob);
+  void deliver_to_responder(NodeId responder, RelayEntry& entry,
+                            const PayloadCore& core);
+  void responder_ack(NodeId responder, RelayEntry& entry,
+                     MessageId message_id, std::uint32_t segment_index);
+  void sweep();
+
+  // framing helpers
+  void send_forward(NodeId from, NodeId to, std::uint8_t type, StreamId sid,
+                    std::uint64_t seq, ByteView blob);
+  void send_reverse(NodeId from, NodeId to, std::uint8_t type, StreamId sid,
+                    std::uint64_t seq, ByteView blob);
+
+  sim::Simulator& simulator_;
+  net::Demux& demux_;
+  const OnionCodec& onion_;
+  const crypto::KeyDirectory& directory_;
+  std::vector<crypto::KeyPair> node_keys_;
+  LivenessOracle is_up_;
+  RouterConfig config_;
+  Rng rng_;
+
+  std::vector<PathStateTable> tables_;
+  std::vector<std::unordered_map<StreamId, PendingConstruction>> pending_;
+  std::vector<std::unordered_map<StreamId, ReverseHandler>> reverse_handlers_;
+  std::vector<std::unordered_map<MessageId, Reassembly>> reassembly_;
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::unique_ptr<erasure::Codec>>
+      codecs_;
+  std::unique_ptr<sim::PeriodicTask> sweeper_;
+  MessageHandler message_handler_;
+
+  std::uint64_t construct_bytes_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t reverse_bytes_ = 0;
+  std::uint64_t messages_forwarded_ = 0;
+  std::uint64_t peel_failures_ = 0;
+};
+
+// Reverse-core payloads (sealed under R_{L+1} / the responder key).
+struct ReverseCore {
+  enum class Type : std::uint8_t { kAck = 1, kResponseSegment = 2 };
+  Type type = Type::kAck;
+  MessageId message_id = 0;
+  std::uint32_t segment_index = 0;
+  // Response-segment fields. response_id distinguishes multiple responses
+  // sent for the same request (e.g. a rendezvous host pushing many
+  // forwarded calls down one registration's reverse path).
+  std::uint32_t response_id = 0;
+  std::uint32_t original_size = 0;
+  std::uint16_t needed_segments = 1;
+  std::uint16_t total_segments = 1;
+  Bytes segment;
+};
+
+Bytes serialize_reverse_core(const ReverseCore& core);
+std::optional<ReverseCore> parse_reverse_core(ByteView plain);
+
+}  // namespace p2panon::anon

@@ -1,0 +1,634 @@
+#include "anon/session.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace p2panon::anon {
+
+namespace {
+std::uint64_t pending_key(MessageId id, std::uint32_t segment) {
+  return id ^ (static_cast<std::uint64_t>(segment) * 0x9e3779b97f4a7c15ULL);
+}
+}  // namespace
+
+Session::Session(AnonRouter& router, const membership::NodeCache& cache,
+                 NodeId initiator, NodeId responder, SessionConfig config,
+                 Rng rng)
+    : router_(router),
+      cache_(cache),
+      initiator_(initiator),
+      responder_(responder),
+      config_(config),
+      rng_(rng),
+      selector_(config.mix_choice, rng_.fork()),
+      alive_(std::make_shared<bool>(true)) {
+  config_.erasure.validate();
+  paths_.resize(config_.erasure.k);
+  path_info_.resize(config_.erasure.k);
+  if (config_.replace_threshold > 0.0) {
+    predictor_task_ = std::make_unique<sim::PeriodicTask>(
+        router_.simulator(), config_.replace_check_interval,
+        [this] { check_predictors(); });
+    predictor_task_->start();
+  }
+}
+
+Session::~Session() {
+  *alive_ = false;
+  for (auto& pending : pending_segments_) {
+    router_.simulator().cancel(pending.second.timeout_event);
+  }
+  for (const Path& path : paths_) {
+    if (path.sid != 0) {
+      router_.unregister_reverse_handler(initiator_, path.sid);
+    }
+  }
+}
+
+void Session::construct(ConstructHandler handler) {
+  if (constructing_) {
+    throw std::logic_error("Session::construct: already constructing");
+  }
+  construct_handler_ = std::move(handler);
+  constructing_ = true;
+  construct_attempts_ = 0;
+  attempt_construction();
+}
+
+void Session::attempt_construction() {
+  ++construct_attempts_;
+
+  const SimTime now = router_.simulator().now();
+  auto selected =
+      selector_.select_paths(cache_, config_.erasure.k, config_.path_length,
+                             now, initiator_, responder_);
+  if (!selected.has_value()) {
+    // Cache too small right now; count the attempt and retry or give up.
+    if (construct_attempts_ < config_.max_construct_attempts) {
+      attempt_construction();
+      return;
+    }
+    constructing_ = false;
+    construct_handler_(false, construct_attempts_);
+    return;
+  }
+
+  attempt_outstanding_ = config_.erasure.k;
+  for (std::size_t index = 0; index < config_.erasure.k; ++index) {
+    Path& path = paths_[index];
+    if (path.sid != 0) {
+      router_.unregister_reverse_handler(initiator_, path.sid);
+    }
+    path = Path{};
+    path.relays = (*selected)[index];
+    path.relay_keys.reserve(path.relays.size());
+    for (std::size_t i = 0; i < path.relays.size(); ++i) {
+      path.relay_keys.push_back(crypto::random_symmetric_key(rng_));
+    }
+    path.responder_key = crypto::random_symmetric_key(rng_);
+    path.state = PathState::kPending;
+    sync_path_info(index);
+
+    build_path(index, [this, index](bool ok) {
+      Path& built = paths_[index];
+      built.state = ok ? PathState::kEstablished : PathState::kFailed;
+      sync_path_info(index);
+      if (--attempt_outstanding_ == 0) finish_attempt();
+    });
+  }
+}
+
+void Session::build_path(std::size_t index, std::function<void(bool)> done) {
+  Path& path = paths_[index];
+  const StreamId sid = router_.initiate_path(
+      initiator_, path.relays, path.relay_keys, responder_,
+      config_.construct_timeout,
+      [alive = alive_, done = std::move(done)](bool ok) {
+        if (!*alive) return;
+        done(ok);
+      });
+  path.sid = sid;
+  router_.register_reverse_handler(
+      initiator_, sid,
+      [this, index, alive = alive_](const ReverseDelivery& delivery) {
+        if (!*alive) return;
+        on_reverse(index, delivery);
+      });
+}
+
+void Session::finish_attempt() {
+  const std::size_t established = established_paths();
+  if (established >= config_.erasure.min_paths()) {
+    constructing_ = false;
+    construct_handler_(true, construct_attempts_);
+    return;
+  }
+  // Whole-set retry with a fresh relay set (the paper's "another set of
+  // relay nodes for another attempt").
+  for (std::size_t index = 0; index < paths_.size(); ++index) {
+    Path& path = paths_[index];
+    if (path.state == PathState::kEstablished && path.sid != 0 &&
+        !path.relays.empty()) {
+      router_.send_teardown(initiator_, path.sid, path.relays.front());
+    }
+    if (path.sid != 0) {
+      router_.unregister_reverse_handler(initiator_, path.sid);
+      path.sid = 0;
+    }
+    path.state = PathState::kUnbuilt;
+    sync_path_info(index);
+  }
+  if (construct_attempts_ < config_.max_construct_attempts) {
+    attempt_construction();
+  } else {
+    constructing_ = false;
+    construct_handler_(false, construct_attempts_);
+  }
+}
+
+bool Session::ready() const {
+  return !constructing_ && established_paths() >= config_.erasure.min_paths();
+}
+
+std::size_t Session::established_paths() const {
+  std::size_t count = 0;
+  for (const Path& path : paths_) {
+    if (path.state == PathState::kEstablished) ++count;
+  }
+  return count;
+}
+
+Allocation Session::make_allocation() const {
+  if (!config_.weighted_allocation) return allocate_even(config_.erasure);
+  const SimTime now = router_.simulator().now();
+  std::vector<double> scores(paths_.size(), 0.0);
+  for (std::size_t j = 0; j < paths_.size(); ++j) {
+    if (paths_[j].state != PathState::kEstablished) continue;
+    double min_q = 1.0;
+    for (NodeId relay : paths_[j].relays) {
+      min_q = std::min(min_q, cache_.predictor(relay, now));
+    }
+    scores[j] = min_q;
+  }
+  return allocate_weighted(config_.erasure, scores);
+}
+
+MessageId Session::send_message(ByteView data) {
+  const auto usable = usable_paths();
+  if (usable.empty()) return 0;
+
+  MessageId id;
+  do {
+    id = rng_.next_u64();
+  } while (id == 0);
+
+  // Encode with the session codec (cached in the router's codec table so
+  // RS matrices are not rebuilt per message).
+  const auto segments = session_codec().encode(data);
+
+  const Allocation alloc = make_allocation();
+  ++messages_sent_;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const std::size_t path_index = alloc[s];
+    if (paths_[path_index].state != PathState::kEstablished) continue;
+    send_segment_on_path(path_index, id, segments[s], data.size());
+  }
+  return id;
+}
+
+void Session::send_segment_on_path(std::size_t path_index,
+                                   MessageId message_id,
+                                   const erasure::Segment& segment,
+                                   std::size_t original_size) {
+  Path& path = paths_[path_index];
+  PayloadCore core;
+  core.message_id = message_id;
+  core.segment_index = segment.index;
+  core.original_size = static_cast<std::uint32_t>(original_size);
+  core.needed_segments = static_cast<std::uint16_t>(config_.erasure.m);
+  core.total_segments = static_cast<std::uint16_t>(config_.erasure.n);
+  core.segment = segment.data;
+  core.responder_key = path.responder_key;
+
+  Bytes blob = router_.onion().seal_payload_core(
+      core, router_.directory().public_key(responder_), rng_);
+  const std::uint64_t seq = path.next_seq++;
+  for (std::size_t i = path.relay_keys.size(); i-- > 0;) {
+    blob = router_.onion().wrap_layer(path.relay_keys[i], seq, blob);
+  }
+  router_.send_payload(initiator_, path.sid, path.relays.front(), seq,
+                       std::move(blob));
+  ++segments_sent_;
+
+  // Register the pending ack with its timeout.
+  const std::uint64_t key = pending_key(message_id, segment.index);
+  PendingSegment pending;
+  pending.message_id = message_id;
+  pending.segment_index = segment.index;
+  pending.segment = segment;
+  pending.original_size = original_size;
+  pending.path_index = path_index;
+  pending.timeout_event = router_.simulator().schedule_after(
+      config_.ack_timeout, [this, key, alive = alive_] {
+        if (!*alive) return;
+        const auto it = pending_segments_.find(key);
+        if (it == pending_segments_.end()) return;
+        const std::size_t failed_path = it->second.path_index;
+        ++failures_detected_;
+        if (config_.auto_reconstruct) {
+          // Keep the entry: the rebuild's resend_pending() picks it up.
+          it->second.timeout_event = sim::kInvalidEventId;
+        } else {
+          pending_segments_.erase(it);
+        }
+        mark_path_failed(failed_path);
+      });
+  pending_segments_[key] = std::move(pending);
+}
+
+void Session::mark_path_failed(std::size_t path_index) {
+  Path& path = paths_[path_index];
+  if (path.state != PathState::kEstablished) return;
+  path.state = PathState::kFailed;
+  sync_path_info(path_index);
+  if (path_failure_handler_) path_failure_handler_(path_index);
+  if (config_.auto_reconstruct) rebuild_path(path_index);
+}
+
+void Session::rebuild_path(std::size_t path_index) {
+  // Exclude relays used by the other live paths to keep disjointness.
+  std::vector<NodeId> exclude;
+  for (std::size_t j = 0; j < paths_.size(); ++j) {
+    if (j == path_index) continue;
+    if (paths_[j].state == PathState::kEstablished ||
+        paths_[j].state == PathState::kPending) {
+      exclude.insert(exclude.end(), paths_[j].relays.begin(),
+                     paths_[j].relays.end());
+    }
+  }
+  const SimTime now = router_.simulator().now();
+  auto selected = selector_.select_paths(cache_, 1, config_.path_length, now,
+                                         initiator_, responder_, exclude);
+  if (!selected.has_value()) return;
+
+  Path& path = paths_[path_index];
+  if (path.sid != 0) {
+    router_.unregister_reverse_handler(initiator_, path.sid);
+  }
+  const std::uint64_t rebuilds = path_info_[path_index].rebuilds + 1;
+  path = Path{};
+  path.relays = (*selected)[0];
+  for (std::size_t i = 0; i < path.relays.size(); ++i) {
+    path.relay_keys.push_back(crypto::random_symmetric_key(rng_));
+  }
+  path.responder_key = crypto::random_symmetric_key(rng_);
+  path.state = PathState::kPending;
+  path_info_[path_index].rebuilds = rebuilds;
+  sync_path_info(path_index);
+
+  build_path(path_index, [this, path_index](bool ok) {
+    Path& built = paths_[path_index];
+    built.state = ok ? PathState::kEstablished : PathState::kFailed;
+    sync_path_info(path_index);
+    if (ok) {
+      resend_pending(path_index, path_index);
+    } else if (config_.auto_reconstruct) {
+      rebuild_path(path_index);
+    }
+  });
+}
+
+void Session::resend_pending(std::size_t old_path_index,
+                             std::size_t new_path_index) {
+  // Collect the un-acked segments that were riding the failed path and
+  // resend them over the rebuilt one.
+  std::vector<PendingSegment> to_resend;
+  for (auto it = pending_segments_.begin(); it != pending_segments_.end();) {
+    if (it->second.path_index == old_path_index) {
+      router_.simulator().cancel(it->second.timeout_event);
+      to_resend.push_back(std::move(it->second));
+      it = pending_segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const PendingSegment& pending : to_resend) {
+    send_segment_on_path(new_path_index, pending.message_id, pending.segment,
+                         pending.original_size);
+  }
+}
+
+void Session::check_predictors() {
+  const SimTime now = router_.simulator().now();
+  for (std::size_t j = 0; j < paths_.size(); ++j) {
+    if (paths_[j].state != PathState::kEstablished) continue;
+    double min_q = 1.0;
+    for (NodeId relay : paths_[j].relays) {
+      min_q = std::min(min_q, cache_.predictor(relay, now));
+    }
+    if (min_q < config_.replace_threshold) {
+      ++proactive_replacements_;
+      // Release the old path politely before rebuilding over it.
+      if (paths_[j].sid != 0 && !paths_[j].relays.empty()) {
+        router_.send_teardown(initiator_, paths_[j].sid,
+                              paths_[j].relays.front());
+      }
+      rebuild_path(j);
+    }
+  }
+}
+
+void Session::on_reverse(std::size_t path_index,
+                         const ReverseDelivery& delivery) {
+  Path& path = paths_[path_index];
+  // Strip the relay layers (R_1 outermost) and the responder-core layer.
+  Bytes blob(delivery.blob.begin(), delivery.blob.end());
+  const std::uint64_t seq = delivery.seq | AnonRouter::kReverseBit;
+  for (const RelayKey& key : path.relay_keys) {
+    auto inner = router_.onion().unwrap_layer(key, seq, blob);
+    if (!inner.has_value()) return;
+    blob = std::move(*inner);
+  }
+  auto core_plain = router_.onion().unwrap_layer(path.responder_key, seq, blob);
+  if (!core_plain.has_value()) return;
+  const auto core = parse_reverse_core(*core_plain);
+  if (!core.has_value()) return;
+  handle_reverse_core(path_index, *core);
+}
+
+void Session::handle_reverse_core(std::size_t path_index,
+                                  const ReverseCore& core) {
+  if (core.type == ReverseCore::Type::kAck) {
+    const std::uint64_t key = pending_key(core.message_id, core.segment_index);
+    const auto it = pending_segments_.find(key);
+    if (it != pending_segments_.end()) {
+      router_.simulator().cancel(it->second.timeout_event);
+      pending_segments_.erase(it);
+    }
+    // An ack on a path still pending from combined construction confirms
+    // the path end to end.
+    if (paths_[path_index].state == PathState::kPending) {
+      paths_[path_index].state = PathState::kEstablished;
+      sync_path_info(path_index);
+    }
+    ++acks_received_;
+    if (ack_handler_) {
+      ack_handler_(core.message_id, core.segment_index, path_index);
+    }
+    return;
+  }
+
+  // Response segment: reassemble like the responder does, keyed by
+  // (message id, response id) so repeated responses are each delivered.
+  const std::uint64_t response_key =
+      core.message_id ^
+      (static_cast<std::uint64_t>(core.response_id) * 0xff51afd7ed558ccdULL);
+  auto [it, inserted] = responses_.try_emplace(response_key);
+  ResponseReassembly& reassembly = it->second;
+  if (inserted) {
+    reassembly.needed = core.needed_segments;
+    reassembly.total = core.total_segments;
+    reassembly.original_size = core.original_size;
+  }
+  bool duplicate = false;
+  for (const auto& seg : reassembly.segments) {
+    if (seg.index == core.segment_index) {
+      duplicate = true;
+      break;
+    }
+  }
+  if (!duplicate) {
+    erasure::Segment seg;
+    seg.index = core.segment_index;
+    seg.data = core.segment;
+    reassembly.segments.push_back(std::move(seg));
+  }
+  if (!reassembly.delivered &&
+      reassembly.segments.size() >= reassembly.needed) {
+    const auto decoded = session_codec_for(reassembly.needed, reassembly.total)
+                             .decode(reassembly.segments,
+                                     reassembly.original_size);
+    if (decoded.has_value()) {
+      reassembly.delivered = true;
+      if (response_handler_) response_handler_(core.message_id, *decoded);
+    }
+  }
+}
+
+MessageId Session::send_message_on_demand(ByteView data) {
+  const SimTime now = router_.simulator().now();
+
+  // (Re)provision every unbuilt/failed path with fresh relays and keys;
+  // their construction rides the payload message itself.
+  std::vector<bool> needs_construction(paths_.size(), false);
+  for (std::size_t index = 0; index < paths_.size(); ++index) {
+    Path& path = paths_[index];
+    if (path.state == PathState::kEstablished ||
+        path.state == PathState::kPending) {
+      continue;
+    }
+    std::vector<NodeId> exclude;
+    for (std::size_t j = 0; j < paths_.size(); ++j) {
+      if (j != index) {
+        exclude.insert(exclude.end(), paths_[j].relays.begin(),
+                       paths_[j].relays.end());
+      }
+    }
+    auto selected = selector_.select_paths(cache_, 1, config_.path_length,
+                                           now, initiator_, responder_,
+                                           exclude);
+    if (!selected.has_value()) continue;
+    if (path.sid != 0) {
+      router_.unregister_reverse_handler(initiator_, path.sid);
+    }
+    const std::uint64_t rebuilds = path_info_[index].rebuilds;
+    path = Path{};
+    path.relays = (*selected)[0];
+    for (std::size_t i = 0; i < path.relays.size(); ++i) {
+      path.relay_keys.push_back(crypto::random_symmetric_key(rng_));
+    }
+    path.responder_key = crypto::random_symmetric_key(rng_);
+    path.sid = router_.new_initiator_sid(initiator_);
+    path.state = PathState::kPending;
+    path_info_[index].rebuilds = rebuilds;
+    router_.register_reverse_handler(
+        initiator_, path.sid,
+        [this, index, alive = alive_](const ReverseDelivery& delivery) {
+          if (!*alive) return;
+          on_reverse(index, delivery);
+        });
+    needs_construction[index] = true;
+    sync_path_info(index);
+  }
+
+  MessageId id;
+  do {
+    id = rng_.next_u64();
+  } while (id == 0);
+
+  const auto segments = session_codec().encode(data);
+  const Allocation alloc = make_allocation();
+  ++messages_sent_;
+  bool sent_any = false;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const std::size_t path_index = alloc[s];
+    Path& path = paths_[path_index];
+    if (path.state == PathState::kEstablished) {
+      send_segment_on_path(path_index, id, segments[s], data.size());
+      sent_any = true;
+    } else if (path.state == PathState::kPending) {
+      if (needs_construction[path_index]) {
+        // First segment on this new path: combined construct + payload.
+        needs_construction[path_index] = false;
+        const Bytes onion_blob = router_.onion().build_path_onion(
+            path.relays, path.relay_keys, responder_, router_.directory(),
+            rng_);
+        PayloadCore core;
+        core.message_id = id;
+        core.segment_index = segments[s].index;
+        core.original_size = static_cast<std::uint32_t>(data.size());
+        core.needed_segments = static_cast<std::uint16_t>(config_.erasure.m);
+        core.total_segments = static_cast<std::uint16_t>(config_.erasure.n);
+        core.segment = segments[s].data;
+        core.responder_key = path.responder_key;
+        Bytes blob = router_.onion().seal_payload_core(
+            core, router_.directory().public_key(responder_), rng_);
+        const std::uint64_t seq = path.next_seq++;
+        for (std::size_t i = path.relay_keys.size(); i-- > 0;) {
+          blob = router_.onion().wrap_layer(path.relay_keys[i], seq, blob);
+        }
+        router_.send_construct_with_payload(initiator_, path.sid,
+                                            path.relays.front(), seq,
+                                            onion_blob, blob);
+        ++segments_sent_;
+        // Track it like any pending segment: the end-to-end ack confirms
+        // both the path and the delivery.
+        const std::uint64_t key = pending_key(id, segments[s].index);
+        PendingSegment pending;
+        pending.message_id = id;
+        pending.segment_index = segments[s].index;
+        pending.segment = segments[s];
+        pending.original_size = data.size();
+        pending.path_index = path_index;
+        pending.timeout_event = router_.simulator().schedule_after(
+            config_.ack_timeout, [this, key, alive = alive_] {
+              if (!*alive) return;
+              const auto it = pending_segments_.find(key);
+              if (it == pending_segments_.end()) return;
+              const std::size_t failed_path = it->second.path_index;
+              ++failures_detected_;
+              if (config_.auto_reconstruct) {
+                it->second.timeout_event = sim::kInvalidEventId;
+              } else {
+                pending_segments_.erase(it);
+              }
+              // A pending combined path that times out is simply failed.
+              Path& p = paths_[failed_path];
+              if (p.state == PathState::kPending) {
+                p.state = PathState::kFailed;
+                sync_path_info(failed_path);
+                if (path_failure_handler_) path_failure_handler_(failed_path);
+                if (config_.auto_reconstruct) rebuild_path(failed_path);
+              } else {
+                mark_path_failed(failed_path);
+              }
+            });
+        pending_segments_[key] = std::move(pending);
+        sent_any = true;
+      } else {
+        // Later segments follow the construct message down the same path;
+        // FIFO per-hop delivery means the state is cached by the time
+        // they arrive.
+        send_segment_on_path(path_index, id, segments[s], data.size());
+        sent_any = true;
+      }
+    }
+  }
+  return sent_any ? id : 0;
+}
+
+void Session::redirect(NodeId new_responder, RedirectHandler handler) {
+  responder_ = new_responder;
+  // Fresh responder keys: the old responder must not be able to read
+  // traffic intended for the new one.
+  for (Path& path : paths_) {
+    path.responder_key = crypto::random_symmetric_key(rng_);
+  }
+
+  auto remaining = std::make_shared<std::size_t>(0);
+  auto succeeded = std::make_shared<std::size_t>(0);
+  auto done = std::make_shared<RedirectHandler>(std::move(handler));
+  for (std::size_t index = 0; index < paths_.size(); ++index) {
+    Path& path = paths_[index];
+    if (path.state != PathState::kEstablished) continue;
+    ++*remaining;
+  }
+  if (*remaining == 0) {
+    (*done)(0);
+    return;
+  }
+  for (std::size_t index = 0; index < paths_.size(); ++index) {
+    Path& path = paths_[index];
+    if (path.state != PathState::kEstablished) continue;
+    // Layer the 4-byte destination so only the last relay can read it.
+    Bytes blob;
+    put_u32be(blob, new_responder);
+    const std::uint64_t seq = path.next_seq++;
+    for (std::size_t i = path.relay_keys.size(); i-- > 0;) {
+      blob = router_.onion().wrap_layer(path.relay_keys[i], seq, blob);
+    }
+    router_.send_retarget(
+        initiator_, path.sid, path.relays.front(), seq, std::move(blob),
+        config_.construct_timeout,
+        [this, index, remaining, succeeded, done,
+         alive = alive_](bool ok) {
+          if (!*alive) return;
+          if (ok) {
+            ++*succeeded;
+          } else {
+            mark_path_failed(index);
+          }
+          if (--*remaining == 0) (*done)(*succeeded);
+        });
+  }
+}
+
+void Session::teardown() {
+  for (std::size_t index = 0; index < paths_.size(); ++index) {
+    Path& path = paths_[index];
+    if (path.state == PathState::kEstablished && !path.relays.empty()) {
+      router_.send_teardown(initiator_, path.sid, path.relays.front());
+    }
+    if (path.sid != 0) {
+      router_.unregister_reverse_handler(initiator_, path.sid);
+    }
+    path = Path{};
+    sync_path_info(index);
+  }
+}
+
+void Session::sync_path_info(std::size_t index) {
+  path_info_[index].relays = paths_[index].relays;
+  path_info_[index].state = paths_[index].state;
+  path_info_[index].sid = paths_[index].sid;
+}
+
+std::vector<std::size_t> Session::usable_paths() const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < paths_.size(); ++j) {
+    if (paths_[j].state == PathState::kEstablished) out.push_back(j);
+  }
+  return out;
+}
+
+const erasure::Codec& Session::session_codec() {
+  return session_codec_for(config_.erasure.m, config_.erasure.n);
+}
+
+const erasure::Codec& Session::session_codec_for(std::size_t m,
+                                                 std::size_t n) {
+  return router_.codec_for(m, n);
+}
+
+}  // namespace p2panon::anon

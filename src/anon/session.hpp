@@ -1,0 +1,204 @@
+// Initiator-side multipath session (paper §4.1, §4.2, §4.5, §4.7).
+//
+// A Session owns one communication relationship (initiator -> responder)
+// parameterized by ErasureParams (m, n, k) and a mix choice. It:
+//   * constructs the k node-disjoint onion paths, retrying with a fresh
+//     relay set until the protocol's success condition holds (>= ceil(m /
+//     (n/k)) paths formed) or the attempt budget is exhausted;
+//   * erasure-codes outgoing messages and spreads the segments over the
+//     paths (even allocation by default; the future-work weighted
+//     allocation optionally);
+//   * tracks per-segment end-to-end acks, declares a path failed on ack
+//     timeout (§4.5), and can automatically rebuild failed paths and
+//     resend their pending segments;
+//   * optionally monitors relay liveness predictors and proactively
+//     replaces paths whose weakest relay drops below a threshold (§4.5);
+//   * reassembles coded responses arriving on the reverse paths.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "anon/allocation.hpp"
+#include "anon/mix_selector.hpp"
+#include "anon/router.hpp"
+#include "membership/node_cache.hpp"
+
+namespace p2panon::anon {
+
+struct SessionConfig {
+  std::size_t path_length = 3;  // L
+  ErasureParams erasure;
+  MixChoice mix_choice = MixChoice::kRandom;
+  SimDuration construct_timeout = 5 * kSecond;
+  SimDuration ack_timeout = 5 * kSecond;
+  std::size_t max_construct_attempts = 100;
+  bool auto_reconstruct = false;
+  bool weighted_allocation = false;   // future-work extension
+  double replace_threshold = 0.0;     // > 0 enables proactive replacement
+  SimDuration replace_check_interval = 30 * kSecond;
+};
+
+enum class PathState { kUnbuilt, kPending, kEstablished, kFailed };
+
+class Session {
+ public:
+  using ConstructHandler = std::function<void(bool ok, std::size_t attempts)>;
+  using AckHandler = std::function<void(MessageId id, std::uint32_t segment,
+                                        std::size_t path_index)>;
+  using ResponseHandler = std::function<void(MessageId id, Bytes data)>;
+  using PathFailureHandler = std::function<void(std::size_t path_index)>;
+
+  Session(AnonRouter& router, const membership::NodeCache& cache,
+          NodeId initiator, NodeId responder, SessionConfig config, Rng rng);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Builds the path set asynchronously; the handler fires with the total
+  /// number of whole-set attempts used.
+  void construct(ConstructHandler handler);
+
+  /// True when enough paths are established to deliver a message.
+  bool ready() const;
+  std::size_t established_paths() const;
+
+  /// Erasure-codes `data` and sends the segments over the current paths.
+  /// Returns the message id (0 if no path is usable).
+  MessageId send_message(ByteView data);
+
+  /// Path reuse (§4.4): re-points every established path at a new
+  /// responder WITHOUT rebuilding them (no asymmetric construction cost).
+  /// Intermediate relays never learn the new destination; each path's last
+  /// relay rewires its cached state and acks. The handler fires once with
+  /// the number of paths successfully redirected; subsequent
+  /// send_message() calls go to the new responder. Fresh responder keys
+  /// are generated so the old responder cannot read future traffic.
+  using RedirectHandler = std::function<void(std::size_t paths_redirected)>;
+  void redirect(NodeId new_responder, RedirectHandler handler);
+
+  /// On-demand combined construction + sending (§4.2): like
+  /// send_message(), but paths that are unbuilt or failed are (re)built by
+  /// the very message that carries their segment — no up-front construct()
+  /// round trip and no message delay. A rebuilt path counts as established
+  /// when its segment's end-to-end ack returns. Returns the message id
+  /// (always nonzero: there is always at least a path being formed, as
+  /// long as the cache has enough relays — 0 otherwise).
+  MessageId send_message_on_demand(ByteView data);
+
+  /// Releases relay state on every live path.
+  void teardown();
+
+  void set_ack_handler(AckHandler handler) { ack_handler_ = std::move(handler); }
+  void set_response_handler(ResponseHandler handler) {
+    response_handler_ = std::move(handler);
+  }
+  void set_path_failure_handler(PathFailureHandler handler) {
+    path_failure_handler_ = std::move(handler);
+  }
+
+  struct PathInfo {
+    std::vector<NodeId> relays;
+    PathState state = PathState::kUnbuilt;
+    StreamId sid = 0;
+    std::uint64_t rebuilds = 0;
+  };
+  const std::vector<PathInfo>& paths() const { return path_info_; }
+
+  // --- statistics ---
+  std::size_t construct_attempts() const { return construct_attempts_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t segments_sent() const { return segments_sent_; }
+  std::uint64_t acks_received() const { return acks_received_; }
+  std::uint64_t path_failures_detected() const { return failures_detected_; }
+  std::uint64_t proactive_replacements() const { return proactive_replacements_; }
+
+  NodeId initiator() const { return initiator_; }
+  NodeId responder() const { return responder_; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  struct Path {
+    std::vector<NodeId> relays;
+    std::vector<RelayKey> relay_keys;
+    RelayKey responder_key{};
+    StreamId sid = 0;
+    PathState state = PathState::kUnbuilt;
+    std::uint64_t next_seq = 0;
+  };
+
+  struct PendingSegment {
+    MessageId message_id = 0;
+    std::uint32_t segment_index = 0;
+    erasure::Segment segment;       // re-sendable on a rebuilt path
+    std::size_t original_size = 0;
+    std::size_t path_index = 0;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+
+  void attempt_construction();
+  void finish_attempt();
+  void build_path(std::size_t index, std::function<void(bool)> done);
+  void on_reverse(std::size_t path_index, const ReverseDelivery& delivery);
+  void handle_reverse_core(std::size_t path_index, const ReverseCore& core);
+  void send_segment_on_path(std::size_t path_index, MessageId message_id,
+                            const erasure::Segment& segment,
+                            std::size_t original_size);
+  void mark_path_failed(std::size_t path_index);
+  void rebuild_path(std::size_t path_index);
+  void resend_pending(std::size_t old_path_index, std::size_t new_path_index);
+  void check_predictors();
+  void sync_path_info(std::size_t index);
+  Allocation make_allocation() const;
+  std::vector<std::size_t> usable_paths() const;
+  const erasure::Codec& session_codec();
+  const erasure::Codec& session_codec_for(std::size_t m, std::size_t n);
+
+  AnonRouter& router_;
+  const membership::NodeCache& cache_;
+  NodeId initiator_;
+  NodeId responder_;
+  SessionConfig config_;
+  Rng rng_;
+  MixSelector selector_;
+
+  std::vector<Path> paths_;
+  std::vector<PathInfo> path_info_;
+  std::shared_ptr<bool> alive_;  // guards async callbacks
+
+  // Construction state.
+  ConstructHandler construct_handler_;
+  std::size_t construct_attempts_ = 0;
+  std::size_t attempt_outstanding_ = 0;
+  bool constructing_ = false;
+
+  // In-flight segments keyed by (message_id, segment_index).
+  std::unordered_map<std::uint64_t, PendingSegment> pending_segments_;
+
+  // Response reassembly keyed by (message id, response id) — the same
+  // request can receive several distinct responses (rendezvous push).
+  struct ResponseReassembly {
+    std::size_t needed = 0;
+    std::size_t total = 0;
+    std::size_t original_size = 0;
+    std::vector<erasure::Segment> segments;
+    bool delivered = false;
+  };
+  std::unordered_map<std::uint64_t, ResponseReassembly> responses_;
+
+  std::unique_ptr<sim::PeriodicTask> predictor_task_;
+
+  AckHandler ack_handler_;
+  ResponseHandler response_handler_;
+  PathFailureHandler path_failure_handler_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t acks_received_ = 0;
+  std::uint64_t failures_detected_ = 0;
+  std::uint64_t proactive_replacements_ = 0;
+};
+
+}  // namespace p2panon::anon

@@ -1,0 +1,104 @@
+#include "churn/churn_model.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace p2panon::churn {
+
+ChurnModel::ChurnModel(sim::Simulator& simulator, std::size_t num_nodes,
+                       const LifetimeDistribution& session_dist, Rng rng,
+                       double initial_up_fraction)
+    : simulator_(simulator),
+      dist_(session_dist.clone()),
+      rng_(rng),
+      nodes_(num_nodes) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("ChurnModel: need at least one node");
+  }
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    if (rng_.bernoulli(initial_up_fraction)) {
+      nodes_[node].up = true;
+      nodes_[node].last_join = 0;
+      ++up_count_;
+    }
+  }
+}
+
+void ChurnModel::start() {
+  if (started_) {
+    throw std::logic_error("ChurnModel::start called twice");
+  }
+  started_ = true;
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    if (!nodes_[node].pinned) schedule_transition(node);
+  }
+}
+
+void ChurnModel::pin_up(NodeId node) {
+  NodeState& state = nodes_.at(node);
+  state.pinned = true;
+  if (state.next_transition != sim::kInvalidEventId) {
+    simulator_.cancel(state.next_transition);
+    state.next_transition = sim::kInvalidEventId;
+  }
+  if (!state.up) set_state(node, true);
+}
+
+void ChurnModel::subscribe(ChurnListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void ChurnModel::schedule_transition(NodeId node) {
+  const double session_seconds = dist_->sample(rng_);
+  const SimDuration delay = from_seconds(session_seconds);
+  nodes_[node].next_transition =
+      simulator_.schedule_after(delay, [this, node] { transition(node); });
+}
+
+void ChurnModel::transition(NodeId node) {
+  NodeState& state = nodes_[node];
+  state.next_transition = sim::kInvalidEventId;
+  set_state(node, !state.up);
+  schedule_transition(node);
+}
+
+void ChurnModel::set_state(NodeId node, bool up) {
+  NodeState& state = nodes_[node];
+  const SimTime now = simulator_.now();
+  state.up = up;
+  if (up) {
+    state.last_join = now;
+    ++up_count_;
+  } else {
+    if (state.last_join != kNeverTime) {
+      state.up_accumulated += now - state.last_join;
+    }
+    --up_count_;
+  }
+  ++transitions_;
+  LOG_TRACE << "churn: node " << node << (up ? " join" : " leave") << " at "
+            << to_seconds(now) << "s";
+  for (const auto& listener : listeners_) listener(node, up, now);
+}
+
+double ChurnModel::alive_seconds(NodeId node, SimTime now) const {
+  const NodeState& state = nodes_[node];
+  if (!state.up || state.last_join == kNeverTime) return 0.0;
+  return to_seconds(now - state.last_join);
+}
+
+double ChurnModel::measured_availability(SimTime now) const {
+  if (now == 0) return 0.0;
+  double up_time = 0.0;
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    const NodeState& state = nodes_[node];
+    up_time += to_seconds(state.up_accumulated);
+    if (state.up && state.last_join != kNeverTime) {
+      up_time += to_seconds(now - state.last_join);
+    }
+  }
+  return up_time / (to_seconds(now) * static_cast<double>(nodes_.size()));
+}
+
+}  // namespace p2panon::churn

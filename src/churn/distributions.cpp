@@ -1,0 +1,231 @@
+#include "churn/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace p2panon::churn {
+
+// --- Pareto ------------------------------------------------------------------
+
+ParetoLifetime::ParetoLifetime(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (shape <= 0 || scale <= 0) {
+    throw std::invalid_argument("ParetoLifetime: shape and scale must be > 0");
+  }
+}
+
+ParetoLifetime ParetoLifetime::with_median(double median_seconds,
+                                           double shape) {
+  // median = scale * 2^{1/shape}  =>  scale = median / 2^{1/shape}.
+  return ParetoLifetime(shape, median_seconds / std::pow(2.0, 1.0 / shape));
+}
+
+double ParetoLifetime::sample(Rng& rng) const {
+  return rng.pareto(shape_, scale_);
+}
+
+double ParetoLifetime::cdf(double t) const {
+  if (t <= scale_) return 0.0;
+  return 1.0 - std::pow(scale_ / t, shape_);
+}
+
+double ParetoLifetime::median() const {
+  return scale_ * std::pow(2.0, 1.0 / shape_);
+}
+
+double ParetoLifetime::mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return shape_ * scale_ / (shape_ - 1.0);
+}
+
+std::string ParetoLifetime::name() const {
+  std::ostringstream out;
+  out << "pareto(shape=" << shape_ << ",scale=" << scale_ << "s)";
+  return out.str();
+}
+
+std::unique_ptr<LifetimeDistribution> ParetoLifetime::clone() const {
+  return std::make_unique<ParetoLifetime>(*this);
+}
+
+double ParetoLifetime::conditional_survival(double alive_seconds,
+                                            double since_seconds) const {
+  if (alive_seconds <= 0) return 0.0;
+  if (since_seconds <= 0) return 1.0;
+  return std::pow(alive_seconds / (alive_seconds + since_seconds), shape_);
+}
+
+// --- Exponential --------------------------------------------------------------
+
+ExponentialLifetime::ExponentialLifetime(double mean_seconds)
+    : mean_(mean_seconds) {
+  if (mean_seconds <= 0) {
+    throw std::invalid_argument("ExponentialLifetime: mean must be > 0");
+  }
+}
+
+double ExponentialLifetime::sample(Rng& rng) const {
+  return rng.exponential(mean_);
+}
+
+double ExponentialLifetime::cdf(double t) const {
+  if (t <= 0) return 0.0;
+  return 1.0 - std::exp(-t / mean_);
+}
+
+double ExponentialLifetime::median() const { return mean_ * std::log(2.0); }
+
+double ExponentialLifetime::mean() const { return mean_; }
+
+std::string ExponentialLifetime::name() const {
+  std::ostringstream out;
+  out << "exponential(mean=" << mean_ << "s)";
+  return out.str();
+}
+
+std::unique_ptr<LifetimeDistribution> ExponentialLifetime::clone() const {
+  return std::make_unique<ExponentialLifetime>(*this);
+}
+
+// --- Uniform -------------------------------------------------------------------
+
+UniformLifetime::UniformLifetime(double lo_seconds, double hi_seconds)
+    : lo_(lo_seconds), hi_(hi_seconds) {
+  if (!(hi_seconds > lo_seconds) || lo_seconds < 0) {
+    throw std::invalid_argument("UniformLifetime: need 0 <= lo < hi");
+  }
+}
+
+UniformLifetime UniformLifetime::paper_default() {
+  // "chosen uniformly at random between 6 minutes and nearly two hours,
+  // with an average of 1 hour": [360 s, 6840 s] has mean 3600 s.
+  return UniformLifetime(360.0, 6840.0);
+}
+
+double UniformLifetime::sample(Rng& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+double UniformLifetime::cdf(double t) const {
+  if (t <= lo_) return 0.0;
+  if (t >= hi_) return 1.0;
+  return (t - lo_) / (hi_ - lo_);
+}
+
+double UniformLifetime::median() const { return (lo_ + hi_) / 2.0; }
+
+double UniformLifetime::mean() const { return (lo_ + hi_) / 2.0; }
+
+std::string UniformLifetime::name() const {
+  std::ostringstream out;
+  out << "uniform(" << lo_ << "s," << hi_ << "s)";
+  return out.str();
+}
+
+std::unique_ptr<LifetimeDistribution> UniformLifetime::clone() const {
+  return std::make_unique<UniformLifetime>(*this);
+}
+
+// --- Weibull --------------------------------------------------------------------
+
+WeibullLifetime::WeibullLifetime(double shape, double scale_seconds)
+    : shape_(shape), scale_(scale_seconds) {
+  if (shape <= 0 || scale_seconds <= 0) {
+    throw std::invalid_argument("WeibullLifetime: shape and scale must be > 0");
+  }
+}
+
+double WeibullLifetime::sample(Rng& rng) const {
+  // Inverse CDF: scale * (-ln U)^{1/shape}.
+  return scale_ * std::pow(-std::log(rng.next_double_open()), 1.0 / shape_);
+}
+
+double WeibullLifetime::cdf(double t) const {
+  if (t <= 0) return 0.0;
+  return 1.0 - std::exp(-std::pow(t / scale_, shape_));
+}
+
+double WeibullLifetime::median() const {
+  return scale_ * std::pow(std::log(2.0), 1.0 / shape_);
+}
+
+double WeibullLifetime::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+std::string WeibullLifetime::name() const {
+  std::ostringstream out;
+  out << "weibull(shape=" << shape_ << ",scale=" << scale_ << "s)";
+  return out.str();
+}
+
+std::unique_ptr<LifetimeDistribution> WeibullLifetime::clone() const {
+  return std::make_unique<WeibullLifetime>(*this);
+}
+
+// --- Parser ----------------------------------------------------------------------
+
+namespace {
+std::map<std::string, double> parse_params(const std::string& body) {
+  std::map<std::string, double> params;
+  if (body.empty()) return params;
+  for (const auto& kv : split(body, ',')) {
+    const auto parts = split(kv, '=');
+    if (parts.size() != 2) {
+      throw std::invalid_argument("bad distribution parameter: " + kv);
+    }
+    params[std::string(trim(parts[0]))] = std::stod(parts[1]);
+  }
+  return params;
+}
+
+double require(const std::map<std::string, double>& params,
+               const std::string& key) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    throw std::invalid_argument("missing distribution parameter: " + key);
+  }
+  return it->second;
+}
+}  // namespace
+
+std::unique_ptr<LifetimeDistribution> parse_distribution(
+    const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind =
+      to_lower(colon == std::string::npos ? spec : spec.substr(0, colon));
+  const auto params =
+      parse_params(colon == std::string::npos ? "" : spec.substr(colon + 1));
+
+  if (kind == "pareto") {
+    if (params.count("median")) {
+      const double shape = params.count("shape") ? params.at("shape") : 1.0;
+      return std::make_unique<ParetoLifetime>(
+          ParetoLifetime::with_median(require(params, "median"), shape));
+    }
+    return std::make_unique<ParetoLifetime>(require(params, "shape"),
+                                            require(params, "scale"));
+  }
+  if (kind == "exp" || kind == "exponential") {
+    return std::make_unique<ExponentialLifetime>(require(params, "mean"));
+  }
+  if (kind == "uniform") {
+    if (params.empty()) {
+      return std::make_unique<UniformLifetime>(UniformLifetime::paper_default());
+    }
+    return std::make_unique<UniformLifetime>(require(params, "lo"),
+                                             require(params, "hi"));
+  }
+  if (kind == "weibull") {
+    return std::make_unique<WeibullLifetime>(require(params, "shape"),
+                                             require(params, "scale"));
+  }
+  throw std::invalid_argument("unknown distribution: " + spec);
+}
+
+}  // namespace p2panon::churn

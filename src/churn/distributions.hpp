@@ -1,0 +1,129 @@
+// Node-lifetime (session-time) distributions.
+//
+// The paper's churn model draws the interval between successive join/leave
+// events from one of these distributions:
+//   - Pareto(shape alpha, scale beta): heavy-tailed; the default churn uses
+//     alpha = 1, beta = 1800 s (median session 1 h). Figure 1 uses
+//     alpha = 0.83, beta = 1560 s to match the measured Gnutella trace.
+//   - Exponential(mean): memoryless baseline for Table 4.
+//   - Uniform(lo, hi): "anti-Pareto" baseline for Table 4 — old nodes are
+//     *more* likely to die soon.
+// All times are in seconds (double); callers convert to SimDuration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace p2panon::churn {
+
+class LifetimeDistribution {
+ public:
+  virtual ~LifetimeDistribution() = default;
+
+  /// Draws a session length in seconds (> 0).
+  virtual double sample(Rng& rng) const = 0;
+
+  /// P(lifetime <= t), t in seconds.
+  virtual double cdf(double t) const = 0;
+
+  /// Median session length in seconds.
+  virtual double median() const = 0;
+
+  /// Mean session length in seconds; +inf for Pareto with shape <= 1.
+  virtual double mean() const = 0;
+
+  virtual std::string name() const = 0;
+
+  virtual std::unique_ptr<LifetimeDistribution> clone() const = 0;
+};
+
+/// Classic Pareto: support [scale, inf), CDF 1 - (scale/t)^shape.
+class ParetoLifetime final : public LifetimeDistribution {
+ public:
+  ParetoLifetime(double shape, double scale);
+
+  /// Convenience: the shape-1 Pareto whose median is `median_seconds`
+  /// (scale = median / 2^{1/shape}).
+  static ParetoLifetime with_median(double median_seconds, double shape = 1.0);
+
+  double sample(Rng& rng) const override;
+  double cdf(double t) const override;
+  double median() const override;
+  double mean() const override;
+  std::string name() const override;
+  std::unique_ptr<LifetimeDistribution> clone() const override;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  /// Conditional survival used by the liveness predictor:
+  /// P(lifetime > a + s | lifetime > a) = (a / (a + s))^shape.
+  double conditional_survival(double alive_seconds,
+                              double since_seconds) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+class ExponentialLifetime final : public LifetimeDistribution {
+ public:
+  explicit ExponentialLifetime(double mean_seconds);
+
+  double sample(Rng& rng) const override;
+  double cdf(double t) const override;
+  double median() const override;
+  double mean() const override;
+  std::string name() const override;
+  std::unique_ptr<LifetimeDistribution> clone() const override;
+
+ private:
+  double mean_;
+};
+
+class UniformLifetime final : public LifetimeDistribution {
+ public:
+  UniformLifetime(double lo_seconds, double hi_seconds);
+
+  /// The paper's Table 4 uniform: 6 min .. (2h - 6 min), mean 1 h.
+  static UniformLifetime paper_default();
+
+  double sample(Rng& rng) const override;
+  double cdf(double t) const override;
+  double median() const override;
+  double mean() const override;
+  std::string name() const override;
+  std::unique_ptr<LifetimeDistribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Weibull lifetimes; included beyond the paper for sensitivity studies
+/// (shape < 1 is heavy-tailed-ish, shape > 1 ages like the uniform).
+class WeibullLifetime final : public LifetimeDistribution {
+ public:
+  WeibullLifetime(double shape, double scale_seconds);
+
+  double sample(Rng& rng) const override;
+  double cdf(double t) const override;
+  double median() const override;
+  double mean() const override;
+  std::string name() const override;
+  std::unique_ptr<LifetimeDistribution> clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Parses "pareto:median=3600", "pareto:shape=0.83,scale=1560",
+/// "exp:mean=3600", "uniform:lo=360,hi=6840", "weibull:shape=0.5,scale=1800"
+/// (seconds). Throws std::invalid_argument on unknown forms.
+std::unique_ptr<LifetimeDistribution> parse_distribution(
+    const std::string& spec);
+
+}  // namespace p2panon::churn

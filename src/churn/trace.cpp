@@ -1,0 +1,120 @@
+#include "churn/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace p2panon::churn {
+
+std::string serialize_trace(const std::vector<ChurnEvent>& events) {
+  std::ostringstream out;
+  for (const ChurnEvent& event : events) {
+    out << event.when << " " << event.node << " " << (event.up ? 1 : 0)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::vector<ChurnEvent> parse_trace(const std::string& text) {
+  std::vector<ChurnEvent> events;
+  std::istringstream in(text);
+  std::string line;
+  SimTime previous = 0;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    ChurnEvent event;
+    int up = 0;
+    if (!(fields >> event.when >> event.node >> up) || (up != 0 && up != 1)) {
+      throw std::invalid_argument("trace line " + std::to_string(line_number) +
+                                  ": malformed");
+    }
+    event.up = up == 1;
+    if (event.when < previous) {
+      throw std::invalid_argument("trace line " + std::to_string(line_number) +
+                                  ": out of order");
+    }
+    previous = event.when;
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::function<void(NodeId, bool, SimTime)> TraceRecorder::listener() {
+  return [this](NodeId node, bool up, SimTime when) {
+    events_.push_back(ChurnEvent{when, node, up});
+  };
+}
+
+TraceChurn::TraceChurn(sim::Simulator& simulator, std::size_t num_nodes,
+                       std::vector<ChurnEvent> events,
+                       std::vector<bool> initially_up)
+    : simulator_(simulator),
+      events_(std::move(events)),
+      up_(std::move(initially_up)),
+      last_join_(num_nodes, kNeverTime) {
+  if (up_.size() != num_nodes) {
+    throw std::invalid_argument("TraceChurn: initial state size mismatch");
+  }
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    if (up_[node]) {
+      ++up_count_;
+      last_join_[node] = 0;
+    }
+  }
+  for (const ChurnEvent& event : events_) {
+    if (event.node >= num_nodes) {
+      throw std::invalid_argument("TraceChurn: event node out of range");
+    }
+  }
+}
+
+TraceChurn TraceChurn::from_trace(sim::Simulator& simulator,
+                                  std::size_t num_nodes,
+                                  std::vector<ChurnEvent> events) {
+  std::vector<bool> initially_up(num_nodes, true);
+  std::vector<bool> seen(num_nodes, false);
+  for (const ChurnEvent& event : events) {
+    if (event.node < num_nodes && !seen[event.node]) {
+      seen[event.node] = true;
+      // First event joins => the node must have been down before it.
+      initially_up[event.node] = !event.up;
+    }
+  }
+  return TraceChurn(simulator, num_nodes, std::move(events),
+                    std::move(initially_up));
+}
+
+void TraceChurn::start() {
+  if (started_) throw std::logic_error("TraceChurn::start called twice");
+  started_ = true;
+  for (const ChurnEvent& event : events_) {
+    simulator_.schedule_at(event.when, [this, event] { apply(event); });
+  }
+}
+
+void TraceChurn::subscribe(ChurnListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void TraceChurn::apply(const ChurnEvent& event) {
+  if (up_[event.node] == event.up) return;  // idempotent on bad traces
+  up_[event.node] = event.up;
+  if (event.up) {
+    ++up_count_;
+    last_join_[event.node] = event.when;
+  } else {
+    --up_count_;
+  }
+  for (const auto& listener : listeners_) {
+    listener(event.node, event.up, event.when);
+  }
+}
+
+double TraceChurn::alive_seconds(NodeId node, SimTime now) const {
+  if (!up_[node] || last_join_[node] == kNeverTime) return 0.0;
+  return to_seconds(now - last_join_[node]);
+}
+
+}  // namespace p2panon::churn

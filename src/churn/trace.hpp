@@ -1,0 +1,89 @@
+// Churn trace record / replay.
+//
+// Records every join/leave from a live ChurnModel into a text trace, and
+// replays a trace as the churn schedule of a later simulation. Uses:
+//   - bit-identical churn across protocol configurations beyond what
+//     shared seeds give (e.g. after code changes that shift RNG draws);
+//   - importing external measured session traces (one "time_us node_id
+//     up" triple per line) in place of the synthetic distributions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::churn {
+
+struct ChurnEvent {
+  SimTime when = 0;
+  NodeId node = kInvalidNode;
+  bool up = false;
+
+  bool operator==(const ChurnEvent&) const = default;
+};
+
+/// Text form: "<microseconds> <node> <0|1>\n" per event, sorted by time.
+std::string serialize_trace(const std::vector<ChurnEvent>& events);
+
+/// Parses a trace; throws std::invalid_argument on malformed lines or
+/// out-of-order timestamps.
+std::vector<ChurnEvent> parse_trace(const std::string& text);
+
+/// Subscribes to a ChurnModel-compatible source and accumulates events.
+class TraceRecorder {
+ public:
+  /// Returns the listener to pass to ChurnModel::subscribe.
+  std::function<void(NodeId, bool, SimTime)> listener();
+
+  const std::vector<ChurnEvent>& events() const { return events_; }
+  std::string serialize() const { return serialize_trace(events_); }
+
+ private:
+  std::vector<ChurnEvent> events_;
+};
+
+/// Replays a trace: schedules every event on the simulator and exposes the
+/// same liveness/notification surface as ChurnModel, so transports and
+/// membership layers work unchanged.
+class TraceChurn {
+ public:
+  using ChurnListener = std::function<void(NodeId, bool, SimTime)>;
+
+  /// `initially_up[i]` gives node i's state at t = 0 (events then flip
+  /// it). Events must be sorted by time.
+  TraceChurn(sim::Simulator& simulator, std::size_t num_nodes,
+             std::vector<ChurnEvent> events,
+             std::vector<bool> initially_up);
+
+  /// Builds the initial state by assuming everyone whose first event is a
+  /// leave starts up, and everyone whose first event is a join starts
+  /// down (nodes with no events start up).
+  static TraceChurn from_trace(sim::Simulator& simulator,
+                               std::size_t num_nodes,
+                               std::vector<ChurnEvent> events);
+
+  void start();
+  void subscribe(ChurnListener listener);
+
+  bool is_up(NodeId node) const { return up_[node]; }
+  std::size_t num_nodes() const { return up_.size(); }
+  std::size_t up_count() const { return up_count_; }
+  double alive_seconds(NodeId node, SimTime now) const;
+
+ private:
+  void apply(const ChurnEvent& event);
+
+  sim::Simulator& simulator_;
+  std::vector<ChurnEvent> events_;
+  std::vector<bool> up_;
+  std::vector<SimTime> last_join_;
+  std::vector<ChurnListener> listeners_;
+  std::size_t up_count_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace p2panon::churn

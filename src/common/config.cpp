@@ -1,0 +1,140 @@
+#include "common/config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace p2panon {
+
+std::int64_t& FlagSet::add_int(const std::string& name, std::int64_t def,
+                               const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::Int;
+  f.help = help;
+  f.int_value = def;
+  return f.int_value;
+}
+
+double& FlagSet::add_double(const std::string& name, double def,
+                            const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::Double;
+  f.help = help;
+  f.double_value = def;
+  return f.double_value;
+}
+
+bool& FlagSet::add_bool(const std::string& name, bool def,
+                        const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::Bool;
+  f.help = help;
+  f.bool_value = def;
+  return f.bool_value;
+}
+
+std::string& FlagSet::add_string(const std::string& name,
+                                 const std::string& def,
+                                 const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::String;
+  f.help = help;
+  f.string_value = def;
+  return f.string_value;
+}
+
+void FlagSet::set_from_string(Flag& flag, const std::string& name,
+                              const std::string& value) {
+  try {
+    switch (flag.kind) {
+      case Kind::Int:
+        flag.int_value = std::stoll(value);
+        break;
+      case Kind::Double:
+        flag.double_value = std::stod(value);
+        break;
+      case Kind::Bool: {
+        const std::string lower = to_lower(value);
+        if (lower == "true" || lower == "1" || lower == "yes") {
+          flag.bool_value = true;
+        } else if (lower == "false" || lower == "0" || lower == "no") {
+          flag.bool_value = false;
+        } else {
+          throw std::invalid_argument("not a bool");
+        }
+        break;
+      }
+      case Kind::String:
+        flag.string_value = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad value for --" + name + ": " + value);
+  }
+}
+
+void FlagSet::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage(argv[0]).c_str());
+      std::exit(0);
+    }
+    if (!starts_with(arg, "--")) {
+      throw std::invalid_argument("unexpected argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::Bool) {
+        it->second.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + name);
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+    set_from_string(it->second, name, value);
+  }
+}
+
+std::string FlagSet::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << "  (";
+    switch (flag.kind) {
+      case Kind::Int: out << "int, default " << flag.int_value; break;
+      case Kind::Double: out << "double, default " << flag.double_value; break;
+      case Kind::Bool: out << "bool, default " << (flag.bool_value ? "true" : "false"); break;
+      case Kind::String: out << "string, default \"" << flag.string_value << "\""; break;
+    }
+    out << ") " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+double bench_scale() {
+  const char* env = std::getenv("P2PANON_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v <= 0.0 || v > 1.0) return 1.0;
+  return v;
+}
+
+}  // namespace p2panon

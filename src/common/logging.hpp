@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The simulator and protocols log through this to stderr; experiments run
+// with level Warn by default so harness output stays clean. Not thread-safe
+// by design: the simulator is single-threaded, and the parallel experiment
+// runner gives each worker its own silent context.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace p2panon {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+LogLevel global_log_level();
+void set_global_log_level(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit_log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace p2panon
+
+#define P2PANON_LOG(level)                                    \
+  if (static_cast<int>(level) <                               \
+      static_cast<int>(::p2panon::global_log_level())) {      \
+  } else                                                      \
+    ::p2panon::LogLine(level)
+
+#define LOG_TRACE P2PANON_LOG(::p2panon::LogLevel::Trace)
+#define LOG_DEBUG P2PANON_LOG(::p2panon::LogLevel::Debug)
+#define LOG_INFO P2PANON_LOG(::p2panon::LogLevel::Info)
+#define LOG_WARN P2PANON_LOG(::p2panon::LogLevel::Warn)
+#define LOG_ERROR P2PANON_LOG(::p2panon::LogLevel::Error)

@@ -1,0 +1,59 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace p2panon {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 3) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+}  // namespace p2panon

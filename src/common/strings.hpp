@@ -1,0 +1,27 @@
+// Small string helpers used by the config parser and table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2panon {
+
+/// Splits on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lowercases ASCII.
+std::string to_lower(std::string_view s);
+
+/// Formats a double with `digits` fractional digits ("%.*f").
+std::string format_double(double v, int digits);
+
+/// Human-readable byte count ("1.5 KB").
+std::string format_bytes(double bytes);
+
+}  // namespace p2panon

@@ -1,0 +1,48 @@
+// Simulation time types.
+//
+// All simulation timestamps are integer microseconds since simulation start
+// (`SimTime`); intervals are `SimDuration`. Integer time keeps event ordering
+// exact and runs identically across platforms. Helper constructors accept
+// seconds/milliseconds as doubles for convenience in experiment configs.
+#pragma once
+
+#include <cstdint>
+
+namespace p2panon {
+
+using SimTime = std::int64_t;      // microseconds since simulation start
+using SimDuration = std::int64_t;  // microseconds
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr SimTime kNeverTime = INT64_MAX;
+
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr SimDuration from_millis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Abstract clock; protocol code reads time through this so it is agnostic
+/// to whether it runs under the simulator or in real time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime now() const = 0;
+};
+
+}  // namespace p2panon

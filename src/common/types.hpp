@@ -1,0 +1,22 @@
+// Identifier types shared across substrates.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p2panon {
+
+/// Dense node index in [0, N). The simulator, latency matrix, churn model
+/// and membership layer all address nodes by this index.
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Per-hop stream identifier (the paper's `sid`), chosen randomly by each
+/// relay when a path is constructed.
+using StreamId = std::uint64_t;
+
+/// End-to-end message identifier (the paper's `MID`); lets the responder
+/// correlate erasure-coded segments of the same message.
+using MessageId = std::uint64_t;
+
+}  // namespace p2panon

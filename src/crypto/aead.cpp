@@ -1,0 +1,60 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+namespace p2panon::crypto {
+
+namespace {
+
+PolyKey poly_key_for(const ChaChaKey& key, const ChaChaNonce& nonce) {
+  const auto block = chacha20_block(key, nonce, 0);
+  PolyKey pk;
+  std::memcpy(pk.data(), block.data(), pk.size());
+  return pk;
+}
+
+Bytes mac_input(ByteView aad, ByteView ciphertext) {
+  Bytes input;
+  input.reserve(aad.size() + ciphertext.size() + 32);
+  append(input, aad);
+  input.resize((input.size() + 15) / 16 * 16, 0);
+  append(input, ciphertext);
+  input.resize((input.size() + 15) / 16 * 16, 0);
+  std::uint8_t lengths[16];
+  store_u64le(lengths, aad.size());
+  store_u64le(lengths + 8, ciphertext.size());
+  append(input, ByteView(lengths, 16));
+  return input;
+}
+
+}  // namespace
+
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
+                ByteView plaintext) {
+  Bytes ciphertext = chacha20_encrypt(key, nonce, 1, plaintext);
+  const PolyKey pk = poly_key_for(key, nonce);
+  const PolyTag tag = poly1305(pk, mac_input(aad, ciphertext));
+  append(ciphertext, ByteView(tag.data(), tag.size()));
+  return ciphertext;
+}
+
+std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               ByteView aad, ByteView sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const ByteView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  PolyTag tag;
+  std::memcpy(tag.data(), sealed.data() + ciphertext.size(), tag.size());
+  const PolyKey pk = poly_key_for(key, nonce);
+  if (!poly1305_verify(tag, pk, mac_input(aad, ciphertext))) {
+    return std::nullopt;
+  }
+  return chacha20_encrypt(key, nonce, 1, ciphertext);
+}
+
+ChaChaNonce nonce_from_seq(std::uint64_t seq) {
+  ChaChaNonce nonce{};
+  store_u64le(nonce.data(), seq);
+  return nonce;
+}
+
+}  // namespace p2panon::crypto

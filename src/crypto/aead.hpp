@@ -1,0 +1,30 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//
+// Every onion layer and sealed box in the anonymity protocols is sealed
+// with this AEAD, so a relay that tampers with a layer is detected by the
+// next hop. Verified against the RFC 8439 §2.8.2 vector.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace p2panon::crypto {
+
+constexpr std::size_t kAeadTagSize = kPolyTagSize;
+
+/// Seals plaintext; returns ciphertext || 16-byte tag.
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
+                ByteView plaintext);
+
+/// Opens ciphertext || tag; returns nullopt if authentication fails.
+std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               ByteView aad, ByteView sealed);
+
+/// Deterministic nonce from a 64-bit sequence number (low 8 bytes LE,
+/// top 4 bytes zero). Safe as long as a (key, seq) pair is never reused.
+ChaChaNonce nonce_from_seq(std::uint64_t seq);
+
+}  // namespace p2panon::crypto

@@ -1,0 +1,35 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Used as the symmetric cipher for onion payload layers (the paper's
+// R_i-keyed layers) and inside the AEAD. Verified against the RFC 8439
+// block-function and encryption vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace p2panon::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// Computes one 64-byte keystream block (the RFC "block function").
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter);
+
+/// XORs `data` with the keystream starting at block `initial_counter`.
+/// Encryption and decryption are the same operation.
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, MutableByteView data);
+
+/// Out-of-place convenience.
+Bytes chacha20_encrypt(const ChaChaKey& key, const ChaChaNonce& nonce,
+                       std::uint32_t initial_counter, ByteView data);
+
+}  // namespace p2panon::crypto

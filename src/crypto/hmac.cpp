@@ -1,0 +1,66 @@
+#include "crypto/hmac.hpp"
+
+#include <stdexcept>
+
+namespace p2panon::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Sha256Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  Bytes okm;
+  okm.reserve(length);
+  Sha256Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes input;
+    input.reserve(t_len + info.size() + 1);
+    input.insert(input.end(), t.begin(), t.begin() + static_cast<long>(t_len));
+    append(input, info);
+    input.push_back(counter++);
+    t = hmac_sha256(prk, input);
+    t_len = kSha256DigestSize;
+    const std::size_t take = std::min(length - okm.size(), t_len);
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return okm;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace p2panon::crypto

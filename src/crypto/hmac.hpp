@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HKDF derives the symmetric keys used by the onion layers and sealed
+// boxes. Verified against the RFC 4231 / RFC 5869 vectors.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace p2panon::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand to `length` bytes (length <= 255 * 32).
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace p2panon::crypto

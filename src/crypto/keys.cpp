@@ -1,0 +1,52 @@
+#include "crypto/keys.hpp"
+
+#include <stdexcept>
+
+namespace p2panon::crypto {
+
+KeyPair KeyPair::generate(Rng& rng) {
+  KeyPair kp;
+  rng.fill(kp.private_key.data(), kp.private_key.size());
+  kp.public_key = x25519_base(kp.private_key);
+  return kp;
+}
+
+ChaChaKey random_symmetric_key(Rng& rng) {
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  return key;
+}
+
+std::vector<KeyPair> KeyDirectory::provision(std::size_t num_nodes,
+                                             Rng& rng) {
+  std::vector<KeyPair> pairs;
+  pairs.reserve(num_nodes);
+  for (std::size_t node = 0; node < num_nodes; ++node) {
+    KeyPair kp = KeyPair::generate(rng);
+    register_key(static_cast<NodeId>(node), kp.public_key);
+    pairs.push_back(kp);
+  }
+  return pairs;
+}
+
+void KeyDirectory::register_key(NodeId node, const X25519Key& public_key) {
+  if (node >= keys_.size()) {
+    keys_.resize(node + 1);
+    present_.resize(node + 1, false);
+  }
+  keys_[node] = public_key;
+  present_[node] = true;
+}
+
+const X25519Key& KeyDirectory::public_key(NodeId node) const {
+  if (!has_key(node)) {
+    throw std::out_of_range("KeyDirectory: no key for node");
+  }
+  return keys_[node];
+}
+
+bool KeyDirectory::has_key(NodeId node) const {
+  return node < keys_.size() && present_[node];
+}
+
+}  // namespace p2panon::crypto

@@ -1,0 +1,52 @@
+// Key material and the in-sim PKI.
+//
+// The paper "relies on a PKI and assumes each node learns other nodes'
+// public keys through some mechanism". KeyDirectory is that mechanism:
+// a map from NodeId to the node's X25519 public key, populated when nodes
+// are created. Relay-layer session keys (the paper's R_i) are symmetric
+// ChaCha20 keys.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/x25519.hpp"
+
+namespace p2panon::crypto {
+
+struct KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+
+  /// Generates a keypair from the given RNG (deterministic in simulation).
+  static KeyPair generate(Rng& rng);
+};
+
+/// Generates a random symmetric key (the paper's per-hop R_i).
+ChaChaKey random_symmetric_key(Rng& rng);
+
+/// Node-indexed public key directory: the PKI every anonymity protocol in
+/// the paper assumes. Private keys live with the node; the directory only
+/// exposes public halves.
+class KeyDirectory {
+ public:
+  KeyDirectory() = default;
+
+  /// Creates keypairs for nodes [0, n) and returns the private halves,
+  /// indexed by node.
+  std::vector<KeyPair> provision(std::size_t num_nodes, Rng& rng);
+
+  void register_key(NodeId node, const X25519Key& public_key);
+  const X25519Key& public_key(NodeId node) const;
+  bool has_key(NodeId node) const;
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<X25519Key> keys_;
+  std::vector<bool> present_;
+};
+
+}  // namespace p2panon::crypto

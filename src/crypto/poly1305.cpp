@@ -1,0 +1,151 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace p2panon::crypto {
+
+namespace {
+
+// 130-bit accumulator as three 64-bit limbs (base 2^64); values stay below
+// 2^131 between reductions. The message-block polynomial evaluation is
+// h = (h + block) * r mod (2^130 - 5).
+
+struct U192 {
+  std::uint64_t limb[3];  // little-endian limbs
+};
+
+inline U192 add(const U192& a, const U192& b) {
+  U192 out;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 3; ++i) {
+    carry += static_cast<unsigned __int128>(a.limb[i]) + b.limb[i];
+    out.limb[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return out;
+}
+
+// Multiplies a (< 2^131) by r (< 2^125, two limbs), reduces mod 2^130 - 5.
+inline U192 mul_mod(const U192& a, std::uint64_t r0, std::uint64_t r1) {
+  // Schoolbook product: 3 x 2 limbs -> 5 limbs.
+  std::uint64_t p[5] = {0, 0, 0, 0, 0};
+  const std::uint64_t ra[2] = {r0, r1};
+  for (int i = 0; i < 3; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 2; ++j) {
+      carry += static_cast<unsigned __int128>(a.limb[i]) * ra[j] + p[i + j];
+      p[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    int k = i + 2;
+    while (carry != 0) {
+      carry += p[k];
+      p[k] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+      ++k;
+    }
+  }
+
+  // Reduce mod 2^130 - 5: split at bit 130, fold hi back as 5 * hi.
+  // lo = p mod 2^130 (limbs 0,1 and low 2 bits of limb 2);
+  // hi = p >> 130 (up to ~2^126 after first fold).
+  auto fold = [](std::uint64_t q[5]) {
+    const std::uint64_t lo0 = q[0];
+    const std::uint64_t lo1 = q[1];
+    const std::uint64_t lo2 = q[2] & 0x3;  // bits 128..129
+    // hi = q >> 130
+    std::uint64_t hi0 = (q[2] >> 2) | (q[3] << 62);
+    std::uint64_t hi1 = (q[3] >> 2) | (q[4] << 62);
+    std::uint64_t hi2 = q[4] >> 2;
+    // result = lo + 5 * hi
+    unsigned __int128 c = 0;
+    c = static_cast<unsigned __int128>(hi0) * 5 + lo0;
+    q[0] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += static_cast<unsigned __int128>(hi1) * 5 + lo1;
+    q[1] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += static_cast<unsigned __int128>(hi2) * 5 + lo2;
+    q[2] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    q[3] = static_cast<std::uint64_t>(c);
+    q[4] = 0;
+  };
+  fold(p);
+  fold(p);  // after two folds the value fits comfortably in 131 bits
+
+  U192 out{{p[0], p[1], p[2]}};
+  return out;
+}
+
+// Final reduction to canonical form mod 2^130 - 5.
+inline void freeze(U192& h) {
+  // h < 2^131. Subtract the modulus up to twice if needed.
+  for (int pass = 0; pass < 2; ++pass) {
+    // g = h - (2^130 - 5) = h + 5 - 2^130
+    std::uint64_t g[3];
+    unsigned __int128 c = static_cast<unsigned __int128>(h.limb[0]) + 5;
+    g[0] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += h.limb[1];
+    g[1] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += h.limb[2];
+    g[2] = static_cast<std::uint64_t>(c);
+    // h >= modulus iff (h + 5) has bit 130 set
+    if (g[2] >> 2) {
+      h.limb[0] = g[0];
+      h.limb[1] = g[1];
+      h.limb[2] = g[2] & 0x3;
+    }
+  }
+}
+
+}  // namespace
+
+PolyTag poly1305(const PolyKey& key, ByteView message) {
+  // r with RFC clamping; s is the final addend.
+  std::uint64_t r0 = load_u64le(key.data());
+  std::uint64_t r1 = load_u64le(key.data() + 8);
+  r0 &= 0x0ffffffc0fffffffULL;
+  r1 &= 0x0ffffffc0ffffffcULL;
+  const std::uint64_t s0 = load_u64le(key.data() + 16);
+  const std::uint64_t s1 = load_u64le(key.data() + 24);
+
+  U192 h{{0, 0, 0}};
+  std::size_t offset = 0;
+  while (offset < message.size()) {
+    const std::size_t take = std::min<std::size_t>(16, message.size() - offset);
+    std::uint8_t block[17] = {0};
+    std::memcpy(block, message.data() + offset, take);
+    block[take] = 1;  // the 2^(8*len) bit
+    U192 n{{load_u64le(block), load_u64le(block + 8),
+            static_cast<std::uint64_t>(block[16])}};
+    h = add(h, n);
+    h = mul_mod(h, r0, r1);
+    offset += take;
+  }
+
+  freeze(h);
+
+  // tag = (h + s) mod 2^128
+  unsigned __int128 c = static_cast<unsigned __int128>(h.limb[0]) + s0;
+  const std::uint64_t t0 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<unsigned __int128>(h.limb[1]) + s1;
+  const std::uint64_t t1 = static_cast<std::uint64_t>(c);
+
+  PolyTag tag;
+  store_u64le(tag.data(), t0);
+  store_u64le(tag.data() + 8, t1);
+  return tag;
+}
+
+bool poly1305_verify(const PolyTag& expected, const PolyKey& key,
+                     ByteView message) {
+  const PolyTag actual = poly1305(key, message);
+  return constant_time_equal(ByteView(expected.data(), expected.size()),
+                             ByteView(actual.data(), actual.size()));
+}
+
+}  // namespace p2panon::crypto

@@ -1,0 +1,27 @@
+// Poly1305 one-time authenticator (RFC 8439).
+//
+// Implemented with a small fixed-width big integer over 64-bit limbs and
+// explicit reduction mod 2^130 - 5; clarity over speed (the simulator's
+// hot path is not MAC computation). Verified against the RFC 8439 vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace p2panon::crypto {
+
+constexpr std::size_t kPolyKeySize = 32;
+constexpr std::size_t kPolyTagSize = 16;
+
+using PolyKey = std::array<std::uint8_t, kPolyKeySize>;
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+PolyTag poly1305(const PolyKey& key, ByteView message);
+
+/// Constant-time tag comparison.
+bool poly1305_verify(const PolyTag& expected, const PolyKey& key,
+                     ByteView message);
+
+}  // namespace p2panon::crypto

@@ -1,0 +1,245 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+
+namespace p2panon::crypto {
+
+namespace {
+
+// Field element mod p = 2^255 - 19, five 51-bit limbs, little-endian.
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr std::uint64_t kMask51 = (1ULL << 51) - 1;
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+  return out;
+}
+
+// a - b, adding 2p to keep limbs non-negative.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // 2p in 51-bit limbs: (2^255 - 19) * 2
+  static constexpr std::uint64_t two_p[5] = {
+      0xfffffffffffdaULL, 0xffffffffffffeULL, 0xffffffffffffeULL,
+      0xffffffffffffeULL, 0xffffffffffffeULL};
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + two_p[i] - b.v[i];
+  return out;
+}
+
+void fe_carry(Fe& f) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      f.v[i + 1] += f.v[i] >> 51;
+      f.v[i] &= kMask51;
+    }
+    f.v[0] += 19 * (f.v[4] >> 51);
+    f.v[4] &= kMask51;
+  }
+}
+
+Fe fe_mul(const Fe& f, const Fe& g) {
+  using u128 = unsigned __int128;
+  const std::uint64_t f0 = f.v[0], f1 = f.v[1], f2 = f.v[2], f3 = f.v[3],
+                      f4 = f.v[4];
+  const std::uint64_t g0 = g.v[0], g1 = g.v[1], g2 = g.v[2], g3 = g.v[3],
+                      g4 = g.v[4];
+  const std::uint64_t g1_19 = 19 * g1, g2_19 = 19 * g2, g3_19 = 19 * g3,
+                      g4_19 = 19 * g4;
+
+  u128 h0 = (u128)f0 * g0 + (u128)f1 * g4_19 + (u128)f2 * g3_19 +
+            (u128)f3 * g2_19 + (u128)f4 * g1_19;
+  u128 h1 = (u128)f0 * g1 + (u128)f1 * g0 + (u128)f2 * g4_19 +
+            (u128)f3 * g3_19 + (u128)f4 * g2_19;
+  u128 h2 = (u128)f0 * g2 + (u128)f1 * g1 + (u128)f2 * g0 +
+            (u128)f3 * g4_19 + (u128)f4 * g3_19;
+  u128 h3 = (u128)f0 * g3 + (u128)f1 * g2 + (u128)f2 * g1 + (u128)f3 * g0 +
+            (u128)f4 * g4_19;
+  u128 h4 = (u128)f0 * g4 + (u128)f1 * g3 + (u128)f2 * g2 + (u128)f3 * g1 +
+            (u128)f4 * g0;
+
+  // Carry chain over 128-bit accumulators.
+  std::uint64_t r0, r1, r2, r3, r4;
+  std::uint64_t carry;
+
+  r0 = (std::uint64_t)h0 & kMask51;
+  carry = (std::uint64_t)(h0 >> 51);
+  h1 += carry;
+  r1 = (std::uint64_t)h1 & kMask51;
+  carry = (std::uint64_t)(h1 >> 51);
+  h2 += carry;
+  r2 = (std::uint64_t)h2 & kMask51;
+  carry = (std::uint64_t)(h2 >> 51);
+  h3 += carry;
+  r3 = (std::uint64_t)h3 & kMask51;
+  carry = (std::uint64_t)(h3 >> 51);
+  h4 += carry;
+  r4 = (std::uint64_t)h4 & kMask51;
+  carry = (std::uint64_t)(h4 >> 51);
+  r0 += 19 * carry;
+  carry = r0 >> 51;
+  r0 &= kMask51;
+  r1 += carry;
+
+  return Fe{{r0, r1, r2, r3, r4}};
+}
+
+Fe fe_sqr(const Fe& f) { return fe_mul(f, f); }
+
+Fe fe_mul_small(const Fe& f, std::uint64_t s) {
+  using u128 = unsigned __int128;
+  u128 acc[5];
+  for (int i = 0; i < 5; ++i) acc[i] = (u128)f.v[i] * s;
+  std::uint64_t r[5];
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 5; ++i) {
+    acc[i] += carry;
+    r[i] = (std::uint64_t)acc[i] & kMask51;
+    carry = (std::uint64_t)(acc[i] >> 51);
+  }
+  r[0] += 19 * carry;
+  Fe out{{r[0], r[1], r[2], r[3], r[4]}};
+  fe_carry(out);
+  return out;
+}
+
+// Inversion via Fermat: f^(p-2), square-and-multiply over p-2's bits.
+Fe fe_invert(const Fe& f) {
+  // p - 2 = 2^255 - 21 = (2^255 - 1) - 20: bits 0..254 are all 1 except
+  // bits 2 and 4 (low byte 0xeb = 0b11101011).
+  Fe result = fe_one();
+  Fe base = f;
+  for (int bit = 0; bit < 255; ++bit) {
+    const bool set = !(bit == 2 || bit == 4);
+    if (set) result = fe_mul(result, base);
+    base = fe_sqr(base);
+  }
+  return result;
+}
+
+Fe fe_from_bytes(const std::uint8_t bytes[32]) {
+  // Limb i holds bits [51*i, 51*i + 51); masking limb 4 to 51 bits also
+  // discards bit 255, as RFC 7748 requires.
+  auto load = [&](int byte, int shift) {
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= (std::uint64_t)bytes[byte + i] << (8 * i);
+    }
+    return out >> shift;
+  };
+  Fe out;
+  out.v[0] = load(0, 0) & kMask51;
+  out.v[1] = load(6, 3) & kMask51;
+  out.v[2] = load(12, 6) & kMask51;
+  out.v[3] = load(19, 1) & kMask51;
+  out.v[4] = load(24, 12) & kMask51;
+  return out;
+}
+
+void fe_to_bytes(std::uint8_t out[32], Fe f) {
+  fe_carry(f);
+  // Canonicalize: subtract p if f >= p, twice to be safe.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::uint64_t g[5];
+    g[0] = f.v[0] + 19;
+    std::uint64_t carry = g[0] >> 51;
+    g[0] &= kMask51;
+    for (int i = 1; i < 5; ++i) {
+      g[i] = f.v[i] + carry;
+      carry = g[i] >> 51;
+      g[i] &= kMask51;
+    }
+    // carry is 1 iff f + 19 >= 2^255, i.e. f >= p.
+    if (carry) {
+      for (int i = 0; i < 5; ++i) f.v[i] = g[i];
+    }
+  }
+  std::uint64_t packed[4];
+  packed[0] = f.v[0] | (f.v[1] << 51);
+  packed[1] = (f.v[1] >> 13) | (f.v[2] << 38);
+  packed[2] = (f.v[2] >> 26) | (f.v[3] << 25);
+  packed[3] = (f.v[3] >> 39) | (f.v[4] << 12);
+  for (int i = 0; i < 4; ++i) store_u64le(out + 8 * i, packed[i]);
+}
+
+void fe_cswap(std::uint64_t swap, Fe& a, Fe& b) {
+  const std::uint64_t mask = 0 - swap;  // all-ones when swap == 1
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t t = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= t;
+    b.v[i] ^= t;
+  }
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u_point) {
+  std::uint8_t k[32];
+  std::memcpy(k, scalar.data(), 32);
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+
+  const Fe x1 = fe_from_bytes(u_point.data());
+  Fe x2 = fe_one();
+  Fe z2 = fe_zero();
+  Fe x3 = x1;
+  Fe z3 = fe_one();
+  std::uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t k_t = (k[t / 8] >> (t % 8)) & 1;
+    swap ^= k_t;
+    fe_cswap(swap, x2, x3);
+    fe_cswap(swap, z2, z3);
+    swap = k_t;
+
+    Fe a = fe_add(x2, z2);
+    fe_carry(a);
+    const Fe aa = fe_sqr(a);
+    Fe b = fe_sub(x2, z2);
+    fe_carry(b);
+    const Fe bb = fe_sqr(b);
+    Fe e = fe_sub(aa, bb);
+    fe_carry(e);
+    Fe c = fe_add(x3, z3);
+    fe_carry(c);
+    Fe d = fe_sub(x3, z3);
+    fe_carry(d);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    Fe da_plus_cb = fe_add(da, cb);
+    fe_carry(da_plus_cb);
+    Fe da_minus_cb = fe_sub(da, cb);
+    fe_carry(da_minus_cb);
+    x3 = fe_sqr(da_plus_cb);
+    z3 = fe_mul(x1, fe_sqr(da_minus_cb));
+    x2 = fe_mul(aa, bb);
+    const Fe a24e = fe_mul_small(e, 121665);
+    Fe aa_plus = fe_add(aa, a24e);
+    fe_carry(aa_plus);
+    z2 = fe_mul(e, aa_plus);
+  }
+
+  fe_cswap(swap, x2, x3);
+  fe_cswap(swap, z2, z3);
+
+  const Fe result = fe_mul(x2, fe_invert(z2));
+  X25519Key out;
+  fe_to_bytes(out.data(), result);
+  return out;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+}  // namespace p2panon::crypto

@@ -1,0 +1,25 @@
+// X25519 Diffie–Hellman over Curve25519 (RFC 7748).
+//
+// Field arithmetic mod 2^255 - 19 with five 51-bit limbs and a Montgomery
+// ladder; the implementation favors auditability over speed. Verified
+// against the RFC 7748 §5.2 and §6.1 vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace p2panon::crypto {
+
+constexpr std::size_t kX25519KeySize = 32;
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Scalar multiplication: out = scalar * point (u-coordinate). The scalar
+/// is clamped per RFC 7748.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u_point);
+
+/// Public key for a (clamped) private scalar: scalar * base point (u = 9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+}  // namespace p2panon::crypto

@@ -1,0 +1,18 @@
+#include "erasure/codec.hpp"
+
+#include <stdexcept>
+
+#include "erasure/reed_solomon.hpp"
+#include "erasure/replication.hpp"
+
+namespace p2panon::erasure {
+
+std::unique_ptr<Codec> make_codec(std::size_t m, std::size_t n) {
+  if (m < 1 || m > n || n > 255) {
+    throw std::invalid_argument("make_codec: need 1 <= m <= n <= 255");
+  }
+  if (m == 1) return std::make_unique<ReplicationCodec>(n);
+  return std::make_unique<ReedSolomonCodec>(m, n);
+}
+
+}  // namespace p2panon::erasure

@@ -1,0 +1,70 @@
+// Erasure codec interface.
+//
+// A codec splits a message M into `n` segments such that any `m` of them
+// reconstruct M (the paper's n, m with replication factor r = n/m).
+// Segment payloads have size ceil(|M|/m); the original length travels out
+// of band (the protocols carry it in the payload header).
+//
+// Implementations:
+//   - ReedSolomonCodec: systematic RS over GF(2^8) — the paper's erasure
+//     coding [Rabin 1989].
+//   - ReplicationCodec: the m = 1 special case ("replication can be thought
+//     of as a special case of erasure coding where m = 1").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace p2panon::erasure {
+
+struct Segment {
+  std::uint32_t index = 0;  // position in [0, n)
+  Bytes data;
+
+  bool operator==(const Segment&) const = default;
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// m: segments needed to reconstruct.
+  virtual std::size_t data_segments() const = 0;
+  /// n: segments produced.
+  virtual std::size_t total_segments() const = 0;
+
+  /// r = n / m.
+  double replication_factor() const {
+    return static_cast<double>(total_segments()) /
+           static_cast<double>(data_segments());
+  }
+
+  /// Size of each segment for a message of `message_size` bytes.
+  std::size_t segment_size(std::size_t message_size) const {
+    const std::size_t m = data_segments();
+    return (message_size + m - 1) / m;
+  }
+
+  /// Splits a message into n segments. The message may be empty.
+  virtual std::vector<Segment> encode(ByteView message) const = 0;
+
+  /// Reconstructs the original message from >= m segments with distinct
+  /// valid indices; `original_size` truncates the padding. Returns nullopt
+  /// if too few distinct segments or inconsistent sizes are supplied.
+  virtual std::optional<Bytes> decode(std::span<const Segment> segments,
+                                      std::size_t original_size) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Builds the right codec: ReplicationCodec when m == 1, ReedSolomonCodec
+/// otherwise. Requires 1 <= m <= n <= 255.
+std::unique_ptr<Codec> make_codec(std::size_t m, std::size_t n);
+
+}  // namespace p2panon::erasure

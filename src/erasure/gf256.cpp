@@ -1,0 +1,97 @@
+#include "erasure/gf256.hpp"
+
+#include <stdexcept>
+
+namespace p2panon::erasure {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp;
+  std::array<std::uint16_t, 256> log;
+
+  Tables() {
+    // Generator 2 over 0x11d: exp[i] = 2^i, log[2^i] = i.
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+    log[0] = 0;  // never consulted: mul/div guard zero operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 512>& GF256::exp_table() {
+  return tables().exp;
+}
+
+const std::array<std::uint16_t, 256>& GF256::log_table() {
+  return tables().log;
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw std::domain_error("GF256: division by zero");
+  if (a == 0) return 0;
+  return exp_table()[log_table()[a] + 255 - log_table()[b]];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("GF256: inverse of zero");
+  return exp_table()[255 - log_table()[a]];
+}
+
+std::uint8_t GF256::pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned idx = (log_table()[a] * e) % 255;
+  return exp_table()[idx];
+}
+
+void GF256::mul_add_row(std::uint8_t c, ByteView src, MutableByteView dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("GF256::mul_add_row: size mismatch");
+  }
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& exp = exp_table();
+  const auto& log = log_table();
+  const std::uint16_t log_c = log[c];
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= exp[log_c + log[s]];
+  }
+}
+
+void GF256::mul_row(std::uint8_t c, ByteView src, MutableByteView dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("GF256::mul_row: size mismatch");
+  }
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  const auto& exp = exp_table();
+  const auto& log = log_table();
+  const std::uint16_t log_c = log[c];
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] = (s == 0) ? 0 : exp[log_c + log[s]];
+  }
+}
+
+}  // namespace p2panon::erasure

@@ -1,0 +1,46 @@
+// GF(2^8) arithmetic with the AES/Rabin polynomial x^8+x^4+x^3+x^2+1 (0x11d).
+//
+// Multiplication and inversion go through log/exp tables built once at
+// startup from the generator 2. This is the field under the Reed–Solomon
+// codec implementing the paper's erasure coding [Rabin 1989].
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace p2panon::erasure {
+
+class GF256 {
+ public:
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  static std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+    if (a == 0 || b == 0) return 0;
+    return exp_table()[log_table()[a] + log_table()[b]];
+  }
+
+  /// b must be nonzero.
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+  /// a must be nonzero.
+  static std::uint8_t inv(std::uint8_t a);
+
+  static std::uint8_t pow(std::uint8_t a, unsigned e);
+
+  /// dst[i] ^= c * src[i] for all i — the row-operation kernel used by both
+  /// encoding and Gaussian elimination.
+  static void mul_add_row(std::uint8_t c, ByteView src, MutableByteView dst);
+
+  /// dst[i] = c * src[i].
+  static void mul_row(std::uint8_t c, ByteView src, MutableByteView dst);
+
+ private:
+  // exp table doubled in length so mul can skip the mod 255.
+  static const std::array<std::uint8_t, 512>& exp_table();
+  static const std::array<std::uint16_t, 256>& log_table();
+};
+
+}  // namespace p2panon::erasure

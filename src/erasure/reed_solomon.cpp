@@ -1,0 +1,115 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "erasure/gf256.hpp"
+
+namespace p2panon::erasure {
+
+namespace {
+
+Matrix build_systematic_matrix(std::size_t m, std::size_t n) {
+  // Validated here because members initialize before the constructor body.
+  if (m < 1 || m > n || n > 255) {
+    throw std::invalid_argument("ReedSolomonCodec: need 1 <= m <= n <= 255");
+  }
+  // E = V * inv(V_top): top m rows become the identity, and any m rows of E
+  // remain independent because E = V * B for an invertible B.
+  const Matrix vander = Matrix::vandermonde(n, m);
+  std::vector<std::size_t> top(m);
+  for (std::size_t i = 0; i < m; ++i) top[i] = i;
+  const Matrix top_inv = vander.select_rows(top).inverted();
+  return vander.multiply(top_inv);
+}
+
+}  // namespace
+
+ReedSolomonCodec::ReedSolomonCodec(std::size_t m, std::size_t n)
+    : m_(m), n_(n), encode_matrix_(build_systematic_matrix(m, n)) {
+  if (m < 1 || m > n || n > 255) {
+    throw std::invalid_argument("ReedSolomonCodec: need 1 <= m <= n <= 255");
+  }
+}
+
+std::vector<Segment> ReedSolomonCodec::encode(ByteView message) const {
+  const std::size_t seg_size = std::max<std::size_t>(segment_size(message.size()), 1);
+
+  // Zero-pad the message to m * seg_size and view it as m shards.
+  Bytes padded(message.begin(), message.end());
+  padded.resize(m_ * seg_size, 0);
+
+  std::vector<Segment> out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    out[r].index = static_cast<std::uint32_t>(r);
+    out[r].data.assign(seg_size, 0);
+    for (std::size_t c = 0; c < m_; ++c) {
+      const std::uint8_t coeff = encode_matrix_.at(r, c);
+      GF256::mul_add_row(coeff,
+                         ByteView(padded.data() + c * seg_size, seg_size),
+                         out[r].data);
+    }
+  }
+  return out;
+}
+
+std::optional<Bytes> ReedSolomonCodec::decode(
+    std::span<const Segment> segments, std::size_t original_size) const {
+  // Collect the first m segments with distinct, in-range indices and a
+  // consistent size.
+  std::vector<const Segment*> chosen;
+  std::unordered_set<std::uint32_t> seen;
+  std::size_t seg_size = 0;
+  for (const Segment& seg : segments) {
+    if (seg.index >= n_) continue;
+    if (!seen.insert(seg.index).second) continue;
+    if (chosen.empty()) {
+      seg_size = seg.data.size();
+      if (seg_size == 0) return std::nullopt;
+    } else if (seg.data.size() != seg_size) {
+      return std::nullopt;
+    }
+    chosen.push_back(&seg);
+    if (chosen.size() == m_) break;
+  }
+  if (chosen.size() < m_) return std::nullopt;
+  if (original_size > m_ * seg_size) return std::nullopt;
+
+  // Fast path: all m systematic segments present.
+  bool all_systematic = true;
+  for (const Segment* seg : chosen) {
+    if (seg->index >= m_) {
+      all_systematic = false;
+      break;
+    }
+  }
+
+  Bytes shards(m_ * seg_size, 0);
+  if (all_systematic) {
+    for (const Segment* seg : chosen) {
+      std::copy(seg->data.begin(), seg->data.end(),
+                shards.begin() + static_cast<long>(seg->index * seg_size));
+    }
+  } else {
+    std::vector<std::size_t> rows(m_);
+    for (std::size_t i = 0; i < m_; ++i) rows[i] = chosen[i]->index;
+    const Matrix decode_matrix =
+        encode_matrix_.select_rows(rows).inverted();
+    for (std::size_t j = 0; j < m_; ++j) {
+      MutableByteView dst(shards.data() + j * seg_size, seg_size);
+      for (std::size_t i = 0; i < m_; ++i) {
+        GF256::mul_add_row(decode_matrix.at(j, i), chosen[i]->data, dst);
+      }
+    }
+  }
+
+  shards.resize(original_size);
+  return shards;
+}
+
+std::string ReedSolomonCodec::name() const {
+  return "reed-solomon(m=" + std::to_string(m_) + ",n=" + std::to_string(n_) +
+         ")";
+}
+
+}  // namespace p2panon::erasure

@@ -1,0 +1,37 @@
+// Systematic Reed–Solomon erasure codec over GF(2^8).
+//
+// The n x m encoding matrix is a Vandermonde matrix normalized so its top
+// m x m block is the identity: segments 0..m-1 are the message verbatim
+// (systematic), segments m..n-1 are parity. Any m rows of the matrix are
+// linearly independent, so any m surviving segments decode by inverting the
+// corresponding m x m submatrix.
+#pragma once
+
+#include "erasure/codec.hpp"
+#include "erasure/matrix.hpp"
+
+namespace p2panon::erasure {
+
+class ReedSolomonCodec final : public Codec {
+ public:
+  /// Requires 1 <= m <= n <= 255.
+  ReedSolomonCodec(std::size_t m, std::size_t n);
+
+  std::size_t data_segments() const override { return m_; }
+  std::size_t total_segments() const override { return n_; }
+
+  std::vector<Segment> encode(ByteView message) const override;
+  std::optional<Bytes> decode(std::span<const Segment> segments,
+                              std::size_t original_size) const override;
+  std::string name() const override;
+
+  /// The n x m encoding matrix (exposed for tests).
+  const Matrix& encoding_matrix() const { return encode_matrix_; }
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  Matrix encode_matrix_;
+};
+
+}  // namespace p2panon::erasure

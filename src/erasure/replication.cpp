@@ -1,0 +1,38 @@
+#include "erasure/replication.hpp"
+
+#include <stdexcept>
+
+namespace p2panon::erasure {
+
+ReplicationCodec::ReplicationCodec(std::size_t copies) : copies_(copies) {
+  if (copies < 1 || copies > 255) {
+    throw std::invalid_argument("ReplicationCodec: need 1 <= copies <= 255");
+  }
+}
+
+std::vector<Segment> ReplicationCodec::encode(ByteView message) const {
+  std::vector<Segment> out(copies_);
+  for (std::size_t i = 0; i < copies_; ++i) {
+    out[i].index = static_cast<std::uint32_t>(i);
+    out[i].data.assign(message.begin(), message.end());
+  }
+  return out;
+}
+
+std::optional<Bytes> ReplicationCodec::decode(
+    std::span<const Segment> segments, std::size_t original_size) const {
+  for (const Segment& seg : segments) {
+    if (seg.index >= copies_) continue;
+    if (seg.data.size() < original_size) return std::nullopt;
+    Bytes out(seg.data.begin(),
+              seg.data.begin() + static_cast<long>(original_size));
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::string ReplicationCodec::name() const {
+  return "replication(n=" + std::to_string(copies_) + ")";
+}
+
+}  // namespace p2panon::erasure

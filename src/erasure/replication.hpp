@@ -1,0 +1,29 @@
+// Replication codec: n full copies, any one reconstructs (m = 1).
+//
+// The paper's SimRep sends one copy of the whole message down each of the
+// k paths; this codec expresses that as the m = 1 erasure-coding special
+// case so SimRep and SimEra share the protocol machinery.
+#pragma once
+
+#include "erasure/codec.hpp"
+
+namespace p2panon::erasure {
+
+class ReplicationCodec final : public Codec {
+ public:
+  /// `copies` = n >= 1.
+  explicit ReplicationCodec(std::size_t copies);
+
+  std::size_t data_segments() const override { return 1; }
+  std::size_t total_segments() const override { return copies_; }
+
+  std::vector<Segment> encode(ByteView message) const override;
+  std::optional<Bytes> decode(std::span<const Segment> segments,
+                              std::size_t original_size) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t copies_;
+};
+
+}  // namespace p2panon::erasure

@@ -1,0 +1,69 @@
+// Durability / performance experiment (paper Tables 2, 3, 4).
+//
+// §6.2 "Performance Comparison" methodology: two pinned nodes (initiator,
+// responder) in a 1024-node churning network. After a 1 h warm-up the
+// initiator constructs the protocol's path set (counting whole-set
+// attempts), then sends a 1 KB message every 10 s for an hour. Reported
+// per run:
+//   - durability: ground-truth lifetime of the constructed path set,
+//     terminated per protocol (CurMix: any relay fails; SimRep: all k
+//     paths fail; SimEra: more than k(1 - 1/r) paths fail), capped 3600 s;
+//   - construction attempts to first success;
+//   - mean latency of successful deliveries (send -> responder
+//     reconstruction);
+//   - mean payload bandwidth per successful delivery.
+#pragma once
+
+#include <vector>
+
+#include "anon/protocols.hpp"
+#include "harness/environment.hpp"
+#include "metrics/summary.hpp"
+
+namespace p2panon::harness {
+
+struct DurabilityConfig {
+  EnvironmentConfig environment;
+  anon::ProtocolSpec spec;
+  SimDuration warmup = 1 * kHour;
+  SimDuration measure = 1 * kHour;
+  SimDuration send_interval = 10 * kSecond;
+  std::size_t message_size = 1024;
+  SimDuration construct_timeout = 5 * kSecond;
+  SimDuration ack_timeout = 5 * kSecond;
+  std::size_t max_construct_attempts = 500;
+  NodeId initiator = 0;
+  NodeId responder = 1;
+};
+
+struct DurabilityResult {
+  bool constructed = false;
+  std::size_t construct_attempts = 0;
+  double durability_seconds = 0.0;  // capped at `measure`
+  metrics::Summary latency_ms;      // successful deliveries
+  metrics::Summary bandwidth_bytes; // payload bytes per successful delivery
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+};
+
+DurabilityResult run_durability_experiment(const DurabilityConfig& config);
+
+/// Averages `seeds` runs (seeds environment.seed + 0, +1, ...), optionally
+/// in parallel worker threads.
+struct DurabilityAverages {
+  double durability_seconds = 0.0;
+  double construct_attempts = 0.0;
+  double latency_ms = 0.0;
+  double bandwidth_kb = 0.0;
+  double delivery_rate = 0.0;
+  std::size_t runs = 0;
+  /// Per-run durabilities, for bootstrap confidence intervals (Pareto
+  /// residual lifetimes make the mean heavy-tailed).
+  std::vector<double> durability_runs;
+};
+
+DurabilityAverages run_durability_average(const DurabilityConfig& config,
+                                          std::size_t seeds,
+                                          std::size_t threads);
+
+}  // namespace p2panon::harness

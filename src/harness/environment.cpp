@@ -1,0 +1,56 @@
+#include "harness/environment.hpp"
+
+#include "churn/distributions.hpp"
+
+namespace p2panon::harness {
+
+Environment::Environment(EnvironmentConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  latency_ = std::make_unique<net::LatencyMatrix>(net::LatencyMatrix::synthetic(
+      config_.num_nodes, rng_.fork(), config_.mean_rtt));
+
+  const auto session_dist =
+      churn::parse_distribution(config_.session_distribution);
+  churn_ = std::make_unique<churn::ChurnModel>(
+      simulator_, config_.num_nodes, *session_dist, rng_.fork());
+
+  transport_ = std::make_unique<net::SimTransport>(
+      simulator_, *latency_,
+      [this](NodeId node) { return churn_->is_up(node); });
+
+  demux_ = std::make_unique<net::Demux>(*transport_, config_.num_nodes);
+
+  Rng key_rng = rng_.fork();
+  auto node_keys = directory_.provision(config_.num_nodes, key_rng);
+
+  membership_ = std::make_unique<membership::GossipMembership>(
+      simulator_, *demux_, *churn_, config_.gossip, rng_.fork());
+
+  if (config_.fast_crypto) {
+    onion_ = std::make_unique<anon::FastOnionCodec>();
+  } else {
+    onion_ = std::make_unique<anon::RealOnionCodec>();
+  }
+  router_ = std::make_unique<anon::AnonRouter>(
+      simulator_, *demux_, *onion_, directory_, std::move(node_keys),
+      [this](NodeId node) { return churn_->is_up(node); }, config_.router,
+      rng_.fork());
+}
+
+void Environment::start() {
+  membership_->start();  // subscribes to churn before transitions begin
+  router_->start();
+  churn_->start();
+}
+
+NodeId Environment::random_up_node(NodeId exclude) {
+  if (churn_->up_count() == 0) return kInvalidNode;
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const NodeId candidate =
+        static_cast<NodeId>(rng_.next_below(config_.num_nodes));
+    if (candidate != exclude && churn_->is_up(candidate)) return candidate;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace p2panon::harness

@@ -1,0 +1,76 @@
+// Full-stack simulation environment: the paper's experimental setup
+// (§6.1) assembled from the substrates.
+//
+//   1024 nodes, King-style latency matrix with 152 ms mean RTT, Pareto
+//   churn with 1 h median sessions, gossip membership with liveness
+//   piggybacking, PKI, onion router.
+//
+// An Environment owns everything a protocol experiment needs; experiments
+// add initiator/responder behavior on top.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "anon/onion.hpp"
+#include "anon/router.hpp"
+#include "churn/churn_model.hpp"
+#include "crypto/keys.hpp"
+#include "membership/gossip.hpp"
+#include "net/demux.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::harness {
+
+struct EnvironmentConfig {
+  std::size_t num_nodes = 1024;
+  std::uint64_t seed = 1;
+  SimDuration mean_rtt = from_millis(152);
+  std::string session_distribution = "pareto:median=3600";
+  membership::GossipConfig gossip;
+  anon::RouterConfig router;
+  bool fast_crypto = true;  // FastOnionCodec for statistical runs
+  std::size_t path_length = 3;  // L
+};
+
+class Environment {
+ public:
+  explicit Environment(EnvironmentConfig config);
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  /// Starts churn, gossip and the router. Call once, then run the
+  /// simulator.
+  void start();
+
+  sim::Simulator& simulator() { return simulator_; }
+  churn::ChurnModel& churn() { return *churn_; }
+  net::SimTransport& transport() { return *transport_; }
+  net::Demux& demux() { return *demux_; }
+  membership::GossipMembership& membership() { return *membership_; }
+  anon::AnonRouter& router() { return *router_; }
+  const crypto::KeyDirectory& directory() const { return directory_; }
+  const EnvironmentConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  /// Picks a currently-up node uniformly, excluding `exclude` (or
+  /// kInvalidNode when none is up).
+  NodeId random_up_node(NodeId exclude);
+
+ private:
+  EnvironmentConfig config_;
+  Rng rng_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::LatencyMatrix> latency_;
+  std::unique_ptr<churn::ChurnModel> churn_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<net::Demux> demux_;
+  crypto::KeyDirectory directory_;
+  std::unique_ptr<membership::GossipMembership> membership_;
+  std::unique_ptr<anon::OnionCodec> onion_;
+  std::unique_ptr<anon::AnonRouter> router_;
+};
+
+}  // namespace p2panon::harness

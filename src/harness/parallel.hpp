@@ -1,0 +1,22 @@
+// Thread-pool fan-out for independent simulation runs.
+//
+// Each run is a self-contained single-threaded simulation (nothing is
+// shared between Environments), so multi-seed sweeps parallelize
+// embarrassingly. The callable must only write to its own index's slots.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace p2panon::harness {
+
+/// Runs fn(0) .. fn(count - 1) on up to `threads` worker threads
+/// (threads <= 1 runs inline). Exceptions in workers propagate to the
+/// caller after all workers join.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Hardware concurrency, at least 1.
+std::size_t default_worker_threads();
+
+}  // namespace p2panon::harness

@@ -1,0 +1,342 @@
+#include "membership/gossip.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace p2panon::membership {
+
+namespace {
+// Message kinds within the gossip channel.
+constexpr std::uint8_t kKindGossip = 1;
+constexpr std::uint8_t kKindSyncRequest = 2;
+constexpr std::uint8_t kKindSyncResponse = 3;
+}  // namespace
+
+void encode_record(Bytes& out, NodeId subject, const LivenessInfo& info) {
+  put_u32be(out, subject);
+  out.push_back(info.alive ? 1 : 0);
+  put_u64be(out, static_cast<std::uint64_t>(info.dt_alive));
+  put_u64be(out, static_cast<std::uint64_t>(info.dt_since));
+}
+
+bool decode_records(ByteView in, std::size_t offset, std::size_t count,
+                    std::vector<DecodedRecord>& out) {
+  if (offset + count * kRecordWireSize > in.size()) return false;
+  out.reserve(out.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DecodedRecord rec;
+    rec.subject = get_u32be(in, offset);
+    rec.info.alive = in[offset + 4] != 0;
+    rec.info.dt_alive = static_cast<SimDuration>(get_u64be(in, offset + 5));
+    rec.info.dt_since = static_cast<SimDuration>(get_u64be(in, offset + 13));
+    out.push_back(rec);
+    offset += kRecordWireSize;
+  }
+  return true;
+}
+
+GossipMembership::GossipMembership(sim::Simulator& simulator,
+                                   net::Demux& demux,
+                                   churn::ChurnModel& churn_model,
+                                   GossipConfig config, Rng rng)
+    : simulator_(simulator),
+      demux_(demux),
+      churn_(churn_model),
+      config_(config),
+      rng_(rng) {
+  const std::size_t n = churn_.num_nodes();
+  caches_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) caches_.emplace_back(n);
+  rumor_queues_.resize(n);
+  rumor_members_.resize(n);
+  // Stagger the sweep phases so the network's refresh load is smooth and
+  // different owners don't all have the same subjects stale at once.
+  refresh_cursors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    refresh_cursors_[i] = static_cast<NodeId>(rng_.next_below(n));
+  }
+}
+
+void GossipMembership::start() {
+  started_ = true;
+  const std::size_t n = caches_.size();
+
+  if (config_.seed_full_membership) {
+    // OneHop gives nodes "accurate and complete membership information";
+    // we bootstrap that state at t = 0 from ground truth and let gossip
+    // maintain it from then on.
+    const SimTime now = simulator_.now();
+    for (NodeId owner = 0; owner < n; ++owner) {
+      for (NodeId subject = 0; subject < n; ++subject) {
+        if (subject == owner) continue;
+        if (churn_.is_up(subject)) {
+          caches_[owner].heard_directly(subject, 0, now);
+        } else {
+          caches_[owner].heard_left_directly(subject, now);
+        }
+      }
+    }
+  }
+
+  demux_.set_handler(net::Channel::kGossip,
+                     [this](NodeId from, NodeId to, ByteView payload) {
+                       handle_message(from, to, payload);
+                     });
+
+  churn_.subscribe([this](NodeId node, bool up, SimTime when) {
+    on_churn(node, up, when);
+  });
+
+  tasks_.reserve(n);
+  for (NodeId node = 0; node < n; ++node) {
+    auto task = std::make_unique<sim::PeriodicTask>(
+        simulator_, config_.interval, [this, node] { gossip_tick(node); });
+    // Random phase so the fleet doesn't gossip in lockstep.
+    task->start_at(simulator_.now() +
+                   static_cast<SimDuration>(rng_.next_below(
+                       static_cast<std::uint64_t>(config_.interval))));
+    tasks_.push_back(std::move(task));
+  }
+}
+
+SimDuration GossipMembership::own_uptime(NodeId node) const {
+  return from_seconds(churn_.alive_seconds(node, simulator_.now()));
+}
+
+void GossipMembership::on_churn(NodeId node, bool up, SimTime when) {
+  // A node that changes state invalidates its own pending rumors.
+  (void)when;
+  if (up) {
+    // The joiner announces itself to a few contacts from its (stale) cache
+    // and pulls a snapshot from one of them. Contacts that are dead simply
+    // drop the message.
+    auto contacts = caches_[node].sample_known(
+        std::min<std::size_t>(config_.churn_observers,
+                              caches_[node].known_count()),
+        rng_, {node});
+    bool sync_requested = false;
+    for (NodeId contact : contacts) {
+      send_records(node, contact, kKindGossip, {});
+      if (!sync_requested) {
+        Bytes req;
+        req.push_back(kKindSyncRequest);
+        demux_.send(net::Channel::kGossip, node, contact, req);
+        ++messages_sent_;
+        bytes_sent_ += req.size();
+        sync_requested = true;
+      }
+    }
+  } else {
+    // OneHop-style failure detection: after a short delay the subject's
+    // overlay neighbors notice the silence. We pick a few live nodes as
+    // those neighbors (simulator shortcut documented in DESIGN.md) and let
+    // the news spread epidemically from them.
+    const SimDuration delay =
+        config_.detection_delay_min +
+        static_cast<SimDuration>(rng_.next_below(static_cast<std::uint64_t>(
+            config_.detection_delay_max - config_.detection_delay_min + 1)));
+    simulator_.schedule_after(delay, [this, node] {
+      if (churn_.is_up(node)) return;  // re-joined before detection
+      std::size_t found = 0;
+      const std::size_t n = caches_.size();
+      for (std::size_t attempt = 0;
+           attempt < 8 * config_.churn_observers && found < config_.churn_observers;
+           ++attempt) {
+        const NodeId observer =
+            static_cast<NodeId>(rng_.next_below(n));
+        if (observer == node || !churn_.is_up(observer)) continue;
+        caches_[observer].heard_left_directly(node, simulator_.now());
+        enqueue_rumor(observer, node);
+        ++found;
+      }
+    });
+  }
+}
+
+void GossipMembership::enqueue_rumor(NodeId owner, NodeId subject) {
+  auto& members = rumor_members_[owner];
+  if (members.count(subject) > 0) return;
+  members.insert(subject);
+  rumor_queues_[owner].push_back(Rumor{subject, config_.rumor_forwards});
+}
+
+std::vector<NodeId> GossipMembership::pick_gossip_targets(NodeId node,
+                                                          std::size_t count) {
+  // Believed-alive cache entries, found by rejection sampling: with the
+  // near-complete caches OneHop-style membership maintains, a random node
+  // id is a valid target about half the time, so this avoids building a
+  // candidate pool of N entries every gossip round (the hot path of the
+  // whole simulation).
+  const NodeCache& cache = caches_[node];
+  const std::size_t n = caches_.size();
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::size_t attempt = 0; attempt < 16 * count + 64 && out.size() < count;
+       ++attempt) {
+    const NodeId candidate = static_cast<NodeId>(rng_.next_below(n));
+    if (candidate == node) continue;
+    const auto* entry = cache.find(candidate);
+    if (entry == nullptr || !entry->alive) continue;
+    bool duplicate = false;
+    for (NodeId existing : out) {
+      if (existing == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(candidate);
+  }
+  return out;
+}
+
+void GossipMembership::send_records(NodeId from, NodeId to,
+                                    std::uint8_t kind,
+                                    const std::vector<NodeId>& subjects) {
+  const SimTime now = simulator_.now();
+  Bytes msg;
+  msg.reserve(3 + (subjects.size() + 1) * kRecordWireSize);
+  msg.push_back(kind);
+
+  // Sender's own record always rides along ("includes dt_alive in every
+  // packet it sends").
+  std::vector<std::pair<NodeId, LivenessInfo>> records;
+  records.reserve(subjects.size() + 1);
+  LivenessInfo own;
+  own.alive = true;
+  own.dt_alive = own_uptime(from);
+  own.dt_since = 0;
+  records.emplace_back(from, own);
+  for (NodeId subject : subjects) {
+    if (subject == from) continue;
+    const auto obs = caches_[from].observation(subject, now);
+    if (obs.has_value()) records.emplace_back(subject, *obs);
+  }
+
+  put_u16be(msg, static_cast<std::uint16_t>(records.size()));
+  for (const auto& [subject, info] : records) {
+    encode_record(msg, subject, info);
+  }
+  demux_.send(net::Channel::kGossip, from, to, msg);
+  ++messages_sent_;
+  bytes_sent_ += msg.size();
+}
+
+void GossipMembership::gossip_tick(NodeId node) {
+  if (!churn_.is_up(node)) return;
+
+  // Drain up to max_rumors from the hot queue.
+  std::vector<NodeId> subjects;
+  auto& queue = rumor_queues_[node];
+  auto& members = rumor_members_[node];
+  std::size_t scanned = 0;
+  const std::size_t limit = queue.size();
+  while (!queue.empty() && subjects.size() < config_.max_rumors &&
+         scanned < limit) {
+    Rumor rumor = queue.front();
+    queue.pop_front();
+    ++scanned;
+    subjects.push_back(rumor.subject);
+    if (--rumor.remaining > 0) {
+      queue.push_back(rumor);
+    } else {
+      members.erase(rumor.subject);
+    }
+  }
+
+  // Anti-entropy: sweep the id space round-robin so every subject's record
+  // is refreshed on a bounded cycle (uniform staleness; see GossipConfig).
+  const std::size_t n = caches_.size();
+  const NodeCache& cache = caches_[node];
+  std::size_t added = 0;
+  std::size_t scanned_ids = 0;
+  NodeId cursor = refresh_cursors_[node];
+  while (added < config_.refresh_records && scanned_ids < n) {
+    const NodeId candidate = cursor;
+    cursor = static_cast<NodeId>((cursor + 1) % n);
+    ++scanned_ids;
+    if (candidate == node || cache.find(candidate) == nullptr) continue;
+    subjects.push_back(candidate);
+    ++added;
+  }
+  refresh_cursors_[node] = cursor;
+
+  for (NodeId target : pick_gossip_targets(node, config_.fanout)) {
+    send_records(node, target, kKindGossip, subjects);
+  }
+}
+
+void GossipMembership::handle_message(NodeId from, NodeId to,
+                                      ByteView payload) {
+  if (!churn_.is_up(to) || payload.empty()) return;
+  const std::uint8_t kind = payload[0];
+  const SimTime now = simulator_.now();
+
+  if (kind == kKindSyncRequest) {
+    // Full-cache snapshot back to the joiner, chunked into gossip-sized
+    // messages.
+    const auto known = caches_[to].known_nodes();
+    std::vector<NodeId> chunk;
+    const std::size_t chunk_size =
+        std::max<std::size_t>(config_.max_rumors * 4, 64);
+    for (NodeId subject : known) {
+      chunk.push_back(subject);
+      if (chunk.size() == chunk_size) {
+        send_records(to, from, kKindSyncResponse, chunk);
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) send_records(to, from, kKindSyncResponse, chunk);
+    return;
+  }
+
+  if (kind != kKindGossip && kind != kKindSyncResponse) return;
+  if (payload.size() < 3) return;
+  const std::size_t count = get_u16be(payload, 1);
+  std::vector<DecodedRecord> records;
+  if (!decode_records(payload, 3, count, records)) return;
+
+  NodeCache& cache = caches_[to];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    if (rec.subject == to) continue;
+    const auto* prior = cache.find(rec.subject);
+    const bool prior_alive = prior != nullptr && prior->alive;
+    const bool prior_known = prior != nullptr;
+    bool accepted;
+    if (i == 0 && rec.subject == from) {
+      // Sender's own record: a direct observation.
+      cache.heard_directly(from, rec.info.dt_alive, now);
+      accepted = true;
+    } else {
+      accepted = cache.merge_indirect(rec.subject, rec.info, now);
+    }
+    // Re-gossip accepted *state changes* (alive flips or first sightings);
+    // routine freshness updates don't need rumor amplification, and sync
+    // responses never re-gossip.
+    const bool changed = !prior_known || prior_alive != rec.info.alive;
+    if (accepted && changed && kind == kKindGossip) {
+      enqueue_rumor(to, rec.subject);
+    }
+  }
+}
+
+double GossipMembership::belief_accuracy() const {
+  const std::size_t n = caches_.size();
+  std::uint64_t correct = 0;
+  std::uint64_t total = 0;
+  for (NodeId owner = 0; owner < n; ++owner) {
+    if (!churn_.is_up(owner)) continue;
+    for (NodeId subject = 0; subject < n; ++subject) {
+      if (subject == owner) continue;
+      const auto* entry = caches_[owner].find(subject);
+      const bool believed_alive = entry != nullptr && entry->alive;
+      ++total;
+      if (believed_alive == churn_.is_up(subject)) ++correct;
+    }
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace p2panon::membership

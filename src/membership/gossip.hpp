@@ -1,0 +1,127 @@
+// Epidemic membership dissemination with liveness piggybacking (paper §4.8,
+// §4.9 "Learning Node Liveness Information").
+//
+// Every live node runs a periodic gossip task. A gossip message carries:
+//   - the sender's own record (dt_alive since its last join, dt_since = 0),
+//   - "hot" rumors: membership changes the sender recently learned, each
+//     forwarded a bounded number of times (rumor mongering),
+//   - a few random cache records for anti-entropy.
+// Receivers apply the paper's merge rules (NodeCache) and re-enqueue
+// accepted changes as rumors, giving O(log N) dissemination.
+//
+// Join/leave handling mirrors OneHop's behavior at the level the paper
+// relies on: a joining node announces itself to a few live contacts and
+// pulls a full cache snapshot from one of them; a leave is noticed by a few
+// "overlay neighbor" nodes after a short detection delay (standing in for
+// OneHop's keepalive-based failure detection — see DESIGN.md substitutions)
+// and then spreads epidemically like any other rumor.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "churn/churn_model.hpp"
+#include "common/rng.hpp"
+#include "membership/node_cache.hpp"
+#include "net/demux.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::membership {
+
+struct GossipConfig {
+  SimDuration interval = 2 * kSecond;   // per-node gossip period
+  std::size_t fanout = 1;               // targets per round
+  std::size_t max_rumors = 32;          // hot records per message
+  // Anti-entropy records per message, swept round-robin over the id space
+  // so every record's staleness is bounded by (N / refresh_records) *
+  // interval and roughly UNIFORM across subjects. Uniform staleness is
+  // what makes the Eq. 3 predictor rank by age (q = a / (a + s) compares
+  // s/a; with random per-subject staleness the freshest-heard node wins
+  // regardless of age and biased mix choice degenerates) — it models
+  // OneHop's periodic full-membership keepalive refresh.
+  std::size_t refresh_records = 64;
+  int rumor_forwards = 4;               // times a node forwards a rumor
+  SimDuration detection_delay_min = 500 * kMillisecond;
+  SimDuration detection_delay_max = 2 * kSecond;
+  std::size_t churn_observers = 3;      // nodes that notice a join/leave
+  bool seed_full_membership = true;     // OneHop-style complete initial view
+};
+
+class GossipMembership {
+ public:
+  GossipMembership(sim::Simulator& simulator, net::Demux& demux,
+                   churn::ChurnModel& churn_model, GossipConfig config,
+                   Rng rng);
+  GossipMembership(const GossipMembership&) = delete;
+  GossipMembership& operator=(const GossipMembership&) = delete;
+
+  /// Seeds caches, subscribes to churn and starts the per-node gossip
+  /// tasks (with random phase so rounds don't align).
+  void start();
+
+  NodeCache& cache(NodeId node) { return caches_[node]; }
+  const NodeCache& cache(NodeId node) const { return caches_[node]; }
+
+  /// The node's own uptime (what it would report in its packets).
+  SimDuration own_uptime(NodeId node) const;
+
+  std::size_t num_nodes() const { return caches_.size(); }
+
+  /// Fraction of (live observer, subject) pairs whose alive/dead belief
+  /// matches ground truth — dissemination quality metric used in tests.
+  double belief_accuracy() const;
+
+  std::uint64_t gossip_messages_sent() const { return messages_sent_; }
+  std::uint64_t gossip_bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Rumor {
+    NodeId subject;
+    int remaining;
+  };
+
+  void on_churn(NodeId node, bool up, SimTime when);
+  void gossip_tick(NodeId node);
+  void handle_message(NodeId from, NodeId to, ByteView payload);
+  void enqueue_rumor(NodeId owner, NodeId subject);
+  void send_records(NodeId from, NodeId to, std::uint8_t kind,
+                    const std::vector<NodeId>& subjects);
+  std::vector<NodeId> pick_gossip_targets(NodeId node, std::size_t count);
+
+  sim::Simulator& simulator_;
+  net::Demux& demux_;
+  churn::ChurnModel& churn_;
+  GossipConfig config_;
+  Rng rng_;
+
+  std::vector<NodeCache> caches_;
+  std::vector<std::deque<Rumor>> rumor_queues_;
+  std::vector<std::unordered_set<NodeId>> rumor_members_;  // dedupe
+  std::vector<NodeId> refresh_cursors_;  // round-robin anti-entropy sweep
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  bool started_ = false;
+};
+
+// --- Wire helpers shared with the OneHop variant ------------------------------
+
+/// Serialized liveness record: subject(4) flags(1) dt_alive(8) dt_since(8).
+constexpr std::size_t kRecordWireSize = 21;
+
+void encode_record(Bytes& out, NodeId subject, const LivenessInfo& info);
+
+struct DecodedRecord {
+  NodeId subject;
+  LivenessInfo info;
+};
+
+/// Decodes `count` records from `in` starting at `offset`; returns false on
+/// truncation.
+bool decode_records(ByteView in, std::size_t offset, std::size_t count,
+                    std::vector<DecodedRecord>& out);
+
+}  // namespace p2panon::membership

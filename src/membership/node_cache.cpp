@@ -1,0 +1,138 @@
+#include "membership/node_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2panon::membership {
+
+NodeCache::NodeCache(std::size_t num_nodes) : entries_(num_nodes) {
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    entries_[i].node = static_cast<NodeId>(i);
+  }
+}
+
+void NodeCache::heard_directly(NodeId node, SimDuration dt_alive,
+                               SimTime now) {
+  Entry& e = entries_.at(node);
+  if (!e.known) ++known_count_;
+  e.known = true;
+  e.alive = true;
+  e.dt_alive = dt_alive;
+  e.dt_since = 0;
+  e.t_last = now;
+}
+
+void NodeCache::heard_left_directly(NodeId node, SimTime now) {
+  Entry& e = entries_.at(node);
+  if (!e.known) ++known_count_;
+  e.known = true;
+  e.alive = false;
+  e.dt_alive = 0;
+  e.dt_since = 0;
+  e.t_last = now;
+}
+
+bool NodeCache::merge_indirect(NodeId node, const LivenessInfo& info,
+                               SimTime now) {
+  Entry& e = entries_.at(node);
+  if (!e.known) {
+    ++known_count_;
+    e.known = true;
+    e.alive = info.alive;
+    e.dt_alive = info.dt_alive;
+    e.dt_since = info.dt_since;
+    e.t_last = now;
+    return true;
+  }
+  // Effective staleness of what we already have.
+  const SimDuration current_since = e.dt_since + (now - e.t_last);
+  if (info.dt_since < current_since) {
+    e.alive = info.alive;
+    e.dt_alive = info.dt_alive;
+    e.dt_since = info.dt_since;
+    e.t_last = now;
+    return true;
+  }
+  return false;
+}
+
+double NodeCache::predictor(NodeId node, SimTime now) const {
+  const Entry& e = entries_.at(node);
+  if (!e.known || !e.alive) return 0.0;
+  return liveness_predictor(e.dt_alive, e.dt_since, e.t_last, now);
+}
+
+std::optional<LivenessInfo> NodeCache::observation(NodeId node,
+                                                   SimTime now) const {
+  const Entry& e = entries_.at(node);
+  if (!e.known) return std::nullopt;
+  LivenessInfo info;
+  info.alive = e.alive;
+  info.dt_alive = e.dt_alive;
+  info.dt_since = e.dt_since + (now - e.t_last);
+  return info;
+}
+
+const NodeCache::Entry* NodeCache::find(NodeId node) const {
+  if (node >= entries_.size()) return nullptr;
+  const Entry& e = entries_[node];
+  return e.known ? &e : nullptr;
+}
+
+std::vector<NodeId> NodeCache::known_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(known_count_);
+  for (const Entry& e : entries_) {
+    if (e.known) out.push_back(e.node);
+  }
+  return out;
+}
+
+std::vector<NodeId> NodeCache::sample_known(
+    std::size_t count, Rng& rng,
+    const std::unordered_set<NodeId>& exclude) const {
+  std::vector<NodeId> pool;
+  pool.reserve(known_count_);
+  for (const Entry& e : entries_) {
+    if (e.known && exclude.count(e.node) == 0) pool.push_back(e.node);
+  }
+  if (pool.size() < count) return {};
+  const auto picks = rng.sample_without_replacement(pool.size(), count);
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (auto i : picks) out.push_back(pool[i]);
+  return out;
+}
+
+std::vector<NodeId> NodeCache::top_by_predictor(
+    std::size_t count, SimTime now,
+    const std::unordered_set<NodeId>& exclude) const {
+  std::vector<std::pair<double, NodeId>> scored;
+  scored.reserve(known_count_);
+  for (const Entry& e : entries_) {
+    if (!e.known || exclude.count(e.node) > 0) continue;
+    scored.emplace_back(predictor(e.node, now), e.node);
+  }
+  if (scored.size() < count) return {};
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<long>(count), scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;  // deterministic ties
+                    });
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+void NodeCache::clear() {
+  for (Entry& e : entries_) {
+    const NodeId id = e.node;
+    e = Entry{};
+    e.node = id;
+  }
+  known_count_ = 0;
+}
+
+}  // namespace p2panon::membership

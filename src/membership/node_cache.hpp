@@ -1,0 +1,87 @@
+// Per-node membership cache (paper §4.8, §4.9 "Learning Node Liveness
+// Information").
+//
+// Each node seeking anonymity maintains one of these. An entry stores the
+// subject's last-known liveness observation (dt_alive, dt_since) and the
+// local timestamp t_last at which it was recorded. Merge rules follow the
+// paper exactly:
+//   - heard directly: overwrite dt_alive, reset dt_since to 0, t_last = now;
+//   - heard indirectly: accept iff the received dt_since is smaller than
+//     the entry's *effective* dt_since (stored dt_since + local staleness),
+//     i.e. the received observation is fresher.
+// Leave observations travel the same way with alive = false.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "membership/liveness.hpp"
+
+namespace p2panon::membership {
+
+class NodeCache {
+ public:
+  struct Entry {
+    NodeId node = kInvalidNode;
+    bool known = false;
+    bool alive = false;       // last observed state
+    SimDuration dt_alive = 0; // subject uptime at observation
+    SimDuration dt_since = 0; // observation age when recorded
+    SimTime t_last = 0;       // local time the record was updated
+  };
+
+  explicit NodeCache(std::size_t num_nodes);
+
+  /// Direct observation: we exchanged a packet with `node` right now and it
+  /// reported `dt_alive` uptime.
+  void heard_directly(NodeId node, SimDuration dt_alive, SimTime now);
+
+  /// Direct observation of a leave (e.g. our keepalive to the node timed
+  /// out, or it announced departure).
+  void heard_left_directly(NodeId node, SimTime now);
+
+  /// Indirect observation via gossip. Returns true if the record was
+  /// accepted (fresher than what we had).
+  bool merge_indirect(NodeId node, const LivenessInfo& info, SimTime now);
+
+  /// Eq. 3 predictor for a cached node; 0 for unknown or believed-dead.
+  double predictor(NodeId node, SimTime now) const;
+
+  /// The observation we would gossip about `node` right now: stored record
+  /// with local staleness folded into dt_since. nullopt when unknown.
+  std::optional<LivenessInfo> observation(NodeId node, SimTime now) const;
+
+  const Entry* find(NodeId node) const;
+  std::size_t known_count() const { return known_count_; }
+  std::size_t capacity() const { return entries_.size(); }
+
+  /// All known node ids (regardless of believed state).
+  std::vector<NodeId> known_nodes() const;
+
+  /// `count` distinct nodes chosen uniformly from all known nodes,
+  /// skipping `exclude` — the paper's *random* mix choice (no liveness
+  /// consultation at all).
+  std::vector<NodeId> sample_known(std::size_t count, Rng& rng,
+                                   const std::unordered_set<NodeId>& exclude)
+      const;
+
+  /// `count` nodes with the highest Eq. 3 predictor, skipping `exclude` —
+  /// the paper's *biased* mix choice.
+  std::vector<NodeId> top_by_predictor(
+      std::size_t count, SimTime now,
+      const std::unordered_set<NodeId>& exclude) const;
+
+  /// Drops everything (tests / node reset).
+  void clear();
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t known_count_ = 0;
+};
+
+}  // namespace p2panon::membership

@@ -1,0 +1,286 @@
+#include "membership/onehop.hpp"
+
+#include <algorithm>
+
+#include "membership/gossip.hpp"  // record wire helpers
+
+namespace p2panon::membership {
+
+namespace {
+constexpr std::uint8_t kKindEventToLeader = 1;     // observer -> own leader
+constexpr std::uint8_t kKindEventInterLeader = 2;  // leader -> other leaders
+constexpr std::uint8_t kKindKeepalive = 3;         // leader -> unit members
+}  // namespace
+
+OneHopMembership::OneHopMembership(sim::Simulator& simulator,
+                                   net::Demux& demux,
+                                   churn::ChurnModel& churn_model,
+                                   OneHopConfig config, Rng rng)
+    : simulator_(simulator),
+      demux_(demux),
+      churn_(churn_model),
+      config_(config),
+      rng_(rng) {
+  const std::size_t n = churn_.num_nodes();
+  config_.units = std::max<std::size_t>(1, std::min(config_.units, n));
+  caches_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) caches_.emplace_back(n);
+  pending_unit_events_.resize(config_.units);
+}
+
+std::size_t OneHopMembership::unit_of(NodeId node) const {
+  const std::size_t n = caches_.size();
+  const std::size_t unit_size = (n + config_.units - 1) / config_.units;
+  return std::min<std::size_t>(node / unit_size, config_.units - 1);
+}
+
+NodeId OneHopMembership::unit_leader(std::size_t unit) const {
+  const std::size_t n = caches_.size();
+  const std::size_t unit_size = (n + config_.units - 1) / config_.units;
+  const std::size_t begin = unit * unit_size;
+  const std::size_t end = std::min(n, begin + unit_size);
+  for (std::size_t node = begin; node < end; ++node) {
+    if (churn_.is_up(static_cast<NodeId>(node))) {
+      return static_cast<NodeId>(node);
+    }
+  }
+  return kInvalidNode;
+}
+
+void OneHopMembership::start() {
+  if (config_.seed_full_membership) {
+    const SimTime now = simulator_.now();
+    const std::size_t n = caches_.size();
+    for (NodeId owner = 0; owner < n; ++owner) {
+      for (NodeId subject = 0; subject < n; ++subject) {
+        if (subject == owner) continue;
+        if (churn_.is_up(subject)) {
+          caches_[owner].heard_directly(subject, 0, now);
+        } else {
+          caches_[owner].heard_left_directly(subject, now);
+        }
+      }
+    }
+  }
+
+  demux_.set_handler(net::Channel::kGossip,
+                     [this](NodeId from, NodeId to, ByteView payload) {
+                       handle_message(from, to, payload);
+                     });
+
+  churn_.subscribe([this](NodeId node, bool up, SimTime when) {
+    on_churn(node, up, when);
+  });
+
+  keepalive_tasks_.reserve(config_.units);
+  for (std::size_t unit = 0; unit < config_.units; ++unit) {
+    auto task = std::make_unique<sim::PeriodicTask>(
+        simulator_, config_.keepalive_interval,
+        [this, unit] { keepalive_tick(unit); });
+    task->start_at(simulator_.now() +
+                   static_cast<SimDuration>(rng_.next_below(
+                       static_cast<std::uint64_t>(config_.keepalive_interval))));
+    keepalive_tasks_.push_back(std::move(task));
+  }
+}
+
+SimDuration OneHopMembership::own_uptime(NodeId node) const {
+  return from_seconds(churn_.alive_seconds(node, simulator_.now()));
+}
+
+void OneHopMembership::send_snapshot(NodeId leader, NodeId joiner) {
+  const SimTime now = simulator_.now();
+  const auto known = caches_[leader].known_nodes();
+  Bytes msg;
+  std::vector<std::pair<NodeId, LivenessInfo>> records;
+  for (NodeId subject : known) {
+    if (subject == joiner) continue;
+    const auto obs = caches_[leader].observation(subject, now);
+    if (obs.has_value()) records.emplace_back(subject, *obs);
+    if (records.size() == 512) {
+      // Chunk very large snapshots.
+      msg.clear();
+      msg.push_back(kKindKeepalive);
+      put_u16be(msg, static_cast<std::uint16_t>(records.size()));
+      for (const auto& [s, info] : records) encode_record(msg, s, info);
+      demux_.send(net::Channel::kGossip, leader, joiner, msg);
+      ++messages_sent_;
+      bytes_sent_ += msg.size();
+      records.clear();
+    }
+  }
+  if (!records.empty()) {
+    msg.clear();
+    msg.push_back(kKindKeepalive);
+    put_u16be(msg, static_cast<std::uint16_t>(records.size()));
+    for (const auto& [s, info] : records) encode_record(msg, s, info);
+    demux_.send(net::Channel::kGossip, leader, joiner, msg);
+    ++messages_sent_;
+    bytes_sent_ += msg.size();
+  }
+}
+
+void OneHopMembership::send_event(NodeId from, NodeId to, std::uint8_t kind,
+                                  NodeId subject, const LivenessInfo& info) {
+  Bytes msg;
+  msg.reserve(1 + kRecordWireSize);
+  msg.push_back(kind);
+  put_u16be(msg, 1);
+  encode_record(msg, subject, info);
+  demux_.send(net::Channel::kGossip, from, to, msg);
+  ++messages_sent_;
+  bytes_sent_ += msg.size();
+}
+
+void OneHopMembership::on_churn(NodeId node, bool up, SimTime when) {
+  (void)when;
+  if (up) {
+    // The joiner reports to its unit leader directly.
+    deliver_event(node, node);
+    return;
+  }
+  // A leave is noticed by the unit leader's keepalive machinery after a
+  // short detection delay.
+  const SimDuration delay =
+      config_.detection_delay_min +
+      static_cast<SimDuration>(rng_.next_below(static_cast<std::uint64_t>(
+          config_.detection_delay_max - config_.detection_delay_min + 1)));
+  simulator_.schedule_after(delay, [this, node] {
+    if (churn_.is_up(node)) return;
+    const NodeId leader = unit_leader(unit_of(node));
+    if (leader == kInvalidNode) return;
+    caches_[leader].heard_left_directly(node, simulator_.now());
+    deliver_event(leader, node);
+  });
+}
+
+void OneHopMembership::deliver_event(NodeId observer, NodeId subject) {
+  const NodeId leader = unit_leader(unit_of(observer));
+  if (leader == kInvalidNode) return;
+  LivenessInfo info;
+  if (observer == subject) {
+    info.alive = true;
+    info.dt_alive = own_uptime(subject);
+    info.dt_since = 0;
+  } else {
+    const auto obs = caches_[observer].observation(subject, simulator_.now());
+    if (!obs.has_value()) return;
+    info = *obs;
+  }
+  if (leader == observer) {
+    // Already at the leader: fan out to other unit leaders.
+    for (std::size_t unit = 0; unit < config_.units; ++unit) {
+      const NodeId other = unit_leader(unit);
+      if (other == kInvalidNode || other == leader) continue;
+      send_event(leader, other, kKindEventInterLeader, subject, info);
+    }
+    pending_unit_events_[unit_of(leader)].push_back(subject);
+  } else {
+    send_event(observer, leader, kKindEventToLeader, subject, info);
+  }
+}
+
+void OneHopMembership::keepalive_tick(std::size_t unit) {
+  const NodeId leader = unit_leader(unit);
+  if (leader == kInvalidNode) return;
+  auto& pending = pending_unit_events_[unit];
+  if (pending.empty()) return;
+  std::sort(pending.begin(), pending.end());
+  pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
+
+  const SimTime now = simulator_.now();
+  const std::size_t n = caches_.size();
+  const std::size_t unit_size = (n + config_.units - 1) / config_.units;
+  const std::size_t begin = unit * unit_size;
+  const std::size_t end = std::min(n, begin + unit_size);
+
+  Bytes msg;
+  msg.push_back(kKindKeepalive);
+  std::vector<std::pair<NodeId, LivenessInfo>> records;
+  records.reserve(pending.size() + 1);
+  LivenessInfo own;
+  own.alive = true;
+  own.dt_alive = own_uptime(leader);
+  own.dt_since = 0;
+  records.emplace_back(leader, own);
+  for (NodeId subject : pending) {
+    const auto obs = caches_[leader].observation(subject, now);
+    if (obs.has_value()) records.emplace_back(subject, *obs);
+  }
+  put_u16be(msg, static_cast<std::uint16_t>(records.size()));
+  for (const auto& [subject, info] : records) {
+    encode_record(msg, subject, info);
+  }
+
+  for (std::size_t member = begin; member < end; ++member) {
+    const NodeId id = static_cast<NodeId>(member);
+    if (id == leader || !churn_.is_up(id)) continue;
+    demux_.send(net::Channel::kGossip, leader, id, msg);
+    ++messages_sent_;
+    bytes_sent_ += msg.size();
+  }
+  pending.clear();
+}
+
+void OneHopMembership::handle_message(NodeId from, NodeId to,
+                                      ByteView payload) {
+  if (!churn_.is_up(to) || payload.size() < 3) return;
+  const std::uint8_t kind = payload[0];
+  const std::size_t count = get_u16be(payload, 1);
+  std::vector<DecodedRecord> records;
+  if (!decode_records(payload, 3, count, records)) return;
+  const SimTime now = simulator_.now();
+
+  NodeCache& cache = caches_[to];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    if (rec.subject == to) continue;
+    if (i == 0 && rec.subject == from && rec.info.dt_since == 0) {
+      cache.heard_directly(from, rec.info.dt_alive, now);
+    } else {
+      cache.merge_indirect(rec.subject, rec.info, now);
+    }
+    if (kind == kKindEventToLeader || kind == kKindEventInterLeader) {
+      // Leaders queue accepted events for their unit keepalive; an event
+      // arriving from another unit's observer also fans out inter-leader
+      // when we are the first leader to see it.
+      pending_unit_events_[unit_of(to)].push_back(rec.subject);
+      if (kind == kKindEventToLeader) {
+        const auto obs = cache.observation(rec.subject, now);
+        if (obs.has_value()) {
+          for (std::size_t unit = 0; unit < config_.units; ++unit) {
+            const NodeId other = unit_leader(unit);
+            if (other == kInvalidNode || other == to) continue;
+            send_event(to, other, kKindEventInterLeader, rec.subject, *obs);
+          }
+        }
+        // A join announcement (the subject reporting itself): hand the
+        // joiner a fresh membership snapshot, as OneHop's join protocol
+        // downloads the membership table from a neighbor.
+        if (rec.subject == from && rec.info.alive) {
+          send_snapshot(to, from);
+        }
+      }
+    }
+  }
+}
+
+double OneHopMembership::belief_accuracy() const {
+  const std::size_t n = caches_.size();
+  std::uint64_t correct = 0;
+  std::uint64_t total = 0;
+  for (NodeId owner = 0; owner < n; ++owner) {
+    if (!churn_.is_up(owner)) continue;
+    for (NodeId subject = 0; subject < n; ++subject) {
+      if (subject == owner) continue;
+      const auto* entry = caches_[owner].find(subject);
+      const bool believed_alive = entry != nullptr && entry->alive;
+      ++total;
+      if (believed_alive == churn_.is_up(subject)) ++correct;
+    }
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace p2panon::membership

@@ -1,0 +1,91 @@
+// OneHop-style hierarchical membership dissemination (Gupta, Liskov,
+// Rodrigues, NSDI'04), simplified to the level the paper depends on.
+//
+// The id space is partitioned into `units`. Each unit has a leader (the
+// live node with the lowest id in the unit). Membership events flow:
+//
+//   observer --(event)--> own unit leader --(event)--> all unit leaders
+//        unit leader --(periodic keepalive batch)--> unit members
+//
+// which is the paper's "hierarchical gossip protocol (among slice leaders,
+// unit leaders and unit members)" collapsed to one leader level. Liveness
+// information (dt_alive / dt_since) is piggybacked on every hop, exactly as
+// the paper's augmentation of OneHop prescribes. Leader election is
+// resolved from churn ground truth when a leader dies (a simulator shortcut
+// for OneHop's in-band leader recovery; see DESIGN.md substitutions).
+//
+// GossipMembership is the default provider; this variant exists to show
+// the protocols are agnostic to the dissemination substrate and to compare
+// dissemination quality (tests/membership_test.cpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "churn/churn_model.hpp"
+#include "common/rng.hpp"
+#include "membership/node_cache.hpp"
+#include "net/demux.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::membership {
+
+struct OneHopConfig {
+  std::size_t units = 32;                        // id-space partitions
+  SimDuration keepalive_interval = 2 * kSecond;  // leader -> members batch
+  SimDuration detection_delay_min = 500 * kMillisecond;
+  SimDuration detection_delay_max = 2 * kSecond;
+  bool seed_full_membership = true;
+};
+
+class OneHopMembership {
+ public:
+  OneHopMembership(sim::Simulator& simulator, net::Demux& demux,
+                   churn::ChurnModel& churn_model, OneHopConfig config,
+                   Rng rng);
+  OneHopMembership(const OneHopMembership&) = delete;
+  OneHopMembership& operator=(const OneHopMembership&) = delete;
+
+  void start();
+
+  NodeCache& cache(NodeId node) { return caches_[node]; }
+  const NodeCache& cache(NodeId node) const { return caches_[node]; }
+
+  SimDuration own_uptime(NodeId node) const;
+
+  /// Current leader of a unit (live node with lowest id), kInvalidNode if
+  /// the whole unit is down.
+  NodeId unit_leader(std::size_t unit) const;
+  std::size_t unit_of(NodeId node) const;
+  std::size_t num_units() const { return config_.units; }
+
+  double belief_accuracy() const;
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void on_churn(NodeId node, bool up, SimTime when);
+  void deliver_event(NodeId observer, NodeId subject);
+  void handle_message(NodeId from, NodeId to, ByteView payload);
+  void keepalive_tick(std::size_t unit);
+  void send_event(NodeId from, NodeId to, std::uint8_t kind, NodeId subject,
+                  const LivenessInfo& info);
+  void send_snapshot(NodeId leader, NodeId joiner);
+
+  sim::Simulator& simulator_;
+  net::Demux& demux_;
+  churn::ChurnModel& churn_;
+  OneHopConfig config_;
+  Rng rng_;
+
+  std::vector<NodeCache> caches_;
+  // Events a leader has accepted and not yet pushed to its unit members.
+  std::vector<std::vector<NodeId>> pending_unit_events_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> keepalive_tasks_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace p2panon::membership

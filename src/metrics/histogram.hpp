@@ -1,0 +1,40 @@
+// Fixed-bucket histogram with percentile queries (linear interpolation
+// within the bucket). Values beyond the range land in saturating edge
+// buckets so the total count is always exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2panon::metrics {
+
+class Histogram {
+ public:
+  /// Buckets of equal width over [lo, hi); `buckets` >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t count() const { return count_; }
+
+  /// p in [0, 1]; empirical quantile with within-bucket interpolation.
+  double percentile(double p) const;
+  double median() const { return percentile(0.5); }
+
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::size_t num_buckets() const { return counts_.size(); }
+
+  /// ASCII rendering, `width` columns for the largest bucket.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace p2panon::metrics

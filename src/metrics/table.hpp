@@ -1,0 +1,44 @@
+// Paper-style table and series printers. Bench binaries use these so their
+// stdout mirrors the rows/series of the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace p2panon::metrics {
+
+/// Fixed-column text table: header row plus data rows, auto-sized columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::string render() const;
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// (x, y) series printer for figure benches: one "x<TAB>y1<TAB>y2..." line
+/// per x, with a labelled header — directly gnuplot-able.
+class Series {
+ public:
+  explicit Series(std::string x_label, std::vector<std::string> y_labels);
+
+  void add(double x, std::vector<double> ys);
+  std::string render(int digits = 4) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> y_labels_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+/// Formats the paper's "[random, biased]" pair cells.
+std::string pair_cell(double random_value, double biased_value, int digits = 0);
+
+}  // namespace p2panon::metrics

@@ -1,0 +1,68 @@
+// Simulator-backed transport.
+//
+// send() schedules a delivery event after the LatencyMatrix one-way delay.
+// A message is dropped when the sender is already dead at send time, or the
+// receiver is dead at *delivery* time — so a node that dies while a message
+// is in flight loses it, exactly the failure mode churn induces.
+//
+// Link-failure knobs (the paper's goals cover "node/link failures"; the
+// evaluation only exercises node churn, so these default off and leave
+// behavior and RNG streams untouched at 0):
+//   - loss_rate: each datagram is dropped i.i.d. with this probability;
+//   - jitter_fraction: per-packet multiplicative latency noise, uniform in
+//     [1 - j, 1 + j] around the matrix delay.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::net {
+
+struct LinkFaultConfig {
+  double loss_rate = 0.0;        // in [0, 1)
+  double jitter_fraction = 0.0;  // in [0, 1)
+  std::uint64_t seed = 0x10552;  // stream for loss/jitter draws
+};
+
+class SimTransport final : public Transport {
+ public:
+  using LivenessOracle = std::function<bool(NodeId)>;
+
+  /// `liveness` is consulted at send and delivery time; pass the churn
+  /// model's is_up. `per_hop_overhead` bytes are added to each datagram's
+  /// bandwidth accounting (packet headers); 0 reproduces the paper's
+  /// payload-only numbers.
+  SimTransport(sim::Simulator& simulator, const LatencyMatrix& latency,
+               LivenessOracle liveness, std::size_t per_hop_overhead = 0,
+               LinkFaultConfig faults = {});
+
+  void send(NodeId from, NodeId to, Bytes payload) override;
+  void register_handler(NodeId node, Handler handler) override;
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+  /// Resets the bandwidth counters (e.g. after warm-up).
+  void reset_counters();
+
+ private:
+  sim::Simulator& simulator_;
+  const LatencyMatrix& latency_;
+  LivenessOracle liveness_;
+  std::size_t per_hop_overhead_;
+  LinkFaultConfig faults_;
+  Rng fault_rng_;
+  std::vector<Handler> handlers_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace p2panon::net

@@ -1,0 +1,45 @@
+// Transport abstraction the protocol layer is written against.
+//
+// A Transport delivers opaque datagrams between node ids. Delivery is
+// best-effort: messages to (or from) dead nodes vanish, like UDP to a host
+// that left the network. Two implementations exist:
+//   - SimTransport: virtual-time delivery through the simulator, with delays
+//     from a LatencyMatrix and liveness from the churn oracle.
+//   - LoopbackTransport: immediate in-process delivery for examples and
+//     protocol unit tests that need no simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace p2panon::net {
+
+class Transport {
+ public:
+  /// Invoked at the destination when a datagram arrives.
+  using Handler =
+      std::function<void(NodeId from, NodeId to, const Bytes& payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends a datagram. Never fails synchronously; undeliverable messages
+  /// are silently dropped (the anonymity layer detects loss end-to-end).
+  virtual void send(NodeId from, NodeId to, Bytes payload) = 0;
+
+  /// Installs the receive handler for a node (one per node; later
+  /// registrations replace earlier ones).
+  virtual void register_handler(NodeId node, Handler handler) = 0;
+
+  /// Cumulative payload bytes handed to send() (bandwidth accounting; each
+  /// relay hop counts separately, which matches the paper's per-hop
+  /// bandwidth cost).
+  virtual std::uint64_t bytes_sent() const = 0;
+
+  /// Cumulative datagrams handed to send().
+  virtual std::uint64_t messages_sent() const = 0;
+};
+
+}  // namespace p2panon::net

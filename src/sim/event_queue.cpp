@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2panon::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Erasing from live_ turns the heap entry into a tombstone; it is skipped
+  // when it reaches the top.
+  return live_.erase(id) > 0;
+}
+
+void EventQueue::drop_tombstone_head() {
+  while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_tombstone_head();
+  if (heap_.empty()) return kNeverTime;
+  return heap_.top().time;
+}
+
+EventQueue::Ready EventQueue::pop() {
+  drop_tombstone_head();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop on empty queue");
+  }
+  // priority_queue::top() returns const&; copy the entry out (the callback
+  // is a std::function whose copy is cheap relative to event dispatch) and
+  // then discard the heap slot.
+  Entry top = heap_.top();
+  heap_.pop();
+  live_.erase(top.id);
+  return Ready{top.time, top.id, std::move(top.fn)};
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  live_.clear();
+}
+
+}  // namespace p2panon::sim

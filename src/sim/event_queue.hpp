@@ -1,0 +1,80 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap keyed on (time, sequence number); the sequence number
+// breaks ties so same-time events fire in scheduling order, which keeps runs
+// deterministic. Cancellation is lazy: a cancelled id leaves a tombstone in
+// the heap that is dropped when it surfaces, so cancel is O(1) and pop stays
+// O(log n) amortized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace p2panon::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when`. Returns a handle usable with
+  /// cancel(). Events at equal times run in insertion order.
+  EventId schedule(SimTime when, Callback fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending;
+  /// cancelling an already-fired or already-cancelled id is a no-op.
+  bool cancel(EventId id);
+
+  /// True if the id refers to an event that has neither fired nor been
+  /// cancelled.
+  bool pending(EventId id) const { return live_.count(id) > 0; }
+
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest pending event; kNeverTime when empty.
+  SimTime next_time();
+
+  /// Removes and returns the earliest pending event.
+  /// Precondition: !empty().
+  struct Ready {
+    SimTime time;
+    EventId id;
+    Callback fn;
+  };
+  Ready pop();
+
+  /// Drops all pending events.
+  void clear();
+
+  /// Total events ever scheduled (diagnostics).
+  std::uint64_t scheduled_total() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_tombstone_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;  // scheduled, not yet fired or cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace p2panon::sim

@@ -1,0 +1,89 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2panon::sim {
+
+EventId Simulator::schedule_at(SimTime when, EventQueue::Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at in the past");
+  }
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimDuration delay,
+                                  EventQueue::Callback fn) {
+  if (delay < 0) delay = 0;
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.next_time() == kNeverTime) return false;
+  auto ready = queue_.pop();
+  now_ = ready.time;
+  ++executed_;
+  ready.fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    const SimTime next = queue_.next_time();
+    if (next == kNeverTime || next > deadline) break;
+    step();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+std::size_t Simulator::run_steps(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (n < max_events && !stopped_ && step()) ++n;
+  return n;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = 0;
+  stopped_ = false;
+  executed_ = 0;
+}
+
+PeriodicTask::PeriodicTask(Simulator& simulator, SimDuration interval,
+                           std::function<void()> fn)
+    : simulator_(simulator), interval_(interval), fn_(std::move(fn)) {}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+void PeriodicTask::start() {
+  cancel();
+  event_ = simulator_.schedule_after(interval_, [this] { fire(); });
+}
+
+void PeriodicTask::start_at(SimTime when) {
+  cancel();
+  event_ = simulator_.schedule_at(when, [this] { fire(); });
+}
+
+void PeriodicTask::cancel() {
+  if (event_ != kInvalidEventId) {
+    simulator_.cancel(event_);
+    event_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTask::fire() {
+  // Reschedule before running so the callback can cancel() the series.
+  event_ = simulator_.schedule_after(interval_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace p2panon::sim

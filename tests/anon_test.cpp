@@ -1,0 +1,825 @@
+// Tests for path state, mix selection, allocation, and end-to-end routing
+// through router + session on a simulated network (real crypto).
+#include <gtest/gtest.h>
+
+#include "anon/allocation.hpp"
+#include "anon/cover_traffic.hpp"
+#include "anon/mix_selector.hpp"
+#include "anon/path_state.hpp"
+#include "anon/protocols.hpp"
+#include "anon/router.hpp"
+#include "anon/session.hpp"
+#include "membership/node_cache.hpp"
+#include "net/demux.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::anon {
+namespace {
+
+// --- path state table -------------------------------------------------------------
+
+TEST(PathStateTest, InstallAndLookupBothDirections) {
+  PathStateTable table((Rng(1)));
+  RelayEntry entry;
+  entry.upstream = 3;
+  entry.upstream_sid = 111;
+  entry.downstream = 5;
+  const StreamId down = table.install(entry, 0, kMinute);
+  ASSERT_NE(table.find_by_upstream(111), nullptr);
+  ASSERT_NE(table.find_by_downstream(down), nullptr);
+  EXPECT_EQ(table.find_by_downstream(down)->upstream_sid, 111u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PathStateTest, TtlExpiryReclaimsState) {
+  PathStateTable table((Rng(2)));
+  RelayEntry entry;
+  entry.upstream_sid = 1;
+  table.install(entry, 0, 10 * kSecond);
+  RelayEntry entry2;
+  entry2.upstream_sid = 2;
+  table.install(entry2, 0, 60 * kSecond);
+  EXPECT_EQ(table.expire(30 * kSecond), 1u);
+  EXPECT_EQ(table.find_by_upstream(1), nullptr);
+  ASSERT_NE(table.find_by_upstream(2), nullptr);
+}
+
+TEST(PathStateTest, RefreshExtendsTtl) {
+  PathStateTable table((Rng(3)));
+  RelayEntry entry;
+  entry.upstream_sid = 1;
+  table.install(entry, 0, 10 * kSecond);
+  RelayEntry* installed = table.find_by_upstream(1);
+  table.refresh(*installed, 8 * kSecond, 10 * kSecond);
+  EXPECT_EQ(table.expire(15 * kSecond), 0u);  // alive until 18 s
+  EXPECT_EQ(table.expire(20 * kSecond), 1u);
+}
+
+TEST(PathStateTest, ReleaseRemovesBothIndices) {
+  PathStateTable table((Rng(4)));
+  RelayEntry entry;
+  entry.upstream_sid = 42;
+  const StreamId down = table.install(entry, 0, kMinute);
+  EXPECT_TRUE(table.release_by_upstream(42));
+  EXPECT_EQ(table.find_by_upstream(42), nullptr);
+  EXPECT_EQ(table.find_by_downstream(down), nullptr);
+  EXPECT_FALSE(table.release_by_upstream(42));
+}
+
+TEST(PathStateTest, TerminalEntryHasNoDownstream) {
+  PathStateTable table((Rng(5)));
+  RelayEntry entry;
+  entry.upstream = 9;
+  entry.upstream_sid = 7;
+  table.install_terminal(entry, 0, kMinute);
+  const RelayEntry* installed = table.find_by_upstream(7);
+  ASSERT_NE(installed, nullptr);
+  EXPECT_TRUE(installed->at_responder);
+  EXPECT_EQ(installed->downstream, kInvalidNode);
+}
+
+// --- mix selector -------------------------------------------------------------------
+
+TEST(MixSelectorTest, PathsAreNodeDisjoint) {
+  membership::NodeCache cache(64);
+  for (NodeId node = 0; node < 64; ++node) cache.heard_directly(node, 0, 0);
+  MixSelector selector(MixChoice::kRandom, Rng(6));
+  const auto paths = selector.select_paths(cache, 4, 3, 0, 0, 1);
+  ASSERT_TRUE(paths.has_value());
+  std::set<NodeId> seen;
+  for (const auto& path : *paths) {
+    ASSERT_EQ(path.size(), 3u);
+    for (NodeId relay : path) {
+      EXPECT_NE(relay, 0u);  // initiator excluded
+      EXPECT_NE(relay, 1u);  // responder excluded
+      EXPECT_TRUE(seen.insert(relay).second) << "relay reused";
+    }
+  }
+}
+
+TEST(MixSelectorTest, BiasedPicksHighestPredictors) {
+  membership::NodeCache cache(16);
+  const SimTime now = 1000 * kSecond;
+  // Nodes 2..5 have long uptimes; others short.
+  for (NodeId node = 2; node < 16; ++node) {
+    const SimDuration uptime =
+        (node <= 5) ? 900 * kSecond : 5 * kSecond;
+    cache.heard_directly(node, uptime, now - 10 * kSecond);
+  }
+  MixSelector selector(MixChoice::kBiased, Rng(7));
+  const auto paths = selector.select_paths(cache, 2, 2, now, 0, 1);
+  ASSERT_TRUE(paths.has_value());
+  std::set<NodeId> chosen;
+  for (const auto& path : *paths) {
+    for (NodeId relay : path) chosen.insert(relay);
+  }
+  EXPECT_EQ(chosen, (std::set<NodeId>{2, 3, 4, 5}));
+}
+
+TEST(MixSelectorTest, InsufficientNodesReturnsNullopt) {
+  membership::NodeCache cache(4);
+  cache.heard_directly(2, 0, 0);
+  cache.heard_directly(3, 0, 0);
+  MixSelector selector(MixChoice::kRandom, Rng(8));
+  EXPECT_FALSE(selector.select_paths(cache, 1, 3, 0, 0, 1).has_value());
+}
+
+TEST(MixSelectorTest, ExtraExcludeRespected) {
+  membership::NodeCache cache(8);
+  for (NodeId node = 0; node < 8; ++node) cache.heard_directly(node, 0, 0);
+  MixSelector selector(MixChoice::kRandom, Rng(9));
+  const auto paths =
+      selector.select_paths(cache, 1, 3, 0, 0, 1, {2, 3, 4});
+  ASSERT_TRUE(paths.has_value());
+  for (NodeId relay : (*paths)[0]) {
+    EXPECT_TRUE(relay >= 5);
+  }
+}
+
+// --- erasure params & allocation ------------------------------------------------------
+
+TEST(ErasureParamsTest, PaperParameterizations) {
+  const auto curmix = ErasureParams::curmix();
+  EXPECT_EQ(curmix.k, 1u);
+  EXPECT_EQ(curmix.min_paths(), 1u);
+
+  const auto simrep = ErasureParams::simrep(2);
+  EXPECT_EQ(simrep.k, 2u);
+  EXPECT_EQ(simrep.m, 1u);
+  EXPECT_EQ(simrep.min_paths(), 1u);  // any 1 of 2
+  EXPECT_DOUBLE_EQ(simrep.replication_factor(), 2.0);
+
+  const auto simera42 = ErasureParams::simera(4, 2);
+  EXPECT_EQ(simera42.m, 2u);
+  EXPECT_EQ(simera42.n, 4u);
+  EXPECT_EQ(simera42.min_paths(), 2u);           // k/r
+  EXPECT_EQ(simera42.tolerated_path_failures(), 2u);  // k(1 - 1/r)
+
+  const auto simera44 = ErasureParams::simera(4, 4);
+  EXPECT_EQ(simera44.m, 1u);
+  EXPECT_EQ(simera44.min_paths(), 1u);
+  EXPECT_EQ(simera44.tolerated_path_failures(), 3u);
+
+  EXPECT_THROW(ErasureParams::simera(5, 2), std::invalid_argument);
+}
+
+TEST(AllocationTest, EvenIsRoundRobin) {
+  ErasureParams params;
+  params.m = 2;
+  params.n = 8;
+  params.k = 4;
+  const auto alloc = allocate_even(params);
+  ASSERT_EQ(alloc.size(), 8u);
+  std::vector<int> per_path(4, 0);
+  for (std::size_t s = 0; s < alloc.size(); ++s) {
+    EXPECT_EQ(alloc[s], s % 4);
+    ++per_path[alloc[s]];
+  }
+  for (int count : per_path) EXPECT_EQ(count, 2);
+}
+
+TEST(AllocationTest, WeightedFavorsStablePathsButCaps) {
+  ErasureParams params;
+  params.m = 2;
+  params.n = 8;
+  params.k = 4;
+  const auto alloc = allocate_weighted(params, {0.9, 0.9, 0.1, 0.1}, 1);
+  std::vector<int> per_path(4, 0);
+  for (auto path : alloc) ++per_path[path];
+  // Stable paths get more, but never more than n/k + spread = 3.
+  EXPECT_GE(per_path[0], 2);
+  EXPECT_LE(per_path[0], 3);
+  EXPECT_GE(per_path[1], 2);
+  EXPECT_EQ(per_path[0] + per_path[1] + per_path[2] + per_path[3], 8);
+}
+
+TEST(AllocationTest, WeightedAllZeroScoresFallsBackToEven) {
+  ErasureParams params;
+  params.m = 2;
+  params.n = 8;
+  params.k = 4;
+  EXPECT_EQ(allocate_weighted(params, {0, 0, 0, 0}),
+            allocate_even(params));
+  EXPECT_THROW(allocate_weighted(params, {1.0}), std::invalid_argument);
+}
+
+TEST(AllocationTest, SegmentsDeliveredCounts) {
+  ErasureParams params;
+  params.m = 2;
+  params.n = 8;
+  params.k = 4;
+  const auto alloc = allocate_even(params);
+  EXPECT_EQ(segments_delivered(alloc, {true, true, true, true}), 8u);
+  EXPECT_EQ(segments_delivered(alloc, {true, false, false, false}), 2u);
+  EXPECT_EQ(segments_delivered(alloc, {false, false, false, false}), 0u);
+}
+
+// --- end-to-end routing fixture ---------------------------------------------------------
+
+struct RoutingFixture {
+  static constexpr std::size_t kNodes = 24;
+  sim::Simulator simulator;
+  net::LatencyMatrix latency = net::LatencyMatrix::synthetic(kNodes, Rng(20));
+  std::vector<bool> up = std::vector<bool>(kNodes, true);
+  net::SimTransport transport{simulator, latency,
+                              [this](NodeId n) { return up[n]; }};
+  net::Demux demux{transport, kNodes};
+  crypto::KeyDirectory directory;
+  RealOnionCodec onion;
+  std::unique_ptr<AnonRouter> router;
+  membership::NodeCache cache{kNodes};
+  Rng rng{21};
+
+  explicit RoutingFixture(RouterConfig config = {}) {
+    Rng key_rng(22);
+    auto keys = directory.provision(kNodes, key_rng);
+    router = std::make_unique<AnonRouter>(
+        simulator, demux, onion, directory, std::move(keys),
+        [this](NodeId n) { return up[n]; }, config, rng.fork());
+    router->start();
+    for (NodeId node = 0; node < kNodes; ++node) {
+      cache.heard_directly(node, 100 * kSecond, 0);
+    }
+  }
+
+  SessionConfig session_config(const ProtocolSpec& spec) {
+    SessionConfig base;
+    base.path_length = 3;
+    base.construct_timeout = 3 * kSecond;
+    base.ack_timeout = 3 * kSecond;
+    base.max_construct_attempts = 5;
+    return spec.session_config(base);
+  }
+};
+
+TEST(RouterSessionTest, CurMixDeliversEndToEnd) {
+  RoutingFixture fx;
+  Session session(*fx.router, fx.cache, 0, 1,
+                  fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom)),
+                  Rng(23));
+
+  ReceivedMessage received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received = msg; });
+
+  bool constructed = false;
+  session.construct([&](bool ok, std::size_t attempts) {
+    constructed = ok;
+    EXPECT_EQ(attempts, 1u);
+  });
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(constructed);
+  ASSERT_TRUE(session.ready());
+
+  const Bytes message = bytes_of("hello through the onion");
+  const MessageId id = session.send_message(message);
+  ASSERT_NE(id, 0u);
+  fx.simulator.run_until(20 * kSecond);
+
+  EXPECT_EQ(received.responder, 1u);
+  EXPECT_EQ(received.message_id, id);
+  EXPECT_EQ(received.data, message);
+  EXPECT_EQ(session.acks_received(), 1u);
+  EXPECT_EQ(session.path_failures_detected(), 0u);
+}
+
+TEST(RouterSessionTest, SimEraReconstructsFromSegments) {
+  RoutingFixture fx;
+  Session session(
+      *fx.router, fx.cache, 0, 1,
+      fx.session_config(ProtocolSpec::simera(4, 2, MixChoice::kRandom)),
+      Rng(24));
+
+  ReceivedMessage received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received = msg; });
+
+  bool constructed = false;
+  session.construct([&](bool ok, std::size_t) { constructed = ok; });
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(constructed);
+  EXPECT_EQ(session.established_paths(), 4u);
+
+  Bytes message(1024);
+  Rng(25).fill(message.data(), message.size());
+  const MessageId id = session.send_message(message);
+  fx.simulator.run_until(20 * kSecond);
+
+  EXPECT_EQ(received.message_id, id);
+  EXPECT_EQ(received.data, message);
+  // m = 2 needed, but all 4 arrive.
+  EXPECT_GE(received.segments_received, 2u);
+  EXPECT_EQ(session.segments_sent(), 4u);
+  EXPECT_EQ(session.acks_received(), 4u);
+}
+
+TEST(RouterSessionTest, SimEraSurvivesToleratedPathFailures) {
+  RoutingFixture fx;
+  Session session(
+      *fx.router, fx.cache, 0, 1,
+      fx.session_config(ProtocolSpec::simera(4, 2, MixChoice::kRandom)),
+      Rng(26));
+
+  ReceivedMessage received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received = msg; });
+
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(session.ready());
+
+  // Kill the first relay of paths 0 and 1: SimEra(4,2) tolerates
+  // k(1 - 1/r) = 2 path failures.
+  fx.up[session.paths()[0].relays[0]] = false;
+  fx.up[session.paths()[1].relays[0]] = false;
+
+  Bytes message(1024, 0x42);
+  const MessageId id = session.send_message(message);
+  fx.simulator.run_until(30 * kSecond);
+
+  EXPECT_EQ(received.message_id, id);
+  EXPECT_EQ(received.data, message);
+  EXPECT_EQ(received.segments_received, 2u);  // exactly m arrived
+  EXPECT_EQ(session.path_failures_detected(), 2u);  // timeouts fired
+}
+
+TEST(RouterSessionTest, MessageLostWhenTooManyPathsFail) {
+  RoutingFixture fx;
+  Session session(
+      *fx.router, fx.cache, 0, 1,
+      fx.session_config(ProtocolSpec::simera(4, 2, MixChoice::kRandom)),
+      Rng(27));
+
+  bool delivered = false;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage&) { delivered = true; });
+
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(session.ready());
+
+  // Kill 3 of 4 paths: only 1 < m = 2 segments can arrive.
+  for (int j = 0; j < 3; ++j) {
+    fx.up[session.paths()[static_cast<std::size_t>(j)].relays[1]] = false;
+  }
+  session.send_message(Bytes(1024, 0x43));
+  fx.simulator.run_until(30 * kSecond);
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(session.path_failures_detected(), 3u);
+}
+
+TEST(RouterSessionTest, ConstructionFailsOverDeadRelay) {
+  RoutingFixture fx;
+  // Kill most nodes so any selected path hits a dead relay.
+  for (NodeId node = 2; node < RoutingFixture::kNodes; ++node) {
+    fx.up[node] = false;
+  }
+  SessionConfig config =
+      fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom));
+  config.max_construct_attempts = 3;
+  Session session(*fx.router, fx.cache, 0, 1, config, Rng(28));
+  bool result = true;
+  std::size_t attempts = 0;
+  session.construct([&](bool ok, std::size_t n) {
+    result = ok;
+    attempts = n;
+  });
+  fx.simulator.run_until(60 * kSecond);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(attempts, 3u);
+}
+
+TEST(RouterSessionTest, ResponseFlowsBackOverReversePaths) {
+  RoutingFixture fx;
+  Session session(
+      *fx.router, fx.cache, 0, 1,
+      fx.session_config(ProtocolSpec::simera(2, 2, MixChoice::kRandom)),
+      Rng(29));
+
+  // Responder application: echo a response on reconstruction.
+  const Bytes response_body = bytes_of("echo: got your message");
+  fx.router->set_message_handler([&](const ReceivedMessage& msg) {
+    EXPECT_TRUE(fx.router->send_response(msg.responder, msg.message_id,
+                                         response_body));
+  });
+
+  Bytes got_response;
+  session.set_response_handler(
+      [&](MessageId, Bytes data) { got_response = std::move(data); });
+
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(session.ready());
+  session.send_message(Bytes(256, 0x7e));
+  fx.simulator.run_until(30 * kSecond);
+  EXPECT_EQ(got_response, response_body);
+}
+
+TEST(RouterSessionTest, AutoReconstructRebuildsAndResends) {
+  RoutingFixture fx;
+  SessionConfig config =
+      fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom));
+  config.auto_reconstruct = true;
+  Session session(*fx.router, fx.cache, 0, 1, config, Rng(30));
+
+  ReceivedMessage received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received = msg; });
+
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(session.ready());
+
+  // Kill the whole original path, then send: the ack timeout should
+  // trigger a rebuild and a resend that succeeds.
+  const auto original_relays = session.paths()[0].relays;
+  for (NodeId relay : original_relays) fx.up[relay] = false;
+
+  const Bytes message = bytes_of("must arrive after rebuild");
+  const MessageId id = session.send_message(message);
+  fx.simulator.run_until(60 * kSecond);
+
+  EXPECT_EQ(received.message_id, id);
+  EXPECT_EQ(received.data, message);
+  EXPECT_GE(session.paths()[0].rebuilds, 1u);
+  EXPECT_NE(session.paths()[0].relays, original_relays);
+}
+
+TEST(RouterSessionTest, TeardownReleasesRelayState) {
+  RoutingFixture fx;
+  Session session(*fx.router, fx.cache, 0, 1,
+                  fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom)),
+                  Rng(31));
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(session.ready());
+  const auto relays = session.paths()[0].relays;
+  for (NodeId relay : relays) {
+    EXPECT_EQ(fx.router->path_state_count(relay), 1u);
+  }
+  session.teardown();
+  fx.simulator.run_until(20 * kSecond);
+  for (NodeId relay : relays) {
+    EXPECT_EQ(fx.router->path_state_count(relay), 0u) << "relay " << relay;
+  }
+}
+
+TEST(RouterSessionTest, OrphanedStateExpiresViaTtl) {
+  RouterConfig config;
+  config.state_ttl = 20 * kSecond;
+  config.sweep_interval = 5 * kSecond;
+  RoutingFixture fx(config);
+  Session session(*fx.router, fx.cache, 0, 1,
+                  fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom)),
+                  Rng(32));
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(5 * kSecond);
+  ASSERT_TRUE(session.ready());
+  const auto relays = session.paths()[0].relays;
+  // No teardown, no traffic: the state must be reclaimed by TTL (§4.3).
+  fx.simulator.run_until(60 * kSecond);
+  for (NodeId relay : relays) {
+    EXPECT_EQ(fx.router->path_state_count(relay), 0u);
+  }
+}
+
+TEST(RouterSessionTest, PayloadTrafficRefreshesTtl) {
+  RouterConfig config;
+  config.state_ttl = 15 * kSecond;
+  config.sweep_interval = 5 * kSecond;
+  RoutingFixture fx(config);
+  Session session(*fx.router, fx.cache, 0, 1,
+                  fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom)),
+                  Rng(33));
+  bool delivered_late = false;
+  fx.router->set_message_handler([&](const ReceivedMessage& msg) {
+    delivered_late = (msg.reconstructed_at > 50 * kSecond);
+  });
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(3 * kSecond);
+  ASSERT_TRUE(session.ready());
+  // Send a message every 10 s (inside the 15 s TTL): path must stay alive
+  // well past the original TTL.
+  for (int i = 0; i < 6; ++i) {
+    fx.simulator.schedule_at((10 + 10 * i) * kSecond, [&] {
+      session.send_message(bytes_of("refresh"));
+    });
+  }
+  fx.simulator.run_until(75 * kSecond);
+  EXPECT_TRUE(delivered_late);
+}
+
+TEST(RouterSessionTest, ProactiveReplacementOnLowPredictor) {
+  RoutingFixture fx;
+  SessionConfig config =
+      fx.session_config(ProtocolSpec::curmix(MixChoice::kBiased));
+  config.replace_threshold = 0.9;
+  config.replace_check_interval = 5 * kSecond;
+  Session session(*fx.router, fx.cache, 0, 1, config, Rng(34));
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(3 * kSecond);
+  ASSERT_TRUE(session.ready());
+  // Age the cache: predictors decay as (now - t_last) grows, so the
+  // periodic check must eventually trigger a replacement.
+  fx.simulator.run_until(120 * kSecond);
+  EXPECT_GE(session.proactive_replacements(), 1u);
+}
+
+TEST(RouterSessionTest, RedirectReusesPathForNewResponder) {
+  RoutingFixture fx;
+  Session session(
+      *fx.router, fx.cache, 0, 1,
+      fx.session_config(ProtocolSpec::simera(2, 2, MixChoice::kRandom)),
+      Rng(36));
+
+  std::vector<ReceivedMessage> received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received.push_back(msg); });
+
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(5 * kSecond);
+  ASSERT_TRUE(session.ready());
+  session.send_message(bytes_of("to the first responder"));
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].responder, 1u);
+
+  // Reuse the same paths for a different responder: no reconstruction.
+  const std::uint64_t constructs_before = fx.router->construct_bytes();
+  std::size_t redirected = 0;
+  session.redirect(2, [&](std::size_t n) { redirected = n; });
+  fx.simulator.run_until(15 * kSecond);
+  EXPECT_EQ(redirected, 2u);
+
+  session.send_message(bytes_of("to the second responder"));
+  fx.simulator.run_until(25 * kSecond);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[1].responder, 2u);
+  EXPECT_EQ(string_of(received[1].data), "to the second responder");
+  // The relays kept their original state: the same sids and keys carried
+  // both streams (retarget bytes count as control, not a fresh onion
+  // construction of sealed boxes per relay).
+  EXPECT_GT(fx.router->construct_bytes(), constructs_before);
+  EXPECT_LT(fx.router->construct_bytes() - constructs_before, 1000u);
+}
+
+TEST(RouterSessionTest, RedirectedResponderCannotBeReadByOldOne) {
+  RoutingFixture fx;
+  Session session(*fx.router, fx.cache, 0, 1,
+                  fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom)),
+                  Rng(37));
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(5 * kSecond);
+  ASSERT_TRUE(session.ready());
+  session.redirect(3, [](std::size_t) {});
+  fx.simulator.run_until(10 * kSecond);
+
+  std::vector<NodeId> responders;
+  fx.router->set_message_handler([&](const ReceivedMessage& msg) {
+    responders.push_back(msg.responder);
+  });
+  session.send_message(bytes_of("secret for node 3"));
+  fx.simulator.run_until(20 * kSecond);
+  ASSERT_EQ(responders.size(), 1u);
+  EXPECT_EQ(responders[0], 3u);  // node 1 never sees or decodes anything
+  EXPECT_EQ(fx.router->peel_failures(), 0u);
+}
+
+TEST(RouterSessionTest, RedirectOnDeadPathTimesOutAndMarksFailed) {
+  RoutingFixture fx;
+  Session session(*fx.router, fx.cache, 0, 1,
+                  fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom)),
+                  Rng(38));
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(5 * kSecond);
+  ASSERT_TRUE(session.ready());
+  fx.up[session.paths()[0].relays[1]] = false;  // kill a middle relay
+  std::size_t redirected = 99;
+  session.redirect(2, [&](std::size_t n) { redirected = n; });
+  fx.simulator.run_until(30 * kSecond);
+  EXPECT_EQ(redirected, 0u);
+  EXPECT_EQ(session.paths()[0].state, PathState::kFailed);
+}
+
+TEST(RouterSessionTest, OnDemandCombinedConstructionDelivers) {
+  RoutingFixture fx;
+  Session session(
+      *fx.router, fx.cache, 0, 1,
+      fx.session_config(ProtocolSpec::simera(2, 2, MixChoice::kRandom)),
+      Rng(39));
+
+  ReceivedMessage received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received = msg; });
+
+  // No construct() round trip: the first message builds the paths itself.
+  const Bytes message = bytes_of("formed on demand, no setup delay");
+  const MessageId id = session.send_message_on_demand(message);
+  ASSERT_NE(id, 0u);
+  fx.simulator.run_until(10 * kSecond);
+
+  EXPECT_EQ(received.message_id, id);
+  EXPECT_EQ(received.data, message);
+  // The acks promoted both paths to established.
+  EXPECT_EQ(session.established_paths(), 2u);
+  // Subsequent sends reuse the now-cached states as plain payloads.
+  session.send_message(bytes_of("second message, plain payload"));
+  std::size_t count = 0;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage&) { ++count; });
+  fx.simulator.run_until(20 * kSecond);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(RouterSessionTest, OnDemandRebuildsFailedPathsInline) {
+  RoutingFixture fx;
+  Session session(*fx.router, fx.cache, 0, 1,
+                  fx.session_config(ProtocolSpec::curmix(MixChoice::kRandom)),
+                  Rng(40));
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(5 * kSecond);
+  ASSERT_TRUE(session.ready());
+  const auto original_relays = session.paths()[0].relays;
+
+  // Kill the path, detect via a lost message, then send on demand: the
+  // next message should carry a fresh construction and arrive.
+  for (NodeId relay : original_relays) fx.up[relay] = false;
+  session.send_message(bytes_of("lost"));
+  fx.simulator.run_until(15 * kSecond);
+  ASSERT_EQ(session.paths()[0].state, PathState::kFailed);
+
+  ReceivedMessage received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received = msg; });
+  const MessageId id = session.send_message_on_demand(bytes_of("rerouted"));
+  ASSERT_NE(id, 0u);
+  fx.simulator.run_until(30 * kSecond);
+  EXPECT_EQ(received.message_id, id);
+  EXPECT_EQ(string_of(received.data), "rerouted");
+  EXPECT_NE(session.paths()[0].relays, original_relays);
+  EXPECT_EQ(session.paths()[0].state, PathState::kEstablished);
+}
+
+TEST(RouterSessionTest, OnDemandSecondSegmentFollowsConstruction) {
+  // SimEra(2, 2) with both paths fresh: each path carries one segment in
+  // the combined message. SimEra(4, 2) puts one segment per path too; use
+  // an 8-segment config to exercise the follow-the-construction case.
+  RoutingFixture fx;
+  SessionConfig config =
+      fx.session_config(ProtocolSpec::simera(4, 2, MixChoice::kRandom));
+  config.erasure.m = 2;
+  config.erasure.n = 8;  // two segments per path
+  config.erasure.k = 4;
+  Session session(*fx.router, fx.cache, 0, 1, config, Rng(41));
+
+  ReceivedMessage received;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { received = msg; });
+  Bytes message(2048);
+  Rng(42).fill(message.data(), message.size());
+  const MessageId id = session.send_message_on_demand(message);
+  ASSERT_NE(id, 0u);
+  fx.simulator.run_until(10 * kSecond);
+  EXPECT_EQ(received.message_id, id);
+  EXPECT_EQ(received.data, message);
+  EXPECT_EQ(session.segments_sent(), 8u);
+}
+
+TEST(RouterSessionTest, SessionDestructionMidFlightIsSafe) {
+  RoutingFixture fx;
+  {
+    Session session(
+        *fx.router, fx.cache, 0, 1,
+        fx.session_config(ProtocolSpec::simera(4, 2, MixChoice::kRandom)),
+        Rng(44));
+    session.construct([&](bool, std::size_t) {});
+    fx.simulator.run_until(3 * kSecond);
+    // Kill a relay and send so ack timeouts are pending, then destroy the
+    // session before they fire.
+    if (session.ready()) {
+      fx.up[session.paths()[0].relays[0]] = false;
+      session.send_message(Bytes(512, 0x5d));
+    }
+  }
+  // Timeouts, late acks and reverse deliveries must all be inert now.
+  EXPECT_NO_THROW(fx.simulator.run_until(60 * kSecond));
+}
+
+TEST(RouterSessionTest, SessionDestructionDuringConstructionIsSafe) {
+  RoutingFixture fx;
+  {
+    Session session(
+        *fx.router, fx.cache, 0, 1,
+        fx.session_config(ProtocolSpec::simera(4, 4, MixChoice::kRandom)),
+        Rng(45));
+    session.construct([&](bool, std::size_t) { FAIL() << "must not fire"; });
+    // Destroy immediately: construction acks arrive after death.
+  }
+  EXPECT_NO_THROW(fx.simulator.run_until(60 * kSecond));
+}
+
+TEST(RouterSessionTest, ErasureCodingMasksLinkLoss) {
+  // The paper's goals cover node AND link failures; erasure coding over
+  // disjoint paths also masks i.i.d. packet loss. At 5% datagram loss a
+  // 4-hop single path delivers ~0.95^4 = 81% of messages; SimEra(4,2)
+  // needs any 2 of 4 segments and delivers ~99%.
+  sim::Simulator simulator;
+  const auto latency = net::LatencyMatrix::synthetic(24, Rng(46));
+  net::LinkFaultConfig faults;
+  faults.loss_rate = 0.05;
+  net::SimTransport transport(simulator, latency, [](NodeId) { return true; },
+                              0, faults);
+  net::Demux demux(transport, 24);
+  crypto::KeyDirectory directory;
+  Rng key_rng(47);
+  auto keys = directory.provision(24, key_rng);
+  FastOnionCodec onion;
+  AnonRouter router(simulator, demux, onion, directory, std::move(keys),
+                    [](NodeId) { return true; }, RouterConfig{}, Rng(48));
+  router.start();
+  membership::NodeCache cache(24);
+  for (NodeId node = 0; node < 24; ++node) {
+    cache.heard_directly(node, 100 * kSecond, 0);
+  }
+
+  auto run_protocol = [&](const ProtocolSpec& spec, NodeId initiator) {
+    SessionConfig config = spec.session_config({});
+    // Isolate raw delivery: a lost ack would otherwise mark the path
+    // failed (§4.5 working as designed) and stop all further sends, which
+    // is a different effect than the per-message loss being measured.
+    config.ack_timeout = 30 * kMinute;
+    Session session(router, cache, initiator, 1, config, Rng(49));
+    std::size_t delivered = 0;
+    router.set_message_handler([&](const ReceivedMessage& msg) {
+      if (msg.responder == 1) ++delivered;
+    });
+    // Construction under link loss legitimately stops at the >= k/r
+    // threshold with a partial path set (the paper's rule); for a clean
+    // per-message comparison, insist on the full set by re-running
+    // construct() until every path is up.
+    for (int round = 0;
+         round < 25 && session.established_paths() < config.erasure.k;
+         ++round) {
+      session.construct([&](bool, std::size_t) {});
+      simulator.run_until(simulator.now() + 30 * kSecond);
+    }
+    if (session.established_paths() < config.erasure.k) return -1.0;
+    const std::size_t messages = 80;
+    for (std::size_t i = 0; i < messages; ++i) {
+      simulator.schedule_after(static_cast<SimDuration>(i) * 5 * kSecond,
+                               [&] { session.send_message(Bytes(256, 0x4d)); });
+    }
+    simulator.run_until(simulator.now() + 500 * kSecond);
+    return static_cast<double>(delivered) / static_cast<double>(messages);
+  };
+
+  // Retry construction-lost runs with different initiators (link loss can
+  // eat the construct handshake too — that is the point of the paper).
+  double curmix_rate = -1.0;
+  for (NodeId initiator = 0; curmix_rate < 0.0 && initiator < 6;
+       initiator += 2) {
+    curmix_rate = run_protocol(ProtocolSpec::curmix(MixChoice::kRandom),
+                               initiator);
+  }
+  double simera_rate = -1.0;
+  for (NodeId initiator = 0; simera_rate < 0.0 && initiator < 6;
+       initiator += 2) {
+    simera_rate = run_protocol(ProtocolSpec::simera(4, 2, MixChoice::kRandom),
+                               initiator);
+  }
+  ASSERT_GE(curmix_rate, 0.0);
+  ASSERT_GE(simera_rate, 0.0);
+  EXPECT_GT(simera_rate, curmix_rate + 0.08)
+      << "curmix " << curmix_rate << " vs simera " << simera_rate;
+  EXPECT_GT(simera_rate, 0.9);
+  EXPECT_LT(curmix_rate, 0.93);  // the single path really does lose messages
+}
+
+TEST(CoverTrafficTest, GeneratesIndistinguishableDummies) {
+  RoutingFixture fx;
+  CoverTrafficConfig cover_config;
+  cover_config.interval = 10 * kSecond;
+  cover_config.k = 2;
+  cover_config.message_size = 256;
+
+  std::size_t reconstructed = 0;
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage&) { ++reconstructed; });
+
+  CoverTrafficGenerator generator(
+      *fx.router, [&](NodeId) -> const membership::NodeCache& { return fx.cache; },
+      [&](NodeId n) { return fx.up[n]; }, {0, 1, 2},
+      [&](NodeId) { return cover_config; }, Rng(35));
+  generator.start();
+  fx.simulator.run_until(65 * kSecond);
+  generator.stop();
+
+  EXPECT_GT(generator.cover_messages_sent(), 5u);
+  // Receivers reconstruct dummies like real messages (indistinguishable).
+  EXPECT_GT(reconstructed, 0u);
+}
+
+}  // namespace
+}  // namespace p2panon::anon

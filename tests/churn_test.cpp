@@ -1,0 +1,156 @@
+// Unit tests for lifetime distributions and the churn model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "churn/churn_model.hpp"
+#include "churn/distributions.hpp"
+#include "metrics/cdf.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::churn {
+namespace {
+
+// Samples from each distribution should match its own CDF (one-sample KS).
+class DistributionKsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DistributionKsTest, SamplesMatchCdf) {
+  const auto dist = parse_distribution(GetParam());
+  Rng rng(42);
+  metrics::EmpiricalCdf cdf;
+  const std::size_t n = 20000;
+  for (std::size_t i = 0; i < n; ++i) cdf.add(dist->sample(rng));
+  const double ks =
+      cdf.ks_distance([&](double t) { return dist->cdf(t); });
+  // KS critical value at alpha = 0.001 is ~1.95 / sqrt(n) ~ 0.0138.
+  EXPECT_LT(ks, 0.015) << dist->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionKsTest,
+    ::testing::Values("pareto:median=3600", "pareto:shape=0.83,scale=1560",
+                      "exp:mean=3600", "uniform:lo=360,hi=6840",
+                      "weibull:shape=0.7,scale=1800"));
+
+TEST(ParetoTest, MedianMatchesConstruction) {
+  const auto pareto = ParetoLifetime::with_median(3600.0);
+  EXPECT_NEAR(pareto.median(), 3600.0, 1e-9);
+  EXPECT_NEAR(pareto.scale(), 1800.0, 1e-9);  // alpha = 1: scale = median/2
+  EXPECT_NEAR(pareto.cdf(3600.0), 0.5, 1e-12);
+  EXPECT_TRUE(std::isinf(pareto.mean()));  // shape 1: infinite mean
+}
+
+TEST(ParetoTest, Figure1Parameters) {
+  // The paper's Gnutella fit: alpha = 0.83, beta = 1560 s.
+  const ParetoLifetime gnutella(0.83, 1560.0);
+  EXPECT_EQ(gnutella.cdf(1000.0), 0.0);  // below scale
+  EXPECT_NEAR(gnutella.cdf(1560.0), 0.0, 1e-12);
+  EXPECT_GT(gnutella.cdf(10000.0), 0.7);
+  EXPECT_LT(gnutella.cdf(70000.0), 1.0);
+}
+
+TEST(ParetoTest, ConditionalSurvivalIsEquation1) {
+  const ParetoLifetime pareto(0.83, 1560.0);
+  // p = (alive / (alive + since))^alpha.
+  EXPECT_NEAR(pareto.conditional_survival(1000.0, 1000.0),
+              std::pow(0.5, 0.83), 1e-12);
+  EXPECT_NEAR(pareto.conditional_survival(5000.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(pareto.conditional_survival(0.0, 100.0), 0.0, 1e-12);
+  // Longer-alive nodes are likelier to survive the same gap (heavy tail).
+  EXPECT_GT(pareto.conditional_survival(10000.0, 600.0),
+            pareto.conditional_survival(100.0, 600.0));
+}
+
+TEST(ExponentialTest, Moments) {
+  const ExponentialLifetime exp_dist(3600.0);
+  EXPECT_NEAR(exp_dist.mean(), 3600.0, 1e-9);
+  EXPECT_NEAR(exp_dist.median(), 3600.0 * std::log(2.0), 1e-9);
+  EXPECT_NEAR(exp_dist.cdf(3600.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(UniformTest, PaperDefaultHasMeanOneHour) {
+  const auto uniform = UniformLifetime::paper_default();
+  EXPECT_NEAR(uniform.mean(), 3600.0, 1e-9);
+  EXPECT_NEAR(uniform.median(), 3600.0, 1e-9);
+  EXPECT_EQ(uniform.cdf(100.0), 0.0);
+  EXPECT_EQ(uniform.cdf(7000.0), 1.0);
+}
+
+TEST(DistributionParserTest, RejectsUnknown) {
+  EXPECT_THROW(parse_distribution("gaussian:mean=1"), std::invalid_argument);
+  EXPECT_THROW(parse_distribution("pareto:junk"), std::invalid_argument);
+  EXPECT_THROW(parse_distribution("exp"), std::invalid_argument);
+}
+
+// --- churn model -------------------------------------------------------------------
+
+TEST(ChurnModelTest, InitialUpFractionRespected) {
+  sim::Simulator simulator;
+  const ExponentialLifetime dist(3600.0);
+  ChurnModel churn_model(simulator, 1000, dist, Rng(1), 0.5);
+  EXPECT_NEAR(static_cast<double>(churn_model.up_count()) / 1000.0, 0.5,
+              0.06);
+  ChurnModel all_up(simulator, 100, dist, Rng(2), 1.0);
+  EXPECT_EQ(all_up.up_count(), 100u);
+}
+
+TEST(ChurnModelTest, NotificationsMatchStateChanges) {
+  sim::Simulator simulator;
+  const ExponentialLifetime dist(100.0);  // fast churn
+  ChurnModel churn_model(simulator, 50, dist, Rng(3), 0.5);
+  std::size_t events = 0;
+  churn_model.subscribe([&](NodeId node, bool up, SimTime when) {
+    (void)when;
+    EXPECT_EQ(churn_model.is_up(node), up);  // state already applied
+    ++events;
+  });
+  churn_model.start();
+  simulator.run_until(from_seconds(1000));
+  EXPECT_GT(events, 100u);
+  EXPECT_EQ(events, churn_model.total_transitions());
+}
+
+TEST(ChurnModelTest, PinnedNodeNeverLeaves) {
+  sim::Simulator simulator;
+  const ExponentialLifetime dist(10.0);  // violent churn
+  ChurnModel churn_model(simulator, 20, dist, Rng(4), 0.5);
+  churn_model.pin_up(7);
+  bool seven_left = false;
+  churn_model.subscribe([&](NodeId node, bool up, SimTime) {
+    if (node == 7 && !up) seven_left = true;
+  });
+  churn_model.start();
+  simulator.run_until(from_seconds(500));
+  EXPECT_FALSE(seven_left);
+  EXPECT_TRUE(churn_model.is_up(7));
+}
+
+TEST(ChurnModelTest, SteadyStateAvailabilityNearHalf) {
+  sim::Simulator simulator;
+  // Symmetric up/down intervals -> availability ~0.5.
+  const ExponentialLifetime dist(600.0);
+  ChurnModel churn_model(simulator, 500, dist, Rng(5), 0.5);
+  churn_model.start();
+  simulator.run_until(from_seconds(6000));
+  EXPECT_NEAR(churn_model.measured_availability(simulator.now()), 0.5, 0.05);
+}
+
+TEST(ChurnModelTest, AliveSecondsTracksJoins) {
+  sim::Simulator simulator;
+  const ExponentialLifetime dist(1e9);  // effectively no churn
+  ChurnModel churn_model(simulator, 4, dist, Rng(6), 1.0);
+  churn_model.start();
+  simulator.run_until(from_seconds(120));
+  EXPECT_NEAR(churn_model.alive_seconds(0, simulator.now()), 120.0, 1.0);
+}
+
+TEST(ChurnModelTest, StartTwiceThrows) {
+  sim::Simulator simulator;
+  const ExponentialLifetime dist(100.0);
+  ChurnModel churn_model(simulator, 4, dist, Rng(7));
+  churn_model.start();
+  EXPECT_THROW(churn_model.start(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace p2panon::churn

@@ -1,0 +1,402 @@
+// Known-answer and property tests for the crypto substrate.
+//
+// KATs come from FIPS 180-4 / RFC 4231 / RFC 5869 / RFC 8439 / RFC 7748;
+// property tests check round-trips, tamper detection and key separation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/poly1305.hpp"
+#include "crypto/sealed_box.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace p2panon::crypto {
+namespace {
+
+std::string hex_of_digest(const Sha256Digest& d) {
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+template <std::size_t N>
+std::array<std::uint8_t, N> array_from_hex(std::string_view hex) {
+  const Bytes b = from_hex(hex);
+  EXPECT_EQ(b.size(), N);
+  std::array<std::uint8_t, N> out{};
+  std::memcpy(out.data(), b.data(), N);
+  return out;
+}
+
+// --- SHA-256 -----------------------------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hex_of_digest(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hex_of_digest(Sha256::hash(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hex_of_digest(Sha256::hash(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_of_digest(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  Rng rng(42);
+  for (std::size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 1000u}) {
+    Bytes data(len);
+    rng.fill(data.data(), data.size());
+    const auto oneshot = Sha256::hash(data);
+    Sha256 streaming;
+    // Feed in irregular chunks.
+    std::size_t offset = 0;
+    std::size_t step = 1;
+    while (offset < data.size()) {
+      const std::size_t take = std::min(step, data.size() - offset);
+      streaming.update(ByteView(data).subspan(offset, take));
+      offset += take;
+      step = step * 2 + 1;
+    }
+    EXPECT_EQ(streaming.finish(), oneshot) << "len=" << len;
+  }
+}
+
+// --- HMAC / HKDF ---------------------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(hex_of_digest(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const auto mac = hmac_sha256(bytes_of("Jefe"),
+                               bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(hex_of_digest(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const auto mac = hmac_sha256(key, data);
+  EXPECT_EQ(hex_of_digest(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HkdfTest, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case3NoSaltNoInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+// --- ChaCha20 --------------------------------------------------------------------
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  const auto key = array_from_hex<32>(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = array_from_hex<12>("000000090000004a00000000");
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex(ByteView(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  const auto key = array_from_hex<32>(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = array_from_hex<12>("000000000000004a00000000");
+  const Bytes plaintext = bytes_of(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes ciphertext = chacha20_encrypt(key, nonce, 1, plaintext);
+  EXPECT_EQ(to_hex(ciphertext),
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d");
+}
+
+TEST(ChaCha20Test, XorRoundTrips) {
+  Rng rng(7);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  ChaChaNonce nonce;
+  rng.fill(nonce.data(), nonce.size());
+  for (std::size_t len : {0u, 1u, 63u, 64u, 65u, 129u, 4096u}) {
+    Bytes data(len);
+    rng.fill(data.data(), data.size());
+    Bytes round = chacha20_encrypt(key, nonce, 0, data);
+    chacha20_xor(key, nonce, 0, round);
+    EXPECT_EQ(round, data) << "len=" << len;
+  }
+}
+
+// --- Poly1305 ---------------------------------------------------------------------
+
+TEST(Poly1305Test, Rfc8439Vector) {
+  const auto key = array_from_hex<32>(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const auto tag =
+      poly1305(key, bytes_of("Cryptographic Forum Research Group"));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305Test, VerifyRejectsTamper) {
+  Rng rng(9);
+  PolyKey key;
+  rng.fill(key.data(), key.size());
+  Bytes msg(100);
+  rng.fill(msg.data(), msg.size());
+  const PolyTag tag = poly1305(key, msg);
+  EXPECT_TRUE(poly1305_verify(tag, key, msg));
+  msg[50] ^= 1;
+  EXPECT_FALSE(poly1305_verify(tag, key, msg));
+}
+
+// Edge cases around the 16-byte block boundary.
+class Poly1305LengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Poly1305LengthTest, TagChangesWithAnyBitFlip) {
+  Rng rng(11 + GetParam());
+  PolyKey key;
+  rng.fill(key.data(), key.size());
+  Bytes msg(GetParam());
+  rng.fill(msg.data(), msg.size());
+  const PolyTag tag = poly1305(key, msg);
+  if (!msg.empty()) {
+    Bytes tampered = msg;
+    tampered[GetParam() / 2] ^= 0x80;
+    EXPECT_NE(poly1305(key, tampered), tag);
+  }
+  // Appending a zero byte must also change the tag (length binding).
+  Bytes extended = msg;
+  extended.push_back(0);
+  EXPECT_NE(poly1305(key, extended), tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBoundaries, Poly1305LengthTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 64,
+                                           255));
+
+// --- AEAD -------------------------------------------------------------------------
+
+TEST(AeadTest, Rfc8439Vector) {
+  const auto key = array_from_hex<32>(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const auto nonce = array_from_hex<12>("070000004041424344454647");
+  const Bytes aad = from_hex("50515253c0c1c2c3c4c5c6c7");
+  const Bytes plaintext = bytes_of(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+  ASSERT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+  EXPECT_EQ(to_hex(ByteView(sealed).subspan(plaintext.size())),
+            "1ae10b594f09e26a7e902ecbd0600691");
+  EXPECT_EQ(to_hex(ByteView(sealed).first(16)),
+            "d31a8d34648e60db7b86afbc53ef7ec2");
+
+  const auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(AeadTest, RejectsTamperedCiphertext) {
+  Rng rng(12);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  const ChaChaNonce nonce = nonce_from_seq(3);
+  Bytes sealed = aead_seal(key, nonce, {}, bytes_of("secret payload"));
+  sealed[3] ^= 0x40;
+  EXPECT_FALSE(aead_open(key, nonce, {}, sealed).has_value());
+}
+
+TEST(AeadTest, RejectsWrongAad) {
+  Rng rng(13);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  const ChaChaNonce nonce = nonce_from_seq(4);
+  const Bytes sealed = aead_seal(key, nonce, bytes_of("aad-a"), bytes_of("m"));
+  EXPECT_FALSE(aead_open(key, nonce, bytes_of("aad-b"), sealed).has_value());
+  EXPECT_TRUE(aead_open(key, nonce, bytes_of("aad-a"), sealed).has_value());
+}
+
+TEST(AeadTest, RejectsTruncation) {
+  Rng rng(14);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  const ChaChaNonce nonce = nonce_from_seq(5);
+  Bytes sealed = aead_seal(key, nonce, {}, bytes_of("hello"));
+  sealed.resize(kAeadTagSize - 1);
+  EXPECT_FALSE(aead_open(key, nonce, {}, sealed).has_value());
+}
+
+// --- X25519 -------------------------------------------------------------------------
+
+TEST(X25519Test, Rfc7748Vector1) {
+  const auto scalar = array_from_hex<32>(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = array_from_hex<32>(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  const auto out = x25519(scalar, point);
+  EXPECT_EQ(to_hex(ByteView(out.data(), out.size())),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519Test, Rfc7748DiffieHellman) {
+  const auto alice_priv = array_from_hex<32>(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_priv = array_from_hex<32>(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_pub = x25519_base(alice_priv);
+  const auto bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(to_hex(ByteView(alice_pub.data(), alice_pub.size())),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(to_hex(ByteView(bob_pub.data(), bob_pub.size())),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto shared_a = x25519(alice_priv, bob_pub);
+  const auto shared_b = x25519(bob_priv, alice_pub);
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(to_hex(ByteView(shared_a.data(), shared_a.size())),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519Test, Rfc7748IteratedVector) {
+  // RFC 7748 §5.2: iterate k, u = X25519(k, u), k_new = old u.
+  auto k = array_from_hex<32>(
+      "0900000000000000000000000000000000000000000000000000000000000000");
+  auto u = k;
+  for (int i = 0; i < 1; ++i) {
+    const auto out = x25519(k, u);
+    u = k;
+    k = out;
+  }
+  EXPECT_EQ(to_hex(ByteView(k.data(), k.size())),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+  // Continue to 1000 iterations (the RFC's second checkpoint).
+  for (int i = 1; i < 1000; ++i) {
+    const auto out = x25519(k, u);
+    u = k;
+    k = out;
+  }
+  EXPECT_EQ(to_hex(ByteView(k.data(), k.size())),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+TEST(X25519Test, SharedSecretAgreesForRandomKeys) {
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const KeyPair a = KeyPair::generate(rng);
+    const KeyPair b = KeyPair::generate(rng);
+    EXPECT_EQ(x25519(a.private_key, b.public_key),
+              x25519(b.private_key, a.public_key));
+  }
+}
+
+// --- Sealed box + keys -------------------------------------------------------------
+
+TEST(SealedBoxTest, RoundTrip) {
+  Rng rng(21);
+  const KeyPair recipient = KeyPair::generate(rng);
+  const Bytes msg = bytes_of("onion layer: next hop 42, key deadbeef");
+  const Bytes sealed = sealed_box_seal(recipient.public_key, msg, rng);
+  EXPECT_EQ(sealed.size(), msg.size() + kSealedBoxOverhead);
+  const auto opened = sealed_box_open(recipient, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(SealedBoxTest, WrongRecipientFails) {
+  Rng rng(22);
+  const KeyPair recipient = KeyPair::generate(rng);
+  const KeyPair other = KeyPair::generate(rng);
+  const Bytes sealed =
+      sealed_box_seal(recipient.public_key, bytes_of("secret"), rng);
+  EXPECT_FALSE(sealed_box_open(other, sealed).has_value());
+}
+
+TEST(SealedBoxTest, TamperFails) {
+  Rng rng(23);
+  const KeyPair recipient = KeyPair::generate(rng);
+  Bytes sealed = sealed_box_seal(recipient.public_key, bytes_of("secret"), rng);
+  sealed[sealed.size() - 1] ^= 1;
+  EXPECT_FALSE(sealed_box_open(recipient, sealed).has_value());
+  sealed[sealed.size() - 1] ^= 1;
+  sealed[0] ^= 1;  // corrupt the ephemeral public key
+  EXPECT_FALSE(sealed_box_open(recipient, sealed).has_value());
+}
+
+TEST(SealedBoxTest, SealingIsRandomized) {
+  Rng rng(24);
+  const KeyPair recipient = KeyPair::generate(rng);
+  const Bytes a = sealed_box_seal(recipient.public_key, bytes_of("m"), rng);
+  const Bytes b = sealed_box_seal(recipient.public_key, bytes_of("m"), rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(SealedBoxTest, EmptyPlaintext) {
+  Rng rng(25);
+  const KeyPair recipient = KeyPair::generate(rng);
+  const Bytes sealed = sealed_box_seal(recipient.public_key, {}, rng);
+  const auto opened = sealed_box_open(recipient, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(KeyDirectoryTest, ProvisionRegistersAllNodes) {
+  Rng rng(31);
+  KeyDirectory directory;
+  const auto pairs = directory.provision(16, rng);
+  ASSERT_EQ(pairs.size(), 16u);
+  for (NodeId node = 0; node < 16; ++node) {
+    ASSERT_TRUE(directory.has_key(node));
+    EXPECT_EQ(directory.public_key(node), pairs[node].public_key);
+  }
+  EXPECT_FALSE(directory.has_key(16));
+  EXPECT_THROW(directory.public_key(16), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace p2panon::crypto

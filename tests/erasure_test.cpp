@@ -1,0 +1,345 @@
+// Unit and property tests for GF(256), matrices and the erasure codecs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "erasure/codec.hpp"
+#include "erasure/gf256.hpp"
+#include "erasure/matrix.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "erasure/replication.hpp"
+
+namespace p2panon::erasure {
+namespace {
+
+// --- GF(256) -----------------------------------------------------------------
+
+TEST(GF256Test, AddIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(GF256::sub(0x53, 0xca), 0x53 ^ 0xca);
+}
+
+TEST(GF256Test, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256Test, MulMatchesCarrylessReference) {
+  // Reference: Russian-peasant multiplication with reduction by 0x11d.
+  auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
+    std::uint8_t result = 0;
+    std::uint16_t aa = a;
+    while (b) {
+      if (b & 1) result ^= static_cast<std::uint8_t>(aa);
+      aa <<= 1;
+      if (aa & 0x100) aa ^= 0x11d;
+      b >>= 1;
+    }
+    return result;
+  };
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    ASSERT_EQ(GF256::mul(a, b), slow_mul(a, b)) << (int)a << "*" << (int)b;
+  }
+}
+
+TEST(GF256Test, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = GF256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(GF256Test, DivInvertsMul) {
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+  }
+}
+
+TEST(GF256Test, ZeroDivisionThrows) {
+  EXPECT_THROW(GF256::div(5, 0), std::domain_error);
+  EXPECT_THROW(GF256::inv(0), std::domain_error);
+}
+
+TEST(GF256Test, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 7) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(GF256::pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = GF256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(GF256Test, MulAddRowMatchesScalarLoop) {
+  Rng rng(7);
+  Bytes src(100), dst(100), expected(100);
+  rng.fill(src.data(), src.size());
+  rng.fill(dst.data(), dst.size());
+  expected = dst;
+  const std::uint8_t c = 0x9a;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    expected[i] ^= GF256::mul(c, src[i]);
+  }
+  GF256::mul_add_row(c, src, dst);
+  EXPECT_EQ(dst, expected);
+}
+
+// --- Matrix ------------------------------------------------------------------
+
+TEST(MatrixTest, IdentityMultiplication) {
+  const Matrix id = Matrix::identity(5);
+  Matrix m(5, 5);
+  Rng rng(8);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      m.at(r, c) = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(MatrixTest, InvertRoundTrip) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m(6, 6);
+    // Random matrices over GF(256) are invertible with high probability;
+    // retry until one is.
+    while (true) {
+      for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 6; ++c) {
+          m.at(r, c) = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+      }
+      try {
+        const Matrix inv = m.inverted();
+        EXPECT_EQ(m.multiply(inv), Matrix::identity(6));
+        EXPECT_EQ(inv.multiply(m), Matrix::identity(6));
+        break;
+      } catch (const std::domain_error&) {
+        continue;
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, SingularMatrixThrows) {
+  Matrix m(3, 3);  // all zeros
+  EXPECT_THROW(m.inverted(), std::domain_error);
+  // Duplicate rows.
+  Matrix d(2, 2);
+  d.at(0, 0) = 3;
+  d.at(0, 1) = 7;
+  d.at(1, 0) = 3;
+  d.at(1, 1) = 7;
+  EXPECT_THROW(d.inverted(), std::domain_error);
+}
+
+TEST(MatrixTest, VandermondeSubmatricesInvertible) {
+  // The defining RS property: any m rows of an n x m Vandermonde matrix
+  // form an invertible matrix.
+  const std::size_t m = 4, n = 12;
+  const Matrix vander = Matrix::vandermonde(n, m);
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pick = rng.sample_without_replacement(n, m);
+    EXPECT_NO_THROW(vander.select_rows(pick).inverted());
+  }
+}
+
+// --- Reed-Solomon codec ----------------------------------------------------------
+
+TEST(ReedSolomonTest, SystematicPrefixEqualsMessage) {
+  const ReedSolomonCodec codec(4, 8);
+  Rng rng(11);
+  Bytes msg(1024);
+  rng.fill(msg.data(), msg.size());
+  const auto segments = codec.encode(msg);
+  ASSERT_EQ(segments.size(), 8u);
+  const std::size_t seg_size = segments[0].data.size();
+  EXPECT_EQ(seg_size, 256u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Bytes expected(msg.begin() + static_cast<long>(i * seg_size),
+                         msg.begin() + static_cast<long>((i + 1) * seg_size));
+    EXPECT_EQ(segments[i].data, expected) << "systematic segment " << i;
+  }
+}
+
+TEST(ReedSolomonTest, DecodeFromParityOnly) {
+  const ReedSolomonCodec codec(3, 9);
+  Rng rng(12);
+  Bytes msg(500);
+  rng.fill(msg.data(), msg.size());
+  auto segments = codec.encode(msg);
+  // Keep only parity segments 6, 7, 8.
+  std::vector<Segment> parity(segments.begin() + 6, segments.end());
+  const auto decoded = codec.decode(parity, msg.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomonTest, TooFewSegmentsFails) {
+  const ReedSolomonCodec codec(4, 8);
+  const Bytes msg(64, 0xab);
+  auto segments = codec.encode(msg);
+  std::vector<Segment> three(segments.begin(), segments.begin() + 3);
+  EXPECT_FALSE(codec.decode(three, msg.size()).has_value());
+}
+
+TEST(ReedSolomonTest, DuplicateSegmentsDontCount) {
+  const ReedSolomonCodec codec(3, 6);
+  const Bytes msg(64, 0xcd);
+  auto segments = codec.encode(msg);
+  std::vector<Segment> dups = {segments[0], segments[0], segments[0]};
+  EXPECT_FALSE(codec.decode(dups, msg.size()).has_value());
+  dups.push_back(segments[4]);
+  dups.push_back(segments[5]);
+  EXPECT_TRUE(codec.decode(dups, msg.size()).has_value());
+}
+
+TEST(ReedSolomonTest, OutOfRangeIndexIgnored) {
+  const ReedSolomonCodec codec(2, 4);
+  const Bytes msg(32, 0x11);
+  auto segments = codec.encode(msg);
+  segments[1].index = 200;  // corrupt index beyond n
+  std::vector<Segment> pick = {segments[0], segments[1], segments[2]};
+  const auto decoded = codec.decode(pick, msg.size());
+  ASSERT_TRUE(decoded.has_value());  // 0 and 2 suffice
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomonTest, MismatchedSegmentSizesRejected) {
+  const ReedSolomonCodec codec(2, 4);
+  const Bytes msg(32, 0x22);
+  auto segments = codec.encode(msg);
+  segments[1].data.push_back(0);
+  std::vector<Segment> pick = {segments[0], segments[1]};
+  EXPECT_FALSE(codec.decode(pick, msg.size()).has_value());
+}
+
+TEST(ReedSolomonTest, EmptyMessageRoundTrips) {
+  const ReedSolomonCodec codec(3, 6);
+  const auto segments = codec.encode({});
+  const auto decoded = codec.decode(segments, 0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ReedSolomonTest, MessageNotMultipleOfM) {
+  const ReedSolomonCodec codec(4, 8);
+  Rng rng(13);
+  for (std::size_t len : {1u, 3u, 5u, 101u, 1023u}) {
+    Bytes msg(len);
+    rng.fill(msg.data(), msg.size());
+    auto segments = codec.encode(msg);
+    // Drop half the segments, decode from an arbitrary surviving mix.
+    std::vector<Segment> pick = {segments[1], segments[4], segments[6],
+                                 segments[7]};
+    const auto decoded = codec.decode(pick, msg.size());
+    ASSERT_TRUE(decoded.has_value()) << "len=" << len;
+    EXPECT_EQ(*decoded, msg) << "len=" << len;
+  }
+}
+
+// Property sweep: every (m, n) pair round-trips from every possible set of
+// m surviving segments (exhaustive for small n via random subsets).
+class RsParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RsParamTest, DecodesFromAnyMSegments) {
+  const auto [m, n] = GetParam();
+  const ReedSolomonCodec codec(m, n);
+  Rng rng(100 + m * 31 + n);
+  Bytes msg(337);
+  rng.fill(msg.data(), msg.size());
+  const auto segments = codec.encode(msg);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto pick_idx = rng.sample_without_replacement(n, m);
+    std::vector<Segment> pick;
+    for (auto i : pick_idx) pick.push_back(segments[i]);
+    const auto decoded = codec.decode(pick, msg.size());
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RsParamTest,
+    ::testing::Values(std::make_tuple(1, 2), std::make_tuple(2, 4),
+                      std::make_tuple(2, 6), std::make_tuple(3, 6),
+                      std::make_tuple(4, 8), std::make_tuple(4, 16),
+                      std::make_tuple(5, 10), std::make_tuple(8, 24),
+                      std::make_tuple(16, 32), std::make_tuple(32, 64),
+                      std::make_tuple(64, 128), std::make_tuple(100, 255)));
+
+TEST(ReedSolomonTest, InvalidParametersThrow) {
+  EXPECT_THROW(ReedSolomonCodec(0, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomonCodec(5, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomonCodec(4, 256), std::invalid_argument);
+}
+
+// --- Replication codec -----------------------------------------------------------
+
+TEST(ReplicationTest, EverySegmentIsFullCopy) {
+  const ReplicationCodec codec(4);
+  const Bytes msg = bytes_of("replicate me");
+  const auto segments = codec.encode(msg);
+  ASSERT_EQ(segments.size(), 4u);
+  for (const auto& seg : segments) EXPECT_EQ(seg.data, msg);
+}
+
+TEST(ReplicationTest, AnySingleSegmentDecodes) {
+  const ReplicationCodec codec(3);
+  const Bytes msg = bytes_of("payload");
+  const auto segments = codec.encode(msg);
+  for (const auto& seg : segments) {
+    std::vector<Segment> one = {seg};
+    const auto decoded = codec.decode(one, msg.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+TEST(ReplicationTest, NoSegmentsFails) {
+  const ReplicationCodec codec(3);
+  EXPECT_FALSE(codec.decode({}, 5).has_value());
+}
+
+TEST(ReplicationTest, ReplicationFactorIsN) {
+  const ReplicationCodec codec(5);
+  EXPECT_DOUBLE_EQ(codec.replication_factor(), 5.0);
+}
+
+// --- Factory -----------------------------------------------------------------------
+
+TEST(MakeCodecTest, SelectsImplementationByM) {
+  const auto rep = make_codec(1, 4);
+  EXPECT_NE(dynamic_cast<ReplicationCodec*>(rep.get()), nullptr);
+  const auto rs = make_codec(2, 4);
+  EXPECT_NE(dynamic_cast<ReedSolomonCodec*>(rs.get()), nullptr);
+  EXPECT_THROW(make_codec(0, 4), std::invalid_argument);
+  EXPECT_THROW(make_codec(3, 2), std::invalid_argument);
+}
+
+TEST(MakeCodecTest, PaperParameterization) {
+  // SimEra(k = 4, r = 4): n = k = 4 paths... the paper splits n coded
+  // segments evenly over k paths with r = n/m. With k = 4, r = 4 and one
+  // segment per path, m = 1 -> replication-equivalent; with n = 8, m = 2.
+  const auto codec = make_codec(2, 8);
+  EXPECT_DOUBLE_EQ(codec->replication_factor(), 4.0);
+  EXPECT_EQ(codec->segment_size(1024), 512u);
+}
+
+}  // namespace
+}  // namespace p2panon::erasure

@@ -1,0 +1,161 @@
+// Unit tests for metrics: summaries, histograms, CDFs, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "metrics/cdf.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/summary.hpp"
+#include "metrics/table.hpp"
+
+namespace p2panon::metrics {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, MergeMatchesCombinedStream) {
+  Rng rng(1);
+  Summary all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RatioTest, RateAndMerge) {
+  Ratio r;
+  for (int i = 0; i < 10; ++i) r.record(i < 3);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.3);
+  EXPECT_DOUBLE_EQ(r.percent(), 30.0);
+  Ratio other;
+  other.record(true);
+  r.merge(other);
+  EXPECT_EQ(r.trials(), 11u);
+  EXPECT_EQ(r.successes(), 4u);
+  EXPECT_DOUBLE_EQ(Ratio().rate(), 0.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformData) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.median(), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.1), 10.0, 1.5);
+}
+
+TEST(HistogramTest, OutOfRangeSaturates) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, StepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileInterpolates) {
+  EmpiricalCdf cdf({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+  EXPECT_THROW(EmpiricalCdf().quantile(0.5), std::logic_error);
+}
+
+TEST(EmpiricalCdfTest, KsOfSelfIsSmall) {
+  Rng rng(2);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 10000; ++i) cdf.add(rng.next_double());
+  const double ks = cdf.ks_distance([](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  EXPECT_LT(ks, 0.02);
+}
+
+TEST(EmpiricalCdfTest, TwoSampleKsSeparatesDistributions) {
+  Rng rng(3);
+  EmpiricalCdf a, b, c;
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng.next_double());
+    b.add(rng.next_double());
+    c.add(rng.next_double() + 0.5);  // shifted
+  }
+  EXPECT_LT(EmpiricalCdf::ks_distance(a, b), 0.05);
+  EXPECT_GT(EmpiricalCdf::ks_distance(a, c), 0.4);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone) {
+  Rng rng(4);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.exponential(5.0));
+  const auto curve = cdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+  }
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"proto", "rate"});
+  table.add_row({"CurMix", "2.64%"});
+  table.add_row({"SimEra(k=2,r=2)", "4.98%"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("proto"), std::string::npos);
+  EXPECT_NE(out.find("SimEra(k=2,r=2)"), std::string::npos);
+  EXPECT_THROW(table.add_row({"too", "many", "cells"}),
+               std::invalid_argument);
+}
+
+TEST(SeriesTest, RendersHeaderAndRows) {
+  Series series("k", {"r=2", "r=3"});
+  series.add(2, {0.5, 0.6});
+  series.add(4, {0.4, 0.7});
+  const std::string out = series.render(2);
+  EXPECT_NE(out.find("# k\tr=2\tr=3"), std::string::npos);
+  EXPECT_NE(out.find("2.00\t0.50\t0.60"), std::string::npos);
+  EXPECT_THROW(series.add(6, {0.1}), std::invalid_argument);
+}
+
+TEST(PairCellTest, PaperFormat) {
+  EXPECT_EQ(pair_cell(700, 1153), "[700, 1153]");
+  EXPECT_EQ(pair_cell(8.4, 1.0, 1), "[8.4, 1.0]");
+}
+
+}  // namespace
+}  // namespace p2panon::metrics

@@ -1,0 +1,226 @@
+// Mutual anonymity via rendezvous: frame round-trips and full end-to-end
+// service/client exchanges through a rendezvous node, with the real
+// crypto and injected failures.
+#include <gtest/gtest.h>
+
+#include "anon/protocols.hpp"
+#include "anon/rendezvous.hpp"
+#include "anon/router.hpp"
+#include "anon/session.hpp"
+#include "membership/node_cache.hpp"
+#include "net/demux.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::anon {
+namespace {
+
+TEST(RendezvousFrameTest, RoundTripsAllKinds) {
+  for (const auto kind :
+       {RendezvousFrame::Kind::kRegister, RendezvousFrame::Kind::kCall,
+        RendezvousFrame::Kind::kForwardedCall, RendezvousFrame::Kind::kReply,
+        RendezvousFrame::Kind::kForwardedReply}) {
+    RendezvousFrame frame;
+    frame.kind = kind;
+    frame.service = 0x1122334455667788ULL;
+    frame.conversation = 0x99aabbccddeeff00ULL;
+    frame.data = bytes_of("payload");
+    const auto parsed = parse_frame(serialize_frame(frame));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, frame.kind);
+    EXPECT_EQ(parsed->service, frame.service);
+    EXPECT_EQ(parsed->conversation, frame.conversation);
+    EXPECT_EQ(parsed->data, frame.data);
+  }
+}
+
+TEST(RendezvousFrameTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_frame(Bytes{}).has_value());
+  EXPECT_FALSE(parse_frame(Bytes(10, 0)).has_value());
+  Bytes bad(17, 0);
+  bad[0] = 99;  // unknown kind
+  EXPECT_FALSE(parse_frame(bad).has_value());
+}
+
+struct RendezvousFixture {
+  static constexpr std::size_t kNodes = 32;
+  static constexpr NodeId kService = 0;   // anonymous responder S
+  static constexpr NodeId kClient = 1;    // anonymous initiator C
+  static constexpr NodeId kHost = 2;      // rendezvous node R
+
+  sim::Simulator simulator;
+  net::LatencyMatrix latency = net::LatencyMatrix::synthetic(kNodes, Rng(50));
+  std::vector<bool> up = std::vector<bool>(kNodes, true);
+  net::SimTransport transport{simulator, latency,
+                              [this](NodeId n) { return up[n]; }};
+  net::Demux demux{transport, kNodes};
+  crypto::KeyDirectory directory;
+  RealOnionCodec onion;
+  std::unique_ptr<AnonRouter> router;
+  membership::NodeCache cache{kNodes};
+  Rng rng{51};
+
+  RendezvousFixture() {
+    Rng key_rng(52);
+    auto keys = directory.provision(kNodes, key_rng);
+    router = std::make_unique<AnonRouter>(
+        simulator, demux, onion, directory, std::move(keys),
+        [this](NodeId n) { return up[n]; }, RouterConfig{}, rng.fork());
+    router->start();
+    for (NodeId node = 0; node < kNodes; ++node) {
+      cache.heard_directly(node, 100 * kSecond, 0);
+    }
+  }
+
+  SessionConfig session_config() {
+    SessionConfig config =
+        ProtocolSpec::simera(2, 2, MixChoice::kRandom).session_config({});
+    config.construct_timeout = 3 * kSecond;
+    config.ack_timeout = 3 * kSecond;
+    return config;
+  }
+};
+
+TEST(RendezvousTest, MutualAnonymityEndToEnd) {
+  RendezvousFixture fx;
+  constexpr ServiceId kDropbox = 0xd20bb0;
+
+  RendezvousHost host(*fx.router, RendezvousFixture::kHost);
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { host.on_message(msg); });
+
+  Session service_session(*fx.router, fx.cache, RendezvousFixture::kService,
+                          RendezvousFixture::kHost, fx.session_config(),
+                          Rng(53));
+  AnonymousService service(*fx.router, service_session, kDropbox);
+
+  Session client_session(*fx.router, fx.cache, RendezvousFixture::kClient,
+                         RendezvousFixture::kHost, fx.session_config(),
+                         Rng(54));
+  AnonymousClient client(client_session, Rng(55));
+
+  std::vector<std::pair<ConversationId, std::string>> calls_seen;
+  service.set_call_handler([&](ConversationId conversation,
+                               const Bytes& data) {
+    calls_seen.emplace_back(conversation, string_of(data));
+    service.reply(conversation, bytes_of("dead drop confirmed"));
+  });
+
+  std::vector<std::string> replies_seen;
+  client.set_reply_handler([&](ConversationId, const Bytes& data) {
+    replies_seen.push_back(string_of(data));
+  });
+
+  bool service_ready = false;
+  service.start([&](bool ok) { service_ready = ok; });
+  fx.simulator.run_until(5 * kSecond);
+  ASSERT_TRUE(service_ready);
+  EXPECT_EQ(host.registered_services(), 1u);
+
+  bool client_ready = false;
+  client.start([&](bool ok) { client_ready = ok; });
+  fx.simulator.run_until(10 * kSecond);
+  ASSERT_TRUE(client_ready);
+
+  const ConversationId conversation =
+      client.call(kDropbox, bytes_of("leave the package at pier 9"));
+  ASSERT_NE(conversation, 0u);
+  fx.simulator.run_until(30 * kSecond);
+
+  ASSERT_EQ(calls_seen.size(), 1u);
+  EXPECT_EQ(calls_seen[0].first, conversation);
+  EXPECT_EQ(calls_seen[0].second, "leave the package at pier 9");
+  ASSERT_EQ(replies_seen.size(), 1u);
+  EXPECT_EQ(replies_seen[0], "dead drop confirmed");
+  EXPECT_EQ(host.open_conversations(), 1u);
+}
+
+TEST(RendezvousTest, MultipleCallsOverOneRegistration) {
+  RendezvousFixture fx;
+  constexpr ServiceId kEcho = 0xec0;
+
+  RendezvousHost host(*fx.router, RendezvousFixture::kHost);
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { host.on_message(msg); });
+
+  Session service_session(*fx.router, fx.cache, RendezvousFixture::kService,
+                          RendezvousFixture::kHost, fx.session_config(),
+                          Rng(56));
+  AnonymousService service(*fx.router, service_session, kEcho);
+  Session client_session(*fx.router, fx.cache, RendezvousFixture::kClient,
+                         RendezvousFixture::kHost, fx.session_config(),
+                         Rng(57));
+  AnonymousClient client(client_session, Rng(58));
+
+  std::size_t calls = 0;
+  service.set_call_handler([&](ConversationId conversation, const Bytes& d) {
+    ++calls;
+    service.reply(conversation, d);  // echo
+  });
+  std::vector<std::string> replies;
+  client.set_reply_handler([&](ConversationId, const Bytes& data) {
+    replies.push_back(string_of(data));
+  });
+
+  service.start([](bool) {});
+  client.start([](bool) {});
+  fx.simulator.run_until(10 * kSecond);
+
+  // Three calls share the single registration's reverse path — the
+  // multi-response mechanism must deliver each forwarded call separately.
+  for (int i = 0; i < 3; ++i) {
+    fx.simulator.schedule_after(static_cast<SimDuration>(i) * kSecond, [&, i] {
+      client.call(kEcho, bytes_of("ping " + std::to_string(i)));
+    });
+  }
+  fx.simulator.run_until(40 * kSecond);
+  EXPECT_EQ(calls, 3u);
+  ASSERT_EQ(replies.size(), 3u);
+  std::sort(replies.begin(), replies.end());
+  EXPECT_EQ(replies[0], "ping 0");
+  EXPECT_EQ(replies[2], "ping 2");
+}
+
+TEST(RendezvousTest, CallToUnknownServiceIsDropped) {
+  RendezvousFixture fx;
+  RendezvousHost host(*fx.router, RendezvousFixture::kHost);
+  fx.router->set_message_handler(
+      [&](const ReceivedMessage& msg) { host.on_message(msg); });
+
+  Session client_session(*fx.router, fx.cache, RendezvousFixture::kClient,
+                         RendezvousFixture::kHost, fx.session_config(),
+                         Rng(59));
+  AnonymousClient client(client_session, Rng(60));
+  bool got_reply = false;
+  client.set_reply_handler([&](ConversationId, const Bytes&) {
+    got_reply = true;
+  });
+  client.start([](bool) {});
+  fx.simulator.run_until(5 * kSecond);
+  client.call(0xabcdef, bytes_of("anyone home?"));
+  fx.simulator.run_until(20 * kSecond);
+  EXPECT_FALSE(got_reply);
+  EXPECT_EQ(host.open_conversations(), 0u);
+}
+
+TEST(RendezvousTest, NonRendezvousTrafficIgnoredByHost) {
+  RendezvousFixture fx;
+  RendezvousHost host(*fx.router, RendezvousFixture::kHost);
+  std::size_t plain_messages = 0;
+  fx.router->set_message_handler([&](const ReceivedMessage& msg) {
+    if (!host.on_message(msg)) ++plain_messages;
+  });
+
+  Session session(*fx.router, fx.cache, 5, RendezvousFixture::kHost,
+                  fx.session_config(), Rng(61));
+  session.construct([&](bool, std::size_t) {});
+  fx.simulator.run_until(5 * kSecond);
+  session.send_message(bytes_of("just a normal anonymous message"));
+  fx.simulator.run_until(10 * kSecond);
+  EXPECT_EQ(plain_messages, 1u);
+  EXPECT_EQ(host.registered_services(), 0u);
+}
+
+}  // namespace
+}  // namespace p2panon::anon
