@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_allocation.dir/ablate_allocation.cpp.o"
+  "CMakeFiles/ablate_allocation.dir/ablate_allocation.cpp.o.d"
+  "ablate_allocation"
+  "ablate_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_dissemination.cpp" "bench/CMakeFiles/ablate_dissemination.dir/ablate_dissemination.cpp.o" "gcc" "bench/CMakeFiles/ablate_dissemination.dir/ablate_dissemination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/p2panon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/p2panon_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p2panon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/p2panon_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/p2panon_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/churn/CMakeFiles/p2panon_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/p2panon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2panon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dissemination.dir/ablate_dissemination.cpp.o"
+  "CMakeFiles/ablate_dissemination.dir/ablate_dissemination.cpp.o.d"
+  "ablate_dissemination"
+  "ablate_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_failure_handling.dir/ablate_failure_handling.cpp.o"
+  "CMakeFiles/ablate_failure_handling.dir/ablate_failure_handling.cpp.o.d"
+  "ablate_failure_handling"
+  "ablate_failure_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_failure_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_observations.dir/fig2_observations.cpp.o"
+  "CMakeFiles/fig2_observations.dir/fig2_observations.cpp.o.d"
+  "fig2_observations"
+  "fig2_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

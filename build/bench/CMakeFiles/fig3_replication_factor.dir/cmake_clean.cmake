@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_replication_factor.dir/fig3_replication_factor.cpp.o"
+  "CMakeFiles/fig3_replication_factor.dir/fig3_replication_factor.cpp.o.d"
+  "fig3_replication_factor"
+  "fig3_replication_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_replication_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

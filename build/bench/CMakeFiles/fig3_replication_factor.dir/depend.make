@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_replication_factor.
+# This may be replaced when dependencies are built.

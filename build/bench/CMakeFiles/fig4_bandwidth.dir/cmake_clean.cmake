@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bandwidth.dir/fig4_bandwidth.cpp.o"
+  "CMakeFiles/fig4_bandwidth.dir/fig4_bandwidth.cpp.o.d"
+  "fig4_bandwidth"
+  "fig4_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

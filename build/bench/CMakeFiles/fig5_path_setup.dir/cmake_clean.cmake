@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_path_setup.dir/fig5_path_setup.cpp.o"
+  "CMakeFiles/fig5_path_setup.dir/fig5_path_setup.cpp.o.d"
+  "fig5_path_setup"
+  "fig5_path_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_path_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

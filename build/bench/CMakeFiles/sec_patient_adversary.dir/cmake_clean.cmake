@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_patient_adversary.dir/sec_patient_adversary.cpp.o"
+  "CMakeFiles/sec_patient_adversary.dir/sec_patient_adversary.cpp.o.d"
+  "sec_patient_adversary"
+  "sec_patient_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_patient_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

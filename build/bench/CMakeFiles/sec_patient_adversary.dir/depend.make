@@ -1,0 +1,2 @@
+# Empty dependencies file for sec_patient_adversary.
+# This may be replaced when dependencies are built.

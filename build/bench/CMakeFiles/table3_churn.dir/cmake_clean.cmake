@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_churn.dir/table3_churn.cpp.o"
+  "CMakeFiles/table3_churn.dir/table3_churn.cpp.o.d"
+  "table3_churn"
+  "table3_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_distributions.dir/table4_distributions.cpp.o"
+  "CMakeFiles/table4_distributions.dir/table4_distributions.cpp.o.d"
+  "table4_distributions"
+  "table4_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

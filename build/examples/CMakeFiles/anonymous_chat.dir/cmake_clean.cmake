@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_chat.dir/anonymous_chat.cpp.o"
+  "CMakeFiles/anonymous_chat.dir/anonymous_chat.cpp.o.d"
+  "anonymous_chat"
+  "anonymous_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anonymity.cpp" "src/analysis/CMakeFiles/p2panon_analysis.dir/anonymity.cpp.o" "gcc" "src/analysis/CMakeFiles/p2panon_analysis.dir/anonymity.cpp.o.d"
+  "/root/repo/src/analysis/bandwidth_model.cpp" "src/analysis/CMakeFiles/p2panon_analysis.dir/bandwidth_model.cpp.o" "gcc" "src/analysis/CMakeFiles/p2panon_analysis.dir/bandwidth_model.cpp.o.d"
+  "/root/repo/src/analysis/observations.cpp" "src/analysis/CMakeFiles/p2panon_analysis.dir/observations.cpp.o" "gcc" "src/analysis/CMakeFiles/p2panon_analysis.dir/observations.cpp.o.d"
+  "/root/repo/src/analysis/path_model.cpp" "src/analysis/CMakeFiles/p2panon_analysis.dir/path_model.cpp.o" "gcc" "src/analysis/CMakeFiles/p2panon_analysis.dir/path_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2panon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_analysis.dir/anonymity.cpp.o"
+  "CMakeFiles/p2panon_analysis.dir/anonymity.cpp.o.d"
+  "CMakeFiles/p2panon_analysis.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/p2panon_analysis.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/p2panon_analysis.dir/observations.cpp.o"
+  "CMakeFiles/p2panon_analysis.dir/observations.cpp.o.d"
+  "CMakeFiles/p2panon_analysis.dir/path_model.cpp.o"
+  "CMakeFiles/p2panon_analysis.dir/path_model.cpp.o.d"
+  "libp2panon_analysis.a"
+  "libp2panon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

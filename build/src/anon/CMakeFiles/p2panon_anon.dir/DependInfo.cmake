@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/adaptive.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/adaptive.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/adaptive.cpp.o.d"
+  "/root/repo/src/anon/allocation.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/allocation.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/allocation.cpp.o.d"
+  "/root/repo/src/anon/cover_traffic.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/cover_traffic.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/cover_traffic.cpp.o.d"
+  "/root/repo/src/anon/mix_selector.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/mix_selector.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/mix_selector.cpp.o.d"
+  "/root/repo/src/anon/onion.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/onion.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/onion.cpp.o.d"
+  "/root/repo/src/anon/path_state.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/path_state.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/path_state.cpp.o.d"
+  "/root/repo/src/anon/protocols.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/protocols.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/protocols.cpp.o.d"
+  "/root/repo/src/anon/rendezvous.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/rendezvous.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/rendezvous.cpp.o.d"
+  "/root/repo/src/anon/router.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/router.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/router.cpp.o.d"
+  "/root/repo/src/anon/session.cpp" "src/anon/CMakeFiles/p2panon_anon.dir/session.cpp.o" "gcc" "src/anon/CMakeFiles/p2panon_anon.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2panon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p2panon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/p2panon_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/p2panon_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/p2panon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/churn/CMakeFiles/p2panon_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_anon.dir/adaptive.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/adaptive.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/allocation.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/allocation.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/cover_traffic.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/cover_traffic.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/mix_selector.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/mix_selector.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/onion.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/onion.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/path_state.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/path_state.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/protocols.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/protocols.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/rendezvous.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/rendezvous.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/router.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/router.cpp.o.d"
+  "CMakeFiles/p2panon_anon.dir/session.cpp.o"
+  "CMakeFiles/p2panon_anon.dir/session.cpp.o.d"
+  "libp2panon_anon.a"
+  "libp2panon_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp2panon_anon.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/churn/churn_model.cpp" "src/churn/CMakeFiles/p2panon_churn.dir/churn_model.cpp.o" "gcc" "src/churn/CMakeFiles/p2panon_churn.dir/churn_model.cpp.o.d"
+  "/root/repo/src/churn/distributions.cpp" "src/churn/CMakeFiles/p2panon_churn.dir/distributions.cpp.o" "gcc" "src/churn/CMakeFiles/p2panon_churn.dir/distributions.cpp.o.d"
+  "/root/repo/src/churn/trace.cpp" "src/churn/CMakeFiles/p2panon_churn.dir/trace.cpp.o" "gcc" "src/churn/CMakeFiles/p2panon_churn.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2panon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

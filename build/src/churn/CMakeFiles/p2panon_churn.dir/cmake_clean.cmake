@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_churn.dir/churn_model.cpp.o"
+  "CMakeFiles/p2panon_churn.dir/churn_model.cpp.o.d"
+  "CMakeFiles/p2panon_churn.dir/distributions.cpp.o"
+  "CMakeFiles/p2panon_churn.dir/distributions.cpp.o.d"
+  "CMakeFiles/p2panon_churn.dir/trace.cpp.o"
+  "CMakeFiles/p2panon_churn.dir/trace.cpp.o.d"
+  "libp2panon_churn.a"
+  "libp2panon_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

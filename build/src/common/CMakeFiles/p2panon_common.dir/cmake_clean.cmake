@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_common.dir/bytes.cpp.o"
+  "CMakeFiles/p2panon_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/p2panon_common.dir/config.cpp.o"
+  "CMakeFiles/p2panon_common.dir/config.cpp.o.d"
+  "CMakeFiles/p2panon_common.dir/logging.cpp.o"
+  "CMakeFiles/p2panon_common.dir/logging.cpp.o.d"
+  "CMakeFiles/p2panon_common.dir/rng.cpp.o"
+  "CMakeFiles/p2panon_common.dir/rng.cpp.o.d"
+  "CMakeFiles/p2panon_common.dir/strings.cpp.o"
+  "CMakeFiles/p2panon_common.dir/strings.cpp.o.d"
+  "libp2panon_common.a"
+  "libp2panon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

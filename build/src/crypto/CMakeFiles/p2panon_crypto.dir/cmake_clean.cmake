@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_crypto.dir/aead.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/p2panon_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/p2panon_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/p2panon_crypto.dir/keys.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/p2panon_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/p2panon_crypto.dir/sealed_box.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/sealed_box.cpp.o.d"
+  "CMakeFiles/p2panon_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/p2panon_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/p2panon_crypto.dir/x25519.cpp.o.d"
+  "libp2panon_crypto.a"
+  "libp2panon_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_erasure.dir/codec.cpp.o"
+  "CMakeFiles/p2panon_erasure.dir/codec.cpp.o.d"
+  "CMakeFiles/p2panon_erasure.dir/gf256.cpp.o"
+  "CMakeFiles/p2panon_erasure.dir/gf256.cpp.o.d"
+  "CMakeFiles/p2panon_erasure.dir/matrix.cpp.o"
+  "CMakeFiles/p2panon_erasure.dir/matrix.cpp.o.d"
+  "CMakeFiles/p2panon_erasure.dir/reed_solomon.cpp.o"
+  "CMakeFiles/p2panon_erasure.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/p2panon_erasure.dir/replication.cpp.o"
+  "CMakeFiles/p2panon_erasure.dir/replication.cpp.o.d"
+  "libp2panon_erasure.a"
+  "libp2panon_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_harness.dir/durability_experiment.cpp.o"
+  "CMakeFiles/p2panon_harness.dir/durability_experiment.cpp.o.d"
+  "CMakeFiles/p2panon_harness.dir/environment.cpp.o"
+  "CMakeFiles/p2panon_harness.dir/environment.cpp.o.d"
+  "CMakeFiles/p2panon_harness.dir/parallel.cpp.o"
+  "CMakeFiles/p2panon_harness.dir/parallel.cpp.o.d"
+  "CMakeFiles/p2panon_harness.dir/path_setup_experiment.cpp.o"
+  "CMakeFiles/p2panon_harness.dir/path_setup_experiment.cpp.o.d"
+  "libp2panon_harness.a"
+  "libp2panon_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

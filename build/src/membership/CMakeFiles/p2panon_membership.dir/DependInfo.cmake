@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/membership/gossip.cpp" "src/membership/CMakeFiles/p2panon_membership.dir/gossip.cpp.o" "gcc" "src/membership/CMakeFiles/p2panon_membership.dir/gossip.cpp.o.d"
+  "/root/repo/src/membership/liveness.cpp" "src/membership/CMakeFiles/p2panon_membership.dir/liveness.cpp.o" "gcc" "src/membership/CMakeFiles/p2panon_membership.dir/liveness.cpp.o.d"
+  "/root/repo/src/membership/node_cache.cpp" "src/membership/CMakeFiles/p2panon_membership.dir/node_cache.cpp.o" "gcc" "src/membership/CMakeFiles/p2panon_membership.dir/node_cache.cpp.o.d"
+  "/root/repo/src/membership/onehop.cpp" "src/membership/CMakeFiles/p2panon_membership.dir/onehop.cpp.o" "gcc" "src/membership/CMakeFiles/p2panon_membership.dir/onehop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2panon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/churn/CMakeFiles/p2panon_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_membership.dir/gossip.cpp.o"
+  "CMakeFiles/p2panon_membership.dir/gossip.cpp.o.d"
+  "CMakeFiles/p2panon_membership.dir/liveness.cpp.o"
+  "CMakeFiles/p2panon_membership.dir/liveness.cpp.o.d"
+  "CMakeFiles/p2panon_membership.dir/node_cache.cpp.o"
+  "CMakeFiles/p2panon_membership.dir/node_cache.cpp.o.d"
+  "CMakeFiles/p2panon_membership.dir/onehop.cpp.o"
+  "CMakeFiles/p2panon_membership.dir/onehop.cpp.o.d"
+  "libp2panon_membership.a"
+  "libp2panon_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_metrics.dir/bootstrap.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/p2panon_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/p2panon_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/p2panon_metrics.dir/summary.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/summary.cpp.o.d"
+  "CMakeFiles/p2panon_metrics.dir/table.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/table.cpp.o.d"
+  "libp2panon_metrics.a"
+  "libp2panon_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

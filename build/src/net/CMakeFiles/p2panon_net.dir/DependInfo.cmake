@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/demux.cpp" "src/net/CMakeFiles/p2panon_net.dir/demux.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/demux.cpp.o.d"
+  "/root/repo/src/net/latency_matrix.cpp" "src/net/CMakeFiles/p2panon_net.dir/latency_matrix.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/latency_matrix.cpp.o.d"
+  "/root/repo/src/net/loopback_transport.cpp" "src/net/CMakeFiles/p2panon_net.dir/loopback_transport.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/loopback_transport.cpp.o.d"
+  "/root/repo/src/net/sim_transport.cpp" "src/net/CMakeFiles/p2panon_net.dir/sim_transport.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/sim_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2panon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

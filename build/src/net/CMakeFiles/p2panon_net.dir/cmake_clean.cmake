@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_net.dir/demux.cpp.o"
+  "CMakeFiles/p2panon_net.dir/demux.cpp.o.d"
+  "CMakeFiles/p2panon_net.dir/latency_matrix.cpp.o"
+  "CMakeFiles/p2panon_net.dir/latency_matrix.cpp.o.d"
+  "CMakeFiles/p2panon_net.dir/loopback_transport.cpp.o"
+  "CMakeFiles/p2panon_net.dir/loopback_transport.cpp.o.d"
+  "CMakeFiles/p2panon_net.dir/sim_transport.cpp.o"
+  "CMakeFiles/p2panon_net.dir/sim_transport.cpp.o.d"
+  "libp2panon_net.a"
+  "libp2panon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

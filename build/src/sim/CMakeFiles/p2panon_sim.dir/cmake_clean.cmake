@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/p2panon_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/p2panon_sim.dir/simulator.cpp.o"
+  "CMakeFiles/p2panon_sim.dir/simulator.cpp.o.d"
+  "libp2panon_sim.a"
+  "libp2panon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

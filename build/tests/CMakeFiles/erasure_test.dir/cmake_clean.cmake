@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_test.dir/erasure_test.cpp.o"
+  "CMakeFiles/erasure_test.dir/erasure_test.cpp.o.d"
+  "erasure_test"
+  "erasure_test.pdb"
+  "erasure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopback_integration_test.dir/loopback_integration_test.cpp.o"
+  "CMakeFiles/loopback_integration_test.dir/loopback_integration_test.cpp.o.d"
+  "loopback_integration_test"
+  "loopback_integration_test.pdb"
+  "loopback_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopback_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
