@@ -1,0 +1,136 @@
+// Chaos sweep: delivered fraction under every scripted fault scenario,
+// fixed 5 s timeouts (the paper's configuration) vs the adaptive
+// RTO/backoff mode, averaged over seeds.
+//
+// A pinned SimEra(4,2) pair exchanges a 512 B message every 5 s through a
+// 96-node network while the scenario's FaultPlan runs (see
+// harness/chaos_experiment.hpp). Reported per scenario x mode:
+//   * attempted delivery — delivered / send_message calls. Charges a mode
+//     for refusing sends while its paths are down, so stalling cannot
+//     hide behind a shrunken denominator;
+//   * accepted delivery  — delivered / accepted (nonzero message id);
+//   * retx               — adaptive-mode segment retransmissions;
+//   * violations         — unaccounted messages + residual state leaks +
+//     open segment ledgers across all runs (the chaos invariants; must
+//     be 0).
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/strings.hpp"
+#include "harness/chaos_experiment.hpp"
+#include "harness/parallel.hpp"
+#include "metrics/table.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+ChaosConfig sweep_config(ChaosScenario scenario, std::uint64_t seed,
+                         bool adaptive, std::size_t nodes) {
+  ChaosConfig config;
+  config.environment.num_nodes = nodes;
+  config.environment.seed = seed;
+  config.scenario = scenario;
+  config.warmup = 5 * kMinute;
+  config.measure = scenario == ChaosScenario::kCorruptedRelayQuorum
+                       ? 15 * kMinute   // byzantine construction is slow
+                       : 10 * kMinute;
+  config.send_interval = 5 * kSecond;
+  config.adaptive = adaptive;
+  config.spec = anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kRandom);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  auto& nodes = flags.add_int("nodes", 96, "network size");
+  auto& seed = flags.add_int("seed", 1, "base RNG seed");
+  auto& seeds = flags.add_int("seeds", 6, "runs to average");
+  auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  flags.parse(argc, argv);
+  const auto runs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
+  const std::size_t workers =
+      threads > 0 ? static_cast<std::size_t>(threads)
+                  : default_worker_threads();
+
+  const ChaosScenario scenarios[] = {
+      ChaosScenario::kFlashCrowdCrash, ChaosScenario::kRollingPartition,
+      ChaosScenario::kLossyLinkEpidemic, ChaosScenario::kCorruptedRelayQuorum,
+      ChaosScenario::kMildLossDrizzle};
+
+  std::printf("# Chaos sweep: SimEra(4,2)/random, %d nodes, 512 B every 5 s, "
+              "fixed 5 s timeouts vs adaptive RTO+backoff, %zu seeds\n",
+              static_cast<int>(nodes), runs);
+  metrics::Table table({"scenario", "mode", "attempted delivery",
+                        "accepted delivery", "retx", "violations"});
+  // Per-cause accounting of every datagram that vanished: the transport's
+  // own drop reasons plus the injected faults.
+  metrics::Table drop_table({"scenario", "mode", "sender-dead",
+                             "recv-dead", "link-loss", "crash", "partition",
+                             "spike-loss", "corrupted", "duplicated"});
+  for (const ChaosScenario scenario : scenarios) {
+    for (const bool adaptive : {false, true}) {
+      std::vector<ChaosResult> results(runs);
+      parallel_for(runs, workers, [&](std::size_t i) {
+        results[i] = run_chaos_experiment(sweep_config(
+            scenario, static_cast<std::uint64_t>(seed) + i, adaptive,
+            static_cast<std::size_t>(nodes)));
+      });
+      double attempted = 0;
+      double accepted = 0;
+      std::uint64_t retx = 0;
+      std::uint64_t violations = 0;
+      net::SimTransport::DropCounters drops;
+      fault::FaultyTransport::Counters faults;
+      for (const ChaosResult& result : results) {
+        attempted += result.attempted_delivery_rate();
+        accepted += result.delivery_rate();
+        retx += result.segments_retransmitted;
+        violations += result.messages_unaccounted + result.total_leaks() +
+                      (result.ledger_closed() ? 0 : 1);
+        drops.sender_dead += result.drops.sender_dead;
+        drops.receiver_dead += result.drops.receiver_dead;
+        drops.link_loss += result.drops.link_loss;
+        faults.dropped_crash += result.faults.dropped_crash;
+        faults.dropped_partition += result.faults.dropped_partition;
+        faults.dropped_loss += result.faults.dropped_loss;
+        faults.corrupted += result.faults.corrupted;
+        faults.duplicated += result.faults.duplicated;
+      }
+      const double denom = static_cast<double>(runs);
+      const char* mode_name = adaptive ? "adaptive" : "fixed";
+      table.add_row({scenario_name(scenario), mode_name,
+                     format_double(100.0 * attempted / denom, 1) + "%",
+                     format_double(100.0 * accepted / denom, 1) + "%",
+                     std::to_string(retx), std::to_string(violations)});
+      drop_table.add_row({scenario_name(scenario), mode_name,
+                          std::to_string(drops.sender_dead),
+                          std::to_string(drops.receiver_dead),
+                          std::to_string(drops.link_loss),
+                          std::to_string(faults.dropped_crash),
+                          std::to_string(faults.dropped_partition),
+                          std::to_string(faults.dropped_loss),
+                          std::to_string(faults.corrupted),
+                          std::to_string(faults.duplicated)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("# Datagram loss by cause (summed over seeds)\n%s\n",
+              drop_table.render().c_str());
+  std::printf("Reading: the adaptive mode's RTT-tracked timeouts and "
+              "retransmission over surviving paths recover individual "
+              "datagram losses that fixed 5 s timeouts escalate into path "
+              "teardowns, so it leads on the attempted ratio wherever "
+              "links are lossy or relays corrupt traffic. Under pure "
+              "crash/partition faults the tradeoff reverses: there "
+              "retransmission cannot help (the path is dead, not lossy) "
+              "and the fixed mode's unbounded rebuild-and-resend loop "
+              "beats the adaptive mode's bounded retry budget. Violations "
+              "must read 0 — every run also upholds the conservation, "
+              "ledger, and no-leak invariants asserted by chaos_test.\n");
+  return 0;
+}

@@ -4,8 +4,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja for fresh configures when available; otherwise (or when
+# build/ already holds a cache with some generator) use the default so
+# this matches ROADMAP.md's tier-1 command everywhere.
+if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir build --output-on-failure
 
 echo "== quick bench smoke (P2PANON_BENCH_SCALE=0.05) =="

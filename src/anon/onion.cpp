@@ -65,6 +65,16 @@ std::optional<PayloadCore> parse_payload_core(ByteView plain) {
               core.responder_key.size());
   const std::size_t seg_len = get_u32be(plain, 20 + crypto::kChaChaKeySize);
   if (plain.size() != kHeader + seg_len) return std::nullopt;
+  // Semantic validation, not just framing: every honestly serialized core
+  // satisfies the erasure layer's 1 <= m <= n <= 255 and indexes within n.
+  // The statistical codec can hand us garbage that survives the length
+  // check, and make_codec throws on out-of-range parameters.
+  if (core.needed_segments == 0 ||
+      core.needed_segments > core.total_segments ||
+      core.total_segments > 255 ||
+      core.segment_index >= core.total_segments) {
+    return std::nullopt;
+  }
   const ByteView seg = plain.subspan(kHeader);
   core.segment.assign(seg.begin(), seg.end());
   return core;

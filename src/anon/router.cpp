@@ -51,6 +51,15 @@ std::optional<ReverseCore> parse_reverse_core(ByteView plain) {
   core.total_segments = get_u16be(plain, 23);
   const std::size_t seg_len = get_u32be(plain, 25);
   if (plain.size() != 29 + seg_len) return std::nullopt;
+  // Same semantic validation as parse_payload_core: make_codec throws on
+  // parameters outside 1 <= m <= n <= 255, so garbage that survives the
+  // framing check must be rejected here.
+  if (core.needed_segments == 0 ||
+      core.needed_segments > core.total_segments ||
+      core.total_segments > 255 ||
+      core.segment_index >= core.total_segments) {
+    return std::nullopt;
+  }
   const ByteView seg = plain.subspan(29);
   core.segment.assign(seg.begin(), seg.end());
   return core;
@@ -247,7 +256,9 @@ void AnonRouter::handle_reverse(NodeId from, NodeId to, ByteView payload) {
 void AnonRouter::on_construct(NodeId from, NodeId to, StreamId sid,
                               ByteView onion_blob) {
   const auto peeled = onion_.peel_path_onion(node_keys_[to], onion_blob);
-  if (!peeled.has_value()) {
+  // The next-hop check matters for codecs without authentication (the
+  // statistical FastOnionCodec): a corrupted onion "peels" into garbage.
+  if (!peeled.has_value() || peeled->hop.next >= node_keys_.size()) {
     ++peel_failures_;
     return;
   }
@@ -367,7 +378,7 @@ void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
   const ByteView payload_blob = blob.subspan(4 + onion_len);
 
   const auto peeled = onion_.peel_path_onion(node_keys_[to], onion_blob);
-  if (!peeled.has_value()) {
+  if (!peeled.has_value() || peeled->hop.next >= node_keys_.size()) {
     ++peel_failures_;
     return;
   }
@@ -613,9 +624,16 @@ bool AnonRouter::send_response(NodeId responder, MessageId message_id,
 void AnonRouter::sweep() {
   const SimTime now = simulator_.now();
   for (auto& table : tables_) table.expire(now);
-  for (auto& rmap : reassembly_) {
+  for (NodeId node = 0; node < reassembly_.size(); ++node) {
+    auto& rmap = reassembly_[node];
     for (auto it = rmap.begin(); it != rmap.end();) {
       if (it->second.expires <= now) {
+        if (!it->second.delivered) {
+          ++reassemblies_expired_;
+          if (reassembly_expiry_handler_) {
+            reassembly_expiry_handler_(node, it->first);
+          }
+        }
         it = rmap.erase(it);
       } else {
         ++it;
@@ -635,6 +653,18 @@ const erasure::Codec& AnonRouter::codec_for(std::size_t m, std::size_t n) {
 
 std::size_t AnonRouter::path_state_count(NodeId node) const {
   return tables_[node].size();
+}
+
+std::size_t AnonRouter::pending_construction_count(NodeId node) const {
+  return pending_[node].size();
+}
+
+std::size_t AnonRouter::reverse_handler_count(NodeId node) const {
+  return reverse_handlers_[node].size();
+}
+
+std::size_t AnonRouter::reassembly_count(NodeId node) const {
+  return reassembly_[node].size();
 }
 
 }  // namespace p2panon::anon

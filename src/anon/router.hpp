@@ -142,6 +142,24 @@ class AnonRouter {
 
   std::size_t path_state_count(NodeId node) const;
 
+  /// Residual-state introspection for leak checks (the chaos harness
+  /// asserts all three return to their quiescent values after teardown).
+  std::size_t pending_construction_count(NodeId node) const;
+  std::size_t reverse_handler_count(NodeId node) const;
+  std::size_t reassembly_count(NodeId node) const;
+
+  /// Fires when an *undelivered* reassembly record is TTL-swept — the
+  /// message can no longer complete at that responder (segments that
+  /// straggle in later start a fresh, doomed record). Chaos accounting
+  /// uses it to explain messages whose segments were all acked yet never
+  /// assembled.
+  using ReassemblyExpiryHandler =
+      std::function<void(NodeId responder, MessageId message_id)>;
+  void set_reassembly_expiry_handler(ReassemblyExpiryHandler handler) {
+    reassembly_expiry_handler_ = std::move(handler);
+  }
+  std::uint64_t reassemblies_expired() const { return reassemblies_expired_; }
+
   /// Shared codec cache keyed by (m, n) — sessions and the responder use
   /// the same instances so RS matrices are built once.
   const erasure::Codec& codec_for(std::size_t m, std::size_t n);
@@ -223,12 +241,14 @@ class AnonRouter {
       codecs_;
   std::unique_ptr<sim::PeriodicTask> sweeper_;
   MessageHandler message_handler_;
+  ReassemblyExpiryHandler reassembly_expiry_handler_;
 
   std::uint64_t construct_bytes_ = 0;
   std::uint64_t payload_bytes_ = 0;
   std::uint64_t reverse_bytes_ = 0;
   std::uint64_t messages_forwarded_ = 0;
   std::uint64_t peel_failures_ = 0;
+  std::uint64_t reassemblies_expired_ = 0;
 };
 
 // Reverse-core payloads (sealed under R_{L+1} / the responder key).

@@ -1,6 +1,7 @@
 #include "anon/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
 
@@ -26,6 +27,12 @@ Session::Session(AnonRouter& router, const membership::NodeCache& cache,
   config_.erasure.validate();
   paths_.resize(config_.erasure.k);
   path_info_.resize(config_.erasure.k);
+  path_health_.resize(config_.erasure.k);
+  if (config_.adaptive_timeouts || config_.retry_backoff) {
+    // Forked only when a new mode is on: fork() advances rng_, and the
+    // default configuration must keep every existing draw in place.
+    backoff_rng_ = rng_.fork();
+  }
   if (config_.replace_threshold > 0.0) {
     predictor_task_ = std::make_unique<sim::PeriodicTask>(
         router_.simulator(), config_.replace_check_interval,
@@ -52,6 +59,7 @@ void Session::construct(ConstructHandler handler) {
   }
   construct_handler_ = std::move(handler);
   constructing_ = true;
+  torn_down_ = false;
   construct_attempts_ = 0;
   attempt_construction();
 }
@@ -66,7 +74,7 @@ void Session::attempt_construction() {
   if (!selected.has_value()) {
     // Cache too small right now; count the attempt and retry or give up.
     if (construct_attempts_ < config_.max_construct_attempts) {
-      attempt_construction();
+      retry_construction();
       return;
     }
     constructing_ = false;
@@ -101,11 +109,18 @@ void Session::attempt_construction() {
 
 void Session::build_path(std::size_t index, std::function<void(bool)> done) {
   Path& path = paths_[index];
+  const SimTime started = router_.simulator().now();
   const StreamId sid = router_.initiate_path(
       initiator_, path.relays, path.relay_keys, responder_,
       config_.construct_timeout,
-      [alive = alive_, done = std::move(done)](bool ok) {
+      [this, index, started, alive = alive_, done = std::move(done)](bool ok) {
         if (!*alive) return;
+        if (ok && config_.adaptive_timeouts) {
+          // Fresh relay set: restart the estimator, seeded by the
+          // construction round trip over the very same relays.
+          path_health_[index].rtt_valid = false;
+          observe_rtt(index, router_.simulator().now() - started);
+        }
         done(ok);
       });
   path.sid = sid;
@@ -119,9 +134,25 @@ void Session::build_path(std::size_t index, std::function<void(bool)> done) {
 
 void Session::finish_attempt() {
   const std::size_t established = established_paths();
-  if (established >= config_.erasure.min_paths()) {
+  const std::size_t target = config_.require_full_construction
+                                 ? config_.erasure.k
+                                 : config_.erasure.min_paths();
+  if (established >= target) {
     constructing_ = false;
     construct_handler_(true, construct_attempts_);
+    return;
+  }
+  if (config_.require_full_construction && established > 0) {
+    if (construct_attempts_ >= config_.max_construct_attempts) {
+      // Out of attempts: report whether the partial set is at least
+      // viable by the paper's min_paths() criterion.
+      constructing_ = false;
+      construct_handler_(established >= config_.erasure.min_paths(),
+                         construct_attempts_);
+      return;
+    }
+    ++construct_attempts_;
+    top_up_missing_paths();
     return;
   }
   // Whole-set retry with a fresh relay set (the paper's "another set of
@@ -140,11 +171,96 @@ void Session::finish_attempt() {
     sync_path_info(index);
   }
   if (construct_attempts_ < config_.max_construct_attempts) {
-    attempt_construction();
+    retry_construction();
   } else {
     constructing_ = false;
     construct_handler_(false, construct_attempts_);
   }
+}
+
+void Session::top_up_missing_paths() {
+  std::vector<std::size_t> missing;
+  for (std::size_t index = 0; index < paths_.size(); ++index) {
+    if (paths_[index].state != PathState::kEstablished) missing.push_back(index);
+  }
+  attempt_outstanding_ = missing.size();
+  std::size_t started = 0;
+  for (std::size_t index : missing) {
+    // Exclude relays of every kept path (and of top-ups already started
+    // this round, whose relays are in place by now) for disjointness.
+    std::vector<NodeId> exclude;
+    for (std::size_t j = 0; j < paths_.size(); ++j) {
+      if (j == index) continue;
+      if (paths_[j].state == PathState::kEstablished ||
+          paths_[j].state == PathState::kPending) {
+        exclude.insert(exclude.end(), paths_[j].relays.begin(),
+                       paths_[j].relays.end());
+      }
+    }
+    const SimTime now = router_.simulator().now();
+    auto selected = selector_.select_paths(cache_, 1, config_.path_length,
+                                           now, initiator_, responder_,
+                                           exclude);
+    if (!selected.has_value()) {
+      // No disjoint relays for this slot right now; leave it for the
+      // next round.
+      --attempt_outstanding_;
+      continue;
+    }
+    Path& path = paths_[index];
+    if (path.sid != 0) {
+      router_.unregister_reverse_handler(initiator_, path.sid);
+    }
+    path = Path{};
+    path.relays = std::move((*selected)[0]);
+    path.relay_keys.reserve(path.relays.size());
+    for (std::size_t i = 0; i < path.relays.size(); ++i) {
+      path.relay_keys.push_back(crypto::random_symmetric_key(rng_));
+    }
+    path.responder_key = crypto::random_symmetric_key(rng_);
+    path.state = PathState::kPending;
+    sync_path_info(index);
+    ++started;
+
+    build_path(index, [this, index](bool ok) {
+      Path& built = paths_[index];
+      built.state = ok ? PathState::kEstablished : PathState::kFailed;
+      sync_path_info(index);
+      if (--attempt_outstanding_ == 0) finish_attempt();
+    });
+  }
+  if (started == 0) {
+    // The cache could not provide a single disjoint path: fall back to
+    // the whole-set retry loop (which burns attempts until the cache
+    // recovers, exactly like the initial-construction select failure).
+    retry_construction();
+  }
+}
+
+void Session::retry_construction() {
+  if (!config_.retry_backoff) {
+    attempt_construction();  // immediate retry: the paper's behavior
+    return;
+  }
+  construct_backoff_event_ = router_.simulator().schedule_after(
+      backoff_delay(construct_attempts_ - 1), [this, alive = alive_] {
+        if (!*alive || torn_down_) return;
+        construct_backoff_event_ = sim::kInvalidEventId;
+        attempt_construction();
+      });
+}
+
+SimDuration Session::backoff_delay(std::size_t failures) {
+  const std::size_t shift = std::min<std::size_t>(failures, 20);
+  SimDuration delay =
+      std::min(config_.backoff_base << shift, config_.backoff_max);
+  if (delay < 2) return delay;
+  // Deterministic jitter in [delay/2, delay], from the session's own
+  // forked stream so it perturbs no other component.
+  const SimDuration half = delay / 2;
+  return half + static_cast<SimDuration>(
+                    backoff_rng_.next_below(static_cast<std::uint64_t>(
+                        delay - half + 1)));
 }
 
 bool Session::ready() const {
@@ -200,7 +316,8 @@ MessageId Session::send_message(ByteView data) {
 void Session::send_segment_on_path(std::size_t path_index,
                                    MessageId message_id,
                                    const erasure::Segment& segment,
-                                   std::size_t original_size) {
+                                   std::size_t original_size,
+                                   std::size_t retries) {
   Path& path = paths_[path_index];
   PayloadCore core;
   core.message_id = message_id;
@@ -221,7 +338,15 @@ void Session::send_segment_on_path(std::size_t path_index,
                        std::move(blob));
   ++segments_sent_;
 
-  // Register the pending ack with its timeout.
+  // Register the pending ack with its timeout. With adaptive timeouts the
+  // wait is the path's current RTO, doubled for every retry already spent
+  // on this segment; otherwise the fixed ack_timeout.
+  SimDuration timeout = config_.ack_timeout;
+  if (config_.adaptive_timeouts) {
+    timeout = current_rto(path_index);
+    const std::size_t shift = std::min<std::size_t>(retries, 6);
+    timeout = std::min(timeout << shift, config_.rto_max);
+  }
   const std::uint64_t key = pending_key(message_id, segment.index);
   PendingSegment pending;
   pending.message_id = message_id;
@@ -229,22 +354,122 @@ void Session::send_segment_on_path(std::size_t path_index,
   pending.segment = segment;
   pending.original_size = original_size;
   pending.path_index = path_index;
+  pending.sent_at = router_.simulator().now();
+  pending.retries = retries;
   pending.timeout_event = router_.simulator().schedule_after(
-      config_.ack_timeout, [this, key, alive = alive_] {
+      timeout, [this, key, alive = alive_] {
         if (!*alive) return;
-        const auto it = pending_segments_.find(key);
-        if (it == pending_segments_.end()) return;
-        const std::size_t failed_path = it->second.path_index;
-        ++failures_detected_;
-        if (config_.auto_reconstruct) {
-          // Keep the entry: the rebuild's resend_pending() picks it up.
-          it->second.timeout_event = sim::kInvalidEventId;
-        } else {
-          pending_segments_.erase(it);
-        }
-        mark_path_failed(failed_path);
+        on_segment_timeout(key, /*fail_pending_path=*/false);
       });
   pending_segments_[key] = std::move(pending);
+}
+
+void Session::on_segment_timeout(std::uint64_t key, bool fail_pending_path) {
+  const auto it = pending_segments_.find(key);
+  if (it == pending_segments_.end()) return;
+  const std::size_t failed_path = it->second.path_index;
+  ++failures_detected_;
+
+  if (config_.adaptive_timeouts) {
+    PathHealth& health = path_health_[failed_path];
+    ++health.consecutive_timeouts;
+    const bool declare_failed =
+        health.consecutive_timeouts >= config_.path_fail_threshold;
+    // Retransmit over a surviving path: round-robin scan starting after
+    // the timed-out one; the same path still qualifies while it is below
+    // the failure threshold.
+    if (it->second.retries < config_.max_segment_retries) {
+      std::size_t target = paths_.size();
+      for (std::size_t step = 1; step <= paths_.size(); ++step) {
+        const std::size_t candidate = (failed_path + step) % paths_.size();
+        if (paths_[candidate].state != PathState::kEstablished) continue;
+        if (declare_failed && candidate == failed_path) continue;
+        target = candidate;
+        break;
+      }
+      if (target < paths_.size()) {
+        const PendingSegment seg = std::move(it->second);
+        pending_segments_.erase(it);
+        ++segments_retransmitted_;
+        if (declare_failed) mark_path_failed(failed_path);
+        send_segment_on_path(target, seg.message_id, seg.segment,
+                             seg.original_size, seg.retries + 1);
+        return;
+      }
+    }
+    // Retry budget exhausted (or no surviving path): the segment is lost
+    // for good and the ledger records it.
+    expire_segment(key);
+    Path& p = paths_[failed_path];
+    if (fail_pending_path && p.state == PathState::kPending) {
+      p.state = PathState::kFailed;
+      sync_path_info(failed_path);
+      if (path_failure_handler_) path_failure_handler_(failed_path);
+      if (config_.auto_reconstruct) schedule_rebuild(failed_path);
+    } else if (declare_failed) {
+      mark_path_failed(failed_path);
+    }
+    return;
+  }
+
+  // Fixed-timeout behavior, identical to the paper configuration: one
+  // timeout fails the path outright.
+  if (config_.auto_reconstruct) {
+    // Keep the entry: the rebuild's resend_pending() picks it up.
+    it->second.timeout_event = sim::kInvalidEventId;
+  } else {
+    expire_segment(key);
+  }
+  if (fail_pending_path) {
+    // A pending combined path that times out is simply failed.
+    Path& p = paths_[failed_path];
+    if (p.state == PathState::kPending) {
+      p.state = PathState::kFailed;
+      sync_path_info(failed_path);
+      if (path_failure_handler_) path_failure_handler_(failed_path);
+      if (config_.auto_reconstruct) rebuild_path(failed_path);
+      return;
+    }
+  }
+  mark_path_failed(failed_path);
+}
+
+void Session::expire_segment(std::uint64_t key) {
+  const auto it = pending_segments_.find(key);
+  if (it == pending_segments_.end()) return;
+  const PendingSegment seg = std::move(it->second);
+  pending_segments_.erase(it);
+  ++segments_expired_;
+  if (segment_expiry_handler_) {
+    segment_expiry_handler_(seg.message_id, seg.segment_index,
+                            seg.path_index);
+  }
+}
+
+void Session::observe_rtt(std::size_t path_index, SimDuration sample) {
+  PathHealth& health = path_health_[path_index];
+  const double sample_us = static_cast<double>(sample);
+  if (!health.rtt_valid) {
+    health.rtt_valid = true;
+    health.srtt_us = sample_us;
+    health.rttvar_us = sample_us / 2.0;
+    return;
+  }
+  // Jacobson/Karels: RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|,
+  //                  SRTT   <- 7/8 SRTT + 1/8 R'.
+  health.rttvar_us =
+      0.75 * health.rttvar_us + 0.25 * std::abs(health.srtt_us - sample_us);
+  health.srtt_us = 0.875 * health.srtt_us + 0.125 * sample_us;
+}
+
+SimDuration Session::current_rto(std::size_t path_index) const {
+  const PathHealth& health = path_health_[path_index];
+  if (!config_.adaptive_timeouts || !health.rtt_valid) {
+    return config_.ack_timeout;
+  }
+  const double rto = health.srtt_us + 4.0 * health.rttvar_us;
+  return std::clamp(static_cast<SimDuration>(rto), config_.rto_min,
+                    config_.rto_max);
 }
 
 void Session::mark_path_failed(std::size_t path_index) {
@@ -253,10 +478,29 @@ void Session::mark_path_failed(std::size_t path_index) {
   path.state = PathState::kFailed;
   sync_path_info(path_index);
   if (path_failure_handler_) path_failure_handler_(path_index);
-  if (config_.auto_reconstruct) rebuild_path(path_index);
+  if (config_.auto_reconstruct) schedule_rebuild(path_index);
+}
+
+void Session::schedule_rebuild(std::size_t path_index) {
+  // First rebuild of a streak is immediate (detection already cost a full
+  // timeout); repeat failures back off exponentially when enabled.
+  if (!config_.retry_backoff || path_health_[path_index].rebuild_failures == 0) {
+    rebuild_path(path_index);
+    return;
+  }
+  router_.simulator().schedule_after(
+      backoff_delay(path_health_[path_index].rebuild_failures - 1),
+      [this, path_index, alive = alive_] {
+        if (!*alive || torn_down_) return;
+        if (paths_[path_index].state != PathState::kFailed) return;
+        rebuild_path(path_index);
+      });
 }
 
 void Session::rebuild_path(std::size_t path_index) {
+  // A rebuild construct that times out after teardown would otherwise
+  // restart the rebuild loop against a dead session forever.
+  if (torn_down_) return;
   // Exclude relays used by the other live paths to keep disjointness.
   std::vector<NodeId> exclude;
   for (std::size_t j = 0; j < paths_.size(); ++j) {
@@ -270,7 +514,19 @@ void Session::rebuild_path(std::size_t path_index) {
   const SimTime now = router_.simulator().now();
   auto selected = selector_.select_paths(cache_, 1, config_.path_length, now,
                                          initiator_, responder_, exclude);
-  if (!selected.has_value()) return;
+  if (!selected.has_value()) {
+    if (config_.retry_backoff) {
+      // Not enough disjoint relays right now: try again later instead of
+      // abandoning the path (and its kept pending segments) forever.
+      ++path_health_[path_index].rebuild_failures;
+      schedule_rebuild(path_index);
+    } else {
+      // No retry is coming: close the ledger on any segments that were
+      // kept for a resend that can never happen.
+      expire_kept_pending(path_index);
+    }
+    return;
+  }
 
   Path& path = paths_[path_index];
   if (path.sid != 0) {
@@ -292,11 +548,25 @@ void Session::rebuild_path(std::size_t path_index) {
     built.state = ok ? PathState::kEstablished : PathState::kFailed;
     sync_path_info(path_index);
     if (ok) {
+      path_health_[path_index].rebuild_failures = 0;
+      path_health_[path_index].consecutive_timeouts = 0;
       resend_pending(path_index, path_index);
     } else if (config_.auto_reconstruct) {
-      rebuild_path(path_index);
+      ++path_health_[path_index].rebuild_failures;
+      schedule_rebuild(path_index);
     }
   });
+}
+
+void Session::expire_kept_pending(std::size_t path_index) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, pending] : pending_segments_) {
+    if (pending.path_index == path_index &&
+        pending.timeout_event == sim::kInvalidEventId) {
+      keys.push_back(key);
+    }
+  }
+  for (const std::uint64_t key : keys) expire_segment(key);
 }
 
 void Session::resend_pending(std::size_t old_path_index,
@@ -313,6 +583,7 @@ void Session::resend_pending(std::size_t old_path_index,
       ++it;
     }
   }
+  segments_retransmitted_ += to_resend.size();
   for (const PendingSegment& pending : to_resend) {
     send_segment_on_path(new_path_index, pending.message_id, pending.segment,
                          pending.original_size);
@@ -364,6 +635,16 @@ void Session::handle_reverse_core(std::size_t path_index,
     const auto it = pending_segments_.find(key);
     if (it != pending_segments_.end()) {
       router_.simulator().cancel(it->second.timeout_event);
+      if (config_.adaptive_timeouts) {
+        // Karn's algorithm: never sample a retransmitted segment — the ack
+        // could belong to an earlier transmission.
+        if (it->second.retries == 0) {
+          observe_rtt(it->second.path_index,
+                      router_.simulator().now() - it->second.sent_at);
+        }
+        path_health_[it->second.path_index].consecutive_timeouts = 0;
+      }
+      ++acks_matched_;
       pending_segments_.erase(it);
     }
     // An ack on a path still pending from combined construction confirms
@@ -503,7 +784,10 @@ MessageId Session::send_message_on_demand(ByteView data) {
                                             onion_blob, blob);
         ++segments_sent_;
         // Track it like any pending segment: the end-to-end ack confirms
-        // both the path and the delivery.
+        // both the path and the delivery. A timed-out pending combined
+        // path is simply failed (fail_pending_path).
+        SimDuration timeout = config_.ack_timeout;
+        if (config_.adaptive_timeouts) timeout = current_rto(path_index);
         const std::uint64_t key = pending_key(id, segments[s].index);
         PendingSegment pending;
         pending.message_id = id;
@@ -511,28 +795,11 @@ MessageId Session::send_message_on_demand(ByteView data) {
         pending.segment = segments[s];
         pending.original_size = data.size();
         pending.path_index = path_index;
+        pending.sent_at = now;
         pending.timeout_event = router_.simulator().schedule_after(
-            config_.ack_timeout, [this, key, alive = alive_] {
+            timeout, [this, key, alive = alive_] {
               if (!*alive) return;
-              const auto it = pending_segments_.find(key);
-              if (it == pending_segments_.end()) return;
-              const std::size_t failed_path = it->second.path_index;
-              ++failures_detected_;
-              if (config_.auto_reconstruct) {
-                it->second.timeout_event = sim::kInvalidEventId;
-              } else {
-                pending_segments_.erase(it);
-              }
-              // A pending combined path that times out is simply failed.
-              Path& p = paths_[failed_path];
-              if (p.state == PathState::kPending) {
-                p.state = PathState::kFailed;
-                sync_path_info(failed_path);
-                if (path_failure_handler_) path_failure_handler_(failed_path);
-                if (config_.auto_reconstruct) rebuild_path(failed_path);
-              } else {
-                mark_path_failed(failed_path);
-              }
+              on_segment_timeout(key, /*fail_pending_path=*/true);
             });
         pending_segments_[key] = std::move(pending);
         sent_any = true;
@@ -595,6 +862,18 @@ void Session::redirect(NodeId new_responder, RedirectHandler handler) {
 }
 
 void Session::teardown() {
+  torn_down_ = true;
+  if (construct_backoff_event_ != sim::kInvalidEventId) {
+    router_.simulator().cancel(construct_backoff_event_);
+    construct_backoff_event_ = sim::kInvalidEventId;
+  }
+  // Drain un-acked segments: no ack can arrive once the paths are gone,
+  // so account for them now instead of leaking pending entries.
+  while (!pending_segments_.empty()) {
+    const auto it = pending_segments_.begin();
+    router_.simulator().cancel(it->second.timeout_event);
+    expire_segment(it->first);
+  }
   for (std::size_t index = 0; index < paths_.size(); ++index) {
     Path& path = paths_[index];
     if (path.state == PathState::kEstablished && !path.relays.empty()) {

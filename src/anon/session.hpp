@@ -39,6 +39,39 @@ struct SessionConfig {
   bool weighted_allocation = false;   // future-work extension
   double replace_threshold = 0.0;     // > 0 enables proactive replacement
   SimDuration replace_check_interval = 30 * kSecond;
+
+  // --- adaptive failure handling (all default OFF: with both switches
+  // off, behavior, timings, and RNG draws are byte-identical to the
+  // paper-reproduction configuration above) ---
+
+  /// TCP-style per-path retransmission timers: RTO = SRTT + 4 * RTTVAR
+  /// (Jacobson/Karels), clamped to [rto_min, rto_max], seeded from the
+  /// construction round trip and updated from first-transmission acks
+  /// (Karn's algorithm). Until the first sample, `ack_timeout` applies.
+  /// Also enables segment retransmission over surviving paths: a timed-out
+  /// segment is resent on the next established path (round-robin, doubled
+  /// timeout per retry) up to max_segment_retries times, and a path is
+  /// only declared failed after path_fail_threshold consecutive timeouts.
+  bool adaptive_timeouts = false;
+  SimDuration rto_min = 500 * kMillisecond;
+  SimDuration rto_max = 30 * kSecond;
+  std::size_t max_segment_retries = 2;
+  std::size_t path_fail_threshold = 3;
+
+  /// Exponential backoff with deterministic jitter for whole-set
+  /// construction retries and per-path rebuild retries, instead of
+  /// immediate retry: delay_i = min(backoff_base * 2^i, backoff_max),
+  /// jittered to [delay/2, delay] from the session's own RNG stream.
+  bool retry_backoff = false;
+  SimDuration backoff_base = 1 * kSecond;
+  SimDuration backoff_max = 60 * kSecond;
+
+  /// Construction succeeds only once ALL k paths are established, not
+  /// just min_paths() of them. Attempts that establish at least one path
+  /// keep the winners and re-provision only the missing paths ("top-up")
+  /// instead of the paper's whole-set retry. Off by default: partial
+  /// provisioning is the paper's behavior and what the seed tests pin.
+  bool require_full_construction = false;
 };
 
 enum class PathState { kUnbuilt, kPending, kEstablished, kFailed };
@@ -50,6 +83,11 @@ class Session {
                                         std::size_t path_index)>;
   using ResponseHandler = std::function<void(MessageId id, Bytes data)>;
   using PathFailureHandler = std::function<void(std::size_t path_index)>;
+  /// Fires when a segment is abandoned for good (timeout with no retry
+  /// budget left, or drained at teardown) — the chaos harness uses it to
+  /// prove every sent message is either delivered or accounted as failed.
+  using SegmentExpiryHandler = std::function<void(
+      MessageId id, std::uint32_t segment, std::size_t path_index)>;
 
   Session(AnonRouter& router, const membership::NodeCache& cache,
           NodeId initiator, NodeId responder, SessionConfig config, Rng rng);
@@ -98,6 +136,9 @@ class Session {
   void set_path_failure_handler(PathFailureHandler handler) {
     path_failure_handler_ = std::move(handler);
   }
+  void set_segment_expiry_handler(SegmentExpiryHandler handler) {
+    segment_expiry_handler_ = std::move(handler);
+  }
 
   struct PathInfo {
     std::vector<NodeId> relays;
@@ -114,6 +155,25 @@ class Session {
   std::uint64_t acks_received() const { return acks_received_; }
   std::uint64_t path_failures_detected() const { return failures_detected_; }
   std::uint64_t proactive_replacements() const { return proactive_replacements_; }
+
+  // Segment ledger: every send_segment_on_path call ends in exactly one of
+  // {acked, expired, retransmitted} or is still pending, so
+  //   segments_sent == acks_matched + segments_expired
+  //                    + segments_retransmitted + pending_segment_count
+  // holds at all times — the chaos harness asserts it (no silent loss in
+  // our own accounting).
+  std::uint64_t acks_matched() const { return acks_matched_; }
+  std::uint64_t segments_expired() const { return segments_expired_; }
+  std::uint64_t segments_retransmitted() const {
+    return segments_retransmitted_;
+  }
+  std::size_t pending_segment_count() const {
+    return pending_segments_.size();
+  }
+
+  /// Current retransmission timeout for a path (the fixed ack_timeout
+  /// unless adaptive mode has an RTT estimate).
+  SimDuration current_rto(std::size_t path_index) const;
 
   NodeId initiator() const { return initiator_; }
   NodeId responder() const { return responder_; }
@@ -136,18 +196,38 @@ class Session {
     std::size_t original_size = 0;
     std::size_t path_index = 0;
     sim::EventId timeout_event = sim::kInvalidEventId;
+    SimTime sent_at = 0;            // RTT sampling (adaptive mode)
+    std::size_t retries = 0;        // retransmissions so far (Karn)
+  };
+
+  /// Per-path RTT estimator and failure streaks (adaptive mode only).
+  struct PathHealth {
+    bool rtt_valid = false;
+    double srtt_us = 0.0;
+    double rttvar_us = 0.0;
+    std::size_t consecutive_timeouts = 0;
+    std::size_t rebuild_failures = 0;
   };
 
   void attempt_construction();
   void finish_attempt();
+  void top_up_missing_paths();
+  void retry_construction();
   void build_path(std::size_t index, std::function<void(bool)> done);
   void on_reverse(std::size_t path_index, const ReverseDelivery& delivery);
   void handle_reverse_core(std::size_t path_index, const ReverseCore& core);
   void send_segment_on_path(std::size_t path_index, MessageId message_id,
                             const erasure::Segment& segment,
-                            std::size_t original_size);
+                            std::size_t original_size,
+                            std::size_t retries = 0);
+  void on_segment_timeout(std::uint64_t key, bool fail_pending_path);
+  void expire_segment(std::uint64_t key);
+  void observe_rtt(std::size_t path_index, SimDuration sample);
+  SimDuration backoff_delay(std::size_t failures);
   void mark_path_failed(std::size_t path_index);
   void rebuild_path(std::size_t path_index);
+  void schedule_rebuild(std::size_t path_index);
+  void expire_kept_pending(std::size_t path_index);
   void resend_pending(std::size_t old_path_index, std::size_t new_path_index);
   void check_predictors();
   void sync_path_info(std::size_t index);
@@ -166,6 +246,7 @@ class Session {
 
   std::vector<Path> paths_;
   std::vector<PathInfo> path_info_;
+  std::vector<PathHealth> path_health_;
   std::shared_ptr<bool> alive_;  // guards async callbacks
 
   // Construction state.
@@ -173,6 +254,9 @@ class Session {
   std::size_t construct_attempts_ = 0;
   std::size_t attempt_outstanding_ = 0;
   bool constructing_ = false;
+  bool torn_down_ = false;  // stops scheduled backoff retries
+  sim::EventId construct_backoff_event_ = sim::kInvalidEventId;
+  Rng backoff_rng_;  // forked from rng_ only when a new mode is on
 
   // In-flight segments keyed by (message_id, segment_index).
   std::unordered_map<std::uint64_t, PendingSegment> pending_segments_;
@@ -193,10 +277,14 @@ class Session {
   AckHandler ack_handler_;
   ResponseHandler response_handler_;
   PathFailureHandler path_failure_handler_;
+  SegmentExpiryHandler segment_expiry_handler_;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t segments_sent_ = 0;
   std::uint64_t acks_received_ = 0;
+  std::uint64_t acks_matched_ = 0;
+  std::uint64_t segments_expired_ = 0;
+  std::uint64_t segments_retransmitted_ = 0;
   std::uint64_t failures_detected_ = 0;
   std::uint64_t proactive_replacements_ = 0;
 };

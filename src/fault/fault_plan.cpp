@@ -1,0 +1,103 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace p2panon::fault {
+
+namespace {
+
+bool in_window(SimTime start, SimTime end, SimTime now) {
+  return now >= start && now < end;
+}
+
+bool contains(const std::vector<NodeId>& nodes, NodeId node) {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " probability must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::crash(NodeId node, SimTime at, SimTime recover_at) {
+  if (recover_at <= at) {
+    throw std::invalid_argument("FaultPlan::crash: recover_at must be > at");
+  }
+  crashes_.push_back(CrashEvent{node, at, recover_at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::vector<NodeId> side_a,
+                                std::vector<NodeId> side_b, SimTime start,
+                                SimTime end) {
+  if (side_a.empty()) {
+    throw std::invalid_argument("FaultPlan::partition: side_a is empty");
+  }
+  partitions_.push_back(
+      PartitionRule{std::move(side_a), std::move(side_b), start, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_spike(LinkSpikeRule rule) {
+  check_probability(rule.loss_rate, "link_spike loss");
+  link_spikes_.push_back(std::move(rule));
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(double probability, SimTime start,
+                                SimTime end) {
+  check_probability(probability, "duplicate");
+  duplicates_.push_back(DuplicateRule{probability, start, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder(double probability, SimDuration max_extra_delay,
+                              SimTime start, SimTime end) {
+  check_probability(probability, "reorder");
+  reorders_.push_back(ReorderRule{probability, max_extra_delay, start, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(double probability, SimTime start, SimTime end,
+                              std::vector<NodeId> at_nodes) {
+  check_probability(probability, "corrupt");
+  corrupts_.push_back(CorruptRule{probability, start, end,
+                                  std::move(at_nodes)});
+  return *this;
+}
+
+bool FaultPlan::empty() const {
+  return crashes_.empty() && partitions_.empty() && !has_link_rules();
+}
+
+bool FaultPlan::is_crashed(NodeId node, SimTime now) const {
+  for (const CrashEvent& crash : crashes_) {
+    if (crash.node == node && now >= crash.at && now < crash.recover_at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::partitioned(NodeId from, NodeId to, SimTime now) const {
+  for (const PartitionRule& rule : partitions_) {
+    if (!in_window(rule.start, rule.end, now)) continue;
+    const bool from_a = contains(rule.side_a, from);
+    const bool to_a = contains(rule.side_a, to);
+    if (from_a == to_a) continue;  // same side of the cut
+    // The endpoint not in side_a must be in side_b (empty side_b = rest of
+    // the network, which always matches).
+    if (rule.side_b.empty()) return true;
+    const NodeId other = from_a ? to : from;
+    if (contains(rule.side_b, other)) return true;
+  }
+  return false;
+}
+
+}  // namespace p2panon::fault

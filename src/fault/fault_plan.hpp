@@ -1,0 +1,133 @@
+// Deterministic, scriptable fault schedule.
+//
+// A FaultPlan is a passive description of *when* and *where* the network
+// misbehaves: node crashes with optional recovery, bidirectional partitions
+// between node sets, per-link loss/delay spikes over time windows, message
+// duplication, bounded reordering, and byzantine corruption of forward-
+// channel datagrams. It is consumed by two parties:
+//
+//   - FaultyTransport, a Transport decorator that applies the loss /
+//     partition / duplication / reordering / corruption rules to every
+//     datagram (with its own RNG stream, so an empty plan perturbs
+//     nothing);
+//   - the liveness oracle: crash windows are bridged into the churn
+//     model's is_up view (Environment composes `churn.is_up(n) &&
+//     !plan.is_crashed(n, now)`), so delivery-time death of a crashed
+//     receiver behaves exactly like churn-induced death.
+//
+// All rules are plain data; queries are pure functions of (plan, time), so
+// two runs over the same plan and seeds are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace p2panon::fault {
+
+/// Node is dead during [at, recover_at); kNeverTime means it never comes
+/// back.
+struct CrashEvent {
+  NodeId node = kInvalidNode;
+  SimTime at = 0;
+  SimTime recover_at = kNeverTime;
+};
+
+/// No datagram crosses between side_a and side_b (either direction) during
+/// [start, end). An empty side_b means "everyone not in side_a".
+struct PartitionRule {
+  std::vector<NodeId> side_a;
+  std::vector<NodeId> side_b;  // empty = rest of the network
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+};
+
+/// During [start, end), datagrams on matching links are dropped i.i.d.
+/// with `loss_rate`, and (when extra_delay_max > 0) delayed by an extra
+/// uniform [0, extra_delay_max]. A link matches when either endpoint is in
+/// `endpoints`; an empty list matches every link.
+struct LinkSpikeRule {
+  double loss_rate = 0.0;
+  SimDuration extra_delay_max = 0;
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+  std::vector<NodeId> endpoints;  // empty = all links
+};
+
+/// During [start, end), each datagram is sent twice with probability
+/// `probability` (the copy takes the same path through the remaining
+/// rules' delay, so it may arrive before or after the original).
+struct DuplicateRule {
+  double probability = 0.0;
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+};
+
+/// During [start, end), each datagram is held back by an extra uniform
+/// [0, max_extra_delay] with probability `probability` — bounded
+/// reordering relative to unaffected traffic.
+struct ReorderRule {
+  double probability = 0.0;
+  SimDuration max_extra_delay = 0;
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+};
+
+/// During [start, end), forward-channel (kAnonForward) datagrams sent by a
+/// node in `at_nodes` (empty = any sender) have one byte flipped with
+/// probability `probability` — a byzantine relay tampering with onions,
+/// exercising AEAD rejection and peel-failure accounting downstream.
+struct CorruptRule {
+  double probability = 0.0;
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+  std::vector<NodeId> at_nodes;  // empty = any sender
+};
+
+class FaultPlan {
+ public:
+  // --- builders (chainable) ---
+  FaultPlan& crash(NodeId node, SimTime at, SimTime recover_at = kNeverTime);
+  FaultPlan& partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b,
+                       SimTime start, SimTime end);
+  FaultPlan& link_spike(LinkSpikeRule rule);
+  FaultPlan& duplicate(double probability, SimTime start, SimTime end);
+  FaultPlan& reorder(double probability, SimDuration max_extra_delay,
+                     SimTime start, SimTime end);
+  FaultPlan& corrupt(double probability, SimTime start, SimTime end,
+                     std::vector<NodeId> at_nodes = {});
+
+  bool empty() const;
+
+  // --- queries ---
+  bool is_crashed(NodeId node, SimTime now) const;
+  bool partitioned(NodeId from, NodeId to, SimTime now) const;
+
+  /// True when any loss / delay / duplicate / reorder / corrupt rule could
+  /// ever fire (cheap gate so a crash-only plan draws no transport RNG).
+  bool has_link_rules() const {
+    return !link_spikes_.empty() || !duplicates_.empty() ||
+           !reorders_.empty() || !corrupts_.empty();
+  }
+
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+  const std::vector<PartitionRule>& partitions() const { return partitions_; }
+  const std::vector<LinkSpikeRule>& link_spikes() const {
+    return link_spikes_;
+  }
+  const std::vector<DuplicateRule>& duplicates() const { return duplicates_; }
+  const std::vector<ReorderRule>& reorders() const { return reorders_; }
+  const std::vector<CorruptRule>& corrupts() const { return corrupts_; }
+
+ private:
+  std::vector<CrashEvent> crashes_;
+  std::vector<PartitionRule> partitions_;
+  std::vector<LinkSpikeRule> link_spikes_;
+  std::vector<DuplicateRule> duplicates_;
+  std::vector<ReorderRule> reorders_;
+  std::vector<CorruptRule> corrupts_;
+};
+
+}  // namespace p2panon::fault

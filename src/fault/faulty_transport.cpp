@@ -1,0 +1,126 @@
+#include "fault/faulty_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/demux.hpp"
+
+namespace p2panon::fault {
+
+namespace {
+
+bool in_window(SimTime start, SimTime end, SimTime now) {
+  return now >= start && now < end;
+}
+
+bool matches(const std::vector<NodeId>& nodes, NodeId node) {
+  return nodes.empty() ||
+         std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(net::Transport& inner, const FaultPlan& plan,
+                                 std::uint64_t seed,
+                                 sim::Simulator* simulator)
+    : inner_(inner), plan_(plan), simulator_(simulator), rng_(seed) {}
+
+void FaultyTransport::register_handler(NodeId node, Handler handler) {
+  inner_.register_handler(node, std::move(handler));
+}
+
+void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+
+  const SimTime when = now();
+
+  // Crash windows: the plan is also bridged into the liveness oracle (so
+  // in-flight messages die at delivery time), but dropping here keeps the
+  // semantics under transports with no oracle (LoopbackTransport) and
+  // attributes the drop to its cause.
+  if (!plan_.crashes().empty() &&
+      (plan_.is_crashed(from, when) || plan_.is_crashed(to, when))) {
+    ++counters_.dropped_crash;
+    return;
+  }
+
+  if (!plan_.partitions().empty() && plan_.partitioned(from, to, when)) {
+    ++counters_.dropped_partition;
+    return;
+  }
+
+  // Everything below draws from the decorator's own RNG stream; gated on
+  // rule presence so a plan without link rules advances nothing.
+  SimDuration extra_delay = 0;
+  for (const LinkSpikeRule& rule : plan_.link_spikes()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (!matches(rule.endpoints, from) && !matches(rule.endpoints, to)) {
+      continue;
+    }
+    if (rule.loss_rate > 0.0 && rng_.bernoulli(rule.loss_rate)) {
+      ++counters_.dropped_loss;
+      return;
+    }
+    if (rule.extra_delay_max > 0) {
+      extra_delay += static_cast<SimDuration>(
+          rng_.next_below(static_cast<std::uint64_t>(rule.extra_delay_max) + 1));
+    }
+  }
+
+  // Byzantine corruption: flip one byte of a forward-channel datagram past
+  // the channel id, so a relay's AEAD peel (or the responder's sealed-core
+  // open) rejects it and the drop shows up in peel-failure accounting.
+  for (const CorruptRule& rule : plan_.corrupts()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (!matches(rule.at_nodes, from)) continue;
+    if (payload.size() < 2 ||
+        payload[0] != static_cast<std::uint8_t>(net::Channel::kAnonForward)) {
+      continue;
+    }
+    if (rng_.bernoulli(rule.probability)) {
+      const std::size_t index = 1 + rng_.next_below(payload.size() - 1);
+      payload[index] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      ++counters_.corrupted;
+      break;  // one flip is enough to invalidate the AEAD tag
+    }
+  }
+
+  bool duplicate = false;
+  for (const DuplicateRule& rule : plan_.duplicates()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (rng_.bernoulli(rule.probability)) {
+      duplicate = true;
+      break;
+    }
+  }
+
+  for (const ReorderRule& rule : plan_.reorders()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (rule.max_extra_delay > 0 && rng_.bernoulli(rule.probability)) {
+      extra_delay += static_cast<SimDuration>(rng_.next_below(
+          static_cast<std::uint64_t>(rule.max_extra_delay) + 1));
+      ++counters_.delayed;
+    }
+  }
+
+  if (duplicate) {
+    ++counters_.duplicated;
+    dispatch(from, to, payload, extra_delay);
+  }
+  dispatch(from, to, std::move(payload), extra_delay);
+}
+
+void FaultyTransport::dispatch(NodeId from, NodeId to, Bytes payload,
+                               SimDuration extra) {
+  if (extra > 0 && simulator_ != nullptr) {
+    simulator_->schedule_after(
+        extra, [this, from, to, data = std::move(payload)]() mutable {
+          inner_.send(from, to, std::move(data));
+        });
+    return;
+  }
+  inner_.send(from, to, std::move(payload));
+}
+
+}  // namespace p2panon::fault

@@ -1,0 +1,71 @@
+// Fault-injecting Transport decorator.
+//
+// Wraps any Transport (SimTransport for simulated runs, LoopbackTransport
+// for in-process protocol tests) and applies a FaultPlan's rules to every
+// datagram handed to send(): crash drops, partition drops, spike loss,
+// extra delay (via the simulator when one is provided; delay rules are
+// ignored without it), duplication, bounded reordering, and byte
+// corruption of forward-channel onions.
+//
+// Determinism contract: the decorator keeps its own RNG stream, and rules
+// are only consulted (and the RNG only advanced) when the plan actually
+// has rules of that class — so an empty plan forwards every datagram
+// untouched, draws nothing, and leaves all seed-test results byte-
+// identical to running without the decorator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::fault {
+
+class FaultyTransport final : public net::Transport {
+ public:
+  /// Per-cause accounting; `injected` rules (duplicate/delay/corrupt) do
+  /// not drop the datagram and are counted separately from drops.
+  struct Counters {
+    std::uint64_t dropped_crash = 0;
+    std::uint64_t dropped_partition = 0;
+    std::uint64_t dropped_loss = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t total_dropped() const {
+      return dropped_crash + dropped_partition + dropped_loss;
+    }
+  };
+
+  /// `simulator` enables the delay/reorder rules (and supplies the clock
+  /// the time windows are evaluated against); without one, time is pinned
+  /// to 0 so only rules whose window covers t=0 apply, and delays are
+  /// ignored (LoopbackTransport has no time axis).
+  FaultyTransport(net::Transport& inner, const FaultPlan& plan,
+                  std::uint64_t seed, sim::Simulator* simulator = nullptr);
+
+  void send(NodeId from, NodeId to, Bytes payload) override;
+  void register_handler(NodeId node, Handler handler) override;
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+
+  const Counters& counters() const { return counters_; }
+  net::Transport& inner() { return inner_; }
+
+ private:
+  SimTime now() const { return simulator_ != nullptr ? simulator_->now() : 0; }
+  void dispatch(NodeId from, NodeId to, Bytes payload, SimDuration extra);
+
+  net::Transport& inner_;
+  const FaultPlan& plan_;
+  sim::Simulator* simulator_;
+  Rng rng_;
+  Counters counters_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace p2panon::fault

@@ -1,0 +1,155 @@
+// Chaos invariant harness: named fault scenarios + end-to-end accounting.
+//
+// Each run drives one protocol session (initiator -> responder) through a
+// scripted FaultPlan scenario and closes the books afterwards. The point is
+// not a performance number but a set of *invariants* that must hold under
+// any fault schedule:
+//
+//   1. Conservation: every accepted message is delivered, or explainable —
+//      at least one of its segments expired, or fewer than m segments
+//      could be placed on established paths at send time. `unaccounted`
+//      counts the violations and must be 0.
+//   2. Segment ledger: segments_sent == acks_matched + segments_expired +
+//      segments_retransmitted + pending (and pending == 0 after quiesce).
+//   3. No residual state: after teardown plus one state-TTL sweep, no
+//      pending segments, relay path state, pending constructions, reverse
+//      handlers, or reassembly buffers remain anywhere in the network.
+//   4. Determinism: two runs with identical config produce identical
+//      fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "anon/protocols.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/environment.hpp"
+
+namespace p2panon::harness {
+
+enum class ChaosScenario {
+  kFlashCrowdCrash,     // 25% of nodes crash at once, recover later
+  kRollingPartition,    // 4 node blocks partitioned off in rolling windows
+  kLossyLinkEpidemic,   // escalating global loss + delay spikes
+  kCorruptedRelayQuorum,// 25% of nodes flip bytes in forward onions
+  kMildLossDrizzle      // steady 5% per-datagram loss, whole window
+};
+
+const char* scenario_name(ChaosScenario scenario);
+
+/// Builds the deterministic fault schedule for a scenario over the window
+/// [start, end). Nodes 0 and 1 (the pinned endpoints) are never crashed,
+/// partitioned away, or made byzantine; link-wide rules still affect their
+/// traffic.
+fault::FaultPlan make_scenario_plan(ChaosScenario scenario,
+                                    std::size_t num_nodes, SimTime start,
+                                    SimTime end, std::uint64_t seed);
+
+struct ChaosConfig {
+  EnvironmentConfig environment;
+  anon::ProtocolSpec spec;
+  ChaosScenario scenario = ChaosScenario::kFlashCrowdCrash;
+  SimDuration warmup = 10 * kMinute;   // gossip convergence before faults
+  SimDuration measure = 20 * kMinute;  // fault window + send window
+  /// Faults start this long after warmup ends, so path construction (which
+  /// begins at warmup) races a healthy network, not the fault wave. Sized
+  /// to cover the adaptive mode's construction backoff chain too.
+  SimDuration fault_grace = 150 * kSecond;
+  SimDuration quiesce = 2 * kMinute;   // drain in-flight traffic
+  SimDuration send_interval = 5 * kSecond;
+  std::size_t message_size = 512;
+  SimDuration construct_timeout = 5 * kSecond;
+  SimDuration ack_timeout = 5 * kSecond;
+  std::size_t max_construct_attempts = 500;
+  /// false: fixed 5 s ack timeout, immediate retries (the paper's
+  /// configuration, auto-reconstruct on). true: adaptive RTO + segment
+  /// retransmission + exponential backoff.
+  bool adaptive = false;
+  /// Self-healing (§4.5 failure detection -> §4.1 reconstruction). Off =
+  /// the paper's static regime: a timed-out segment is simply lost and
+  /// failed paths stay down, so redundancy alone decides delivery — the
+  /// regime the SimEra >= SimRep >= CurMix ordering is claimed for.
+  bool auto_reconstruct = true;
+  /// Backoff schedule for the adaptive mode, scaled for chaos windows of
+  /// minutes (the SessionConfig defaults suit long-lived deployments).
+  SimDuration backoff_base = 250 * kMillisecond;
+  SimDuration backoff_max = 10 * kSecond;
+  /// Retransmission budget per segment in adaptive mode (fixed mode's
+  /// rebuild-resend loop is effectively unbounded).
+  std::size_t adaptive_segment_retries = 6;
+  /// Keep constructing (topping up failed paths) until all k paths stand.
+  /// Needed for clean protocol comparisons: with the default partial
+  /// provisioning, SimRep(2) can start with one path and degenerate into
+  /// CurMix for the whole run.
+  bool require_full_paths = false;
+  NodeId initiator = 0;
+  NodeId responder = 1;
+};
+
+struct ChaosResult {
+  bool constructed = false;
+  std::size_t construct_attempts = 0;
+
+  // Message conservation.
+  std::uint64_t send_attempts = 0;      // send_message calls
+  std::uint64_t messages_accepted = 0;  // nonzero id returned
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_failed = 0;    // undelivered but explainable
+  std::uint64_t messages_unaccounted = 0;  // invariant: 0
+  std::uint64_t reassemblies_expired = 0;  // responder-side TTL expiries
+
+  // Segment ledger (session counters after quiesce).
+  std::uint64_t segments_sent = 0;
+  std::uint64_t acks_matched = 0;
+  std::uint64_t segments_expired = 0;
+  std::uint64_t segments_retransmitted = 0;
+  std::uint64_t failures_detected = 0;
+  std::uint64_t rebuilds = 0;
+
+  // Residual state after teardown + TTL sweep (invariant: all 0).
+  std::size_t leaked_pending_segments = 0;
+  std::size_t leaked_path_state = 0;
+  std::size_t leaked_pending_constructions = 0;
+  std::size_t leaked_reverse_handlers = 0;
+  std::size_t leaked_reassembly = 0;
+
+  // Injection + drop accounting.
+  fault::FaultyTransport::Counters faults;
+  net::SimTransport::DropCounters drops;
+  std::uint64_t peel_failures = 0;
+  std::uint64_t executed_events = 0;
+
+  double delivery_rate() const {
+    return messages_accepted == 0
+               ? 0.0
+               : static_cast<double>(messages_delivered) /
+                     static_cast<double>(messages_accepted);
+  }
+  /// Delivered fraction of everything the application *tried* to send.
+  /// Unlike delivery_rate() this charges a protocol for refusing sends
+  /// while its paths are down (send_message returning 0), so protocols
+  /// that stall under faults cannot hide behind a shrunken denominator.
+  double attempted_delivery_rate() const {
+    return send_attempts == 0
+               ? 0.0
+               : static_cast<double>(messages_delivered) /
+                     static_cast<double>(send_attempts);
+  }
+  bool ledger_closed() const {
+    return segments_sent == acks_matched + segments_expired +
+                                segments_retransmitted +
+                                leaked_pending_segments;
+  }
+  std::size_t total_leaks() const {
+    return leaked_pending_segments + leaked_path_state +
+           leaked_pending_constructions + leaked_reverse_handlers +
+           leaked_reassembly;
+  }
+  /// Order-sensitive digest of every counter — equal fingerprints mean
+  /// bit-identical runs.
+  std::string fingerprint() const;
+};
+
+ChaosResult run_chaos_experiment(const ChaosConfig& config);
+
+}  // namespace p2panon::harness

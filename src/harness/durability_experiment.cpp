@@ -1,5 +1,6 @@
 #include "harness/durability_experiment.hpp"
 
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -124,6 +125,37 @@ DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
 
   const SimTime measure_end = config.warmup + config.measure;
 
+  // Periodic sender. Bandwidth attribution for message i happens just
+  // before message i+1 is sent. The closure lives in this frame, which
+  // outlives every simulator run below, so the copies stored in simulator
+  // events capture it by reference only (a shared self-holding closure
+  // would be a refcount cycle LeakSanitizer flags).
+  std::function<void()> send_one;
+  send_one = [&]() {
+    const SimTime now = env.simulator().now();
+    if (now > measure_end) return;
+    // Attribute the previous message's bytes if it was delivered.
+    if (current_message != 0) {
+      const std::uint64_t spent =
+          env.router().payload_bytes() - bytes_at_send;
+      if (send_times.count(current_message) > 0 && spent > 0 &&
+          result.messages_delivered > result.bandwidth_bytes.count()) {
+        result.bandwidth_bytes.add(static_cast<double>(spent));
+      }
+    }
+    bytes_at_send = env.router().payload_bytes();
+    Bytes payload(config.message_size, 0xab);
+    const MessageId id = session.send_message(payload);
+    if (id != 0) {
+      ++result.messages_sent;
+      send_times[id] = now;
+      current_message = id;
+    } else {
+      current_message = 0;
+    }
+    env.simulator().schedule_after(config.send_interval, send_one);
+  };
+
   // At warm-up end: construct (with retries inside the session), arm the
   // durability monitor, then start the periodic sender.
   env.simulator().schedule_at(config.warmup, [&] {
@@ -141,37 +173,7 @@ DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
                                   : std::vector<NodeId>{});
       }
       monitor.arm(established, env.simulator().now());
-
-      // Periodic sender. Bandwidth attribution for message i happens just
-      // before message i+1 is sent. The self-rescheduling closure lives in
-      // a shared holder so the copies stored in simulator events stay
-      // valid after this frame returns.
-      auto send_one = std::make_shared<std::function<void()>>();
-      *send_one = [&, send_one]() {
-        const SimTime now = env.simulator().now();
-        if (now > measure_end) return;
-        // Attribute the previous message's bytes if it was delivered.
-        if (current_message != 0) {
-          const std::uint64_t spent =
-              env.router().payload_bytes() - bytes_at_send;
-          if (send_times.count(current_message) > 0 && spent > 0 &&
-              result.messages_delivered > result.bandwidth_bytes.count()) {
-            result.bandwidth_bytes.add(static_cast<double>(spent));
-          }
-        }
-        bytes_at_send = env.router().payload_bytes();
-        Bytes payload(config.message_size, 0xab);
-        const MessageId id = session.send_message(payload);
-        if (id != 0) {
-          ++result.messages_sent;
-          send_times[id] = now;
-          current_message = id;
-        } else {
-          current_message = 0;
-        }
-        env.simulator().schedule_after(config.send_interval, *send_one);
-      };
-      (*send_one)();
+      send_one();
     });
   });
 

@@ -14,11 +14,23 @@ Environment::Environment(EnvironmentConfig config)
   churn_ = std::make_unique<churn::ChurnModel>(
       simulator_, config_.num_nodes, *session_dist, rng_.fork());
 
+  // The liveness oracle folds in plan-scripted crashes so that a crashed
+  // node also refuses deliveries that are already in flight (same failure
+  // mode as churn). With no plan this is exactly the churn oracle.
   transport_ = std::make_unique<net::SimTransport>(
-      simulator_, *latency_,
-      [this](NodeId node) { return churn_->is_up(node); });
+      simulator_, *latency_, [this](NodeId node) {
+        if (!churn_->is_up(node)) return false;
+        return !(config_.fault_plan &&
+                 config_.fault_plan->is_crashed(node, simulator_.now()));
+      });
 
-  demux_ = std::make_unique<net::Demux>(*transport_, config_.num_nodes);
+  if (config_.fault_plan != nullptr) {
+    faulty_ = std::make_unique<fault::FaultyTransport>(
+        *transport_, *config_.fault_plan, config_.fault_seed, &simulator_);
+  }
+  net::Transport& wire = faulty_ ? static_cast<net::Transport&>(*faulty_)
+                                 : static_cast<net::Transport&>(*transport_);
+  demux_ = std::make_unique<net::Demux>(wire, config_.num_nodes);
 
   Rng key_rng = rng_.fork();
   auto node_keys = directory_.provision(config_.num_nodes, key_rng);

@@ -16,6 +16,7 @@
 #include "anon/router.hpp"
 #include "churn/churn_model.hpp"
 #include "crypto/keys.hpp"
+#include "fault/faulty_transport.hpp"
 #include "membership/gossip.hpp"
 #include "net/demux.hpp"
 #include "net/latency_matrix.hpp"
@@ -33,6 +34,14 @@ struct EnvironmentConfig {
   anon::RouterConfig router;
   bool fast_crypto = true;  // FastOnionCodec for statistical runs
   std::size_t path_length = 3;  // L
+
+  /// Optional scripted fault schedule (not owned; must outlive the
+  /// Environment). When set, a FaultyTransport decorator is layered
+  /// between the SimTransport and the Demux, and plan crashes are bridged
+  /// into the liveness oracle. Null leaves the stack — and every RNG
+  /// stream — exactly as before.
+  const fault::FaultPlan* fault_plan = nullptr;
+  std::uint64_t fault_seed = 0xFA017;
 };
 
 class Environment {
@@ -48,6 +57,8 @@ class Environment {
   sim::Simulator& simulator() { return simulator_; }
   churn::ChurnModel& churn() { return *churn_; }
   net::SimTransport& transport() { return *transport_; }
+  /// Non-null only when a fault plan was configured.
+  fault::FaultyTransport* faulty_transport() { return faulty_.get(); }
   net::Demux& demux() { return *demux_; }
   membership::GossipMembership& membership() { return *membership_; }
   anon::AnonRouter& router() { return *router_; }
@@ -66,6 +77,7 @@ class Environment {
   std::unique_ptr<net::LatencyMatrix> latency_;
   std::unique_ptr<churn::ChurnModel> churn_;
   std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<fault::FaultyTransport> faulty_;
   std::unique_ptr<net::Demux> demux_;
   crypto::KeyDirectory directory_;
   std::unique_ptr<membership::GossipMembership> membership_;

@@ -32,14 +32,14 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
   ++messages_sent_;
   bytes_sent_ += payload.size() + per_hop_overhead_;
   if (!liveness_(from)) {
-    ++messages_dropped_;
+    ++drops_.sender_dead;
     return;
   }
   // Link faults: i.i.d. datagram loss and per-packet latency jitter.
   // Guarded so the default configuration draws nothing and stays
   // bit-identical to the fault-free transport.
   if (faults_.loss_rate > 0.0 && fault_rng_.bernoulli(faults_.loss_rate)) {
-    ++messages_dropped_;
+    ++drops_.link_loss;
     return;
   }
   SimDuration delay = latency_.one_way(from, to);
@@ -51,14 +51,14 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
   simulator_.schedule_after(
       delay, [this, from, to, data = std::move(payload)]() {
         if (!liveness_(to)) {
-          ++messages_dropped_;
+          ++drops_.receiver_dead;
           return;
         }
         const Handler& handler = handlers_[to];
         if (handler) {
           handler(from, to, data);
         } else {
-          ++messages_dropped_;
+          ++drops_.no_handler;
         }
       });
 }
@@ -70,7 +70,7 @@ void SimTransport::register_handler(NodeId node, Handler handler) {
 void SimTransport::reset_counters() {
   bytes_sent_ = 0;
   messages_sent_ = 0;
-  messages_dropped_ = 0;
+  drops_ = DropCounters{};
 }
 
 }  // namespace p2panon::net

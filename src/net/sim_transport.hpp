@@ -47,7 +47,19 @@ class SimTransport final : public Transport {
 
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
   std::uint64_t messages_sent() const override { return messages_sent_; }
-  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+  /// Per-cause drop accounting: why a datagram vanished.
+  struct DropCounters {
+    std::uint64_t sender_dead = 0;    // sender down at send time
+    std::uint64_t receiver_dead = 0;  // receiver down at delivery time
+    std::uint64_t link_loss = 0;      // i.i.d. loss_rate drop
+    std::uint64_t no_handler = 0;     // delivered to an unregistered node
+    std::uint64_t total() const {
+      return sender_dead + receiver_dead + link_loss + no_handler;
+    }
+  };
+  const DropCounters& drop_counters() const { return drops_; }
+  std::uint64_t messages_dropped() const { return drops_.total(); }
 
   /// Resets the bandwidth counters (e.g. after warm-up).
   void reset_counters();
@@ -62,7 +74,7 @@ class SimTransport final : public Transport {
   std::vector<Handler> handlers_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_dropped_ = 0;
+  DropCounters drops_;
 };
 
 }  // namespace p2panon::net

@@ -1,0 +1,165 @@
+// Chaos invariant harness: every named fault scenario must preserve the
+// conservation, ledger, no-leak, and determinism invariants — in both the
+// paper's fixed-timeout configuration and the adaptive RTO/backoff mode.
+#include <gtest/gtest.h>
+
+#include "harness/chaos_experiment.hpp"
+
+namespace p2panon::harness {
+namespace {
+
+ChaosConfig small_chaos(ChaosScenario scenario, std::uint64_t seed,
+                        bool adaptive) {
+  ChaosConfig config;
+  config.environment.num_nodes = 96;
+  config.environment.seed = seed;
+  config.scenario = scenario;
+  config.warmup = 5 * kMinute;
+  config.measure = 10 * kMinute;
+  config.send_interval = 5 * kSecond;
+  config.adaptive = adaptive;
+  config.spec = anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kRandom);
+  return config;
+}
+
+// The four invariants every scenario must uphold (see chaos_experiment.hpp).
+void expect_invariants(const ChaosResult& result) {
+  ASSERT_TRUE(result.constructed);
+  ASSERT_GT(result.messages_accepted, 0u);
+  // 1. Conservation: delivered or explainable, nothing vanishes.
+  EXPECT_EQ(result.messages_unaccounted, 0u);
+  EXPECT_EQ(result.messages_delivered + result.messages_failed,
+            result.messages_accepted);
+  // 2. The segment ledger closes.
+  EXPECT_TRUE(result.ledger_closed())
+      << "sent=" << result.segments_sent
+      << " matched=" << result.acks_matched
+      << " expired=" << result.segments_expired
+      << " retransmitted=" << result.segments_retransmitted
+      << " pending=" << result.leaked_pending_segments;
+  // 3. No residual state anywhere after teardown + TTL sweep.
+  EXPECT_EQ(result.leaked_pending_segments, 0u);
+  EXPECT_EQ(result.leaked_path_state, 0u);
+  EXPECT_EQ(result.leaked_pending_constructions, 0u);
+  EXPECT_EQ(result.leaked_reverse_handlers, 0u);
+  EXPECT_EQ(result.leaked_reassembly, 0u);
+}
+
+TEST(ChaosScenarioTest, FlashCrowdCrashHoldsInvariants) {
+  for (const bool adaptive : {false, true}) {
+    const auto result = run_chaos_experiment(
+        small_chaos(ChaosScenario::kFlashCrowdCrash, 11, adaptive));
+    SCOPED_TRACE(adaptive ? "adaptive" : "fixed");
+    expect_invariants(result);
+    // The crash wave actually bit: scripted crashes dropped datagrams.
+    EXPECT_GT(result.faults.dropped_crash + result.drops.sender_dead +
+                  result.drops.receiver_dead,
+              0u);
+  }
+}
+
+TEST(ChaosScenarioTest, RollingPartitionHoldsInvariants) {
+  for (const bool adaptive : {false, true}) {
+    const auto result = run_chaos_experiment(
+        small_chaos(ChaosScenario::kRollingPartition, 12, adaptive));
+    SCOPED_TRACE(adaptive ? "adaptive" : "fixed");
+    expect_invariants(result);
+    EXPECT_GT(result.faults.dropped_partition, 0u);
+  }
+}
+
+TEST(ChaosScenarioTest, LossyLinkEpidemicHoldsInvariants) {
+  for (const bool adaptive : {false, true}) {
+    const auto result = run_chaos_experiment(
+        small_chaos(ChaosScenario::kLossyLinkEpidemic, 13, adaptive));
+    SCOPED_TRACE(adaptive ? "adaptive" : "fixed");
+    expect_invariants(result);
+    EXPECT_GT(result.faults.dropped_loss, 0u);
+    EXPECT_GT(result.faults.delayed + result.faults.dropped_loss, 0u);
+  }
+}
+
+TEST(ChaosScenarioTest, CorruptedRelayQuorumHoldsInvariants) {
+  for (const bool adaptive : {false, true}) {
+    auto config = small_chaos(ChaosScenario::kCorruptedRelayQuorum, 14, adaptive);
+    // Construction through byzantine relays needs many attempts; give the
+    // adaptive mode's backoff-paced attempt chain room to finish with a
+    // send window left over.
+    config.measure = 15 * kMinute;
+    const auto result = run_chaos_experiment(config);
+    SCOPED_TRACE(adaptive ? "adaptive" : "fixed");
+    expect_invariants(result);
+    // Byzantine flips happened and AEAD peels rejected them downstream.
+    EXPECT_GT(result.faults.corrupted, 0u);
+    EXPECT_GT(result.peel_failures, 0u);
+  }
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameFingerprint) {
+  const auto config =
+      small_chaos(ChaosScenario::kLossyLinkEpidemic, 21, /*adaptive=*/true);
+  const auto first = run_chaos_experiment(config);
+  const auto second = run_chaos_experiment(config);
+  EXPECT_EQ(first.fingerprint(), second.fingerprint());
+}
+
+TEST(ChaosDeterminismTest, DifferentSeedsDiverge) {
+  const auto a = run_chaos_experiment(
+      small_chaos(ChaosScenario::kFlashCrowdCrash, 22, false));
+  const auto b = run_chaos_experiment(
+      small_chaos(ChaosScenario::kFlashCrowdCrash, 23, false));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// Redundancy ordering (paper's core claim, chaos edition): erasure coding
+// >= replication >= single path, by delivered fraction. The claim is about
+// *redundancy alone* masking in-flight losses, so the run uses the paper's
+// static regime: no retransmission, no failure detection (the ack timeout
+// outlasts the run), no path repair. Loss must also stay mild — per-segment
+// end-to-end survival below ~0.68 provably inverts SimEra vs SimRep
+// (needing m-of-n arrivals beats 1-of-r only when segments usually live).
+TEST(ChaosProtocolTest, RedundancyOrderingUnderMildLoss) {
+  auto config = small_chaos(ChaosScenario::kMildLossDrizzle, 31, false);
+  config.auto_reconstruct = false;
+  config.require_full_paths = true;   // all k paths up before sending
+  config.ack_timeout = 2 * kHour;     // never fires within the run
+  config.send_interval = 1 * kSecond; // ~500 i.i.d. message samples
+  // Full provisioning can take minutes of top-up rounds; paths that were
+  // established early must not have their relay state TTL-expire (§4.3)
+  // while the stragglers finish, so the TTL must outlast the run.
+  config.environment.router.state_ttl = 1 * kHour;
+
+  config.spec = anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kRandom);
+  const auto simera = run_chaos_experiment(config);
+  config.spec = anon::ProtocolSpec::simrep(2, anon::MixChoice::kRandom);
+  const auto simrep = run_chaos_experiment(config);
+  config.spec = anon::ProtocolSpec::curmix(anon::MixChoice::kRandom);
+  const auto curmix = run_chaos_experiment(config);
+
+  expect_invariants(simera);
+  expect_invariants(simrep);
+  expect_invariants(curmix);
+  EXPECT_GE(simera.attempted_delivery_rate(),
+            simrep.attempted_delivery_rate());
+  EXPECT_GE(simrep.attempted_delivery_rate(),
+            curmix.attempted_delivery_rate());
+}
+
+// Adaptive RTO + backoff must help when links are lossy rather than dead:
+// retransmission recovers individual losses that the fixed configuration
+// turns into path teardowns. Compared on the attempted-delivery ratio —
+// delivered / tried-to-send — because the fixed mode also refuses sends
+// while its paths are torn down, which a per-accepted ratio would reward.
+TEST(ChaosAdaptiveTest, AdaptiveBeatsFixedUnderLoss) {
+  const auto fixed = run_chaos_experiment(
+      small_chaos(ChaosScenario::kLossyLinkEpidemic, 41, false));
+  const auto adaptive = run_chaos_experiment(
+      small_chaos(ChaosScenario::kLossyLinkEpidemic, 41, true));
+  expect_invariants(fixed);
+  expect_invariants(adaptive);
+  EXPECT_GT(adaptive.attempted_delivery_rate(),
+            fixed.attempted_delivery_rate());
+}
+
+}  // namespace
+}  // namespace p2panon::harness

@@ -2,6 +2,8 @@
 // churn trace record/replay, and the adaptive (k, r) controller.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "anon/adaptive.hpp"
 #include "anon/protocols.hpp"
 #include "churn/churn_model.hpp"
@@ -215,16 +217,19 @@ TEST(AdaptiveControllerTest, EscalatesRedundancyUnderLoss) {
   // (A one-shot kill would be filtered out immediately — reconstruction
   // only ever builds over live relays — so ongoing deaths are what the
   // redundancy has to absorb, exactly like real churn.)
-  auto kill_rng = std::make_shared<Rng>(95);
-  auto killer = std::make_shared<std::function<void()>>();
-  *killer = [&fx, kill_rng, killer] {
+  // The killer closure lives in this frame (alive through run_until), so
+  // event copies capture it by reference — a shared self-holding closure
+  // would be a refcount cycle LeakSanitizer flags.
+  Rng kill_rng(95);
+  std::function<void()> killer;
+  killer = [&] {
     if (to_seconds(fx.simulator.now()) > 300.0) return;
     for (NodeId node = 2; node < AdaptiveFixture::kNodes; ++node) {
-      if (fx.up[node] && kill_rng->bernoulli(0.06)) fx.up[node] = false;
+      if (fx.up[node] && kill_rng.bernoulli(0.06)) fx.up[node] = false;
     }
-    fx.simulator.schedule_after(25 * kSecond, *killer);
+    fx.simulator.schedule_after(25 * kSecond, killer);
   };
-  fx.simulator.schedule_at(10 * kSecond, *killer);
+  fx.simulator.schedule_at(10 * kSecond, killer);
 
   for (int i = 0; i < 55; ++i) {
     fx.simulator.schedule_at((12 + 10 * i) * kSecond, [&] {

@@ -1,0 +1,145 @@
+// Unit tests for the fault-injection layer: FaultPlan rule semantics and
+// the FaultyTransport decorator over a LoopbackTransport.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_transport.hpp"
+#include "net/demux.hpp"
+#include "net/loopback_transport.hpp"
+
+namespace p2panon::fault {
+namespace {
+
+TEST(FaultPlanTest, CrashWindows) {
+  FaultPlan plan;
+  plan.crash(3, 10 * kSecond, 20 * kSecond).crash(4, 5 * kSecond);
+  EXPECT_FALSE(plan.is_crashed(3, 9 * kSecond));
+  EXPECT_TRUE(plan.is_crashed(3, 10 * kSecond));
+  EXPECT_TRUE(plan.is_crashed(3, 19 * kSecond));
+  EXPECT_FALSE(plan.is_crashed(3, 20 * kSecond));  // recovered
+  EXPECT_TRUE(plan.is_crashed(4, kNeverTime - 1));  // never recovers
+  EXPECT_FALSE(plan.is_crashed(5, 15 * kSecond));
+}
+
+TEST(FaultPlanTest, PartitionSemantics) {
+  FaultPlan plan;
+  plan.partition({1, 2}, {3}, 0, 10 * kSecond);
+  EXPECT_TRUE(plan.partitioned(1, 3, 5 * kSecond));
+  EXPECT_TRUE(plan.partitioned(3, 2, 5 * kSecond));  // bidirectional
+  EXPECT_FALSE(plan.partitioned(1, 2, 5 * kSecond));  // same side
+  EXPECT_FALSE(plan.partitioned(1, 4, 5 * kSecond));  // 4 on neither side
+  EXPECT_FALSE(plan.partitioned(1, 3, 10 * kSecond));  // window over
+
+  FaultPlan rest;  // empty side_b = everyone not in side_a
+  rest.partition({1}, {}, 0, kNeverTime);
+  EXPECT_TRUE(rest.partitioned(1, 7, 0));
+  EXPECT_FALSE(rest.partitioned(5, 7, 0));
+}
+
+TEST(FaultPlanTest, ValidationRejectsBadRules) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.crash(1, 10, 10), std::invalid_argument);
+  EXPECT_THROW(plan.duplicate(1.5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(plan.partition({}, {}, 0, 1), std::invalid_argument);
+  EXPECT_THROW(plan.corrupt(-0.1, 0, 1), std::invalid_argument);
+}
+
+TEST(FaultyTransportTest, EmptyPlanForwardsUntouched) {
+  net::LoopbackTransport loopback(4);
+  FaultPlan plan;
+  FaultyTransport faulty(loopback, plan, 7);
+
+  Bytes seen;
+  loopback.register_handler(1, [&](NodeId, NodeId, ByteView payload) {
+    seen.assign(payload.begin(), payload.end());
+  });
+  const Bytes sent = {0x02, 0xaa, 0xbb};
+  faulty.send(0, 1, sent);
+  loopback.deliver_all();
+  EXPECT_EQ(seen, sent);
+  EXPECT_EQ(faulty.counters().total_dropped(), 0u);
+  EXPECT_EQ(faulty.messages_sent(), 1u);
+}
+
+TEST(FaultyTransportTest, CrashAndPartitionDropWithAttribution) {
+  net::LoopbackTransport loopback(4);
+  FaultPlan plan;
+  plan.crash(2, 0).partition({3}, {}, 0, kNeverTime);
+  FaultyTransport faulty(loopback, plan, 7);
+
+  std::size_t delivered = 0;
+  for (NodeId node = 0; node < 4; ++node) {
+    loopback.register_handler(node,
+                              [&](NodeId, NodeId, ByteView) { ++delivered; });
+  }
+  faulty.send(0, 2, {0x01});  // receiver crashed
+  faulty.send(2, 0, {0x01});  // sender crashed
+  faulty.send(0, 3, {0x01});  // receiver partitioned off
+  faulty.send(0, 1, {0x01});  // clean
+  loopback.deliver_all();
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(faulty.counters().dropped_crash, 2u);
+  EXPECT_EQ(faulty.counters().dropped_partition, 1u);
+}
+
+TEST(FaultyTransportTest, CorruptionOnlyTouchesForwardChannel) {
+  net::LoopbackTransport loopback(2);
+  FaultPlan plan;
+  plan.corrupt(1.0, 0, kNeverTime);
+  FaultyTransport faulty(loopback, plan, 7);
+
+  std::vector<Bytes> seen;
+  loopback.register_handler(1, [&](NodeId, NodeId, ByteView payload) {
+    seen.emplace_back(payload.begin(), payload.end());
+  });
+  const Bytes forward = {
+      static_cast<std::uint8_t>(net::Channel::kAnonForward), 0x10, 0x20};
+  const Bytes gossip = {0x00, 0x10, 0x20};
+  faulty.send(0, 1, forward);
+  faulty.send(0, 1, gossip);
+  loopback.deliver_all();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_NE(seen[0], forward);           // one byte flipped
+  EXPECT_EQ(seen[0][0], forward[0]);     // never the channel id itself
+  EXPECT_EQ(seen[1], gossip);            // other channels untouched
+  EXPECT_EQ(faulty.counters().corrupted, 1u);
+}
+
+TEST(FaultyTransportTest, DuplicationDeliversTwice) {
+  net::LoopbackTransport loopback(2);
+  FaultPlan plan;
+  plan.duplicate(1.0, 0, kNeverTime);
+  FaultyTransport faulty(loopback, plan, 7);
+
+  std::size_t delivered = 0;
+  loopback.register_handler(1, [&](NodeId, NodeId, ByteView) { ++delivered; });
+  faulty.send(0, 1, {0x01, 0x02});
+  loopback.deliver_all();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(faulty.counters().duplicated, 1u);
+}
+
+TEST(FaultyTransportTest, DeterministicAcrossRuns) {
+  const auto run = [] {
+    net::LoopbackTransport loopback(2);
+    FaultPlan plan;
+    LinkSpikeRule spike;
+    spike.loss_rate = 0.5;
+    plan.link_spike(spike);
+    FaultyTransport faulty(loopback, plan, 99);
+    std::size_t delivered = 0;
+    loopback.register_handler(1,
+                              [&](NodeId, NodeId, ByteView) { ++delivered; });
+    for (int i = 0; i < 200; ++i) faulty.send(0, 1, {0x01});
+    loopback.deliver_all();
+    return std::make_pair(delivered, faulty.counters().dropped_loss);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.second, 0u);
+  EXPECT_GT(first.first, 0u);
+}
+
+}  // namespace
+}  // namespace p2panon::fault

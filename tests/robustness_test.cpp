@@ -317,5 +317,75 @@ TEST(DeterminismTest, IdenticalSeedsProduceIdenticalSimulations) {
   EXPECT_NE(std::get<4>(run(77)), std::get<4>(run(78)));
 }
 
+// --- self-healing: ack timeout -> failure detection -> rebuild --------------------
+
+TEST(RebuildPathTest, AckTimeoutTriggersRebuildAndResend) {
+  constexpr std::size_t kNodes = 16;
+  sim::Simulator simulator;
+  net::LoopbackTransport transport(kNodes);
+  net::Demux demux(transport, kNodes);
+  crypto::KeyDirectory directory;
+  anon::RealOnionCodec onion;
+  Rng key_rng(71);
+  auto keys = directory.provision(kNodes, key_rng);
+  anon::AnonRouter router(simulator, demux, onion, directory, std::move(keys),
+                          [&](NodeId node) { return transport.is_up(node); },
+                          anon::RouterConfig{}, Rng(72));
+  router.start();
+  membership::NodeCache cache(kNodes);
+  for (NodeId node = 0; node < kNodes; ++node) {
+    cache.heard_directly(node, 100 * kSecond, 0);
+  }
+
+  anon::SessionConfig config =
+      anon::ProtocolSpec::curmix(anon::MixChoice::kRandom).session_config({});
+  config.auto_reconstruct = true;
+  anon::Session session(router, cache, 0, 1, config, Rng(73));
+
+  std::size_t failures_seen = 0;
+  session.set_path_failure_handler([&](std::size_t) { ++failures_seen; });
+  bool delivered = false;
+  router.set_message_handler([&](const anon::ReceivedMessage& msg) {
+    if (msg.responder == 1) delivered = true;
+  });
+
+  // Loopback delivery is manual while simulator timers drive timeouts, so
+  // interleave short timer steps with queue drains.
+  const auto pump = [&](SimDuration duration) {
+    const SimTime deadline = simulator.now() + duration;
+    while (simulator.now() < deadline) {
+      transport.deliver_all();
+      simulator.run_until(
+          std::min(deadline, simulator.now() + 100 * kMillisecond));
+    }
+    transport.deliver_all();
+  };
+
+  bool constructed = false;
+  session.construct([&](bool ok, std::size_t) { constructed = ok; });
+  pump(10 * kSecond);
+  ASSERT_TRUE(constructed);
+  ASSERT_EQ(session.established_paths(), 1u);
+
+  // Kill a middle relay: the next segment's end-to-end ack cannot return,
+  // so the ack timeout must declare the path failed and rebuild it.
+  const NodeId victim = session.paths()[0].relays[1];
+  transport.set_up(victim, false);
+  ASSERT_NE(session.send_message(bytes_of("through a dead relay")), 0u);
+
+  // Long enough for detection (5 s ack timeout) plus rebuild retries that
+  // happen to re-pick the dead relay (5 s construct timeout each).
+  pump(2 * kMinute);
+
+  EXPECT_GE(session.path_failures_detected(), 1u);
+  EXPECT_GE(failures_seen, 1u);
+  std::uint64_t rebuilds = 0;
+  for (const auto& info : session.paths()) rebuilds += info.rebuilds;
+  EXPECT_GE(rebuilds, 1u);
+  // The kept segment was resent over the rebuilt path and delivered.
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(session.established_paths(), 1u);
+}
+
 }  // namespace
 }  // namespace p2panon
