@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::anon;
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   FlagSet flags;
   auto& trials = flags.add_int("trials", 200000, "Monte-Carlo trials per cell");
   auto& seed = flags.add_int("seed", 1, "RNG seed");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto n_trials = static_cast<std::size_t>(
       static_cast<double>(trials) * bench_scale());
@@ -93,5 +95,9 @@ int main(int argc, char** argv) {
       "the gain (negative deltas at k = 4). With more paths relative to m "
       "(k = 6 row) the concentration is milder and weighting helps. A "
       "deployment should gate weighting on k/m headroom.\n");
+  obs::BenchReport report("ablate_allocation");
+  report.add("trials", static_cast<std::uint64_t>(n_trials));
+  report.add_section("table", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "net/latency_matrix.hpp"
 #include "net/sim_transport.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
 using namespace p2panon;
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   auto& nodes = flags.add_int("nodes", 512, "network size");
   auto& seed = flags.add_int("seed", 1, "RNG seed");
   auto& minutes = flags.add_int("minutes", 30, "simulated minutes");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto horizon = static_cast<SimDuration>(
       static_cast<double>(minutes) * bench_scale()) * kMinute;
@@ -103,5 +105,10 @@ int main(int argc, char** argv) {
               "leaders but spends fewer total messages, while flat gossip "
               "pays steady per-node anti-entropy bandwidth — the classic "
               "trade the paper inherits from OneHop.\n");
+  obs::BenchReport report("ablate_dissemination");
+  report.add("nodes", static_cast<std::uint64_t>(nodes));
+  report.add("horizon_s", to_seconds(horizon));
+  report.add_section("table", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

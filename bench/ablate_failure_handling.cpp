@@ -17,6 +17,7 @@
 #include "harness/environment.hpp"
 #include "harness/parallel.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1, "base RNG seed");
   auto& seeds = flags.add_int("seeds", 6, "runs to average");
   auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto runs = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
@@ -131,5 +133,9 @@ int main(int argc, char** argv) {
               "gap; on-demand combined construction rebuilds continuously "
               "and pays asymmetric crypto per rebuild instead of up "
               "front.\n");
+  obs::BenchReport report("ablate_failure_handling");
+  report.add("runs", static_cast<std::uint64_t>(runs));
+  report.add_section("table", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

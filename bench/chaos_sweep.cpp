@@ -13,13 +13,21 @@
 //   * violations         — unaccounted messages + residual state leaks +
 //     open segment ledgers across all runs (the chaos invariants; must
 //     be 0).
+//
+// With --trace <path> the sweep is skipped and ONE run of --trace-scenario
+// executes with the span tracer on, writing Chrome trace-event JSON (opens
+// in Perfetto / chrome://tracing) and, with --jsonl, a sampled causal log.
 #include <cstdio>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
 #include "harness/chaos_experiment.hpp"
 #include "harness/parallel.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -42,6 +50,88 @@ ChaosConfig sweep_config(ChaosScenario scenario, std::uint64_t seed,
   return config;
 }
 
+const ChaosScenario kScenarios[] = {
+    ChaosScenario::kFlashCrowdCrash, ChaosScenario::kRollingPartition,
+    ChaosScenario::kLossyLinkEpidemic, ChaosScenario::kCorruptedRelayQuorum,
+    ChaosScenario::kMildLossDrizzle};
+
+bool parse_scenario(const std::string& name, ChaosScenario& out) {
+  for (const ChaosScenario scenario : kScenarios) {
+    if (name == scenario_name(scenario)) {
+      out = scenario;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One traced run: installs the trace sinks, executes the scenario, and
+/// writes the Chrome JSON (plus the optional sampled JSONL causal log).
+int run_traced(const std::string& trace_path, const std::string& jsonl_path,
+               const std::string& scenario_flag, bool adaptive,
+               double sample_rate, std::uint64_t seed, std::size_t nodes,
+               const std::string& json_path) {
+  ChaosScenario scenario;
+  if (!parse_scenario(scenario_flag, scenario)) {
+    std::fprintf(stderr, "chaos_sweep: unknown --trace-scenario '%s'\n",
+                 scenario_flag.c_str());
+    return 1;
+  }
+
+  obs::ChromeTraceSink chrome;
+  obs::JsonlTraceSink jsonl(sample_rate, seed);
+  auto& tracer = obs::Tracer::instance();
+  tracer.add_sink(&chrome);
+  if (!jsonl_path.empty()) tracer.add_sink(&jsonl);
+  obs::install_log_decorator();
+
+  obs::Registry run_metrics;
+  ChaosConfig config = sweep_config(scenario, seed, adaptive, nodes);
+  config.environment.metrics = &run_metrics;
+  config.environment.obs_sample_interval = 30 * kSecond;
+  const ChaosResult result = run_chaos_experiment(config);
+
+  obs::uninstall_log_decorator();
+  tracer.clear_sinks();
+
+  if (!chrome.write_file(trace_path)) {
+    std::fprintf(stderr, "chaos_sweep: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf("# Traced chaos run: %s, %s mode, seed %llu, %zu nodes\n",
+              scenario_name(scenario), adaptive ? "adaptive" : "fixed",
+              static_cast<unsigned long long>(seed), nodes);
+  std::printf("trace: %zu events -> %s (open in Perfetto)\n",
+              chrome.event_count(), trace_path.c_str());
+  if (!jsonl_path.empty()) {
+    if (!jsonl.write_file(jsonl_path)) {
+      std::fprintf(stderr, "chaos_sweep: cannot write %s\n",
+                   jsonl_path.c_str());
+      return 1;
+    }
+    std::printf("causal log: %zu lines (sample rate %.3f) -> %s\n",
+                jsonl.lines().size(), sample_rate, jsonl_path.c_str());
+  }
+  std::printf(
+      "delivered %llu/%llu accepted, retx %llu, drops %llu, violations %llu\n",
+      static_cast<unsigned long long>(result.messages_delivered),
+      static_cast<unsigned long long>(result.messages_accepted),
+      static_cast<unsigned long long>(result.segments_retransmitted),
+      static_cast<unsigned long long>(result.drops.total()),
+      static_cast<unsigned long long>(result.messages_unaccounted +
+                                      result.total_leaks()));
+
+  obs::BenchReport report("chaos_sweep_traced");
+  report.add_text("scenario", scenario_name(scenario));
+  report.add_text("mode", adaptive ? "adaptive" : "fixed");
+  report.add("trace_events", static_cast<std::uint64_t>(chrome.event_count()));
+  report.add("messages_delivered", result.messages_delivered);
+  report.add("messages_accepted", result.messages_accepted);
+  report.add("segments_retransmitted", result.segments_retransmitted);
+  if (!report.write_if_requested(json_path, &run_metrics)) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,29 +140,47 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1, "base RNG seed");
   auto& seeds = flags.add_int("seeds", 6, "runs to average");
   auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  auto& json_path = obs::add_json_flag(flags);
+  auto& trace_path = flags.add_string(
+      "trace", "", "write Chrome trace JSON of one traced run, skip sweep");
+  auto& trace_scenario = flags.add_string(
+      "trace-scenario", "lossy-link-epidemic", "scenario for the traced run");
+  auto& trace_adaptive = flags.add_bool(
+      "trace-adaptive", true,
+      "traced run uses adaptive RTO + retransmission (exercises the "
+      "segment_retransmit spans)");
+  auto& jsonl_path = flags.add_string(
+      "jsonl", "", "also write a JSONL causal log of the traced run");
+  auto& sample = flags.add_double(
+      "sample", 1.0, "JSONL sampling rate (whole correlation chains)");
   flags.parse(argc, argv);
+
+  if (!trace_path.empty()) {
+    return run_traced(trace_path, jsonl_path, trace_scenario, trace_adaptive,
+                      sample, static_cast<std::uint64_t>(seed),
+                      static_cast<std::size_t>(nodes), json_path);
+  }
+
   const auto runs = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
   const std::size_t workers =
       threads > 0 ? static_cast<std::size_t>(threads)
                   : default_worker_threads();
 
-  const ChaosScenario scenarios[] = {
-      ChaosScenario::kFlashCrowdCrash, ChaosScenario::kRollingPartition,
-      ChaosScenario::kLossyLinkEpidemic, ChaosScenario::kCorruptedRelayQuorum,
-      ChaosScenario::kMildLossDrizzle};
-
   std::printf("# Chaos sweep: SimEra(4,2)/random, %d nodes, 512 B every 5 s, "
               "fixed 5 s timeouts vs adaptive RTO+backoff, %zu seeds\n",
               static_cast<int>(nodes), runs);
   metrics::Table table({"scenario", "mode", "attempted delivery",
                         "accepted delivery", "retx", "violations"});
-  // Per-cause accounting of every datagram that vanished: the transport's
-  // own drop reasons plus the injected faults.
+  // Per-cause accounting of every datagram that vanished. Each run counts
+  // drops in its private registry (net_drops_total / fault_injections_total);
+  // the sweep folds them into this aggregate registry, labeled by scenario
+  // and mode, and the table below is rendered from it.
+  obs::Registry sweep_metrics;
   metrics::Table drop_table({"scenario", "mode", "sender-dead",
                              "recv-dead", "link-loss", "crash", "partition",
                              "spike-loss", "corrupted", "duplicated"});
-  for (const ChaosScenario scenario : scenarios) {
+  for (const ChaosScenario scenario : kScenarios) {
     for (const bool adaptive : {false, true}) {
       std::vector<ChaosResult> results(runs);
       parallel_for(runs, workers, [&](std::size_t i) {
@@ -84,22 +192,37 @@ int main(int argc, char** argv) {
       double accepted = 0;
       std::uint64_t retx = 0;
       std::uint64_t violations = 0;
-      net::SimTransport::DropCounters drops;
-      fault::FaultyTransport::Counters faults;
+      const obs::Labels base{{"scenario", scenario_name(scenario)},
+                             {"mode", adaptive ? "adaptive" : "fixed"}};
+      auto cell = [&](const char* label_key, const char* name,
+                      const char* value) {
+        obs::Labels labels = base;
+        labels[label_key] = value;
+        return sweep_metrics.counter(name, labels);
+      };
+      obs::Counter* drop_cells[] = {
+          cell("cause", "net_drops_total", "sender_dead"),
+          cell("cause", "net_drops_total", "receiver_dead"),
+          cell("cause", "net_drops_total", "link_loss"),
+          cell("kind", "fault_injections_total", "dropped_crash"),
+          cell("kind", "fault_injections_total", "dropped_partition"),
+          cell("kind", "fault_injections_total", "dropped_loss"),
+          cell("kind", "fault_injections_total", "corrupted"),
+          cell("kind", "fault_injections_total", "duplicated")};
       for (const ChaosResult& result : results) {
         attempted += result.attempted_delivery_rate();
         accepted += result.delivery_rate();
         retx += result.segments_retransmitted;
         violations += result.messages_unaccounted + result.total_leaks() +
                       (result.ledger_closed() ? 0 : 1);
-        drops.sender_dead += result.drops.sender_dead;
-        drops.receiver_dead += result.drops.receiver_dead;
-        drops.link_loss += result.drops.link_loss;
-        faults.dropped_crash += result.faults.dropped_crash;
-        faults.dropped_partition += result.faults.dropped_partition;
-        faults.dropped_loss += result.faults.dropped_loss;
-        faults.corrupted += result.faults.corrupted;
-        faults.duplicated += result.faults.duplicated;
+        drop_cells[0]->inc(result.drops.sender_dead);
+        drop_cells[1]->inc(result.drops.receiver_dead);
+        drop_cells[2]->inc(result.drops.link_loss);
+        drop_cells[3]->inc(result.faults.dropped_crash);
+        drop_cells[4]->inc(result.faults.dropped_partition);
+        drop_cells[5]->inc(result.faults.dropped_loss);
+        drop_cells[6]->inc(result.faults.corrupted);
+        drop_cells[7]->inc(result.faults.duplicated);
       }
       const double denom = static_cast<double>(runs);
       const char* mode_name = adaptive ? "adaptive" : "fixed";
@@ -107,15 +230,11 @@ int main(int argc, char** argv) {
                      format_double(100.0 * attempted / denom, 1) + "%",
                      format_double(100.0 * accepted / denom, 1) + "%",
                      std::to_string(retx), std::to_string(violations)});
-      drop_table.add_row({scenario_name(scenario), mode_name,
-                          std::to_string(drops.sender_dead),
-                          std::to_string(drops.receiver_dead),
-                          std::to_string(drops.link_loss),
-                          std::to_string(faults.dropped_crash),
-                          std::to_string(faults.dropped_partition),
-                          std::to_string(faults.dropped_loss),
-                          std::to_string(faults.corrupted),
-                          std::to_string(faults.duplicated)});
+      std::vector<std::string> drop_row{scenario_name(scenario), mode_name};
+      for (const obs::Counter* counter : drop_cells) {
+        drop_row.push_back(std::to_string(counter->value()));
+      }
+      drop_table.add_row(std::move(drop_row));
     }
   }
   std::printf("%s\n", table.render().c_str());
@@ -132,5 +251,11 @@ int main(int argc, char** argv) {
               "beats the adaptive mode's bounded retry budget. Violations "
               "must read 0 — every run also upholds the conservation, "
               "ledger, and no-leak invariants asserted by chaos_test.\n");
+
+  obs::BenchReport report("chaos_sweep");
+  report.add("runs_per_cell", static_cast<std::uint64_t>(runs));
+  report.add_section("delivery", table.to_json());
+  report.add_section("drops_by_cause", drop_table.to_json());
+  if (!report.write_if_requested(json_path, &sweep_metrics)) return 1;
   return 0;
 }

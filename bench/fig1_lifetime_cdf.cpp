@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "metrics/cdf.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1, "RNG seed");
   auto& noise = flags.add_double("noise", 0.15,
                                  "lognormal measurement noise (sigma)");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto n = static_cast<std::size_t>(
       static_cast<double>(samples) * bench_scale());
@@ -53,5 +55,10 @@ int main(int argc, char** argv) {
       measured.ks_distance([&](double t) { return pareto.cdf(t); });
   std::printf("\nKS distance (measured vs fitted Pareto): %.4f "
               "(paper: curves 'closely match')\n", ks);
+  obs::BenchReport report("fig1_lifetime_cdf");
+  report.add("samples", static_cast<std::uint64_t>(n));
+  report.add("ks_distance", ks);
+  report.add_section("cdf", series.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

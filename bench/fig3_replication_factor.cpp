@@ -6,6 +6,7 @@
 #include "analysis/path_model.hpp"
 #include "common/config.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::analysis;
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   auto& pa = flags.add_double("availability", 0.70, "node availability");
   auto& L = flags.add_int("L", 3, "relays per path");
   auto& k_max = flags.add_int("kmax", 20, "max number of paths");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto mc_trials = static_cast<std::size_t>(
       static_cast<double>(trials) * bench_scale());
@@ -50,5 +52,10 @@ int main(int argc, char** argv) {
   std::printf("Expected (paper): success probability rises sharply with r; "
               "r = 4 approaches 1 for small k while r = 2 decays (Obs. 3 at "
               "pa = 0.70).\n");
+  obs::BenchReport report("fig3_replication_factor");
+  report.add("trials", static_cast<std::uint64_t>(mc_trials));
+  report.add("path_success_p", p);
+  report.add_section("pk_curves", series.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

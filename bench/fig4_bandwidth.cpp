@@ -18,6 +18,7 @@
 #include "crypto/sealed_box.hpp"
 #include "metrics/summary.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::analysis;
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   auto& L = flags.add_int("L", 3, "relays per path");
   auto& msg = flags.add_int("message", 1024, "message size (bytes)");
   auto& k_max = flags.add_int("kmax", 20, "max number of paths");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto mc_trials = static_cast<std::size_t>(
       static_cast<double>(trials) * bench_scale());
@@ -108,5 +110,9 @@ int main(int argc, char** argv) {
   std::printf("Expected (paper): curves ordered r = 4 > 3 > 2, growing "
               "mildly with k (per-path framing), r = 4 reaching ~11-12 KB "
               "at k = 20 for a 1 KB message.\n");
+  obs::BenchReport report("fig4_bandwidth");
+  report.add("trials", static_cast<std::uint64_t>(mc_trials));
+  report.add_section("bandwidth_kb", series.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

@@ -7,8 +7,10 @@
 #include <cstdio>
 
 #include "common/config.hpp"
+#include "common/strings.hpp"
 #include "harness/path_setup_experiment.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
       "interarrival", 928.0,
       "per-node event inter-arrival (s); 928 s gives ~2000 events");
   auto& k_max = flags.add_int("kmax", 20, "max number of paths");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
 
   PathSetupConfig config;
@@ -70,5 +73,16 @@ int main(int argc, char** argv) {
   std::printf("Expected (paper): (a) random — a few percent, higher r "
               "better, decreasing in k; (b) biased — 90-100%%, nearly flat "
               "in k.\n");
+  obs::BenchReport report("fig5_path_setup");
+  report.add("events", result.events);
+  report.add("availability", result.availability);
+  metrics::Table success({"mix", "r", "k", "success_pct"});
+  for (const auto& entry : lookup) {
+    success.add_row({anon::to_string(entry.mix), std::to_string(entry.r),
+                     std::to_string(entry.k),
+                     format_double(result.success[entry.index].percent(), 2)});
+  }
+  report.add_section("success_rates", success.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

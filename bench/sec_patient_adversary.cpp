@@ -22,6 +22,7 @@
 #include "harness/environment.hpp"
 #include "metrics/summary.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   auto& k = flags.add_int("k", 4, "paths per set");
   auto& L = flags.add_int("L", 3, "relays per path");
   auto& trials = flags.add_int("trials", 2000, "path sets per (f, mix)");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto n_trials = std::max<std::size_t>(
       50, static_cast<std::size_t>(static_cast<double>(trials) * bench_scale()));
@@ -107,5 +109,9 @@ int main(int argc, char** argv) {
               analysis::initiator_identification_probability(
                   static_cast<std::size_t>(nodes), 0.10,
                   static_cast<std::size_t>(L)));
+  obs::BenchReport report("sec_patient_adversary");
+  report.add("trials", static_cast<std::uint64_t>(n_trials));
+  report.add_section("exposure", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "common/strings.hpp"
 #include "harness/path_setup_experiment.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1, "RNG seed");
   auto& interarrival =
       flags.add_double("interarrival", 116.0, "per-node inter-arrival (s)");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
 
   PathSetupConfig config;
@@ -61,5 +63,10 @@ int main(int argc, char** argv) {
       "SimRep(2) == SimEra(2,2) (identical conditions); biased >> random.\n"
       "(See EXPERIMENTS.md for the absolute-rate discrepancy between the\n"
       "paper's Table 1 and its own Table 2 attempt counts.)\n");
+  obs::BenchReport report("table1_setup_rates");
+  report.add("events", result.events);
+  report.add("availability", result.availability);
+  report.add_section("table", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

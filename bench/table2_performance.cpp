@@ -12,6 +12,7 @@
 #include "harness/parallel.hpp"
 #include "metrics/bootstrap.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1, "base RNG seed");
   auto& seeds = flags.add_int("seeds", 10, "runs to average");
   auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto runs = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
@@ -44,6 +46,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(nodes));
 
   std::string ci_lines;
+  obs::BenchReport report("table2_performance");
+  report.add("runs", static_cast<std::uint64_t>(runs));
+  report.add("nodes", static_cast<std::uint64_t>(nodes));
   metrics::Table table({"Protocol", "Durability(sec)",
                         "Path construction attempts", "Latency(ms)",
                         "Bandwidth(KB)"});
@@ -55,6 +60,13 @@ int main(int argc, char** argv) {
       config.environment.seed = static_cast<std::uint64_t>(seed);
       config.spec = protocol_rows[row][mix];
       by_mix[mix] = run_durability_average(config, runs, workers);
+      const std::string prefix = std::string(row_names[row]) +
+                                 (mix == 0 ? ".random." : ".biased.");
+      report.add(prefix + "durability_s", by_mix[mix].durability_seconds);
+      report.add(prefix + "construct_attempts",
+                 by_mix[mix].construct_attempts);
+      report.add(prefix + "latency_ms", by_mix[mix].latency_ms);
+      report.add(prefix + "bandwidth_kb", by_mix[mix].bandwidth_kb);
     }
     table.add_row(
         {row_names[row],
@@ -85,5 +97,7 @@ int main(int argc, char** argv) {
       "Shape checks: redundancy and biased choice both raise durability;\n"
       "biased needs ~1 attempt; bandwidth ordering CurMix < SimRep < "
       "SimEra.\n");
+  report.add_section("table", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

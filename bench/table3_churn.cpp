@@ -8,6 +8,7 @@
 #include "harness/parallel.hpp"
 #include "metrics/bootstrap.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1, "base RNG seed");
   auto& seeds = flags.add_int("seeds", 10, "runs to average");
   auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto runs = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
@@ -77,5 +79,9 @@ int main(int argc, char** argv) {
       "  120: [2549, 3304]  [1, 1]     [288, 225]  [10.4, 12.8]\n"
       "Shape checks: durability grows with lifetime; random-mix attempts\n"
       "shrink sharply; biased stays at ~1 attempt and higher bandwidth.\n");
+  obs::BenchReport report("table3_churn");
+  report.add("runs", static_cast<std::uint64_t>(runs));
+  report.add_section("table", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "harness/parallel.hpp"
 #include "metrics/bootstrap.hpp"
 #include "metrics/table.hpp"
+#include "obs/export.hpp"
 
 using namespace p2panon;
 using namespace p2panon::harness;
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1, "base RNG seed");
   auto& seeds = flags.add_int("seeds", 10, "runs to average");
   auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
+  auto& json_path = obs::add_json_flag(flags);
   flags.parse(argc, argv);
   const auto runs = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
@@ -85,5 +87,9 @@ int main(int argc, char** argv) {
       "Shape checks: Pareto gives the highest durability; uniform (old\n"
       "nodes die soon) the lowest; biased beats random under every\n"
       "distribution.\n");
+  obs::BenchReport report("table4_distributions");
+  report.add("runs", static_cast<std::uint64_t>(runs));
+  report.add_section("table", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace p2panon::anon {
 
@@ -14,6 +15,26 @@ constexpr std::uint8_t kTypePayloadRev = 4;
 constexpr std::uint8_t kTypeTeardown = 5;
 constexpr std::uint8_t kTypeRetarget = 6;
 constexpr std::uint8_t kTypeConstructPayload = 7;
+
+/// Zero-sim-duration async span bracketing one relay's processing of a
+/// datagram; only reached behind an enabled() check. Keeps the per-hop peel
+/// visible on the message's correlation chain.
+class HopRelaySpan {
+ public:
+  HopRelaySpan(NodeId node, const char* kind)
+      : corr_(obs::current_correlation()) {
+    obs::TraceArgs args;
+    args.add("node", static_cast<std::uint64_t>(node)).add("kind", kind);
+    obs::Tracer::instance().span_begin("anon", "hop_relay", corr_, args);
+  }
+  ~HopRelaySpan() {
+    obs::Tracer::instance().span_end("anon", "hop_relay", corr_);
+  }
+
+ private:
+  obs::CorrelationId corr_;
+};
+
 }  // namespace
 
 Bytes serialize_reverse_core(const ReverseCore& core) {
@@ -77,7 +98,28 @@ AnonRouter::AnonRouter(sim::Simulator& simulator, net::Demux& demux,
       node_keys_(std::move(node_keys)),
       is_up_(std::move(is_up)),
       config_(config),
-      rng_(rng) {
+      rng_(rng),
+      metrics_(config.metrics != nullptr ? config.metrics
+                                         : &obs::Registry::global()),
+      bytes_construct_(
+          metrics_->counter("anon_bytes_total", {{"channel", "construct"}})),
+      bytes_payload_(
+          metrics_->counter("anon_bytes_total", {{"channel", "payload"}})),
+      bytes_reverse_(
+          metrics_->counter("anon_bytes_total", {{"channel", "reverse"}})),
+      forwarded_ctr_(metrics_->counter("anon_messages_forwarded_total")),
+      peel_failures_ctr_(metrics_->counter("anon_peel_failures_total")),
+      construct_attempts_ctr_(
+          metrics_->counter("anon_path_constructs_total",
+                            {{"result", "started"}})),
+      construct_ok_ctr_(metrics_->counter("anon_path_constructs_total",
+                                          {{"result", "ok"}})),
+      construct_timeout_ctr_(metrics_->counter("anon_path_constructs_total",
+                                               {{"result", "failed"}})),
+      reconstructions_ctr_(metrics_->counter("anon_reconstructions_total")),
+      reassembly_expired_ctr_(
+          metrics_->counter("anon_reassemblies_expired_total")),
+      reconstruct_segments_(metrics_->histogram("anon_reconstruct_segments")) {
   const std::size_t n = node_keys_.size();
   tables_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) tables_.emplace_back(rng_.fork());
@@ -116,8 +158,10 @@ void AnonRouter::send_forward(NodeId from, NodeId to, std::uint8_t type,
   append(msg, blob);
   if (type == kTypeConstruct || type == kTypeRetarget) {
     construct_bytes_ += msg.size();
+    bytes_construct_->inc(msg.size());
   } else if (type == kTypePayload || type == kTypeConstructPayload) {
     payload_bytes_ += msg.size();
+    bytes_payload_->inc(msg.size());
   }
   demux_.send(net::Channel::kAnonForward, from, to, msg);
 }
@@ -134,6 +178,7 @@ void AnonRouter::send_reverse(NodeId from, NodeId to, std::uint8_t type,
   }
   append(msg, blob);
   reverse_bytes_ += msg.size();
+  bytes_reverse_->inc(msg.size());
   demux_.send(net::Channel::kAnonReverse, from, to, msg);
 }
 
@@ -158,21 +203,61 @@ StreamId AnonRouter::initiate_path(NodeId initiator,
   } while (sid == 0 || pending_[initiator].count(sid) > 0 ||
            reverse_handlers_[initiator].count(sid) > 0);
 
+  // The construction chain is correlated by the initiator-side sid: the
+  // construct relays, the ack's trip back, and the timeout all inherit it
+  // through the event queue.
+  construct_attempts_ctr_->inc();
+  obs::CorrelationScope corr_scope(sid);
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("initiator", static_cast<std::uint64_t>(initiator))
+        .add("responder", static_cast<std::uint64_t>(responder))
+        .add("hops", static_cast<std::uint64_t>(relays.size()));
+    tracer.span_begin("anon", "path_construct", sid, args);
+  }
+
   PendingConstruction pending;
   pending.callback = std::move(callback);
   pending.timeout_event =
       simulator_.schedule_after(timeout, [this, initiator, sid] {
-        auto& pmap = pending_[initiator];
-        const auto it = pmap.find(sid);
-        if (it == pmap.end()) return;
-        ConstructCallback cb = std::move(it->second.callback);
-        pmap.erase(it);
-        cb(false);
+        finish_pending(initiator, sid, /*ok=*/false, /*timed_out=*/true);
       });
   pending_[initiator].emplace(sid, std::move(pending));
 
   send_forward(initiator, relays.front(), kTypeConstruct, sid, 0, onion_blob);
   return sid;
+}
+
+void AnonRouter::finish_pending(NodeId initiator, StreamId sid, bool ok,
+                                bool timed_out) {
+  auto& pmap = pending_[initiator];
+  const auto it = pmap.find(sid);
+  if (it == pmap.end()) return;
+  if (!timed_out) simulator_.cancel(it->second.timeout_event);
+  const char* span = it->second.span;
+  ConstructCallback cb = std::move(it->second.callback);
+  pmap.erase(it);
+  (ok ? construct_ok_ctr_ : construct_timeout_ctr_)->inc();
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("ok", static_cast<std::uint64_t>(ok ? 1 : 0))
+        .add("timed_out", static_cast<std::uint64_t>(timed_out ? 1 : 0));
+    tracer.span_end("anon", span, sid, args);
+  }
+  cb(ok);
+}
+
+void AnonRouter::record_peel_failure(NodeId node, const char* where) {
+  ++peel_failures_;
+  peel_failures_ctr_->inc();
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("node", static_cast<std::uint64_t>(node)).add("where", where);
+    tracer.instant("anon", "peel_fail", obs::current_correlation(), args);
+  }
 }
 
 void AnonRouter::register_reverse_handler(NodeId initiator, StreamId sid,
@@ -255,11 +340,14 @@ void AnonRouter::handle_reverse(NodeId from, NodeId to, ByteView payload) {
 
 void AnonRouter::on_construct(NodeId from, NodeId to, StreamId sid,
                               ByteView onion_blob) {
+  const bool traced = obs::Tracer::instance().enabled();
+  std::optional<HopRelaySpan> hop_span;
+  if (traced) hop_span.emplace(to, "construct");
   const auto peeled = onion_.peel_path_onion(node_keys_[to], onion_blob);
   // The next-hop check matters for codecs without authentication (the
   // statistical FastOnionCodec): a corrupted onion "peels" into garbage.
   if (!peeled.has_value() || peeled->hop.next >= node_keys_.size()) {
-    ++peel_failures_;
+    record_peel_failure(to, "construct");
     return;
   }
   RelayEntry entry;
@@ -272,6 +360,7 @@ void AnonRouter::on_construct(NodeId from, NodeId to, StreamId sid,
   const StreamId down_sid =
       tables_[to].install(std::move(entry), now, config_.state_ttl);
   ++messages_forwarded_;
+  forwarded_ctr_->inc();
 
   if (peeled->hop.last) {
     // End of the forwarding path (§4.1): the construct message stops here;
@@ -294,13 +383,7 @@ void AnonRouter::on_construct_ack(NodeId to, StreamId sid, bool ok) {
     return;
   }
   // Otherwise it may be addressed to me as the initiator.
-  auto& pmap = pending_[to];
-  const auto it = pmap.find(sid);
-  if (it == pmap.end()) return;
-  simulator_.cancel(it->second.timeout_event);
-  ConstructCallback cb = std::move(it->second.callback);
-  pmap.erase(it);
-  cb(ok);
+  finish_pending(to, sid, ok, /*timed_out=*/false);
 }
 
 void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
@@ -312,7 +395,7 @@ void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
     // opens, create the terminal ⊥ entry [P_L, sid_L, ⊥, R_{L+1}] (§4.4).
     const auto core = onion_.open_payload_core(node_keys_[to], blob);
     if (!core.has_value()) {
-      ++peel_failures_;
+      record_peel_failure(to, "payload_core");
       return;
     }
     RelayEntry terminal;
@@ -329,19 +412,23 @@ void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
     // Follow-up message on an established stream.
     const auto core = onion_.open_payload_core(node_keys_[to], blob);
     if (!core.has_value()) {
-      ++peel_failures_;
+      record_peel_failure(to, "payload_core");
       return;
     }
     deliver_to_responder(to, *entry, *core);
     return;
   }
   tables_[to].refresh(*entry, simulator_.now(), config_.state_ttl);
+  const bool traced = obs::Tracer::instance().enabled();
+  std::optional<HopRelaySpan> hop_span;
+  if (traced) hop_span.emplace(to, "payload");
   const auto inner = onion_.unwrap_layer(entry->key, seq, blob);
   if (!inner.has_value()) {
-    ++peel_failures_;
+    record_peel_failure(to, "payload");
     return;
   }
   ++messages_forwarded_;
+  forwarded_ctr_->inc();
   send_forward(to, entry->downstream, kTypePayload, entry->downstream_sid,
                seq, *inner);
 }
@@ -377,9 +464,12 @@ void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
   const ByteView onion_blob = blob.subspan(4, onion_len);
   const ByteView payload_blob = blob.subspan(4 + onion_len);
 
+  const bool traced = obs::Tracer::instance().enabled();
+  std::optional<HopRelaySpan> hop_span;
+  if (traced) hop_span.emplace(to, "construct_payload");
   const auto peeled = onion_.peel_path_onion(node_keys_[to], onion_blob);
   if (!peeled.has_value() || peeled->hop.next >= node_keys_.size()) {
-    ++peel_failures_;
+    record_peel_failure(to, "construct_payload");
     return;
   }
   RelayEntry entry;
@@ -392,11 +482,12 @@ void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
   const StreamId down_sid =
       tables_[to].install(std::move(entry), now, config_.state_ttl);
   ++messages_forwarded_;
+  forwarded_ctr_->inc();
 
   const auto inner = onion_.unwrap_layer(peeled->hop.relay_key, seq,
                                          payload_blob);
   if (!inner.has_value()) {
-    ++peel_failures_;
+    record_peel_failure(to, "construct_payload");
     return;
   }
   if (peeled->hop.last) {
@@ -420,16 +511,19 @@ void AnonRouter::send_retarget(NodeId initiator, StreamId sid,
                                ConstructCallback callback) {
   // The end-to-end confirmation reuses the construct-ack machinery keyed
   // by the initiator-side sid.
+  obs::CorrelationScope corr_scope(sid);
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("initiator", static_cast<std::uint64_t>(initiator));
+    tracer.span_begin("anon", "retarget", sid, args);
+  }
   PendingConstruction pending;
   pending.callback = std::move(callback);
+  pending.span = "retarget";
   pending.timeout_event =
       simulator_.schedule_after(timeout, [this, initiator, sid] {
-        auto& pmap = pending_[initiator];
-        const auto it = pmap.find(sid);
-        if (it == pmap.end()) return;
-        ConstructCallback cb = std::move(it->second.callback);
-        pmap.erase(it);
-        cb(false);
+        finish_pending(initiator, sid, /*ok=*/false, /*timed_out=*/true);
       });
   pending_[initiator][sid] = std::move(pending);
   send_forward(initiator, first_relay, kTypeRetarget, sid, seq, blob);
@@ -440,12 +534,16 @@ void AnonRouter::on_retarget(NodeId to, StreamId sid, std::uint64_t seq,
   RelayEntry* entry = tables_[to].find_by_upstream(sid);
   if (entry == nullptr || entry->at_responder) return;
   tables_[to].refresh(*entry, simulator_.now(), config_.state_ttl);
+  const bool traced = obs::Tracer::instance().enabled();
+  std::optional<HopRelaySpan> hop_span;
+  if (traced) hop_span.emplace(to, "retarget");
   const auto inner = onion_.unwrap_layer(entry->key, seq, blob);
   if (!inner.has_value()) {
-    ++peel_failures_;
+    record_peel_failure(to, "retarget");
     return;
   }
   ++messages_forwarded_;
+  forwarded_ctr_->inc();
   if (!entry->last_relay) {
     send_forward(to, entry->downstream, kTypeRetarget, entry->downstream_sid,
                  seq, *inner);
@@ -453,7 +551,7 @@ void AnonRouter::on_retarget(NodeId to, StreamId sid, std::uint64_t seq,
   }
   // Last relay: the fully unwrapped blob is the 4-byte new destination.
   if (inner->size() != 4) {
-    ++peel_failures_;
+    record_peel_failure(to, "retarget");
     return;
   }
   const NodeId new_destination = get_u32be(*inner, 0);
@@ -491,6 +589,17 @@ void AnonRouter::deliver_to_responder(NodeId responder, RelayEntry& entry,
     reassembly.needed = core->needed_segments;
     reassembly.total = core->total_segments;
     reassembly.original_size = core->original_size;
+    // Reconstruction span: opened by the first arriving segment, closed on
+    // delivery below or on TTL expiry in sweep(). Correlated by message id,
+    // the same chain the initiator's send_message events ride on.
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      obs::TraceArgs args;
+      args.add("responder", static_cast<std::uint64_t>(responder))
+          .add("needed", static_cast<std::uint64_t>(reassembly.needed))
+          .add("total", static_cast<std::uint64_t>(reassembly.total));
+      tracer.span_begin("anon", "reconstruct", core->message_id, args);
+    }
   }
   reassembly.expires = now + config_.reassembly_ttl;
 
@@ -530,6 +639,16 @@ void AnonRouter::deliver_to_responder(NodeId responder, RelayEntry& entry,
         codec.decode(reassembly.segments, reassembly.original_size);
     if (decoded.has_value()) {
       reassembly.delivered = true;
+      reconstructions_ctr_->inc();
+      reconstruct_segments_->record(reassembly.segments.size());
+      auto& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        obs::TraceArgs args;
+        args.add("status", "delivered")
+            .add("segments_used",
+                 static_cast<std::uint64_t>(reassembly.segments.size()));
+        tracer.span_end("anon", "reconstruct", core->message_id, args);
+      }
       if (message_handler_) {
         ReceivedMessage received;
         received.responder = responder;
@@ -564,9 +683,13 @@ void AnonRouter::on_payload_rev(NodeId to, StreamId sid, std::uint64_t seq,
   RelayEntry* entry = tables_[to].find_by_downstream(sid);
   if (entry != nullptr) {
     tables_[to].refresh(*entry, simulator_.now(), config_.state_ttl);
+    const bool traced = obs::Tracer::instance().enabled();
+    std::optional<HopRelaySpan> hop_span;
+    if (traced) hop_span.emplace(to, "reverse");
     const Bytes wrapped =
         onion_.wrap_layer(entry->key, seq | kReverseBit, blob);
     ++messages_forwarded_;
+    forwarded_ctr_->inc();
     send_reverse(to, entry->upstream, kTypePayloadRev, entry->upstream_sid,
                  seq, wrapped);
     return;
@@ -630,6 +753,15 @@ void AnonRouter::sweep() {
       if (it->second.expires <= now) {
         if (!it->second.delivered) {
           ++reassemblies_expired_;
+          reassembly_expired_ctr_->inc();
+          auto& tracer = obs::Tracer::instance();
+          if (tracer.enabled()) {
+            obs::TraceArgs args;
+            args.add("status", "expired")
+                .add("segments_received",
+                     static_cast<std::uint64_t>(it->second.segments.size()));
+            tracer.span_end("anon", "reconstruct", it->first, args);
+          }
           if (reassembly_expiry_handler_) {
             reassembly_expiry_handler_(node, it->first);
           }

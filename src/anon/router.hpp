@@ -30,6 +30,7 @@
 #include "crypto/keys.hpp"
 #include "erasure/codec.hpp"
 #include "net/demux.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2panon::anon {
@@ -39,6 +40,7 @@ struct RouterConfig {
   SimDuration sweep_interval = 30 * kSecond; // expiry sweep cadence
   SimDuration reassembly_ttl = 2 * kMinute;  // responder reassembly buffers
   bool send_acks = true;                     // per-segment end-to-end acks
+  obs::Registry* metrics = nullptr;          // nullptr = global registry
 };
 
 /// What the responder's application sees for a reconstructed message.
@@ -178,6 +180,11 @@ class AnonRouter {
   sim::Simulator& simulator() { return simulator_; }
   const RouterConfig& config() const { return config_; }
 
+  /// Metrics registry this router reports into (config's, or the process
+  /// global). Sessions register their own series here so one snapshot
+  /// covers the whole stack of a run.
+  obs::Registry& metrics() const { return *metrics_; }
+
   /// Reverse-direction nonce bit: reverse layer seq = seq | kReverseBit so
   /// a (key, seq) pair is never reused across directions.
   static constexpr std::uint64_t kReverseBit = 1ULL << 63;
@@ -186,6 +193,7 @@ class AnonRouter {
   struct PendingConstruction {
     ConstructCallback callback;
     sim::EventId timeout_event = sim::kInvalidEventId;
+    const char* span = "path_construct";  // trace span closed on ack/timeout
   };
 
   struct Reassembly {
@@ -216,6 +224,8 @@ class AnonRouter {
   void responder_ack(NodeId responder, RelayEntry& entry,
                      MessageId message_id, std::uint32_t segment_index);
   void sweep();
+  void finish_pending(NodeId initiator, StreamId sid, bool ok, bool timed_out);
+  void record_peel_failure(NodeId node, const char* where);
 
   // framing helpers
   void send_forward(NodeId from, NodeId to, std::uint8_t type, StreamId sid,
@@ -249,6 +259,22 @@ class AnonRouter {
   std::uint64_t messages_forwarded_ = 0;
   std::uint64_t peel_failures_ = 0;
   std::uint64_t reassemblies_expired_ = 0;
+
+  // Registry mirrors of the private tallies above (the per-instance
+  // accessors stay the per-run contract; the registry is what sweeps,
+  // snapshots, and invariant checks read).
+  obs::Registry* metrics_;
+  obs::Counter* bytes_construct_;
+  obs::Counter* bytes_payload_;
+  obs::Counter* bytes_reverse_;
+  obs::Counter* forwarded_ctr_;
+  obs::Counter* peel_failures_ctr_;
+  obs::Counter* construct_attempts_ctr_;
+  obs::Counter* construct_ok_ctr_;
+  obs::Counter* construct_timeout_ctr_;
+  obs::Counter* reconstructions_ctr_;
+  obs::Counter* reassembly_expired_ctr_;
+  obs::HdrHistogram* reconstruct_segments_;
 };
 
 // Reverse-core payloads (sealed under R_{L+1} / the responder key).

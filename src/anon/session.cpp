@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace p2panon::anon {
 
@@ -25,6 +26,18 @@ Session::Session(AnonRouter& router, const membership::NodeCache& cache,
       selector_(config.mix_choice, rng_.fork()),
       alive_(std::make_shared<bool>(true)) {
   config_.erasure.validate();
+  obs::Registry& reg = router_.metrics();
+  msgs_ctr_ = reg.counter("session_messages_total");
+  construct_attempts_ctr_ = reg.counter("session_construct_attempts_total");
+  seg_sent_ctr_ = reg.counter("session_segments_total", {{"event", "sent"}});
+  seg_retx_ctr_ =
+      reg.counter("session_segments_total", {{"event", "retransmit"}});
+  seg_acked_ctr_ = reg.counter("session_segments_total", {{"event", "acked"}});
+  seg_expired_ctr_ =
+      reg.counter("session_segments_total", {{"event", "expired"}});
+  path_failures_ctr_ = reg.counter("session_path_failures_total");
+  rtt_us_ = reg.histogram("session_rtt_us");
+  rto_us_ = reg.histogram("session_rto_us");
   paths_.resize(config_.erasure.k);
   path_info_.resize(config_.erasure.k);
   path_health_.resize(config_.erasure.k);
@@ -66,6 +79,7 @@ void Session::construct(ConstructHandler handler) {
 
 void Session::attempt_construction() {
   ++construct_attempts_;
+  construct_attempts_ctr_->inc();
 
   const SimTime now = router_.simulator().now();
   auto selected =
@@ -305,6 +319,18 @@ MessageId Session::send_message(ByteView data) {
 
   const Allocation alloc = make_allocation();
   ++messages_sent_;
+  msgs_ctr_->inc();
+  // Segment sends, their delay timers, and every retransmit they spawn all
+  // inherit the message id as correlation: the trace groups the message's
+  // whole causal tree under one id.
+  obs::CorrelationScope corr_scope(id);
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("bytes", static_cast<std::uint64_t>(data.size()))
+        .add("segments", static_cast<std::uint64_t>(segments.size()));
+    tracer.instant("anon", "message_send", id, args);
+  }
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const std::size_t path_index = alloc[s];
     if (paths_[path_index].state != PathState::kEstablished) continue;
@@ -318,6 +344,20 @@ void Session::send_segment_on_path(std::size_t path_index,
                                    const erasure::Segment& segment,
                                    std::size_t original_size,
                                    std::size_t retries) {
+  // Rebuild-driven resends arrive here from a construct-ack chain; pin the
+  // correlation back to the message so the timeout event and the relay
+  // hops below stay on the message's causal tree.
+  obs::CorrelationScope corr_scope(message_id);
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("segment", static_cast<std::uint64_t>(segment.index))
+        .add("path", static_cast<std::uint64_t>(path_index))
+        .add("retries", static_cast<std::uint64_t>(retries));
+    tracer.span_begin("anon",
+                      retries == 0 ? "segment" : "segment_retransmit",
+                      message_id, args);
+  }
   Path& path = paths_[path_index];
   PayloadCore core;
   core.message_id = message_id;
@@ -337,6 +377,7 @@ void Session::send_segment_on_path(std::size_t path_index,
   router_.send_payload(initiator_, path.sid, path.relays.front(), seq,
                        std::move(blob));
   ++segments_sent_;
+  seg_sent_ctr_->inc();
 
   // Register the pending ack with its timeout. With adaptive timeouts the
   // wait is the path's current RTO, doubled for every retry already spent
@@ -391,6 +432,8 @@ void Session::on_segment_timeout(std::uint64_t key, bool fail_pending_path) {
         const PendingSegment seg = std::move(it->second);
         pending_segments_.erase(it);
         ++segments_retransmitted_;
+        seg_retx_ctr_->inc();
+        end_segment_span(seg, "retransmitted");
         if (declare_failed) mark_path_failed(failed_path);
         send_segment_on_path(target, seg.message_id, seg.segment,
                              seg.original_size, seg.retries + 1);
@@ -434,12 +477,27 @@ void Session::on_segment_timeout(std::uint64_t key, bool fail_pending_path) {
   mark_path_failed(failed_path);
 }
 
+void Session::end_segment_span(const PendingSegment& seg,
+                               const char* outcome) {
+  auto& tracer = obs::Tracer::instance();
+  if (!tracer.enabled()) return;
+  obs::TraceArgs args;
+  args.add("outcome", outcome)
+      .add("segment", static_cast<std::uint64_t>(seg.segment_index))
+      .add("path", static_cast<std::uint64_t>(seg.path_index));
+  tracer.span_end("anon",
+                  seg.retries == 0 ? "segment" : "segment_retransmit",
+                  seg.message_id, args);
+}
+
 void Session::expire_segment(std::uint64_t key) {
   const auto it = pending_segments_.find(key);
   if (it == pending_segments_.end()) return;
   const PendingSegment seg = std::move(it->second);
   pending_segments_.erase(it);
   ++segments_expired_;
+  seg_expired_ctr_->inc();
+  end_segment_span(seg, "expired");
   if (segment_expiry_handler_) {
     segment_expiry_handler_(seg.message_id, seg.segment_index,
                             seg.path_index);
@@ -449,17 +507,28 @@ void Session::expire_segment(std::uint64_t key) {
 void Session::observe_rtt(std::size_t path_index, SimDuration sample) {
   PathHealth& health = path_health_[path_index];
   const double sample_us = static_cast<double>(sample);
+  rtt_us_->record(static_cast<std::uint64_t>(sample));
   if (!health.rtt_valid) {
     health.rtt_valid = true;
     health.srtt_us = sample_us;
     health.rttvar_us = sample_us / 2.0;
-    return;
+  } else {
+    // Jacobson/Karels: RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|,
+    //                  SRTT   <- 7/8 SRTT + 1/8 R'.
+    health.rttvar_us =
+        0.75 * health.rttvar_us + 0.25 * std::abs(health.srtt_us - sample_us);
+    health.srtt_us = 0.875 * health.srtt_us + 0.125 * sample_us;
   }
-  // Jacobson/Karels: RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|,
-  //                  SRTT   <- 7/8 SRTT + 1/8 R'.
-  health.rttvar_us =
-      0.75 * health.rttvar_us + 0.25 * std::abs(health.srtt_us - sample_us);
-  health.srtt_us = 0.875 * health.srtt_us + 0.125 * sample_us;
+  const SimDuration rto = current_rto(path_index);
+  rto_us_->record(static_cast<std::uint64_t>(rto));
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("path", static_cast<std::uint64_t>(path_index))
+        .add("rtt_us", static_cast<std::uint64_t>(sample))
+        .add("rto_us", static_cast<std::uint64_t>(rto));
+    tracer.instant("anon", "rto_update", obs::current_correlation(), args);
+  }
 }
 
 SimDuration Session::current_rto(std::size_t path_index) const {
@@ -477,6 +546,13 @@ void Session::mark_path_failed(std::size_t path_index) {
   if (path.state != PathState::kEstablished) return;
   path.state = PathState::kFailed;
   sync_path_info(path_index);
+  path_failures_ctr_->inc();
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("path", static_cast<std::uint64_t>(path_index));
+    tracer.instant("anon", "path_failed", obs::current_correlation(), args);
+  }
   if (path_failure_handler_) path_failure_handler_(path_index);
   if (config_.auto_reconstruct) schedule_rebuild(path_index);
 }
@@ -584,7 +660,9 @@ void Session::resend_pending(std::size_t old_path_index,
     }
   }
   segments_retransmitted_ += to_resend.size();
+  seg_retx_ctr_->inc(to_resend.size());
   for (const PendingSegment& pending : to_resend) {
+    end_segment_span(pending, "resent_on_rebuild");
     send_segment_on_path(new_path_index, pending.message_id, pending.segment,
                          pending.original_size);
   }
@@ -645,6 +723,8 @@ void Session::handle_reverse_core(std::size_t path_index,
         path_health_[it->second.path_index].consecutive_timeouts = 0;
       }
       ++acks_matched_;
+      seg_acked_ctr_->inc();
+      end_segment_span(it->second, "acked");
       pending_segments_.erase(it);
     }
     // An ack on a path still pending from combined construction confirms
@@ -751,6 +831,15 @@ MessageId Session::send_message_on_demand(ByteView data) {
   const auto segments = session_codec().encode(data);
   const Allocation alloc = make_allocation();
   ++messages_sent_;
+  msgs_ctr_->inc();
+  obs::CorrelationScope corr_scope(id);
+  if (obs::Tracer::instance().enabled()) {
+    obs::TraceArgs args;
+    args.add("bytes", static_cast<std::uint64_t>(data.size()))
+        .add("segments", static_cast<std::uint64_t>(segments.size()))
+        .add("on_demand", static_cast<std::uint64_t>(1));
+    obs::Tracer::instance().instant("anon", "message_send", id, args);
+  }
   bool sent_any = false;
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const std::size_t path_index = alloc[s];
@@ -779,10 +868,19 @@ MessageId Session::send_message_on_demand(ByteView data) {
         for (std::size_t i = path.relay_keys.size(); i-- > 0;) {
           blob = router_.onion().wrap_layer(path.relay_keys[i], seq, blob);
         }
+        if (obs::Tracer::instance().enabled()) {
+          obs::TraceArgs args;
+          args.add("segment", static_cast<std::uint64_t>(segments[s].index))
+              .add("path", static_cast<std::uint64_t>(path_index))
+              .add("retries", static_cast<std::uint64_t>(0))
+              .add("combined_construct", static_cast<std::uint64_t>(1));
+          obs::Tracer::instance().span_begin("anon", "segment", id, args);
+        }
         router_.send_construct_with_payload(initiator_, path.sid,
                                             path.relays.front(), seq,
                                             onion_blob, blob);
         ++segments_sent_;
+        seg_sent_ctr_->inc();
         // Track it like any pending segment: the end-to-end ack confirms
         // both the path and the delivery. A timed-out pending combined
         // path is simply failed (fail_pending_path).

@@ -25,6 +25,7 @@
 #include "anon/mix_selector.hpp"
 #include "anon/router.hpp"
 #include "membership/node_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace p2panon::anon {
 
@@ -222,6 +223,9 @@ class Session {
                             std::size_t retries = 0);
   void on_segment_timeout(std::uint64_t key, bool fail_pending_path);
   void expire_segment(std::uint64_t key);
+  /// Closes the segment's "segment"/"segment_retransmit" async span (picked
+  /// by its retry count) with the given outcome. No-op while tracing is off.
+  void end_segment_span(const PendingSegment& seg, const char* outcome);
   void observe_rtt(std::size_t path_index, SimDuration sample);
   SimDuration backoff_delay(std::size_t failures);
   void mark_path_failed(std::size_t path_index);
@@ -287,6 +291,19 @@ class Session {
   std::uint64_t segments_retransmitted_ = 0;
   std::uint64_t failures_detected_ = 0;
   std::uint64_t proactive_replacements_ = 0;
+
+  // Registry mirrors (resolved from the router's registry). The tallies
+  // above stay the per-instance contract the seed tests assert; the series
+  // are what sweeps, snapshots, and chaos invariants read.
+  obs::Counter* msgs_ctr_;
+  obs::Counter* construct_attempts_ctr_;
+  obs::Counter* seg_sent_ctr_;
+  obs::Counter* seg_retx_ctr_;
+  obs::Counter* seg_acked_ctr_;
+  obs::Counter* seg_expired_ctr_;
+  obs::Counter* path_failures_ctr_;
+  obs::HdrHistogram* rtt_us_;
+  obs::HdrHistogram* rto_us_;
 };
 
 }  // namespace p2panon::anon

@@ -8,6 +8,7 @@ namespace p2panon {
 
 namespace {
 LogLevel g_level = LogLevel::Warn;
+LogDecorator g_decorator = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +27,8 @@ LogLevel global_log_level() { return g_level; }
 
 void set_global_log_level(LogLevel level) { g_level = level; }
 
+void set_log_decorator(LogDecorator fn) { g_decorator = fn; }
+
 LogLevel parse_log_level(const std::string& name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),
@@ -41,6 +44,14 @@ LogLevel parse_log_level(const std::string& name) {
 
 namespace detail {
 void emit_log(LogLevel level, const std::string& message) {
+  if (g_decorator != nullptr) {
+    const std::string prefix = g_decorator();
+    if (!prefix.empty()) {
+      std::fprintf(stderr, "[%s] %s%s\n", level_name(level), prefix.c_str(),
+                   message.c_str());
+      return;
+    }
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

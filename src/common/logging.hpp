@@ -16,6 +16,13 @@ enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4,
 LogLevel global_log_level();
 void set_global_log_level(LogLevel level);
 
+/// Optional line decorator. When set, its return value is inserted between
+/// the level tag and the message of every emitted line (the obs layer
+/// installs one that renders sim time and the active correlation id; it
+/// returns "" while tracing is off, so output is unchanged). nullptr clears.
+using LogDecorator = std::string (*)();
+void set_log_decorator(LogDecorator fn);
+
 /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
 LogLevel parse_log_level(const std::string& name);
 

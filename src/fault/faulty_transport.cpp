@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/demux.hpp"
+#include "obs/trace.hpp"
 
 namespace p2panon::fault {
 
@@ -21,9 +22,37 @@ bool matches(const std::vector<NodeId>& nodes, NodeId node) {
 }  // namespace
 
 FaultyTransport::FaultyTransport(net::Transport& inner, const FaultPlan& plan,
-                                 std::uint64_t seed,
-                                 sim::Simulator* simulator)
-    : inner_(inner), plan_(plan), simulator_(simulator), rng_(seed) {}
+                                 std::uint64_t seed, sim::Simulator* simulator,
+                                 obs::Registry* metrics)
+    : inner_(inner), plan_(plan), simulator_(simulator), rng_(seed) {
+  obs::Registry* reg =
+      metrics != nullptr ? metrics : &obs::Registry::global();
+  inj_crash_ =
+      reg->counter("fault_injections_total", {{"kind", "dropped_crash"}});
+  inj_partition_ =
+      reg->counter("fault_injections_total", {{"kind", "dropped_partition"}});
+  inj_loss_ =
+      reg->counter("fault_injections_total", {{"kind", "dropped_loss"}});
+  inj_duplicated_ =
+      reg->counter("fault_injections_total", {{"kind", "duplicated"}});
+  inj_delayed_ = reg->counter("fault_injections_total", {{"kind", "delayed"}});
+  inj_corrupted_ =
+      reg->counter("fault_injections_total", {{"kind", "corrupted"}});
+  extra_delay_us_ = reg->histogram("fault_extra_delay_us");
+}
+
+void FaultyTransport::record_injection(const char* kind, obs::Counter* mirror,
+                                       NodeId from, NodeId to) {
+  mirror->inc();
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("kind", kind)
+        .add("from", static_cast<std::uint64_t>(from))
+        .add("to", static_cast<std::uint64_t>(to));
+    tracer.instant("fault", "inject", obs::current_correlation(), args);
+  }
+}
 
 void FaultyTransport::register_handler(NodeId node, Handler handler) {
   inner_.register_handler(node, std::move(handler));
@@ -42,11 +71,13 @@ void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
   if (!plan_.crashes().empty() &&
       (plan_.is_crashed(from, when) || plan_.is_crashed(to, when))) {
     ++counters_.dropped_crash;
+    record_injection("dropped_crash", inj_crash_, from, to);
     return;
   }
 
   if (!plan_.partitions().empty() && plan_.partitioned(from, to, when)) {
     ++counters_.dropped_partition;
+    record_injection("dropped_partition", inj_partition_, from, to);
     return;
   }
 
@@ -60,6 +91,7 @@ void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
     }
     if (rule.loss_rate > 0.0 && rng_.bernoulli(rule.loss_rate)) {
       ++counters_.dropped_loss;
+      record_injection("dropped_loss", inj_loss_, from, to);
       return;
     }
     if (rule.extra_delay_max > 0) {
@@ -82,6 +114,7 @@ void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
       const std::size_t index = 1 + rng_.next_below(payload.size() - 1);
       payload[index] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
       ++counters_.corrupted;
+      record_injection("corrupted", inj_corrupted_, from, to);
       break;  // one flip is enough to invalidate the AEAD tag
     }
   }
@@ -101,11 +134,16 @@ void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
       extra_delay += static_cast<SimDuration>(rng_.next_below(
           static_cast<std::uint64_t>(rule.max_extra_delay) + 1));
       ++counters_.delayed;
+      record_injection("delayed", inj_delayed_, from, to);
     }
+  }
+  if (extra_delay > 0) {
+    extra_delay_us_->record(static_cast<std::uint64_t>(extra_delay));
   }
 
   if (duplicate) {
     ++counters_.duplicated;
+    record_injection("duplicated", inj_duplicated_, from, to);
     dispatch(from, to, payload, extra_delay);
   }
   dispatch(from, to, std::move(payload), extra_delay);

@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2panon::fault {
@@ -42,9 +43,13 @@ class FaultyTransport final : public net::Transport {
   /// `simulator` enables the delay/reorder rules (and supplies the clock
   /// the time windows are evaluated against); without one, time is pinned
   /// to 0 so only rules whose window covers t=0 apply, and delays are
-  /// ignored (LoopbackTransport has no time axis).
+  /// ignored (LoopbackTransport has no time axis). Injections are mirrored
+  /// into `metrics` (nullptr = global registry) as
+  /// `fault_injections_total{kind=...}` plus the `fault_extra_delay_us`
+  /// histogram of injected delay spikes.
   FaultyTransport(net::Transport& inner, const FaultPlan& plan,
-                  std::uint64_t seed, sim::Simulator* simulator = nullptr);
+                  std::uint64_t seed, sim::Simulator* simulator = nullptr,
+                  obs::Registry* metrics = nullptr);
 
   void send(NodeId from, NodeId to, Bytes payload) override;
   void register_handler(NodeId node, Handler handler) override;
@@ -59,6 +64,9 @@ class FaultyTransport final : public net::Transport {
   SimTime now() const { return simulator_ != nullptr ? simulator_->now() : 0; }
   void dispatch(NodeId from, NodeId to, Bytes payload, SimDuration extra);
 
+  void record_injection(const char* kind, obs::Counter* mirror, NodeId from,
+                        NodeId to);
+
   net::Transport& inner_;
   const FaultPlan& plan_;
   sim::Simulator* simulator_;
@@ -66,6 +74,13 @@ class FaultyTransport final : public net::Transport {
   Counters counters_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  obs::Counter* inj_crash_;
+  obs::Counter* inj_partition_;
+  obs::Counter* inj_loss_;
+  obs::Counter* inj_duplicated_;
+  obs::Counter* inj_delayed_;
+  obs::Counter* inj_corrupted_;
+  obs::HdrHistogram* extra_delay_us_;
 };
 
 }  // namespace p2panon::fault

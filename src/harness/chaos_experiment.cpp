@@ -279,7 +279,15 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
   if (env.faulty_transport() != nullptr) {
     result.faults = env.faulty_transport()->counters();
   }
-  result.drops = env.transport().drop_counters();
+  obs::Registry& reg = env.metrics();
+  result.drops.sender_dead =
+      reg.counter_value("net_drops_total", {{"cause", "sender_dead"}});
+  result.drops.receiver_dead =
+      reg.counter_value("net_drops_total", {{"cause", "receiver_dead"}});
+  result.drops.link_loss =
+      reg.counter_value("net_drops_total", {{"cause", "link_loss"}});
+  result.drops.no_handler =
+      reg.counter_value("net_drops_total", {{"cause", "no_handler"}});
   result.peel_failures = env.router().peel_failures();
   result.reassemblies_expired = env.router().reassemblies_expired();
   result.executed_events = env.simulator().executed_events();

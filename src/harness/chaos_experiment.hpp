@@ -115,7 +115,19 @@ struct ChaosResult {
 
   // Injection + drop accounting.
   fault::FaultyTransport::Counters faults;
-  net::SimTransport::DropCounters drops;
+  /// Per-cause transport drops, read back from the run's metrics registry
+  /// (`net_drops_total{cause=...}`): the registry is the single source of
+  /// truth now that SimTransport keeps no bespoke drop counters.
+  struct DropStats {
+    std::uint64_t sender_dead = 0;
+    std::uint64_t receiver_dead = 0;
+    std::uint64_t link_loss = 0;
+    std::uint64_t no_handler = 0;
+    std::uint64_t total() const {
+      return sender_dead + receiver_dead + link_loss + no_handler;
+    }
+  };
+  DropStats drops;
   std::uint64_t peel_failures = 0;
   std::uint64_t executed_events = 0;
 

@@ -1,11 +1,32 @@
 #include "harness/environment.hpp"
 
 #include "churn/distributions.hpp"
+#include "obs/trace.hpp"
 
 namespace p2panon::harness {
 
+namespace {
+std::uint64_t tracer_sim_clock(const void* ctx) {
+  return static_cast<std::uint64_t>(
+      static_cast<const sim::Simulator*>(ctx)->now());
+}
+}  // namespace
+
 Environment::Environment(EnvironmentConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::Registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // A traced run stamps events with this simulator's clock. Attach only
+  // while tracing is on: parallel sweeps build many environments at once
+  // and must not fight over the tracer's single clock slot.
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().set_sim_clock(&tracer_sim_clock, &simulator_);
+    attached_trace_clock_ = true;
+  }
   latency_ = std::make_unique<net::LatencyMatrix>(net::LatencyMatrix::synthetic(
       config_.num_nodes, rng_.fork(), config_.mean_rtt));
 
@@ -18,15 +39,18 @@ Environment::Environment(EnvironmentConfig config)
   // node also refuses deliveries that are already in flight (same failure
   // mode as churn). With no plan this is exactly the churn oracle.
   transport_ = std::make_unique<net::SimTransport>(
-      simulator_, *latency_, [this](NodeId node) {
+      simulator_, *latency_,
+      [this](NodeId node) {
         if (!churn_->is_up(node)) return false;
         return !(config_.fault_plan &&
                  config_.fault_plan->is_crashed(node, simulator_.now()));
-      });
+      },
+      /*per_hop_overhead=*/0, net::LinkFaultConfig{}, metrics_);
 
   if (config_.fault_plan != nullptr) {
     faulty_ = std::make_unique<fault::FaultyTransport>(
-        *transport_, *config_.fault_plan, config_.fault_seed, &simulator_);
+        *transport_, *config_.fault_plan, config_.fault_seed, &simulator_,
+        metrics_);
   }
   net::Transport& wire = faulty_ ? static_cast<net::Transport&>(*faulty_)
                                  : static_cast<net::Transport&>(*transport_);
@@ -43,16 +67,39 @@ Environment::Environment(EnvironmentConfig config)
   } else {
     onion_ = std::make_unique<anon::RealOnionCodec>();
   }
+  anon::RouterConfig router_config = config_.router;
+  if (router_config.metrics == nullptr) router_config.metrics = metrics_;
   router_ = std::make_unique<anon::AnonRouter>(
       simulator_, *demux_, *onion_, directory_, std::move(node_keys),
-      [this](NodeId node) { return churn_->is_up(node); }, config_.router,
+      [this](NodeId node) { return churn_->is_up(node); }, router_config,
       rng_.fork());
+}
+
+Environment::~Environment() {
+  if (attached_trace_clock_) {
+    obs::Tracer::instance().set_sim_clock(nullptr, nullptr);
+  }
 }
 
 void Environment::start() {
   membership_->start();  // subscribes to churn before transitions begin
   router_->start();
   churn_->start();
+  if (config_.obs_sample_interval > 0) {
+    obs::Gauge* pending = metrics_->gauge("obs_sim_pending_events");
+    obs::Gauge* executed = metrics_->gauge("obs_sim_executed_events");
+    obs::Gauge* scheduled = metrics_->gauge("obs_sim_scheduled_events");
+    obs_sampler_ = std::make_unique<sim::PeriodicTask>(
+        simulator_, config_.obs_sample_interval,
+        [this, pending, executed, scheduled] {
+          pending->set(static_cast<std::int64_t>(simulator_.pending_events()));
+          executed->set(
+              static_cast<std::int64_t>(simulator_.executed_events()));
+          scheduled->set(
+              static_cast<std::int64_t>(simulator_.scheduled_total()));
+        });
+    obs_sampler_->start();
+  }
 }
 
 NodeId Environment::random_up_node(NodeId exclude) {

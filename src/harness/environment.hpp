@@ -21,6 +21,7 @@
 #include "net/demux.hpp"
 #include "net/latency_matrix.hpp"
 #include "net/sim_transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2panon::harness {
@@ -42,11 +43,24 @@ struct EnvironmentConfig {
   /// stream — exactly as before.
   const fault::FaultPlan* fault_plan = nullptr;
   std::uint64_t fault_seed = 0xFA017;
+
+  /// Metrics registry shared by every component in this environment
+  /// (transport, fault decorator, router, sessions). Null = the
+  /// Environment owns a private registry, so parallel sweep runs never
+  /// share series and per-run results stay deterministic.
+  obs::Registry* metrics = nullptr;
+
+  /// > 0 starts a periodic sampler exporting simulator gauges
+  /// (obs_sim_pending_events / executed / scheduled) into the registry.
+  /// Off by default: the sampler schedules events of its own, and the
+  /// default run must stay byte-identical to the seed.
+  SimDuration obs_sample_interval = 0;
 };
 
 class Environment {
  public:
   explicit Environment(EnvironmentConfig config);
+  ~Environment();
   Environment(const Environment&) = delete;
   Environment& operator=(const Environment&) = delete;
 
@@ -66,6 +80,9 @@ class Environment {
   const EnvironmentConfig& config() const { return config_; }
   Rng& rng() { return rng_; }
 
+  /// The run's metrics registry (owned unless the config injected one).
+  obs::Registry& metrics() { return *metrics_; }
+
   /// Picks a currently-up node uniformly, excluding `exclude` (or
   /// kInvalidNode when none is up).
   NodeId random_up_node(NodeId exclude);
@@ -73,6 +90,10 @@ class Environment {
  private:
   EnvironmentConfig config_;
   Rng rng_;
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  bool attached_trace_clock_ = false;
+  std::unique_ptr<sim::PeriodicTask> obs_sampler_;
   sim::Simulator simulator_;
   std::unique_ptr<net::LatencyMatrix> latency_;
   std::unique_ptr<churn::ChurnModel> churn_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/strings.hpp"
+#include "obs/json.hpp"
 
 namespace p2panon::metrics {
 
@@ -42,6 +43,23 @@ std::string Table::render() const {
   return out.str();
 }
 
+std::string Table::to_json() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ",";
+    out << "{";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) out << ",";
+      out << "\"" << obs::json_escape(header_[c]) << "\":\""
+          << obs::json_escape(rows_[r][c]) << "\"";
+    }
+    out << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
 Series::Series(std::string x_label, std::vector<std::string> y_labels)
     : x_label_(std::move(x_label)), y_labels_(std::move(y_labels)) {}
 
@@ -62,6 +80,23 @@ std::string Series::render(int digits) const {
     for (double y : ys) out << "\t" << format_double(y, digits);
     out << "\n";
   }
+  return out.str();
+}
+
+std::string Series::to_json() const {
+  std::ostringstream out;
+  out.precision(10);
+  out << "[";
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    if (p > 0) out << ",";
+    out << "{\"" << obs::json_escape(x_label_) << "\":" << points_[p].first;
+    for (std::size_t c = 0; c < y_labels_.size(); ++c) {
+      out << ",\"" << obs::json_escape(y_labels_[c])
+          << "\":" << points_[p].second[c];
+    }
+    out << "}";
+  }
+  out << "]";
   return out.str();
 }
 

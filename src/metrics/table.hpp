@@ -15,6 +15,11 @@ class Table {
   void add_row(std::vector<std::string> row);
   std::string render() const;
 
+  /// JSON array of row objects keyed by the header cells — what bench
+  /// `--json` reports embed so downstream tooling never parses the
+  /// rendered text.
+  std::string to_json() const;
+
   std::size_t columns() const { return header_.size(); }
   std::size_t rows() const { return rows_.size(); }
 
@@ -31,6 +36,9 @@ class Series {
 
   void add(double x, std::vector<double> ys);
   std::string render(int digits = 4) const;
+
+  /// JSON array of point objects: {"<x_label>": x, "<y_label>": y, ...}.
+  std::string to_json() const;
 
  private:
   std::string x_label_;

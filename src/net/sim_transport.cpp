@@ -4,21 +4,49 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace p2panon::net {
+
+namespace {
+
+/// Instant trace event for a vanished datagram, on the sender's causal
+/// chain. Only reached behind an enabled() check.
+void trace_drop(const char* cause, NodeId from, NodeId to) {
+  obs::TraceArgs args;
+  args.add("cause", cause)
+      .add("from", static_cast<std::uint64_t>(from))
+      .add("to", static_cast<std::uint64_t>(to));
+  obs::Tracer::instance().instant("net", "drop", obs::current_correlation(),
+                                  args);
+}
+
+}  // namespace
 
 SimTransport::SimTransport(sim::Simulator& simulator,
                            const LatencyMatrix& latency,
                            LivenessOracle liveness,
                            std::size_t per_hop_overhead,
-                           LinkFaultConfig faults)
+                           LinkFaultConfig faults, obs::Registry* metrics)
     : simulator_(simulator),
       latency_(latency),
       liveness_(std::move(liveness)),
       per_hop_overhead_(per_hop_overhead),
       faults_(faults),
       fault_rng_(faults.seed),
-      handlers_(latency.num_nodes()) {
+      handlers_(latency.num_nodes()),
+      metrics_(metrics != nullptr ? metrics : &obs::Registry::global()),
+      messages_sent_(metrics_->counter("net_messages_sent_total")),
+      bytes_sent_(metrics_->counter("net_bytes_sent_total")),
+      drop_sender_dead_(
+          metrics_->counter("net_drops_total", {{"cause", "sender_dead"}})),
+      drop_receiver_dead_(
+          metrics_->counter("net_drops_total", {{"cause", "receiver_dead"}})),
+      drop_link_loss_(
+          metrics_->counter("net_drops_total", {{"cause", "link_loss"}})),
+      drop_no_handler_(
+          metrics_->counter("net_drops_total", {{"cause", "no_handler"}})),
+      delay_us_(metrics_->histogram("net_delay_us")) {
   if (faults_.loss_rate < 0.0 || faults_.loss_rate >= 1.0 ||
       faults_.jitter_fraction < 0.0 || faults_.jitter_fraction >= 1.0) {
     throw std::invalid_argument("SimTransport: fault rates must be in [0, 1)");
@@ -29,17 +57,19 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
   if (from >= handlers_.size() || to >= handlers_.size()) {
     throw std::out_of_range("SimTransport::send: node id out of range");
   }
-  ++messages_sent_;
-  bytes_sent_ += payload.size() + per_hop_overhead_;
+  messages_sent_->inc();
+  bytes_sent_->inc(payload.size() + per_hop_overhead_);
   if (!liveness_(from)) {
-    ++drops_.sender_dead;
+    drop_sender_dead_->inc();
+    if (obs::Tracer::instance().enabled()) trace_drop("sender_dead", from, to);
     return;
   }
   // Link faults: i.i.d. datagram loss and per-packet latency jitter.
   // Guarded so the default configuration draws nothing and stays
   // bit-identical to the fault-free transport.
   if (faults_.loss_rate > 0.0 && fault_rng_.bernoulli(faults_.loss_rate)) {
-    ++drops_.link_loss;
+    drop_link_loss_->inc();
+    if (obs::Tracer::instance().enabled()) trace_drop("link_loss", from, to);
     return;
   }
   SimDuration delay = latency_.one_way(from, to);
@@ -48,17 +78,24 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
                                              1.0 + faults_.jitter_fraction);
     delay = static_cast<SimDuration>(static_cast<double>(delay) * factor);
   }
+  delay_us_->record(static_cast<std::uint64_t>(delay));
   simulator_.schedule_after(
       delay, [this, from, to, data = std::move(payload)]() {
         if (!liveness_(to)) {
-          ++drops_.receiver_dead;
+          drop_receiver_dead_->inc();
+          if (obs::Tracer::instance().enabled()) {
+            trace_drop("receiver_dead", from, to);
+          }
           return;
         }
         const Handler& handler = handlers_[to];
         if (handler) {
           handler(from, to, data);
         } else {
-          ++drops_.no_handler;
+          drop_no_handler_->inc();
+          if (obs::Tracer::instance().enabled()) {
+            trace_drop("no_handler", from, to);
+          }
         }
       });
 }
@@ -68,9 +105,12 @@ void SimTransport::register_handler(NodeId node, Handler handler) {
 }
 
 void SimTransport::reset_counters() {
-  bytes_sent_ = 0;
-  messages_sent_ = 0;
-  drops_ = DropCounters{};
+  bytes_sent_->reset();
+  messages_sent_->reset();
+  drop_sender_dead_->reset();
+  drop_receiver_dead_->reset();
+  drop_link_loss_->reset();
+  drop_no_handler_->reset();
 }
 
 }  // namespace p2panon::net

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "net/latency_matrix.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2panon::net {
@@ -37,29 +38,43 @@ class SimTransport final : public Transport {
   /// `liveness` is consulted at send and delivery time; pass the churn
   /// model's is_up. `per_hop_overhead` bytes are added to each datagram's
   /// bandwidth accounting (packet headers); 0 reproduces the paper's
-  /// payload-only numbers.
+  /// payload-only numbers. All counters live in `metrics` (nullptr =
+  /// the process-global registry) as `net_messages_sent_total`,
+  /// `net_bytes_sent_total`, `net_drops_total{cause=...}` and the
+  /// `net_delay_us` delivery-delay histogram — the single source of truth
+  /// for per-cause drop accounting.
   SimTransport(sim::Simulator& simulator, const LatencyMatrix& latency,
                LivenessOracle liveness, std::size_t per_hop_overhead = 0,
-               LinkFaultConfig faults = {});
+               LinkFaultConfig faults = {}, obs::Registry* metrics = nullptr);
 
   void send(NodeId from, NodeId to, Bytes payload) override;
   void register_handler(NodeId node, Handler handler) override;
 
-  std::uint64_t bytes_sent() const override { return bytes_sent_; }
-  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t bytes_sent() const override { return bytes_sent_->value(); }
+  std::uint64_t messages_sent() const override {
+    return messages_sent_->value();
+  }
 
-  /// Per-cause drop accounting: why a datagram vanished.
-  struct DropCounters {
-    std::uint64_t sender_dead = 0;    // sender down at send time
-    std::uint64_t receiver_dead = 0;  // receiver down at delivery time
-    std::uint64_t link_loss = 0;      // i.i.d. loss_rate drop
-    std::uint64_t no_handler = 0;     // delivered to an unregistered node
-    std::uint64_t total() const {
-      return sender_dead + receiver_dead + link_loss + no_handler;
-    }
-  };
-  const DropCounters& drop_counters() const { return drops_; }
-  std::uint64_t messages_dropped() const { return drops_.total(); }
+  /// Per-cause drop accounting, read back from the registry series.
+  std::uint64_t drops_sender_dead() const {   // sender down at send time
+    return drop_sender_dead_->value();
+  }
+  std::uint64_t drops_receiver_dead() const {  // receiver down at delivery
+    return drop_receiver_dead_->value();
+  }
+  std::uint64_t drops_link_loss() const {  // i.i.d. loss_rate drop
+    return drop_link_loss_->value();
+  }
+  std::uint64_t drops_no_handler() const {  // no handler registered
+    return drop_no_handler_->value();
+  }
+  std::uint64_t messages_dropped() const {
+    return drops_sender_dead() + drops_receiver_dead() + drops_link_loss() +
+           drops_no_handler();
+  }
+
+  /// The registry this transport records into.
+  obs::Registry& metrics() const { return *metrics_; }
 
   /// Resets the bandwidth counters (e.g. after warm-up).
   void reset_counters();
@@ -72,9 +87,14 @@ class SimTransport final : public Transport {
   LinkFaultConfig faults_;
   Rng fault_rng_;
   std::vector<Handler> handlers_;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t messages_sent_ = 0;
-  DropCounters drops_;
+  obs::Registry* metrics_;
+  obs::Counter* messages_sent_;
+  obs::Counter* bytes_sent_;
+  obs::Counter* drop_sender_dead_;
+  obs::Counter* drop_receiver_dead_;
+  obs::Counter* drop_link_loss_;
+  obs::Counter* drop_no_handler_;
+  obs::HdrHistogram* delay_us_;
 };
 
 }  // namespace p2panon::net

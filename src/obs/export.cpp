@@ -1,0 +1,96 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace p2panon::obs {
+
+std::string& add_json_flag(FlagSet& flags) {
+  return flags.add_string("json", "",
+                          "write a metrics-snapshot JSON to this path");
+}
+
+namespace {
+
+std::string format_number(double v) {
+  std::ostringstream out;
+  out.precision(10);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+void BenchReport::add(const std::string& key, double value) {
+  values_.emplace_back(key, format_number(value));
+}
+
+void BenchReport::add(const std::string& key, std::uint64_t value) {
+  values_.emplace_back(key, std::to_string(value));
+}
+
+void BenchReport::add_text(const std::string& key, const std::string& value) {
+  values_.emplace_back(key, '"' + json_escape(value) + '"');
+}
+
+void BenchReport::add_section(const std::string& name, std::string raw_json) {
+  sections_.emplace_back(name, std::move(raw_json));
+}
+
+std::string BenchReport::document(const Registry* registry) const {
+  std::string out = "{\"bench\":\"" + json_escape(bench_name_) + "\"";
+  out += ",\"values\":{";
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\":";
+    out += value;
+  }
+  out += "},\"sections\":{";
+  first = true;
+  for (const auto& [name, raw] : sections_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    out += raw;
+  }
+  out += '}';
+  if (registry != nullptr) {
+    out += ",\"metrics\":";
+    out += registry->snapshot_json();
+  }
+  out += '}';
+  return out;
+}
+
+bool BenchReport::write_if_requested(const std::string& path,
+                                     const Registry* registry) const {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string doc = document(registry);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "bench json: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench json: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace p2panon::obs

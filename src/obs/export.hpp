@@ -1,0 +1,56 @@
+// Shared `--json <path>` machinery for bench binaries.
+//
+// Every table/figure bench registers the flag through `add_json_flag`, fills
+// a BenchReport with its headline numbers (and optionally the rendered
+// tables as JSON sections), and calls `write_if_requested` at the end. The
+// output document is
+//
+//   {"bench": "<name>",
+//    "values": {"<key>": <number>, ...},
+//    "sections": {"<name>": <raw json>, ...},
+//    "metrics": <Registry::snapshot_json()>}   // only when a registry is given
+//
+// so BENCH_*.json files from successive runs diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p2panon {
+class FlagSet;
+}  // namespace p2panon
+
+namespace p2panon::obs {
+
+class Registry;
+
+/// Registers `--json` ("" = disabled) on `flags`; returns the bound path.
+std::string& add_json_flag(FlagSet& flags);
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& key, double value);
+  void add(const std::string& key, std::uint64_t value);
+  void add_text(const std::string& key, const std::string& value);
+  /// Attaches a pre-rendered JSON value (e.g. metrics::Table::to_json()).
+  void add_section(const std::string& name, std::string raw_json);
+
+  std::string document(const Registry* registry = nullptr) const;
+
+  /// No-op (returns true) when `path` is empty; otherwise writes the
+  /// document and reports failures on stderr.
+  bool write_if_requested(const std::string& path,
+                          const Registry* registry = nullptr) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> values_;  // key -> raw JSON
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+}  // namespace p2panon::obs

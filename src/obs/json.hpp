@@ -1,0 +1,23 @@
+// Minimal JSON utilities for the observability layer.
+//
+// The repo only ever *writes* JSON (metrics snapshots, Chrome trace events,
+// JSONL causal logs), so there is no DOM: just string escaping for the
+// emitters and a strict structural validator that tests and CI use to prove
+// every emitted document actually parses.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace p2panon::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal. Quotes are not
+/// added; control characters become \u00XX sequences.
+std::string json_escape(std::string_view s);
+
+/// Strict recursive-descent check that `text` is exactly one valid JSON
+/// value (RFC 8259 grammar, nesting capped at 512 levels). Trailing
+/// whitespace is allowed; trailing garbage is not.
+bool json_valid(std::string_view text);
+
+}  // namespace p2panon::obs

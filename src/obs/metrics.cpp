@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace p2panon::obs {
+
+// ---------------------------------------------------------------------------
+// HdrHistogram
+
+std::size_t HdrHistogram::bucket_index(std::uint64_t value) {
+  if (value < kExact) return static_cast<std::size_t>(value);
+  // Exponent e = floor(log2(value)), e in [6, 63). The top sub-bucket split
+  // uses the kSubBuckets bits just below the leading bit.
+  const int e = 63 - std::countl_zero(value);
+  const std::uint64_t sub =
+      (value >> (e - 5)) & (kSubBuckets - 1);  // log2(kSubBuckets) == 5
+  std::size_t index = kExact + static_cast<std::size_t>(e - 6) * kSubBuckets +
+                      static_cast<std::size_t>(sub);
+  if (index >= kBucketCount) index = kBucketCount - 1;
+  return index;
+}
+
+std::uint64_t HdrHistogram::bucket_lower_bound(std::size_t index) {
+  if (index < kExact) return index;
+  const std::size_t rel = index - kExact;
+  const int e = static_cast<int>(rel / kSubBuckets) + 6;
+  const std::uint64_t sub = rel % kSubBuckets;
+  return (std::uint64_t{1} << e) + (sub << (e - 5));
+}
+
+std::uint64_t HdrHistogram::bucket_upper_bound(std::size_t index) {
+  if (index < kExact) return index;
+  if (index + 1 >= kBucketCount) return UINT64_MAX;
+  return bucket_lower_bound(index + 1) - 1;
+}
+
+void HdrHistogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t HdrHistogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t HdrHistogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double HdrHistogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t HdrHistogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      const std::uint64_t lo = bucket_lower_bound(i);
+      const std::uint64_t hi = bucket_upper_bound(i);
+      std::uint64_t rep = lo + (hi - lo) / 2;
+      if (rep < min()) rep = min();
+      if (rep > max()) rep = max();
+      return rep;
+    }
+  }
+  return max();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Counter* Registry::counter(std::string name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[Key{std::move(name), std::move(labels)}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(std::string name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[Key{std::move(name), std::move(labels)}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HdrHistogram* Registry::histogram(std::string name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[Key{std::move(name), std::move(labels)}];
+  if (!slot) slot = std::make_unique<HdrHistogram>();
+  return slot.get();
+}
+
+std::uint64_t Registry::counter_value(const std::string& name,
+                                      const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(Key{name, labels});
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t Registry::gauge_value(const std::string& name,
+                                   const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(Key{name, labels});
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::uint64_t Registry::counter_total(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, counter] : counters_) {
+    if (key.name == name) total += counter->value();
+  }
+  return total;
+}
+
+namespace {
+
+void append_labels_json(std::ostringstream& out, const Labels& labels) {
+  out << "\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(k) << "\":\"" << json_escape(v) << '"';
+  }
+  out << '}';
+}
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(key.name) << "\",";
+    append_labels_json(out, key.labels);
+    out << ",\"value\":" << counter->value() << '}';
+  }
+  out << "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(key.name) << "\",";
+    append_labels_json(out, key.labels);
+    out << ",\"value\":" << gauge->value() << '}';
+  }
+  out << "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, hist] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(key.name) << "\",";
+    append_labels_json(out, key.labels);
+    out << ",\"count\":" << hist->count() << ",\"sum\":" << hist->sum()
+        << ",\"min\":" << hist->min() << ",\"max\":" << hist->max()
+        << ",\"mean\":" << format_double(hist->mean())
+        << ",\"p50\":" << hist->percentile(0.50)
+        << ",\"p90\":" << hist->percentile(0.90)
+        << ",\"p99\":" << hist->percentile(0.99) << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace p2panon::obs

@@ -1,0 +1,52 @@
+// Profiling scope timers: RAII wall-clock timers that feed an HdrHistogram.
+//
+// Gated by a single process-wide flag so engine hot paths can keep a timer
+// in place permanently — when profiling is off the constructor is one
+// relaxed load and the destructor a branch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace p2panon::obs {
+
+namespace detail {
+inline std::atomic<bool> g_profiling{false};
+}  // namespace detail
+
+inline bool profiling_enabled() {
+  return detail::g_profiling.load(std::memory_order_relaxed);
+}
+
+inline void set_profiling_enabled(bool on) {
+  detail::g_profiling.store(on, std::memory_order_relaxed);
+}
+
+/// Records the scope's wall-clock duration (nanoseconds) into `hist` on
+/// destruction, but only if profiling was enabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HdrHistogram* hist)
+      : hist_(profiling_enabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  HdrHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace p2panon::obs

@@ -7,7 +7,7 @@ namespace p2panon::sim {
 
 EventId EventQueue::schedule(SimTime when, Callback fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn)});
+  heap_.push(Entry{when, id, std::move(fn), obs::current_correlation()});
   live_.insert(id);
   return id;
 }
@@ -41,7 +41,7 @@ EventQueue::Ready EventQueue::pop() {
   Entry top = heap_.top();
   heap_.pop();
   live_.erase(top.id);
-  return Ready{top.time, top.id, std::move(top.fn)};
+  return Ready{top.time, top.id, std::move(top.fn), top.corr};
 }
 
 void EventQueue::clear() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/trace.hpp"
 
 namespace p2panon::sim {
 
@@ -25,7 +26,9 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Schedules `fn` at absolute time `when`. Returns a handle usable with
-  /// cancel(). Events at equal times run in insertion order.
+  /// cancel(). Events at equal times run in insertion order. The thread's
+  /// current correlation id is captured into the entry so causal chains
+  /// survive the trip through the queue (see obs/trace.hpp).
   EventId schedule(SimTime when, Callback fn);
 
   /// Cancels a pending event. Returns true if the event was still pending;
@@ -48,6 +51,7 @@ class EventQueue {
     SimTime time;
     EventId id;
     Callback fn;
+    obs::CorrelationId corr;
   };
   Ready pop();
 
@@ -62,6 +66,7 @@ class EventQueue {
     SimTime time;
     EventId id;
     Callback fn;
+    obs::CorrelationId corr;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

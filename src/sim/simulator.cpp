@@ -23,6 +23,9 @@ bool Simulator::step() {
   auto ready = queue_.pop();
   now_ = ready.time;
   ++executed_;
+  // Restore the correlation id captured at schedule() time so everything the
+  // callback does (including scheduling further events) stays on the chain.
+  obs::CorrelationScope scope(ready.corr);
   ready.fn();
   return true;
 }

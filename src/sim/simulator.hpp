@@ -52,6 +52,9 @@ class Simulator : public Clock {
   bool idle() { return queue_.next_time() == kNeverTime; }
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+  /// Events ever scheduled; scheduled - executed - pending = cancellations
+  /// (timer churn), which the obs stats sampler reports.
+  std::uint64_t scheduled_total() const { return queue_.scheduled_total(); }
 
   /// Clears all pending events and resets time to zero.
   void reset();

@@ -1,0 +1,286 @@
+// Observability layer: registry label handling, HDR histogram percentiles
+// against the metrics-layer reference, trace JSON well-formedness,
+// deterministic JSONL sampling, and the "off means off" guarantee — a run
+// with tracing enabled must be bit-identical to one without.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/chaos_experiment.hpp"
+#include "metrics/cdf.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace p2panon::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(RegistryTest, LabelsDistinguishSeries) {
+  Registry reg;
+  Counter* sent = reg.counter("segments_total", {{"event", "sent"}});
+  Counter* acked = reg.counter("segments_total", {{"event", "acked"}});
+  ASSERT_NE(sent, acked);
+  sent->inc(3);
+  acked->inc();
+  EXPECT_EQ(reg.counter_value("segments_total", {{"event", "sent"}}), 3u);
+  EXPECT_EQ(reg.counter_value("segments_total", {{"event", "acked"}}), 1u);
+  EXPECT_EQ(reg.counter_total("segments_total"), 4u);
+  // Unregistered series read as zero instead of registering.
+  EXPECT_EQ(reg.counter_value("segments_total", {{"event", "expired"}}), 0u);
+}
+
+TEST(RegistryTest, LookupIsStable) {
+  Registry reg;
+  Counter* first = reg.counter("drops", {{"cause", "loss"}, {"dir", "fwd"}});
+  // Same name + labels (insertion order of the map literal is irrelevant —
+  // Labels is an ordered map) must return the same handle.
+  Counter* again = reg.counter("drops", {{"dir", "fwd"}, {"cause", "loss"}});
+  EXPECT_EQ(first, again);
+  Gauge* depth = reg.gauge("queue_depth");
+  depth->set(7);
+  depth->add(-2);
+  EXPECT_EQ(reg.gauge_value("queue_depth"), 5);
+}
+
+TEST(RegistryTest, SeriesKeyRendersLabels) {
+  EXPECT_EQ(series_key("up", {}), "up");
+  EXPECT_EQ(series_key("drops", {{"cause", "loss"}, {"dir", "fwd"}}),
+            "drops{cause=loss,dir=fwd}");
+}
+
+TEST(RegistryTest, SnapshotIsValidJson) {
+  Registry reg;
+  reg.counter("net_drops_total", {{"cause", "link_loss"}})->inc(2);
+  reg.gauge("sim_pending_events")->set(42);
+  HdrHistogram* h = reg.histogram("rtt_us");
+  h->record(100);
+  h->record(2000);
+  const std::string snapshot = reg.snapshot_json();
+  EXPECT_TRUE(json_valid(snapshot)) << snapshot;
+  EXPECT_NE(snapshot.find("\"name\":\"net_drops_total\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"cause\":\"link_loss\""), std::string::npos);
+  EXPECT_NE(snapshot.find("sim_pending_events"), std::string::npos);
+  EXPECT_NE(snapshot.find("rtt_us"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HdrHistogram vs the metrics-layer reference
+
+TEST(HdrHistogramTest, ExactBelowSixtyFour) {
+  HdrHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  // Small values get one bucket each, so percentiles are exact.
+  EXPECT_EQ(h.percentile(0.5), 31u);
+  EXPECT_EQ(h.percentile(1.0), 63u);
+}
+
+TEST(HdrHistogramTest, PercentilesTrackEmpiricalQuantiles) {
+  // Log-linear bucketing bounds relative error by 1/32 per bucket; allow a
+  // little extra because the reference interpolates and the histogram takes
+  // bucket midpoints.
+  constexpr double kTolerance = 0.06;
+  HdrHistogram h;
+  metrics::EmpiricalCdf reference;
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    // Heavy-tailed spread across many powers of two, like latency data.
+    const std::uint64_t value = 64 + (rng.next_u64() % (1u << (6 + i % 14)));
+    h.record(value);
+    reference.add(static_cast<double>(value));
+    sum += static_cast<double>(value);
+  }
+  for (const double p : {0.10, 0.50, 0.90, 0.99}) {
+    const double expected = reference.quantile(p);
+    const double actual = static_cast<double>(h.percentile(p));
+    EXPECT_NEAR(actual / expected, 1.0, kTolerance)
+        << "p=" << p << " expected=" << expected << " actual=" << actual;
+  }
+  EXPECT_EQ(h.count(), 20000u);
+  // The mean is computed from the exact running sum, not bucket midpoints.
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 20000.0);
+}
+
+TEST(HdrHistogramTest, BucketBoundsCoverValue) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t value = rng.next_u64() >> (i % 40);
+    const std::size_t index = HdrHistogram::bucket_index(value);
+    EXPECT_LE(HdrHistogram::bucket_lower_bound(index), value);
+    EXPECT_GE(HdrHistogram::bucket_upper_bound(index), value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer + sinks
+
+TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
+  ChromeTraceSink sink;
+  Tracer& tracer = Tracer::instance();
+  tracer.add_sink(&sink);
+  ASSERT_TRUE(tracer.enabled());
+  {
+    CorrelationScope scope(0xabcd);
+    TraceArgs args;
+    args.add("path", std::uint64_t{2})
+        .add("note", "quotes \"and\" back\\slash")
+        .add("ratio", 0.5);
+    tracer.span_begin("anon", "segment", current_correlation(), args);
+    tracer.instant("net", "drop", current_correlation());
+    tracer.span_end("anon", "segment", current_correlation());
+  }
+  tracer.clear_sinks();
+  EXPECT_FALSE(tracer.enabled());
+
+  EXPECT_EQ(sink.event_count(), 3u);
+  const std::string doc = sink.json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  // Legacy async phases share the correlation id as the async id.
+  EXPECT_NE(doc.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"n\""), std::string::npos);
+  EXPECT_NE(doc.find("0xabcd"), std::string::npos);
+}
+
+TEST(TracerTest, OffMeansNoEventsAndNoEnableFlag) {
+  Tracer& tracer = Tracer::instance();
+  ASSERT_FALSE(tracer.enabled());
+  ChromeTraceSink sink;
+  // Emitting with no sink installed must be a no-op.
+  tracer.span_begin("anon", "segment", 1);
+  tracer.instant("anon", "x", 1);
+  tracer.span_end("anon", "segment", 1);
+  EXPECT_EQ(sink.event_count(), 0u);
+  // Correlation scopes nest and restore regardless of tracer state.
+  EXPECT_EQ(current_correlation(), 0u);
+  {
+    CorrelationScope outer(5);
+    EXPECT_EQ(current_correlation(), 5u);
+    {
+      CorrelationScope inner(9);
+      EXPECT_EQ(current_correlation(), 9u);
+    }
+    EXPECT_EQ(current_correlation(), 5u);
+  }
+  EXPECT_EQ(current_correlation(), 0u);
+}
+
+TEST(JsonlSinkTest, SamplingIsDeterministicAndPredictable) {
+  const std::uint64_t seed = 1234;
+  const double rate = 0.4;
+  JsonlTraceSink sink(rate, seed);
+  JsonlTraceSink twin(rate, seed);
+  std::size_t kept = 0;
+  for (CorrelationId corr = 1; corr <= 2000; ++corr) {
+    // The decision is exactly the documented hash threshold.
+    const std::uint64_t h = mix64(corr ^ seed);
+    const double unit =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    EXPECT_EQ(sink.sampled(corr), unit < rate) << corr;
+    EXPECT_EQ(sink.sampled(corr), twin.sampled(corr)) << corr;
+    if (sink.sampled(corr)) ++kept;
+  }
+  // ~40% of chains survive; allow generous slack for a 2000-chain sample.
+  EXPECT_GT(kept, 600u);
+  EXPECT_LT(kept, 1000u);
+  // Edge rates and the uncorrelated chain.
+  EXPECT_TRUE(JsonlTraceSink(1.0, seed).sampled(77));
+  EXPECT_FALSE(JsonlTraceSink(0.0, seed).sampled(77));
+  EXPECT_TRUE(JsonlTraceSink(0.0, seed).sampled(0));
+}
+
+TEST(JsonlSinkTest, ChainsAreSampledAsAUnitAndLinesParse) {
+  JsonlTraceSink sink(0.5, 42);
+  Tracer& tracer = Tracer::instance();
+  tracer.add_sink(&sink);
+  for (CorrelationId corr = 1; corr <= 50; ++corr) {
+    TraceArgs args;
+    args.add("segment", corr);
+    tracer.span_begin("anon", "segment", corr, args);
+    tracer.instant("net", "send", corr);
+    tracer.span_end("anon", "segment", corr);
+  }
+  tracer.clear_sinks();
+
+  std::size_t expected_lines = 0;
+  for (CorrelationId corr = 1; corr <= 50; ++corr) {
+    if (sink.sampled(corr)) expected_lines += 3;  // whole chain or nothing
+  }
+  EXPECT_EQ(sink.lines().size(), expected_lines);
+  for (const std::string& line : sink.lines()) {
+    EXPECT_TRUE(json_valid(line)) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Profiling scopes
+
+TEST(ProfileTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  Registry reg;
+  HdrHistogram* hist = reg.histogram("step_ns");
+  ASSERT_FALSE(profiling_enabled());
+  { ScopedTimer timer(hist); }
+  EXPECT_EQ(hist->count(), 0u);
+  set_profiling_enabled(true);
+  { ScopedTimer timer(hist); }
+  set_profiling_enabled(false);
+  EXPECT_EQ(hist->count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Off means off, end to end: a traced chaos run must produce the exact
+// fingerprint of an untraced one — tracing may observe, never perturb.
+
+harness::ChaosConfig tiny_chaos(std::uint64_t seed) {
+  harness::ChaosConfig config;
+  config.environment.num_nodes = 64;
+  config.environment.seed = seed;
+  config.scenario = harness::ChaosScenario::kMildLossDrizzle;
+  config.warmup = 5 * kMinute;
+  config.measure = 6 * kMinute;
+  config.send_interval = 10 * kSecond;
+  config.spec = anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kRandom);
+  return config;
+}
+
+TEST(OffMeansOffTest, TracedRunIsBitIdenticalToUntraced) {
+  const auto baseline = harness::run_chaos_experiment(tiny_chaos(3));
+
+  ChromeTraceSink chrome;
+  JsonlTraceSink jsonl(1.0, 0);
+  Tracer& tracer = Tracer::instance();
+  tracer.add_sink(&chrome);
+  tracer.add_sink(&jsonl);
+  install_log_decorator();
+  const auto traced = harness::run_chaos_experiment(tiny_chaos(3));
+  uninstall_log_decorator();
+  tracer.clear_sinks();
+
+  // Determinism: identical fingerprints, so tracing changed no outcome.
+  EXPECT_EQ(baseline.fingerprint(), traced.fingerprint());
+  // And the traced run actually produced a parseable trace with the span
+  // types the acceptance criteria name.
+  EXPECT_GT(chrome.event_count(), 0u);
+  const std::string doc = chrome.json();
+  EXPECT_TRUE(json_valid(doc)) << "trace JSON must parse";
+  EXPECT_NE(doc.find("path_construct"), std::string::npos);
+  EXPECT_NE(doc.find("hop_relay"), std::string::npos);
+  EXPECT_NE(doc.find("\"segment"), std::string::npos);
+  EXPECT_NE(doc.find("reconstruct"), std::string::npos);
+  EXPECT_FALSE(jsonl.lines().empty());
+}
+
+}  // namespace
+}  // namespace p2panon::obs
