@@ -1,0 +1,33 @@
+// CLI front-end for the obs strict JSON validator: exits nonzero unless
+// every argument is a readable file containing exactly one valid JSON
+// value. CI runs it over emitted BENCH_*.json documents.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << path << ": unreadable\n";
+      ++bad;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (!p2panon::obs::json_valid(text)) {
+      std::cerr << path << ": INVALID JSON\n";
+      ++bad;
+    } else {
+      std::cout << path << ": ok (" << text.size() << " bytes)\n";
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}

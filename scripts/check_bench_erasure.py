@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate erasure data-plane throughput against the committed baseline.
+
+Usage: check_bench_erasure.py <fresh.json> <baseline.json>
+
+Both files are micro_erasure --json reports. Fails (exit 1) if any gated
+throughput metric in the fresh report drops below THRESHOLD times the
+committed baseline. Only relative regressions are gated -- absolute
+numbers vary across CI hosts, so the baseline is only meaningful when
+produced on comparable hardware; the 20% slack absorbs normal noise.
+"""
+
+import json
+import sys
+
+GATED_KEYS = [
+    "encode_MBps",
+    "decode_parity_MBps",
+    "decode_systematic_MBps",
+]
+THRESHOLD = 0.8
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("bench") != "micro_erasure":
+        raise SystemExit(f"{path}: not a micro_erasure report")
+    return doc["values"]
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh = load(argv[1])
+    base = load(argv[2])
+    failures = []
+    for key in GATED_KEYS:
+        if key not in fresh:
+            failures.append(f"{key}: missing from {argv[1]}")
+            continue
+        if key not in base:
+            print(f"{key}: not in baseline, skipping")
+            continue
+        got, want = float(fresh[key]), THRESHOLD * float(base[key])
+        status = "ok" if got >= want else "REGRESSION"
+        print(f"{key}: {got:.1f} MB/s vs floor {want:.1f} MB/s "
+              f"(baseline {float(base[key]):.1f}) -> {status}")
+        if got < want:
+            failures.append(
+                f"{key}: {got:.1f} < {THRESHOLD:.0%} of baseline "
+                f"{float(base[key]):.1f}")
+    if failures:
+        print("FAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("erasure bench throughput within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -314,8 +314,10 @@ MessageId Session::send_message(ByteView data) {
   } while (id == 0);
 
   // Encode with the session codec (cached in the router's codec table so
-  // RS matrices are not rebuilt per message).
-  const auto segments = session_codec().encode(data);
+  // RS matrices are not rebuilt per message) into the session's scratch
+  // vector, reusing the segment buffers across messages.
+  session_codec().encode_into(data, encode_scratch_);
+  const auto& segments = encode_scratch_;
 
   const Allocation alloc = make_allocation();
   ++messages_sent_;
@@ -828,7 +830,8 @@ MessageId Session::send_message_on_demand(ByteView data) {
     id = rng_.next_u64();
   } while (id == 0);
 
-  const auto segments = session_codec().encode(data);
+  session_codec().encode_into(data, encode_scratch_);
+  const auto& segments = encode_scratch_;
   const Allocation alloc = make_allocation();
   ++messages_sent_;
   msgs_ctr_->inc();

@@ -262,6 +262,11 @@ class Session {
   sim::EventId construct_backoff_event_ = sim::kInvalidEventId;
   Rng backoff_rng_;  // forked from rng_ only when a new mode is on
 
+  // Encode scratch reused across send_message calls: the codec fills it in
+  // place, and send_segment_on_path copies what it must keep (payload core
+  // and the pending-ack ledger), so nothing references it across events.
+  std::vector<erasure::Segment> encode_scratch_;
+
   // In-flight segments keyed by (message_id, segment_index).
   std::unordered_map<std::uint64_t, PendingSegment> pending_segments_;
 

@@ -54,6 +54,14 @@ class Codec {
   /// Splits a message into n segments. The message may be empty.
   virtual std::vector<Segment> encode(ByteView message) const = 0;
 
+  /// Like encode(), but fills `out` in place so steady-state callers (one
+  /// encode per message on the session hot path) reuse the segment buffers
+  /// instead of reallocating them. `out` is resized to n; its previous
+  /// contents are overwritten.
+  virtual void encode_into(ByteView message, std::vector<Segment>& out) const {
+    out = encode(message);
+  }
+
   /// Reconstructs the original message from >= m segments with distinct
   /// valid indices; `original_size` truncates the padding. Returns nullopt
   /// if too few distinct segments or inconsistent sizes are supplied.

@@ -1,6 +1,14 @@
 #include "erasure/gf256.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define P2PANON_GF256_X86 1
+#include <immintrin.h>
+#else
+#define P2PANON_GF256_X86 0
+#endif
 
 namespace p2panon::erasure {
 
@@ -31,6 +39,191 @@ const Tables& tables() {
   return t;
 }
 
+// Split multiplication tables: for each coefficient c, nib[c].lo[x] = c·x
+// for the 16 low-nibble values and nib[c].hi[x] = c·(x << 4), so
+// c·s = lo[s & 0xf] ^ hi[s >> 4] by GF(2) linearity. 32 bytes per
+// coefficient (8 KiB total), the exact operand shape of PSHUFB.
+struct NibTable {
+  std::uint8_t lo[16];
+  std::uint8_t hi[16];
+};
+
+struct MulTables {
+  alignas(64) NibTable nib[256];
+
+  MulTables() {
+    // Built from carry-less (Russian peasant) multiplication so the split
+    // tables are derived independently of the log/exp tables they must
+    // agree with.
+    auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
+      std::uint8_t result = 0;
+      std::uint16_t aa = a;
+      while (b) {
+        if (b & 1) result ^= static_cast<std::uint8_t>(aa);
+        aa <<= 1;
+        if (aa & 0x100) aa ^= 0x11d;
+        b >>= 1;
+      }
+      return result;
+    };
+    for (int c = 0; c < 256; ++c) {
+      for (int x = 0; x < 16; ++x) {
+        nib[c].lo[x] = slow_mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(x));
+        nib[c].hi[x] = slow_mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(x << 4));
+      }
+    }
+  }
+};
+
+const MulTables& mul_tables() {
+  static const MulTables t;
+  return t;
+}
+
+// --- Row kernel variants ----------------------------------------------------
+//
+// Every variant computes dst[i] (^)= c·src[i] with identical results; they
+// only differ in how many bytes they shuffle per step. Acc selects between
+// the accumulate (mul_add_row) and overwrite (mul_row) forms.
+
+template <bool Acc>
+void row_ref(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+             std::size_t n) {
+  // The original scalar loop: one log/exp lookup pair and a branch per
+  // byte. Kept as the golden reference and benchmark baseline.
+  if (c == 0) {
+    if constexpr (!Acc) std::memset(dst, 0, n);
+    return;
+  }
+  const auto& exp = tables().exp;
+  const auto& log = tables().log;
+  const std::uint16_t log_c = log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if constexpr (Acc) {
+      if (s != 0) dst[i] ^= exp[log_c + log[s]];
+    } else {
+      dst[i] = (s == 0) ? 0 : exp[log_c + log[s]];
+    }
+  }
+}
+
+template <bool Acc>
+void row_scalar(const NibTable& t, const std::uint8_t* src, std::uint8_t* dst,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    const std::uint8_t p =
+        static_cast<std::uint8_t>(t.lo[s & 0x0f] ^ t.hi[s >> 4]);
+    if constexpr (Acc) {
+      dst[i] ^= p;
+    } else {
+      dst[i] = p;
+    }
+  }
+}
+
+#if P2PANON_GF256_X86
+
+template <bool Acc>
+__attribute__((target("ssse3"))) void row_ssse3(const NibTable& t,
+                                                const std::uint8_t* src,
+                                                std::uint8_t* dst,
+                                                std::size_t n) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo_n = _mm_and_si128(s, mask);
+    const __m128i hi_n = _mm_and_si128(_mm_srli_epi16(s, 4), mask);
+    __m128i p = _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n),
+                              _mm_shuffle_epi8(hi, hi_n));
+    if constexpr (Acc) {
+      p = _mm_xor_si128(
+          p, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p);
+  }
+  if (i < n) row_scalar<Acc>(t, src + i, dst + i, n - i);
+}
+
+template <bool Acc>
+__attribute__((target("avx2"))) void row_avx2(const NibTable& t,
+                                              const std::uint8_t* src,
+                                              std::uint8_t* dst,
+                                              std::size_t n) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo_n = _mm256_and_si256(s, mask);
+    const __m256i hi_n = _mm256_and_si256(_mm256_srli_epi16(s, 4), mask);
+    __m256i p = _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n),
+                                 _mm256_shuffle_epi8(hi, hi_n));
+    if constexpr (Acc) {
+      p = _mm256_xor_si256(
+          p, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), p);
+  }
+  if (i < n) row_scalar<Acc>(t, src + i, dst + i, n - i);
+}
+
+#endif  // P2PANON_GF256_X86
+
+using RowFn = void (*)(const NibTable&, const std::uint8_t*, std::uint8_t*,
+                       std::size_t);
+
+struct Dispatch {
+  RowFn mul_add;
+  RowFn mul;
+  const char* name;
+};
+
+const Dispatch& dispatch() {
+  static const Dispatch d = [] {
+#if P2PANON_GF256_X86
+    if (__builtin_cpu_supports("avx2")) {
+      return Dispatch{row_avx2<true>, row_avx2<false>, "avx2"};
+    }
+    if (__builtin_cpu_supports("ssse3")) {
+      return Dispatch{row_ssse3<true>, row_ssse3<false>, "ssse3"};
+    }
+#endif
+    return Dispatch{row_scalar<true>, row_scalar<false>, "scalar"};
+  }();
+  return d;
+}
+
+void xor_row(const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
+  // c == 1 fast path: plain XOR, eight bytes per step.
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void check_sizes(ByteView src, MutableByteView dst, const char* what) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
+}
+
 }  // namespace
 
 const std::array<std::uint8_t, 512>& GF256::exp_table() {
@@ -55,43 +248,118 @@ std::uint8_t GF256::inv(std::uint8_t a) {
 std::uint8_t GF256::pow(std::uint8_t a, unsigned e) {
   if (e == 0) return 1;
   if (a == 0) return 0;
-  const unsigned idx = (log_table()[a] * e) % 255;
+  // Reduce the exponent before multiplying: the nonzero elements form a
+  // cyclic group of order 255, and log[a] * e wraps unsigned for e near
+  // UINT_MAX, which used to land on a wrong exp index.
+  const unsigned idx =
+      (static_cast<unsigned>(log_table()[a]) * (e % 255u)) % 255u;
   return exp_table()[idx];
 }
 
 void GF256::mul_add_row(std::uint8_t c, ByteView src, MutableByteView dst) {
-  if (src.size() != dst.size()) {
-    throw std::invalid_argument("GF256::mul_add_row: size mismatch");
-  }
-  if (c == 0) return;
+  check_sizes(src, dst, "GF256::mul_add_row");
+  if (c == 0 || src.empty()) return;
   if (c == 1) {
-    for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+    xor_row(src.data(), dst.data(), src.size());
     return;
   }
-  const auto& exp = exp_table();
-  const auto& log = log_table();
-  const std::uint16_t log_c = log[c];
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const std::uint8_t s = src[i];
-    if (s != 0) dst[i] ^= exp[log_c + log[s]];
-  }
+  dispatch().mul_add(mul_tables().nib[c], src.data(), dst.data(), src.size());
 }
 
 void GF256::mul_row(std::uint8_t c, ByteView src, MutableByteView dst) {
-  if (src.size() != dst.size()) {
-    throw std::invalid_argument("GF256::mul_row: size mismatch");
-  }
+  check_sizes(src, dst, "GF256::mul_row");
+  if (dst.empty()) return;
   if (c == 0) {
-    for (auto& b : dst) b = 0;
+    std::memset(dst.data(), 0, dst.size());
     return;
   }
-  const auto& exp = exp_table();
-  const auto& log = log_table();
-  const std::uint16_t log_c = log[c];
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const std::uint8_t s = src[i];
-    dst[i] = (s == 0) ? 0 : exp[log_c + log[s]];
+  if (c == 1) {
+    if (dst.data() != src.data()) {
+      std::memmove(dst.data(), src.data(), src.size());
+    }
+    return;
+  }
+  dispatch().mul(mul_tables().nib[c], src.data(), dst.data(), src.size());
+}
+
+const char* GF256::kernel_name() { return dispatch().name; }
+
+namespace gf256_detail {
+
+bool kernel_available(Kernel k) {
+  switch (k) {
+    case Kernel::kRef:
+    case Kernel::kScalar:
+      return true;
+    case Kernel::kSsse3:
+#if P2PANON_GF256_X86
+      return __builtin_cpu_supports("ssse3");
+#else
+      return false;
+#endif
+    case Kernel::kAvx2:
+#if P2PANON_GF256_X86
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* kernel_label(Kernel k) {
+  switch (k) {
+    case Kernel::kRef:
+      return "ref";
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kSsse3:
+      return "ssse3";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+namespace {
+
+template <bool Acc>
+void run_kernel(Kernel k, std::uint8_t c, ByteView src, MutableByteView dst) {
+  check_sizes(src, dst, "gf256_detail row kernel");
+  if (!kernel_available(k)) {
+    throw std::invalid_argument("gf256_detail: kernel unavailable on host");
+  }
+  if (src.empty()) return;
+  switch (k) {
+    case Kernel::kRef:
+      row_ref<Acc>(c, src.data(), dst.data(), src.size());
+      return;
+    case Kernel::kScalar:
+      row_scalar<Acc>(mul_tables().nib[c], src.data(), dst.data(), src.size());
+      return;
+    case Kernel::kSsse3:
+#if P2PANON_GF256_X86
+      row_ssse3<Acc>(mul_tables().nib[c], src.data(), dst.data(), src.size());
+#endif
+      return;
+    case Kernel::kAvx2:
+#if P2PANON_GF256_X86
+      row_avx2<Acc>(mul_tables().nib[c], src.data(), dst.data(), src.size());
+#endif
+      return;
   }
 }
+
+}  // namespace
+
+void mul_add_row(Kernel k, std::uint8_t c, ByteView src, MutableByteView dst) {
+  run_kernel<true>(k, c, src, dst);
+}
+
+void mul_row(Kernel k, std::uint8_t c, ByteView src, MutableByteView dst) {
+  run_kernel<false>(k, c, src, dst);
+}
+
+}  // namespace gf256_detail
 
 }  // namespace p2panon::erasure

@@ -1,8 +1,15 @@
 // GF(2^8) arithmetic with the AES/Rabin polynomial x^8+x^4+x^3+x^2+1 (0x11d).
 //
-// Multiplication and inversion go through log/exp tables built once at
-// startup from the generator 2. This is the field under the Reed–Solomon
-// codec implementing the paper's erasure coding [Rabin 1989].
+// Scalar operations (mul/div/inv/pow) go through log/exp tables built once
+// at startup from the generator 2. The row kernels used by the Reed–Solomon
+// codec (`mul_add_row`/`mul_row`) instead use precomputed split
+// multiplication tables: for each coefficient `c`, two 16-entry nibble
+// tables give `c·x = lo[x & 0xf] ^ hi[x >> 4]` with two lookups and no
+// branch — the same kernel shape production RS libraries feed to PSHUFB.
+// On x86-64 the kernels dispatch at runtime to AVX2 or SSSE3 shuffles when
+// the CPU has them; `c == 1` takes a uint64-XOR fast path. Every variant is
+// byte-identical to the scalar log/exp reference. This is the field under
+// the paper's erasure coding [Rabin 1989].
 #pragma once
 
 #include <array>
@@ -31,16 +38,44 @@ class GF256 {
   static std::uint8_t pow(std::uint8_t a, unsigned e);
 
   /// dst[i] ^= c * src[i] for all i — the row-operation kernel used by both
-  /// encoding and Gaussian elimination.
+  /// encoding and Gaussian elimination. src and dst must have equal sizes
+  /// and either not overlap or be the exact same range.
   static void mul_add_row(std::uint8_t c, ByteView src, MutableByteView dst);
 
-  /// dst[i] = c * src[i].
+  /// dst[i] = c * src[i]. Same aliasing contract as mul_add_row.
   static void mul_row(std::uint8_t c, ByteView src, MutableByteView dst);
+
+  /// SIMD level the row kernels dispatched to: "avx2", "ssse3" or "scalar".
+  static const char* kernel_name();
 
  private:
   // exp table doubled in length so mul can skip the mod 255.
   static const std::array<std::uint8_t, 512>& exp_table();
   static const std::array<std::uint16_t, 256>& log_table();
 };
+
+namespace gf256_detail {
+
+/// Individual row-kernel variants, exposed so golden-vector tests can pin
+/// every implementation byte-identical to the reference and benchmarks can
+/// report a per-kernel throughput series. `kRef` is the original branchy
+/// log/exp loop (the scalar baseline); the others are the split-table
+/// kernels GF256 dispatches between.
+enum class Kernel { kRef, kScalar, kSsse3, kAvx2 };
+
+inline constexpr std::array<Kernel, 4> kAllKernels = {
+    Kernel::kRef, Kernel::kScalar, Kernel::kSsse3, Kernel::kAvx2};
+
+/// False when the host CPU cannot run the variant.
+bool kernel_available(Kernel k);
+
+const char* kernel_label(Kernel k);
+
+/// Forces a specific variant (no c == 0/1 fast paths, so the general table
+/// path itself is what runs). Requires kernel_available(k).
+void mul_add_row(Kernel k, std::uint8_t c, ByteView src, MutableByteView dst);
+void mul_row(Kernel k, std::uint8_t c, ByteView src, MutableByteView dst);
+
+}  // namespace gf256_detail
 
 }  // namespace p2panon::erasure

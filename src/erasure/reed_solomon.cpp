@@ -1,7 +1,8 @@
 #include "erasure/reed_solomon.hpp"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "erasure/gf256.hpp"
 
@@ -10,7 +11,8 @@ namespace p2panon::erasure {
 namespace {
 
 Matrix build_systematic_matrix(std::size_t m, std::size_t n) {
-  // Validated here because members initialize before the constructor body.
+  // The one authoritative parameter check: members initialize before the
+  // constructor body, so this is the first code that runs.
   if (m < 1 || m > n || n > 255) {
     throw std::invalid_argument("ReedSolomonCodec: need 1 <= m <= n <= 255");
   }
@@ -26,85 +28,130 @@ Matrix build_systematic_matrix(std::size_t m, std::size_t n) {
 }  // namespace
 
 ReedSolomonCodec::ReedSolomonCodec(std::size_t m, std::size_t n)
-    : m_(m), n_(n), encode_matrix_(build_systematic_matrix(m, n)) {
-  if (m < 1 || m > n || n > 255) {
-    throw std::invalid_argument("ReedSolomonCodec: need 1 <= m <= n <= 255");
-  }
-}
+    : m_(m), n_(n), encode_matrix_(build_systematic_matrix(m, n)) {}
 
 std::vector<Segment> ReedSolomonCodec::encode(ByteView message) const {
-  const std::size_t seg_size = std::max<std::size_t>(segment_size(message.size()), 1);
+  std::vector<Segment> out;
+  encode_into(message, out);
+  return out;
+}
 
-  // Zero-pad the message to m * seg_size and view it as m shards.
-  Bytes padded(message.begin(), message.end());
-  padded.resize(m_ * seg_size, 0);
+void ReedSolomonCodec::encode_into(ByteView message,
+                                   std::vector<Segment>& out) const {
+  const std::size_t seg_size =
+      std::max<std::size_t>(segment_size(message.size()), 1);
 
-  std::vector<Segment> out(n_);
+  // The message is viewed as m shards zero-padded to seg_size. The padding
+  // is virtual: trailing zeros contribute nothing to any row, so every
+  // kernel runs over the truncated real slice only.
+  const auto shard = [&](std::size_t c) {
+    const std::size_t begin = std::min(c * seg_size, message.size());
+    const std::size_t end = std::min(begin + seg_size, message.size());
+    return ByteView(message.data() + begin, end - begin);
+  };
+
+  out.resize(n_);
   for (std::size_t r = 0; r < n_; ++r) {
     out[r].index = static_cast<std::uint32_t>(r);
-    out[r].data.assign(seg_size, 0);
+    Bytes& data = out[r].data;
+    if (r < m_) {
+      // Systematic row: the shard verbatim plus zero padding.
+      const ByteView src = shard(r);
+      data.assign(src.begin(), src.end());
+      data.resize(seg_size, 0);
+      continue;
+    }
+    data.assign(seg_size, 0);
     for (std::size_t c = 0; c < m_; ++c) {
       const std::uint8_t coeff = encode_matrix_.at(r, c);
-      GF256::mul_add_row(coeff,
-                         ByteView(padded.data() + c * seg_size, seg_size),
-                         out[r].data);
+      if (coeff == 0) continue;
+      const ByteView src = shard(c);
+      GF256::mul_add_row(coeff, src,
+                         MutableByteView(data.data(), src.size()));
     }
   }
-  return out;
 }
 
 std::optional<Bytes> ReedSolomonCodec::decode(
     std::span<const Segment> segments, std::size_t original_size) const {
-  // Collect the first m segments with distinct, in-range indices and a
-  // consistent size.
-  std::vector<const Segment*> chosen;
-  std::unordered_set<std::uint32_t> seen;
+  // One pass over the whole span: deduplicate by index (first occurrence
+  // wins) and require a consistent size across every distinct in-range
+  // segment, so the chosen set can prefer systematic segments wherever
+  // they sit.
+  std::array<const Segment*, 256> slot{};
+  std::size_t have = 0;
   std::size_t seg_size = 0;
   for (const Segment& seg : segments) {
     if (seg.index >= n_) continue;
-    if (!seen.insert(seg.index).second) continue;
-    if (chosen.empty()) {
+    const Segment*& entry = slot[seg.index];
+    if (entry != nullptr) continue;
+    if (have == 0) {
       seg_size = seg.data.size();
       if (seg_size == 0) return std::nullopt;
     } else if (seg.data.size() != seg_size) {
       return std::nullopt;
     }
-    chosen.push_back(&seg);
-    if (chosen.size() == m_) break;
+    entry = &seg;
+    ++have;
   }
-  if (chosen.size() < m_) return std::nullopt;
+  if (have < m_) return std::nullopt;
   if (original_size > m_ * seg_size) return std::nullopt;
 
-  // Fast path: all m systematic segments present.
-  bool all_systematic = true;
-  for (const Segment* seg : chosen) {
-    if (seg->index >= m_) {
-      all_systematic = false;
-      break;
+  // Fast path: all m systematic segments present — XOR-free copies.
+  std::size_t systematic = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (slot[i] != nullptr) ++systematic;
+  }
+  Bytes shards;
+  if (systematic == m_) {
+    ++stats_.systematic_fast_path;
+    shards.resize(m_ * seg_size);
+    for (std::size_t i = 0; i < m_; ++i) {
+      std::copy(slot[i]->data.begin(), slot[i]->data.end(),
+                shards.begin() + static_cast<long>(i * seg_size));
     }
+    shards.resize(original_size);
+    return shards;
   }
 
-  Bytes shards(m_ * seg_size, 0);
-  if (all_systematic) {
-    for (const Segment* seg : chosen) {
-      std::copy(seg->data.begin(), seg->data.end(),
-                shards.begin() + static_cast<long>(seg->index * seg_size));
-    }
-  } else {
-    std::vector<std::size_t> rows(m_);
-    for (std::size_t i = 0; i < m_; ++i) rows[i] = chosen[i]->index;
-    const Matrix decode_matrix =
-        encode_matrix_.select_rows(rows).inverted();
-    for (std::size_t j = 0; j < m_; ++j) {
-      MutableByteView dst(shards.data() + j * seg_size, seg_size);
-      for (std::size_t i = 0; i < m_; ++i) {
-        GF256::mul_add_row(decode_matrix.at(j, i), chosen[i]->data, dst);
-      }
+  // General path: take the first m present segments in ascending index
+  // order (systematic ones first by construction, and a canonical key for
+  // the decode-matrix cache).
+  rows_scratch_.clear();
+  for (std::size_t idx = 0; idx < n_ && rows_scratch_.size() < m_; ++idx) {
+    if (slot[idx] != nullptr) {
+      rows_scratch_.push_back(static_cast<std::uint8_t>(idx));
     }
   }
+  const Matrix& decode_matrix = cached_inverse(rows_scratch_);
 
+  shards.assign(m_ * seg_size, 0);
+  for (std::size_t j = 0; j < m_; ++j) {
+    MutableByteView dst(shards.data() + j * seg_size, seg_size);
+    for (std::size_t i = 0; i < m_; ++i) {
+      GF256::mul_add_row(decode_matrix.at(j, i), slot[rows_scratch_[i]]->data,
+                         dst);
+    }
+  }
   shards.resize(original_size);
   return shards;
+}
+
+const Matrix& ReedSolomonCodec::cached_inverse(
+    const std::vector<std::uint8_t>& rows) const {
+  for (auto it = decode_cache_.begin(); it != decode_cache_.end(); ++it) {
+    if (it->rows == rows) {
+      ++stats_.matrix_cache_hits;
+      decode_cache_.splice(decode_cache_.begin(), decode_cache_, it);
+      return decode_cache_.front().inverse;
+    }
+  }
+  ++stats_.matrix_inversions;
+  std::vector<std::size_t> selected(rows.begin(), rows.end());
+  decode_cache_.push_front(
+      CacheEntry{rows, encode_matrix_.select_rows(selected).inverted()});
+  if (decode_cache_.size() > kDecodeCacheCapacity) decode_cache_.pop_back();
+  return decode_cache_.front().inverse;
 }
 
 std::string ReedSolomonCodec::name() const {

@@ -5,7 +5,27 @@
 // (systematic), segments m..n-1 are parity. Any m rows of the matrix are
 // linearly independent, so any m surviving segments decode by inverting the
 // corresponding m x m submatrix.
+//
+// Data-plane shape:
+//   * encode_into() writes parity straight off the (virtually zero-padded)
+//     message through the split-table GF(256) kernels — no padded copy and
+//     no per-call allocation once the caller reuses its segment vector;
+//   * decode() prefers the m systematic segments whenever they all arrived
+//     (wherever they sit in the span), so the XOR-only copy path fires as
+//     often as possible;
+//   * non-systematic decodes canonicalize the chosen rows to ascending
+//     index and look the inverted submatrix up in a small LRU cache —
+//     churn makes the same loss pattern recur across segments of a
+//     session, so most decodes skip the Gaussian elimination entirely.
+//
+// Codec instances keep mutable scratch and the decode cache, so a single
+// instance is not safe for concurrent use from multiple threads (matches
+// the single-threaded simulator; parallel seed runners hold one codec per
+// environment).
 #pragma once
+
+#include <cstdint>
+#include <list>
 
 #include "erasure/codec.hpp"
 #include "erasure/matrix.hpp"
@@ -21,6 +41,8 @@ class ReedSolomonCodec final : public Codec {
   std::size_t total_segments() const override { return n_; }
 
   std::vector<Segment> encode(ByteView message) const override;
+  void encode_into(ByteView message,
+                   std::vector<Segment>& out) const override;
   std::optional<Bytes> decode(std::span<const Segment> segments,
                               std::size_t original_size) const override;
   std::string name() const override;
@@ -28,10 +50,37 @@ class ReedSolomonCodec final : public Codec {
   /// The n x m encoding matrix (exposed for tests).
   const Matrix& encoding_matrix() const { return encode_matrix_; }
 
+  /// Decode-path observability: which branch ran and how often the
+  /// decode-matrix cache short-circuited the inversion.
+  struct DecodeStats {
+    std::uint64_t systematic_fast_path = 0;  // all-m-systematic copies
+    std::uint64_t matrix_inversions = 0;     // cache misses (Gauss-Jordan runs)
+    std::uint64_t matrix_cache_hits = 0;     // reused inverted matrices
+  };
+  const DecodeStats& decode_stats() const { return stats_; }
+
+  /// Distinct loss patterns remembered per codec. Sized for the paper's
+  /// operating points: C(16, 8) patterns exist but churn concentrates on a
+  /// handful per session epoch.
+  static constexpr std::size_t kDecodeCacheCapacity = 64;
+
  private:
+  /// Looks up (or computes and caches) inv(E[rows]) for ascending `rows`.
+  const Matrix& cached_inverse(const std::vector<std::uint8_t>& rows) const;
+
   std::size_t m_;
   std::size_t n_;
   Matrix encode_matrix_;
+
+  struct CacheEntry {
+    std::vector<std::uint8_t> rows;  // ascending segment indices
+    Matrix inverse;
+  };
+  // Front = most recently used. Linear scan: entries are tiny and the
+  // capacity is small next to the O(m * seg_size) kernel work per decode.
+  mutable std::list<CacheEntry> decode_cache_;
+  mutable std::vector<std::uint8_t> rows_scratch_;
+  mutable DecodeStats stats_;
 };
 
 }  // namespace p2panon::erasure

@@ -11,12 +11,18 @@ ReplicationCodec::ReplicationCodec(std::size_t copies) : copies_(copies) {
 }
 
 std::vector<Segment> ReplicationCodec::encode(ByteView message) const {
-  std::vector<Segment> out(copies_);
+  std::vector<Segment> out;
+  encode_into(message, out);
+  return out;
+}
+
+void ReplicationCodec::encode_into(ByteView message,
+                                   std::vector<Segment>& out) const {
+  out.resize(copies_);
   for (std::size_t i = 0; i < copies_; ++i) {
     out[i].index = static_cast<std::uint32_t>(i);
     out[i].data.assign(message.begin(), message.end());
   }
-  return out;
 }
 
 std::optional<Bytes> ReplicationCodec::decode(

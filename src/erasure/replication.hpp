@@ -18,6 +18,8 @@ class ReplicationCodec final : public Codec {
   std::size_t total_segments() const override { return copies_; }
 
   std::vector<Segment> encode(ByteView message) const override;
+  void encode_into(ByteView message,
+                   std::vector<Segment>& out) const override;
   std::optional<Bytes> decode(std::span<const Segment> segments,
                               std::size_t original_size) const override;
   std::string name() const override;

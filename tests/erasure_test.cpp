@@ -81,6 +81,43 @@ TEST(GF256Test, PowMatchesRepeatedMul) {
   }
 }
 
+TEST(GF256Test, PowLargeExponentNoOverflow) {
+  // Regression: log[a] * e wrapped unsigned before the % 255 reduction, so
+  // exponents near UINT_MAX produced wrong powers. The nonzero elements
+  // form a cyclic group of order 255: a^e must equal a^(e mod 255).
+  const unsigned huge[] = {UINT_MAX,      UINT_MAX - 1, UINT_MAX / 2,
+                           0x80000000u,   255u * 1000000u + 17u,
+                           65535u,        510u};
+  for (int a = 1; a < 256; a += 5) {
+    for (unsigned e : huge) {
+      EXPECT_EQ(GF256::pow(static_cast<std::uint8_t>(a), e),
+                GF256::pow(static_cast<std::uint8_t>(a), e % 255u))
+          << "a=" << a << " e=" << e;
+    }
+  }
+  // Pinned witness: UINT_MAX is a multiple of 255, so a^UINT_MAX = 1 for
+  // every nonzero a; the old code wrapped log[a] * UINT_MAX instead.
+  EXPECT_EQ(GF256::pow(3, UINT_MAX), 1);
+  EXPECT_EQ(GF256::pow(0x9c, UINT_MAX), 1);
+  // Zero cases are untouched by the reduction.
+  EXPECT_EQ(GF256::pow(0, UINT_MAX), 0);
+  EXPECT_EQ(GF256::pow(0, 0), 1);
+  EXPECT_EQ(GF256::pow(255, 0), 1);
+}
+
+TEST(GF256Test, PowExponentAdditionIdentity) {
+  // a^(e1+e2) == a^e1 * a^e2 across exponents that exercise the reduction.
+  Rng rng(44);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    const auto e1 = static_cast<unsigned>(rng.next_below(1u << 30));
+    const auto e2 = static_cast<unsigned>(rng.next_below(1u << 30));
+    EXPECT_EQ(GF256::pow(a, e1 + e2),
+              GF256::mul(GF256::pow(a, e1), GF256::pow(a, e2)))
+        << "a=" << (int)a << " e1=" << e1 << " e2=" << e2;
+  }
+}
+
 TEST(GF256Test, MulAddRowMatchesScalarLoop) {
   Rng rng(7);
   Bytes src(100), dst(100), expected(100);
@@ -93,6 +130,139 @@ TEST(GF256Test, MulAddRowMatchesScalarLoop) {
   }
   GF256::mul_add_row(c, src, dst);
   EXPECT_EQ(dst, expected);
+}
+
+TEST(GF256Test, MulAddRowLinearity) {
+  // mul_add_row(a, src, d) then mul_add_row(b, src, d) must equal
+  // mul_add_row(a ^ b, src, d): the kernel is linear in the coefficient
+  // over GF(2). Also linear in src: k(c, x ^ y) == k(c, x) ^ k(c, y).
+  Rng rng(45);
+  Bytes src1(257), src2(257);
+  rng.fill(src1.data(), src1.size());
+  rng.fill(src2.data(), src2.size());
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    Bytes d1(src1.size(), 0), d2(src1.size(), 0);
+    GF256::mul_add_row(a, src1, d1);
+    GF256::mul_add_row(b, src1, d1);
+    GF256::mul_add_row(static_cast<std::uint8_t>(a ^ b), src1, d2);
+    ASSERT_EQ(d1, d2) << "coefficient linearity, a=" << (int)a
+                      << " b=" << (int)b;
+
+    Bytes sum(src1.size());
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = src1[i] ^ src2[i];
+    Bytes e1(src1.size(), 0), e2(src1.size(), 0);
+    GF256::mul_add_row(a, sum, e1);
+    GF256::mul_add_row(a, src1, e2);
+    GF256::mul_add_row(a, src2, e2);
+    ASSERT_EQ(e1, e2) << "operand linearity, a=" << (int)a;
+  }
+}
+
+TEST(GF256Test, RowKernelDispatchReportsKnownName) {
+  const std::string name = GF256::kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "ssse3" || name == "scalar") << name;
+  // Whatever was picked must be an available detail kernel too.
+  for (auto k : gf256_detail::kAllKernels) {
+    if (name == gf256_detail::kernel_label(k)) {
+      EXPECT_TRUE(gf256_detail::kernel_available(k));
+    }
+  }
+}
+
+// Golden vectors: every row-kernel variant the host can run must be
+// byte-identical to an independent carry-less multiplication oracle, across
+// the boundary sizes (sub-block, exact block, block+1, bulk) and all 256
+// coefficients.
+class GF256KernelGoldenTest
+    : public ::testing::TestWithParam<gf256_detail::Kernel> {};
+
+TEST_P(GF256KernelGoldenTest, MatchesCarrylessOracleAllCoefficients) {
+  const auto kernel = GetParam();
+  if (!gf256_detail::kernel_available(kernel)) {
+    GTEST_SKIP() << "kernel " << gf256_detail::kernel_label(kernel)
+                 << " unavailable on this host";
+  }
+  auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
+    std::uint8_t result = 0;
+    std::uint16_t aa = a;
+    while (b) {
+      if (b & 1) result ^= static_cast<std::uint8_t>(aa);
+      aa <<= 1;
+      if (aa & 0x100) aa ^= 0x11d;
+      b >>= 1;
+    }
+    return result;
+  };
+  for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 64u, 4096u}) {
+    Rng rng(1000 + size);
+    Bytes src(size), acc(size);
+    rng.fill(src.data(), src.size());
+    rng.fill(acc.data(), acc.size());
+    for (int c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<std::uint8_t>(c);
+      // mul_add_row.
+      Bytes dst = acc, expected = acc;
+      for (std::size_t i = 0; i < size; ++i) {
+        expected[i] ^= slow_mul(coeff, src[i]);
+      }
+      gf256_detail::mul_add_row(kernel, coeff, src, dst);
+      ASSERT_EQ(dst, expected)
+          << gf256_detail::kernel_label(kernel) << " mul_add_row c=" << c
+          << " size=" << size;
+      // mul_row.
+      Bytes out(size, 0xee), expected_out(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        expected_out[i] = slow_mul(coeff, src[i]);
+      }
+      gf256_detail::mul_row(kernel, coeff, src, out);
+      ASSERT_EQ(out, expected_out)
+          << gf256_detail::kernel_label(kernel) << " mul_row c=" << c
+          << " size=" << size;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, GF256KernelGoldenTest,
+                         ::testing::ValuesIn(gf256_detail::kAllKernels),
+                         [](const auto& name_info) {
+                           return std::string(
+                               gf256_detail::kernel_label(name_info.param));
+                         });
+
+TEST(GF256Test, PublicRowOpsMatchReferenceKernelIncludingFastPaths) {
+  // The dispatched public entry points (with their c == 0 / c == 1 fast
+  // paths) against the reference kernel, including in-place mul_row as
+  // used by Gaussian elimination.
+  Rng rng(46);
+  for (std::size_t size : {0u, 1u, 31u, 1024u}) {
+    Bytes src(size);
+    rng.fill(src.data(), src.size());
+    for (int c : {0, 1, 2, 0x53, 0xff}) {
+      const auto coeff = static_cast<std::uint8_t>(c);
+      Bytes d1(size, 0x5a), d2(size, 0x5a);
+      GF256::mul_add_row(coeff, src, d1);
+      gf256_detail::mul_add_row(gf256_detail::Kernel::kRef, coeff, src, d2);
+      ASSERT_EQ(d1, d2) << "mul_add_row c=" << c << " size=" << size;
+      Bytes o1(size, 0x77), o2(size, 0x77);
+      GF256::mul_row(coeff, src, o1);
+      gf256_detail::mul_row(gf256_detail::Kernel::kRef, coeff, src, o2);
+      ASSERT_EQ(o1, o2) << "mul_row c=" << c << " size=" << size;
+      // In-place: dst aliases src exactly.
+      Bytes inplace = src, expected = src;
+      GF256::mul_row(coeff, inplace, inplace);
+      gf256_detail::mul_row(gf256_detail::Kernel::kRef, coeff, expected,
+                            expected);
+      ASSERT_EQ(inplace, expected) << "in-place mul_row c=" << c;
+    }
+  }
+}
+
+TEST(GF256Test, RowOpSizeMismatchThrows) {
+  Bytes src(8), dst(9);
+  EXPECT_THROW(GF256::mul_add_row(3, src, dst), std::invalid_argument);
+  EXPECT_THROW(GF256::mul_row(3, src, dst), std::invalid_argument);
 }
 
 // --- Matrix ------------------------------------------------------------------
@@ -289,6 +459,129 @@ TEST(ReedSolomonTest, InvalidParametersThrow) {
   EXPECT_THROW(ReedSolomonCodec(4, 256), std::invalid_argument);
 }
 
+TEST(ReedSolomonTest, SystematicFastPathFiresEvenWhenSystematicArriveLate) {
+  // A full systematic set buried behind parity segments must still be
+  // assembled by copy, with no matrix inversion: the old decoder greedily
+  // took the first m segments in arrival order.
+  const ReedSolomonCodec codec(3, 9);
+  Rng rng(47);
+  Bytes msg(600);
+  rng.fill(msg.data(), msg.size());
+  const auto segments = codec.encode(msg);
+  // Parity first, then the systematic set scattered at the end.
+  std::vector<Segment> pick = {segments[5], segments[7], segments[2],
+                               segments[8], segments[0], segments[1]};
+  const auto before = codec.decode_stats();
+  const auto decoded = codec.decode(pick, msg.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+  const auto after = codec.decode_stats();
+  EXPECT_EQ(after.systematic_fast_path, before.systematic_fast_path + 1);
+  EXPECT_EQ(after.matrix_inversions, before.matrix_inversions);
+  EXPECT_EQ(after.matrix_cache_hits, before.matrix_cache_hits);
+}
+
+TEST(ReedSolomonTest, DecodeMatrixCacheHitsOnRepeatedLossPattern) {
+  const ReedSolomonCodec codec(4, 8);
+  Rng rng(48);
+  Bytes msg(512);
+  rng.fill(msg.data(), msg.size());
+  const auto segments = codec.encode(msg);
+  // Same non-systematic survivor set, presented in two different orders:
+  // the cache key is the canonical (ascending) row set, so the second
+  // decode must hit.
+  std::vector<Segment> first = {segments[1], segments[4], segments[6],
+                                segments[7]};
+  std::vector<Segment> reordered = {segments[7], segments[6], segments[1],
+                                    segments[4]};
+  const auto s0 = codec.decode_stats();
+  ASSERT_TRUE(codec.decode(first, msg.size()).has_value());
+  const auto s1 = codec.decode_stats();
+  EXPECT_EQ(s1.matrix_inversions, s0.matrix_inversions + 1);
+  EXPECT_EQ(s1.matrix_cache_hits, s0.matrix_cache_hits);
+  const auto decoded = codec.decode(reordered, msg.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+  const auto s2 = codec.decode_stats();
+  EXPECT_EQ(s2.matrix_inversions, s1.matrix_inversions);
+  EXPECT_EQ(s2.matrix_cache_hits, s1.matrix_cache_hits + 1);
+}
+
+TEST(ReedSolomonTest, DecodeMatrixCacheEvictsLeastRecentlyUsed) {
+  // n = 255, m = 2: plenty of distinct loss patterns. Walk through more
+  // than kDecodeCacheCapacity distinct row sets, then revisit the first —
+  // it must have been evicted and cost a fresh inversion.
+  const ReedSolomonCodec codec(2, 255);
+  Rng rng(49);
+  Bytes msg(64);
+  rng.fill(msg.data(), msg.size());
+  const auto segments = codec.encode(msg);
+  auto decode_pair = [&](std::size_t a, std::size_t b) {
+    std::vector<Segment> pick = {segments[a], segments[b]};
+    const auto decoded = codec.decode(pick, msg.size());
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, msg);
+  };
+  const auto s0 = codec.decode_stats();
+  decode_pair(2, 3);  // pattern P, inverted and cached
+  decode_pair(2, 3);  // hit
+  const auto s1 = codec.decode_stats();
+  EXPECT_EQ(s1.matrix_inversions, s0.matrix_inversions + 1);
+  EXPECT_EQ(s1.matrix_cache_hits, s0.matrix_cache_hits + 1);
+  // Flood the cache with kDecodeCacheCapacity distinct other patterns.
+  for (std::size_t i = 0; i < ReedSolomonCodec::kDecodeCacheCapacity; ++i) {
+    decode_pair(4 + i, 5 + i);
+  }
+  decode_pair(2, 3);  // P was least-recently used: evicted, re-inverted
+  const auto s2 = codec.decode_stats();
+  EXPECT_EQ(s2.matrix_inversions,
+            s1.matrix_inversions + ReedSolomonCodec::kDecodeCacheCapacity + 1);
+  EXPECT_EQ(s2.matrix_cache_hits, s1.matrix_cache_hits);
+}
+
+TEST(ReedSolomonTest, EncodeIntoMatchesEncodeAndReusesBuffers) {
+  const ReedSolomonCodec codec(4, 12);
+  Rng rng(50);
+  std::vector<Segment> scratch;
+  for (std::size_t len : {0u, 5u, 96u, 1024u, 4096u}) {
+    Bytes msg(len);
+    rng.fill(msg.data(), msg.size());
+    codec.encode_into(msg, scratch);
+    const auto fresh = codec.encode(msg);
+    ASSERT_EQ(scratch.size(), fresh.size()) << "len=" << len;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(scratch[i].index, fresh[i].index) << "len=" << len;
+      EXPECT_EQ(scratch[i].data, fresh[i].data)
+          << "len=" << len << " segment " << i;
+    }
+  }
+  // Steady state (same message size twice): the segment buffers must be
+  // reused, not reallocated.
+  Bytes msg(2048);
+  rng.fill(msg.data(), msg.size());
+  codec.encode_into(msg, scratch);
+  const auto* before = scratch[5].data.data();
+  rng.fill(msg.data(), msg.size());
+  codec.encode_into(msg, scratch);
+  EXPECT_EQ(scratch[5].data.data(), before);
+}
+
+TEST(ReedSolomonTest, SizeMismatchBeyondFirstMSegmentsRejected) {
+  // Strict validation: a corrupt segment anywhere in the span fails the
+  // decode, even if m consistent segments precede it.
+  const ReedSolomonCodec codec(2, 6);
+  const Bytes msg(32, 0x5c);
+  auto segments = codec.encode(msg);
+  segments[4].data.pop_back();
+  std::vector<Segment> pick = {segments[0], segments[1], segments[4]};
+  EXPECT_FALSE(codec.decode(pick, msg.size()).has_value());
+  // Dropping the corrupt straggler restores the decode.
+  pick.pop_back();
+  const auto decoded = codec.decode(pick, msg.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
 // --- Replication codec -----------------------------------------------------------
 
 TEST(ReplicationTest, EverySegmentIsFullCopy) {
@@ -319,6 +612,19 @@ TEST(ReplicationTest, NoSegmentsFails) {
 TEST(ReplicationTest, ReplicationFactorIsN) {
   const ReplicationCodec codec(5);
   EXPECT_DOUBLE_EQ(codec.replication_factor(), 5.0);
+}
+
+TEST(ReplicationTest, EncodeIntoMatchesEncode) {
+  const ReplicationCodec codec(4);
+  const Bytes msg = bytes_of("scratch reuse");
+  std::vector<Segment> scratch;
+  codec.encode_into(msg, scratch);
+  const auto fresh = codec.encode(msg);
+  ASSERT_EQ(scratch.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(scratch[i].index, fresh[i].index);
+    EXPECT_EQ(scratch[i].data, fresh[i].data);
+  }
 }
 
 // --- Factory -----------------------------------------------------------------------
