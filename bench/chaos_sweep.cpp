@@ -16,7 +16,12 @@
 //
 // With --trace <path> the sweep is skipped and ONE run of --trace-scenario
 // executes with the span tracer on, writing Chrome trace-event JSON (opens
-// in Perfetto / chrome://tracing) and, with --jsonl, a sampled causal log.
+// in Perfetto / chrome://tracing; feed it to tools/trace_analyze for the
+// offline causal report) and, with --jsonl, a sampled causal log. The
+// traced run takes two more default-off observers: --timeseries <csv>
+// attaches a windowed sampler (30 s windows over every registry series)
+// and --health prints the rolling health scoreboard (churn storms,
+// per-cause drop peaks, stalled paths) and adds its summary to --json.
 #include <cstdio>
 #include <string>
 
@@ -27,6 +32,7 @@
 #include "metrics/table.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 using namespace p2panon;
@@ -66,11 +72,13 @@ bool parse_scenario(const std::string& name, ChaosScenario& out) {
 }
 
 /// One traced run: installs the trace sinks, executes the scenario, and
-/// writes the Chrome JSON (plus the optional sampled JSONL causal log).
+/// writes the Chrome JSON (plus the optional sampled JSONL causal log, the
+/// optional time-series CSV, and the optional health scoreboard).
 int run_traced(const std::string& trace_path, const std::string& jsonl_path,
                const std::string& scenario_flag, bool adaptive,
                double sample_rate, std::uint64_t seed, std::size_t nodes,
-               const std::string& json_path) {
+               const std::string& json_path,
+               const std::string& timeseries_path, bool health) {
   ChaosScenario scenario;
   if (!parse_scenario(scenario_flag, scenario)) {
     std::fprintf(stderr, "chaos_sweep: unknown --trace-scenario '%s'\n",
@@ -86,9 +94,15 @@ int run_traced(const std::string& trace_path, const std::string& jsonl_path,
   obs::install_log_decorator();
 
   obs::Registry run_metrics;
+  obs::TimeseriesRecorder timeseries(run_metrics);
   ChaosConfig config = sweep_config(scenario, seed, adaptive, nodes);
   config.environment.metrics = &run_metrics;
   config.environment.obs_sample_interval = 30 * kSecond;
+  if (!timeseries_path.empty()) {
+    config.environment.timeseries = &timeseries;
+    config.environment.timeseries_interval = 30 * kSecond;
+  }
+  if (health) config.health_interval = 30 * kSecond;
   const ChaosResult result = run_chaos_experiment(config);
 
   obs::uninstall_log_decorator();
@@ -120,6 +134,20 @@ int run_traced(const std::string& trace_path, const std::string& jsonl_path,
       static_cast<unsigned long long>(result.drops.total()),
       static_cast<unsigned long long>(result.messages_unaccounted +
                                       result.total_leaks()));
+  if (!timeseries_path.empty()) {
+    if (!timeseries.write_csv(timeseries_path)) {
+      std::fprintf(stderr, "chaos_sweep: cannot write %s\n",
+                   timeseries_path.c_str());
+      return 1;
+    }
+    std::printf("time series: %zu series x %zu samples -> %s\n",
+                timeseries.series_count(), timeseries.sample_count(),
+                timeseries_path.c_str());
+  }
+  if (health) {
+    std::printf("# Health scoreboard (30 s windows)\n%s\n",
+                result.health_table.c_str());
+  }
 
   obs::BenchReport report("chaos_sweep_traced");
   report.add_text("scenario", scenario_name(scenario));
@@ -128,6 +156,18 @@ int run_traced(const std::string& trace_path, const std::string& jsonl_path,
   report.add("messages_delivered", result.messages_delivered);
   report.add("messages_accepted", result.messages_accepted);
   report.add("segments_retransmitted", result.segments_retransmitted);
+  if (health) {
+    report.add("health_windows",
+               static_cast<std::uint64_t>(result.health.windows));
+    report.add("health_churn_storm_windows",
+               static_cast<std::uint64_t>(result.health.churn_storm_windows));
+    report.add("health_stalled_path_windows",
+               static_cast<std::uint64_t>(result.health.stalled_path_windows));
+    report.add("health_max_transitions_per_window",
+               result.health.max_transitions_per_window);
+    report.add("health_max_drop_rate_per_s",
+               result.health.max_drop_rate_per_s);
+  }
   if (!report.write_if_requested(json_path, &run_metrics)) return 1;
   return 0;
 }
@@ -153,12 +193,19 @@ int main(int argc, char** argv) {
       "jsonl", "", "also write a JSONL causal log of the traced run");
   auto& sample = flags.add_double(
       "sample", 1.0, "JSONL sampling rate (whole correlation chains)");
+  auto& timeseries_path = flags.add_string(
+      "timeseries", "",
+      "write a windowed time-series CSV of the traced run's registry");
+  auto& health = flags.add_bool(
+      "health", false,
+      "run the rolling health scoreboard during the traced run");
   flags.parse(argc, argv);
 
   if (!trace_path.empty()) {
     return run_traced(trace_path, jsonl_path, trace_scenario, trace_adaptive,
                       sample, static_cast<std::uint64_t>(seed),
-                      static_cast<std::size_t>(nodes), json_path);
+                      static_cast<std::size_t>(nodes), json_path,
+                      timeseries_path, health);
   }
 
   const auto runs = std::max<std::size_t>(

@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
   auto& seeds = flags.add_int("seeds", 10, "runs to average");
   auto& threads = flags.add_int("threads", 0, "worker threads (0 = auto)");
   auto& json_path = obs::add_json_flag(flags);
+  auto& health = flags.add_bool(
+      "health", false,
+      "after the sweep, run one diagnostic SimEra biased run with the "
+      "rolling health scoreboard (30 s windows) and print it");
   flags.parse(argc, argv);
   const auto runs = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
@@ -97,6 +101,27 @@ int main(int argc, char** argv) {
       "Shape checks: redundancy and biased choice both raise durability;\n"
       "biased needs ~1 attempt; bandwidth ordering CurMix < SimRep < "
       "SimEra.\n");
+  if (health) {
+    // One diagnostic run outside the averaged cells: same setup as the
+    // SimEra biased cell, base seed, scoreboard on.
+    DurabilityConfig config;
+    config.environment.num_nodes = static_cast<std::size_t>(nodes);
+    config.environment.seed = static_cast<std::uint64_t>(seed);
+    config.spec = anon::ProtocolSpec::simera(4, 4, anon::MixChoice::kBiased);
+    config.health_interval = 30 * kSecond;
+    const DurabilityResult diag = run_durability_experiment(config);
+    std::printf("# Health scoreboard, SimEra(k=4,r=4)/biased, seed %lld "
+                "(30 s windows)\n%s\n",
+                static_cast<long long>(seed), diag.health_table.c_str());
+    report.add("health_windows",
+               static_cast<std::uint64_t>(diag.health.windows));
+    report.add("health_churn_storm_windows",
+               static_cast<std::uint64_t>(diag.health.churn_storm_windows));
+    report.add("health_stalled_path_windows",
+               static_cast<std::uint64_t>(diag.health.stalled_path_windows));
+    report.add("health_max_transitions_per_window",
+               diag.health.max_transitions_per_window);
+  }
   report.add_section("table", table.to_json());
   if (!report.write_if_requested(json_path)) return 1;
   return 0;

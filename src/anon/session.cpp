@@ -379,6 +379,7 @@ void Session::send_segment_on_path(std::size_t path_index,
   router_.send_payload(initiator_, path.sid, path.relays.front(), seq,
                        std::move(blob));
   ++segments_sent_;
+  path_info_[path_index].sends++;
   seg_sent_ctr_->inc();
 
   // Register the pending ack with its timeout. With adaptive timeouts the
@@ -725,6 +726,7 @@ void Session::handle_reverse_core(std::size_t path_index,
         path_health_[it->second.path_index].consecutive_timeouts = 0;
       }
       ++acks_matched_;
+      path_info_[it->second.path_index].acks++;
       seg_acked_ctr_->inc();
       end_segment_span(it->second, "acked");
       pending_segments_.erase(it);

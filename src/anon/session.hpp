@@ -146,6 +146,11 @@ class Session {
     PathState state = PathState::kUnbuilt;
     StreamId sid = 0;
     std::uint64_t rebuilds = 0;
+    // Per-path traffic tallies (survive rebuilds — they describe the slot,
+    // not one incarnation). The health scoreboard windows these to detect
+    // paths that are nominally established but no longer acking.
+    std::uint64_t sends = 0;  // segments sent on this path slot
+    std::uint64_t acks = 0;   // acks matched to segments sent on it
   };
   const std::vector<PathInfo>& paths() const { return path_info_; }
 

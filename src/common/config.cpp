@@ -76,6 +76,19 @@ void FlagSet::set_from_string(Flag& flag, const std::string& name,
   }
 }
 
+namespace {
+
+std::map<std::string, std::string>& mutable_last_parsed_flags() {
+  static std::map<std::string, std::string> flags;
+  return flags;
+}
+
+}  // namespace
+
+const std::map<std::string, std::string>& last_parsed_flags() {
+  return mutable_last_parsed_flags();
+}
+
 void FlagSet::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -110,6 +123,18 @@ void FlagSet::parse(int argc, char** argv) {
       throw std::invalid_argument("unknown flag --" + name);
     }
     set_from_string(it->second, name, value);
+  }
+  auto& snapshot = mutable_last_parsed_flags();
+  snapshot.clear();
+  for (const auto& [name, flag] : flags_) {
+    std::ostringstream value;
+    switch (flag.kind) {
+      case Kind::Int: value << flag.int_value; break;
+      case Kind::Double: value << flag.double_value; break;
+      case Kind::Bool: value << (flag.bool_value ? "true" : "false"); break;
+      case Kind::String: value << flag.string_value; break;
+    }
+    snapshot[name] = value.str();
   }
 }
 

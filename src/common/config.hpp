@@ -52,4 +52,11 @@ class FlagSet {
 /// their event counts / durations by this so CI can run them quickly.
 double bench_scale();
 
+/// Every flag of the most recently parse()d FlagSet in this process,
+/// rendered name -> final value (defaults included). The --json bench
+/// exporter embeds this in each report's provenance manifest so a committed
+/// baseline records exactly the run configuration that produced it. Empty
+/// until the first parse().
+const std::map<std::string, std::string>& last_parsed_flags();
+
 }  // namespace p2panon

@@ -284,6 +284,13 @@ void GF256::mul_row(std::uint8_t c, ByteView src, MutableByteView dst) {
 
 const char* GF256::kernel_name() { return dispatch().name; }
 
+// Weak-linked provenance hook: obs/export declares this weak and records the
+// dispatched kernel in every --json manifest when the erasure library is in
+// the binary (obs cannot depend on erasure directly — wrong layer order).
+extern "C" const char* p2panon_gf256_kernel_name() {
+  return GF256::kernel_name();
+}
+
 namespace gf256_detail {
 
 bool kernel_available(Kernel k) {

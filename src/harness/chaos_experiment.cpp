@@ -235,6 +235,25 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
     });
   });
 
+  // Optional rolling health scoreboard. Sampling reads churn/session/
+  // registry state only, so the simulated outcome (and every RNG stream)
+  // is unchanged; only executed_events grows by the sampling ticks.
+  std::unique_ptr<HealthScoreboard> health;
+  std::unique_ptr<sim::PeriodicTask> health_task;
+  if (config.health_interval > 0) {
+    HealthConfig health_config = config.health;
+    health_config.interval = config.health_interval;
+    health = std::make_unique<HealthScoreboard>(
+        env.simulator(), env.churn(), env.metrics(), env_config.num_nodes,
+        health_config);
+    health->attach_session(session);
+    health_task = std::make_unique<sim::PeriodicTask>(
+        env.simulator(), config.health_interval, [&health] {
+          health->sample();
+        });
+    health_task->start();
+  }
+
   env.start();
   env.simulator().run_until(measure_end + config.quiesce);
 
@@ -291,6 +310,11 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
   result.peel_failures = env.router().peel_failures();
   result.reassemblies_expired = env.router().reassemblies_expired();
   result.executed_events = env.simulator().executed_events();
+  if (health != nullptr) {
+    health_task->cancel();
+    result.health = health->summary();
+    result.health_table = health->table();
+  }
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include "anon/protocols.hpp"
 #include "fault/fault_plan.hpp"
 #include "harness/environment.hpp"
+#include "harness/health.hpp"
 
 namespace p2panon::harness {
 
@@ -84,6 +85,13 @@ struct ChaosConfig {
   bool require_full_paths = false;
   NodeId initiator = 0;
   NodeId responder = 1;
+
+  /// > 0 runs a HealthScoreboard (window length = this) across the whole
+  /// run; the summary and rendered table land in the result and the
+  /// health_* gauges in the run's registry. 0 (default) = no scoreboard,
+  /// byte-identical run.
+  SimDuration health_interval = 0;
+  HealthConfig health;  // interval field ignored; health_interval governs
 };
 
 struct ChaosResult {
@@ -130,6 +138,10 @@ struct ChaosResult {
   DropStats drops;
   std::uint64_t peel_failures = 0;
   std::uint64_t executed_events = 0;
+
+  /// Populated only when config.health_interval > 0.
+  HealthSummary health;
+  std::string health_table;  // rendered scoreboard, empty when disabled
 
   double delivery_rate() const {
     return messages_accepted == 0

@@ -1,6 +1,7 @@
 #include "harness/durability_experiment.hpp"
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -177,9 +178,32 @@ DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
     });
   });
 
+  // Optional rolling health scoreboard (reads only; no RNG, no outcome
+  // change — just extra sampling ticks on the event queue).
+  std::unique_ptr<HealthScoreboard> health;
+  std::unique_ptr<sim::PeriodicTask> health_task;
+  if (config.health_interval > 0) {
+    HealthConfig health_config = config.health;
+    health_config.interval = config.health_interval;
+    health = std::make_unique<HealthScoreboard>(
+        env.simulator(), env.churn(), env.metrics(),
+        config.environment.num_nodes, health_config);
+    health->attach_session(session);
+    health_task = std::make_unique<sim::PeriodicTask>(
+        env.simulator(), config.health_interval, [&health] {
+          health->sample();
+        });
+    health_task->start();
+  }
+
   env.start();
   env.simulator().run_until(measure_end + 30 * kSecond);
 
+  if (health != nullptr) {
+    health_task->cancel();
+    result.health = health->summary();
+    result.health_table = health->table();
+  }
   result.durability_seconds =
       result.constructed
           ? monitor.lifetime_seconds(measure_end, config.measure)

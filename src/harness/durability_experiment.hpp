@@ -18,6 +18,7 @@
 
 #include "anon/protocols.hpp"
 #include "harness/environment.hpp"
+#include "harness/health.hpp"
 #include "metrics/summary.hpp"
 
 namespace p2panon::harness {
@@ -34,6 +35,11 @@ struct DurabilityConfig {
   std::size_t max_construct_attempts = 500;
   NodeId initiator = 0;
   NodeId responder = 1;
+
+  /// > 0 runs a HealthScoreboard across the run (window length = this);
+  /// summary + table land in the result. 0 = off, byte-identical run.
+  SimDuration health_interval = 0;
+  HealthConfig health;  // interval field ignored; health_interval governs
 };
 
 struct DurabilityResult {
@@ -44,6 +50,10 @@ struct DurabilityResult {
   metrics::Summary bandwidth_bytes; // payload bytes per successful delivery
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
+
+  /// Populated only when config.health_interval > 0.
+  HealthSummary health;
+  std::string health_table;  // rendered scoreboard, empty when disabled
 };
 
 DurabilityResult run_durability_experiment(const DurabilityConfig& config);

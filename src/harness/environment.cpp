@@ -100,6 +100,12 @@ void Environment::start() {
         });
     obs_sampler_->start();
   }
+  if (config_.timeseries != nullptr && config_.timeseries_interval > 0) {
+    timeseries_sampler_ = std::make_unique<sim::PeriodicTask>(
+        simulator_, config_.timeseries_interval,
+        [this] { config_.timeseries->sample(simulator_.now()); });
+    timeseries_sampler_->start();
+  }
 }
 
 NodeId Environment::random_up_node(NodeId exclude) {

@@ -22,6 +22,7 @@
 #include "net/latency_matrix.hpp"
 #include "net/sim_transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2panon::harness {
@@ -55,6 +56,14 @@ struct EnvironmentConfig {
   /// Off by default: the sampler schedules events of its own, and the
   /// default run must stay byte-identical to the seed.
   SimDuration obs_sample_interval = 0;
+
+  /// Optional windowed time-series recorder (not owned; must outlive the
+  /// Environment). When set with timeseries_interval > 0, start() drives
+  /// recorder->sample() off the event queue every interval, closing one
+  /// window per registry series. Off by default for the same reason as the
+  /// sampler above.
+  obs::TimeseriesRecorder* timeseries = nullptr;
+  SimDuration timeseries_interval = 0;
 };
 
 class Environment {
@@ -94,6 +103,7 @@ class Environment {
   obs::Registry* metrics_ = nullptr;
   bool attached_trace_clock_ = false;
   std::unique_ptr<sim::PeriodicTask> obs_sampler_;
+  std::unique_ptr<sim::PeriodicTask> timeseries_sampler_;
   sim::Simulator simulator_;
   std::unique_ptr<net::LatencyMatrix> latency_;
   std::unique_ptr<churn::ChurnModel> churn_;

@@ -1,0 +1,136 @@
+#include "harness/health.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "metrics/table.hpp"
+
+namespace p2panon::harness {
+
+namespace {
+
+constexpr const char* kDropCauses[] = {"sender_dead", "receiver_dead",
+                                       "link_loss", "no_handler"};
+constexpr std::size_t kDropCauseCount =
+    sizeof(kDropCauses) / sizeof(kDropCauses[0]);
+
+std::string format_rate(double v) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed << v;
+  return out.str();
+}
+
+}  // namespace
+
+HealthScoreboard::HealthScoreboard(sim::Simulator& simulator,
+                                   churn::ChurnModel& churn,
+                                   obs::Registry& registry,
+                                   std::size_t num_nodes, HealthConfig config)
+    : simulator_(simulator),
+      churn_(churn),
+      registry_(registry),
+      config_(config),
+      cause_stats_(kDropCauseCount) {
+  if (config_.storm_transitions == 0) {
+    config_.storm_transitions =
+        std::max<std::uint64_t>(8, static_cast<std::uint64_t>(num_nodes) / 8);
+  }
+}
+
+void HealthScoreboard::attach_session(const anon::Session& session) {
+  session_ = &session;
+  path_watch_.assign(session.paths().size(), PathWatch{});
+}
+
+void HealthScoreboard::sample() {
+  const SimTime now = simulator_.now();
+  const double window_s =
+      now > last_sample_us_
+          ? static_cast<double>(now - last_sample_us_) /
+                static_cast<double>(kSecond)
+          : 0.0;
+  ++summary_.windows;
+
+  // Churn storm detection.
+  const std::uint64_t transitions = churn_.total_transitions();
+  const std::uint64_t transition_delta = transitions - prev_transitions_;
+  prev_transitions_ = transitions;
+  summary_.max_transitions_per_window =
+      std::max(summary_.max_transitions_per_window, transition_delta);
+  const bool storm = transition_delta >= config_.storm_transitions;
+  if (storm) ++summary_.churn_storm_windows;
+  registry_.gauge("health_churn_transitions_window")
+      ->set(static_cast<std::int64_t>(transition_delta));
+  registry_.gauge("health_churn_storm")->set(storm ? 1 : 0);
+
+  // Per-cause drop-rate windows.
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    CauseStats& stats = cause_stats_[i];
+    const std::uint64_t total = registry_.counter_value(
+        "net_drops_total", {{"cause", kDropCauses[i]}});
+    const std::uint64_t delta = total - stats.prev;
+    stats.prev = total;
+    stats.window_total += delta;
+    summary_.total_window_drops += delta;
+    const double rate =
+        window_s > 0.0 ? static_cast<double>(delta) / window_s : 0.0;
+    stats.max_rate_per_s = std::max(stats.max_rate_per_s, rate);
+    summary_.max_drop_rate_per_s =
+        std::max(summary_.max_drop_rate_per_s, rate);
+    registry_.gauge("health_window_drops", {{"cause", kDropCauses[i]}})
+        ->set(static_cast<std::int64_t>(delta));
+  }
+
+  // Stalled-path detection: established, traffic sent, nothing acked for
+  // stall_windows consecutive windows.
+  std::int64_t stalled_now = 0;
+  if (session_ != nullptr) {
+    const auto& paths = session_->paths();
+    if (path_watch_.size() < paths.size()) {
+      path_watch_.resize(paths.size());
+    }
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      PathWatch& watch = path_watch_[i];
+      const std::uint64_t send_delta = paths[i].sends - watch.prev_sends;
+      const std::uint64_t ack_delta = paths[i].acks - watch.prev_acks;
+      watch.prev_sends = paths[i].sends;
+      watch.prev_acks = paths[i].acks;
+      if (paths[i].state == anon::PathState::kEstablished &&
+          send_delta > 0 && ack_delta == 0) {
+        ++watch.zero_ack_windows;
+      } else {
+        watch.zero_ack_windows = 0;
+      }
+      if (watch.zero_ack_windows >= config_.stall_windows) {
+        ++stalled_now;
+        ++summary_.stalled_path_windows;
+      }
+    }
+  }
+  registry_.gauge("health_stalled_paths")->set(stalled_now);
+
+  last_sample_us_ = now;
+}
+
+std::string HealthScoreboard::table() const {
+  metrics::Table table({"health signal", "value"});
+  table.add_row({"windows", std::to_string(summary_.windows)});
+  table.add_row({"churn storm windows",
+                 std::to_string(summary_.churn_storm_windows)});
+  table.add_row({"max transitions/window",
+                 std::to_string(summary_.max_transitions_per_window)});
+  table.add_row({"stalled path-windows",
+                 std::to_string(summary_.stalled_path_windows)});
+  table.add_row({"max drop rate (/s)",
+                 format_rate(summary_.max_drop_rate_per_s)});
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    table.add_row({std::string("drops ") + kDropCauses[i],
+                   std::to_string(cause_stats_[i].window_total) +
+                       " (peak " + format_rate(cause_stats_[i].max_rate_per_s) +
+                       "/s)"});
+  }
+  return table.render();
+}
+
+}  // namespace p2panon::harness

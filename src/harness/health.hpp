@@ -1,0 +1,107 @@
+// Rolling health scoreboard for experiment runs.
+//
+// The chaos and durability harnesses report end-of-run totals; this layer
+// watches the run *while it happens*, closing a health window every
+// `interval` of sim time:
+//
+//   churn storms     windows whose churn transition count crosses the storm
+//                    threshold — correlated failure bursts, the regime the
+//                    paper's durability ordering is claimed for
+//   stalled paths    session paths that are nominally kEstablished but have
+//                    matched no acks for `stall_windows` consecutive windows
+//                    despite traffic being sent on them — the silent failure
+//                    mode §4.5's failure detection exists to catch
+//   drop causes      per-cause transport drop rates (net_drops_total{cause})
+//                    per window, with the worst window retained
+//
+// Each sample also publishes `health_*` gauges into the run's registry, so
+// a TimeseriesRecorder attached to the same registry captures the full
+// health trajectory, not just the summary.
+//
+// Default OFF: harness configs leave health_interval = 0, no scoreboard is
+// constructed, no series registered, and runs stay byte-identical. Sampling
+// only reads simulator/churn/session/registry state — never the RNG — so an
+// enabled scoreboard cannot change the simulated outcome.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anon/session.hpp"
+#include "churn/churn_model.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::harness {
+
+struct HealthConfig {
+  SimDuration interval = 30 * kSecond;
+  /// Consecutive zero-ack windows (with traffic) before an established path
+  /// counts as stalled.
+  std::size_t stall_windows = 3;
+  /// Churn transitions per window that make the window a storm. 0 = auto:
+  /// max(8, num_nodes / 8).
+  std::uint64_t storm_transitions = 0;
+};
+
+struct HealthSummary {
+  std::size_t windows = 0;
+  std::size_t churn_storm_windows = 0;
+  /// Path-windows spent stalled (each stalled path counts each window).
+  std::size_t stalled_path_windows = 0;
+  std::uint64_t max_transitions_per_window = 0;
+  std::uint64_t total_window_drops = 0;
+  double max_drop_rate_per_s = 0.0;  // worst single-cause window rate
+};
+
+class HealthScoreboard {
+ public:
+  /// All references must outlive the scoreboard. `registry` receives the
+  /// health_* gauges; pass the run's own registry so the gauges land next
+  /// to the counters they summarize.
+  HealthScoreboard(sim::Simulator& simulator, churn::ChurnModel& churn,
+                   obs::Registry& registry, std::size_t num_nodes,
+                   HealthConfig config = {});
+
+  /// Enables per-path stall detection (optional; the session must outlive
+  /// the scoreboard).
+  void attach_session(const anon::Session& session);
+
+  /// Closes the window ending at simulator.now(). Call from a PeriodicTask
+  /// with period config.interval.
+  void sample();
+
+  const HealthSummary& summary() const { return summary_; }
+  const HealthConfig& config() const { return config_; }
+
+  /// Per-cause drop totals/worst rates plus the storm/stall counts as a
+  /// rendered text table for experiment output.
+  std::string table() const;
+
+ private:
+  struct CauseStats {
+    std::uint64_t prev = 0;
+    std::uint64_t window_total = 0;
+    double max_rate_per_s = 0.0;
+  };
+  struct PathWatch {
+    std::uint64_t prev_sends = 0;
+    std::uint64_t prev_acks = 0;
+    std::size_t zero_ack_windows = 0;
+  };
+
+  sim::Simulator& simulator_;
+  churn::ChurnModel& churn_;
+  obs::Registry& registry_;
+  HealthConfig config_;
+  const anon::Session* session_ = nullptr;
+
+  HealthSummary summary_;
+  std::uint64_t prev_transitions_ = 0;
+  SimTime last_sample_us_ = 0;
+  std::vector<PathWatch> path_watch_;
+  std::vector<CauseStats> cause_stats_;
+};
+
+}  // namespace p2panon::harness

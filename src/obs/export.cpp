@@ -14,13 +14,50 @@ std::string& add_json_flag(FlagSet& flags) {
                           "write a metrics-snapshot JSON to this path");
 }
 
+// Defined in src/erasure/gf256.cpp. Declared weak so obs does not depend on
+// the erasure library (which sits above it in the layering): when a binary
+// links erasure, the manifest records the dispatched GF(256) kernel; when it
+// does not, the symbol resolves to null and the manifest says "unlinked".
+extern "C" const char* p2panon_gf256_kernel_name() __attribute__((weak));
+
 namespace {
+
+#ifndef P2PANON_GIT_SHA
+#define P2PANON_GIT_SHA "unknown"
+#endif
 
 std::string format_number(double v) {
   std::ostringstream out;
   out.precision(10);
   out << v;
   return out.str();
+}
+
+/// `"provenance":{...}` — the run manifest that makes a committed baseline
+/// self-describing: which source revision, which dispatched kernel, which
+/// CI scale-down, and every flag (seed and config included) of the run.
+std::string render_provenance() {
+  std::string out = "\"provenance\":{\"git_sha\":\"";
+  out += json_escape(P2PANON_GIT_SHA);
+  out += "\",\"gf256_kernel\":\"";
+  out += json_escape(p2panon_gf256_kernel_name != nullptr
+                         ? p2panon_gf256_kernel_name()
+                         : "unlinked");
+  out += "\",\"bench_scale\":";
+  out += format_number(bench_scale());
+  out += ",\"flags\":{";
+  bool first = true;
+  for (const auto& [name, value] : last_parsed_flags()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":\"";
+    out += json_escape(value);
+    out += '"';
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace
@@ -64,6 +101,8 @@ std::string BenchReport::document(const Registry* registry) const {
     out += raw;
   }
   out += '}';
+  out += ',';
+  out += render_provenance();
   if (registry != nullptr) {
     out += ",\"metrics\":";
     out += registry->snapshot_json();

@@ -196,6 +196,33 @@ std::string Registry::snapshot_json() const {
   return out.str();
 }
 
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const Labels&,
+                             const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, counter] : counters_) {
+    fn(key.name, key.labels, *counter);
+  }
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const Labels&,
+                             const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, gauge] : gauges_) {
+    fn(key.name, key.labels, *gauge);
+  }
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const std::string&, const Labels&,
+                             const HdrHistogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, hist] : histograms_) {
+    fn(key.name, key.labels, *hist);
+  }
+}
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -89,6 +90,13 @@ class HdrHistogram {
   static std::uint64_t bucket_lower_bound(std::size_t index);
   static std::uint64_t bucket_upper_bound(std::size_t index);  // inclusive
 
+  /// Raw count of one bucket. The windowed sampler (obs/timeseries) diffs
+  /// successive snapshots of the bucket array to compute percentiles over a
+  /// single window rather than the whole run.
+  std::uint64_t bucket_count(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::uint64_t> buckets_[kBucketCount]{};
   std::atomic<std::uint64_t> count_{0};
@@ -122,6 +130,20 @@ class Registry {
   /// One JSON document: {"counters": [...], "gauges": [...],
   /// "histograms": [...]}, series sorted by key for deterministic output.
   std::string snapshot_json() const;
+
+  /// Visits every series of one kind in deterministic (sorted-key) order,
+  /// holding the registration lock for the duration. The series references
+  /// stay valid for the registry's lifetime, so samplers may cache pointers
+  /// — but the callbacks themselves must not register new series (deadlock).
+  void for_each_counter(
+      const std::function<void(const std::string& name, const Labels& labels,
+                               const Counter& counter)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string& name, const Labels& labels,
+                               const Gauge& gauge)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string& name, const Labels& labels,
+                               const HdrHistogram& histogram)>& fn) const;
 
   /// Process-wide fallback registry for components constructed without one.
   static Registry& global();

@@ -1,0 +1,397 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace p2panon::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+bool phase_from_chrome(std::string_view ph, TraceRecord::Phase& out) {
+  if (ph == "b") { out = TraceRecord::Phase::kBegin; return true; }
+  if (ph == "e") { out = TraceRecord::Phase::kEnd; return true; }
+  if (ph == "n") { out = TraceRecord::Phase::kInstant; return true; }
+  return false;  // metadata ("M") and anything exotic
+}
+
+bool phase_from_jsonl(std::string_view type, TraceRecord::Phase& out) {
+  if (type == "begin") { out = TraceRecord::Phase::kBegin; return true; }
+  if (type == "end") { out = TraceRecord::Phase::kEnd; return true; }
+  if (type == "instant") { out = TraceRecord::Phase::kInstant; return true; }
+  return false;
+}
+
+bool record_from_chrome(const JsonValue& event, TraceRecord& out) {
+  const JsonValue* ph = event.find("ph");
+  if (ph == nullptr || !ph->is_string() ||
+      !phase_from_chrome(ph->string, out.phase)) {
+    return false;
+  }
+  const JsonValue* cat = event.find("cat");
+  out.category = cat != nullptr ? std::string(cat->as_string()) : "";
+  const JsonValue* name = event.find("name");
+  out.name = name != nullptr ? std::string(name->as_string()) : "";
+  // Async id is a hex string ("0x1a2b"); base 16 accepts the 0x prefix.
+  const JsonValue* id = event.find("id");
+  out.corr = (id != nullptr && id->is_string())
+                 ? std::strtoull(id->string.c_str(), nullptr, 16)
+                 : 0;
+  const JsonValue* ts = event.find("ts");
+  out.sim_us = ts != nullptr ? ts->as_u64() : 0;
+  const JsonValue* args = event.find("args");
+  const JsonValue* wall = args != nullptr ? args->find("wall_ns") : nullptr;
+  out.wall_ns = wall != nullptr ? wall->as_u64() : 0;
+  return true;
+}
+
+bool record_from_jsonl(const JsonValue& line, TraceRecord& out) {
+  const JsonValue* type = line.find("type");
+  if (type == nullptr || !type->is_string() ||
+      !phase_from_jsonl(type->string, out.phase)) {
+    return false;
+  }
+  const JsonValue* cat = line.find("cat");
+  out.category = cat != nullptr ? std::string(cat->as_string()) : "";
+  const JsonValue* name = line.find("name");
+  out.name = name != nullptr ? std::string(name->as_string()) : "";
+  const JsonValue* corr = line.find("corr");
+  out.corr = corr != nullptr ? corr->as_u64() : 0;
+  const JsonValue* sim = line.find("sim_us");
+  out.sim_us = sim != nullptr ? sim->as_u64() : 0;
+  const JsonValue* wall = line.find("wall_ns");
+  out.wall_ns = wall != nullptr ? wall->as_u64() : 0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+
+struct Span {
+  std::string name;
+  CorrelationId corr = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  std::uint64_t duration_us() const { return end_us - start_us; }
+};
+
+struct Chain {
+  std::vector<std::size_t> spans;  // indices into the matched-span list
+  std::uint64_t min_start = UINT64_MAX;
+  std::uint64_t max_end = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t makespan() const {
+    return max_end > min_start ? max_end - min_start : 0;
+  }
+};
+
+/// Exact quantile of an ascending-sorted list: rank = ceil(q * n), 1-based.
+std::uint64_t exact_percentile(const std::vector<std::uint64_t>& sorted,
+                               double q) {
+  if (sorted.empty()) return 0;
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed << v;
+  return out.str();
+}
+
+std::string format_corr(CorrelationId corr) {
+  std::ostringstream out;
+  out << "0x" << std::hex << corr;
+  return out.str();
+}
+
+/// count/total/mean/p50/p90/p99/max over a duration list (sorted in place).
+void append_duration_stats(std::ostringstream& out,
+                           std::vector<std::uint64_t>& durations) {
+  std::sort(durations.begin(), durations.end());
+  std::uint64_t total = 0;
+  for (std::uint64_t d : durations) total += d;
+  const double mean =
+      durations.empty()
+          ? 0.0
+          : static_cast<double>(total) / static_cast<double>(durations.size());
+  out << "\"count\":" << durations.size() << ",\"total_us\":" << total
+      << ",\"mean_us\":" << format_double(mean)
+      << ",\"p50_us\":" << exact_percentile(durations, 0.50)
+      << ",\"p90_us\":" << exact_percentile(durations, 0.90)
+      << ",\"p99_us\":" << exact_percentile(durations, 0.99)
+      << ",\"max_us\":" << (durations.empty() ? 0 : durations.back());
+}
+
+/// Greedy critical path: walk the chain's timeline from its first start,
+/// always extending along the live span that reaches furthest; stretches no
+/// span covers become "(gap)" entries (queueing/timer wait). O(n^2) per
+/// chain, and chains are short (one path construction or one message).
+void append_critical_path(std::ostringstream& out, const Chain& chain,
+                          const std::vector<Span>& spans) {
+  std::vector<const Span*> members;
+  members.reserve(chain.spans.size());
+  for (std::size_t idx : chain.spans) members.push_back(&spans[idx]);
+  std::sort(members.begin(), members.end(),
+            [](const Span* a, const Span* b) {
+              if (a->start_us != b->start_us) return a->start_us < b->start_us;
+              if (a->end_us != b->end_us) return a->end_us > b->end_us;
+              return a->name < b->name;
+            });
+  out << '[';
+  std::uint64_t cursor = chain.min_start;
+  bool first = true;
+  while (cursor < chain.max_end) {
+    const Span* best = nullptr;
+    for (const Span* s : members) {
+      if (s->start_us > cursor) break;  // sorted by start
+      if (s->end_us > cursor && (best == nullptr || s->end_us > best->end_us)) {
+        best = s;
+      }
+    }
+    std::string name;
+    std::uint64_t until = 0;
+    if (best != nullptr) {
+      name = best->name;
+      until = best->end_us;
+    } else {
+      name = "(gap)";
+      until = chain.max_end;
+      for (const Span* s : members) {
+        if (s->start_us > cursor) {
+          until = s->start_us;
+          break;
+        }
+      }
+    }
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(name) << "\",\"start_us\":" << cursor
+        << ",\"end_us\":" << until << ",\"duration_us\":" << until - cursor
+        << '}';
+    cursor = until;
+  }
+  out << ']';
+}
+
+}  // namespace
+
+ParsedTrace parse_chrome_trace(std::string_view text) {
+  ParsedTrace out;
+  const auto doc = json_parse(text);
+  if (doc == nullptr) return out;
+  const JsonValue* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) return out;
+  for (const JsonValue& event : events->array) {
+    TraceRecord record;
+    if (event.is_object() && record_from_chrome(event, record)) {
+      out.records.push_back(std::move(record));
+    } else {
+      ++out.skipped;
+    }
+  }
+  return out;
+}
+
+ParsedTrace parse_jsonl_trace(std::string_view text) {
+  ParsedTrace out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    const auto value = json_parse(line);
+    TraceRecord record;
+    if (value != nullptr && value->is_object() &&
+        record_from_jsonl(*value, record)) {
+      out.records.push_back(std::move(record));
+    } else {
+      ++out.skipped;
+    }
+  }
+  return out;
+}
+
+ParsedTrace parse_trace(std::string_view text) {
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string_view::npos && text[first] == '{' &&
+      text.substr(first, 256).find("\"traceEvents\"") !=
+          std::string_view::npos) {
+    return parse_chrome_trace(text);
+  }
+  return parse_jsonl_trace(text);
+}
+
+std::string analyze_trace(const ParsedTrace& trace,
+                          const AnalyzerOptions& options) {
+  // -- Match begin/end pairs. FIFO per (corr, name): nested same-name spans
+  // on one chain do not occur in this codebase, and FIFO keeps matching
+  // deterministic even if a trace interleaves oddly.
+  std::size_t begins = 0, ends = 0, instants = 0, unmatched_ends = 0;
+  std::map<std::pair<CorrelationId, std::string>, std::deque<std::uint64_t>>
+      open;
+  std::vector<Span> spans;
+  for (const TraceRecord& r : trace.records) {
+    switch (r.phase) {
+      case TraceRecord::Phase::kBegin:
+        ++begins;
+        open[{r.corr, r.name}].push_back(r.sim_us);
+        break;
+      case TraceRecord::Phase::kEnd: {
+        ++ends;
+        auto it = open.find({r.corr, r.name});
+        if (it == open.end() || it->second.empty()) {
+          ++unmatched_ends;
+          break;
+        }
+        Span span;
+        span.name = r.name;
+        span.corr = r.corr;
+        span.start_us = it->second.front();
+        span.end_us = r.sim_us >= span.start_us ? r.sim_us : span.start_us;
+        it->second.pop_front();
+        spans.push_back(std::move(span));
+        break;
+      }
+      case TraceRecord::Phase::kInstant:
+        ++instants;
+        break;
+    }
+  }
+  std::size_t unmatched_begins = 0;
+  for (const auto& [key, queue] : open) unmatched_begins += queue.size();
+
+  // -- Per-span-name stats and causal chains (corr == 0 is uncorrelated
+  // background, not a chain).
+  std::map<std::string, std::vector<std::uint64_t>> by_name;
+  std::map<CorrelationId, Chain> chains;
+  std::uint64_t segments = 0, retransmits = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    by_name[s.name].push_back(s.duration_us());
+    if (s.name == "segment") ++segments;
+    if (s.name == "segment_retransmit") ++retransmits;
+    if (s.corr == 0) continue;
+    Chain& chain = chains[s.corr];
+    chain.spans.push_back(i);
+    chain.min_start = std::min(chain.min_start, s.start_us);
+    chain.max_end = std::max(chain.max_end, s.end_us);
+    if (s.name == "segment_retransmit") ++chain.retransmits;
+  }
+
+  // -- Per-hop latency: within each chain, the gaps between consecutive
+  // hop_relay events, keyed by position along the path.
+  std::map<std::size_t, std::vector<std::uint64_t>> hop_gaps;
+  for (const auto& [corr, chain] : chains) {
+    std::vector<std::uint64_t> hops;
+    for (std::size_t idx : chain.spans) {
+      if (spans[idx].name == "hop_relay") hops.push_back(spans[idx].start_us);
+    }
+    std::sort(hops.begin(), hops.end());
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      hop_gaps[i - 1].push_back(hops[i] - hops[i - 1]);
+    }
+  }
+
+  std::size_t chains_with_retx = 0;
+  std::uint64_t max_makespan = 0, total_makespan = 0;
+  for (const auto& [corr, chain] : chains) {
+    if (chain.retransmits > 0) ++chains_with_retx;
+    max_makespan = std::max(max_makespan, chain.makespan());
+    total_makespan += chain.makespan();
+  }
+
+  // -- Render. Key order, sorting, and float formatting are all fixed so the
+  // report is byte-stable (the golden-trace test depends on this).
+  std::ostringstream out;
+  out << "{\"report\":\"trace_analyze\",\"events\":{\"total\":"
+      << trace.records.size() << ",\"begins\":" << begins
+      << ",\"ends\":" << ends << ",\"instants\":" << instants
+      << ",\"skipped\":" << trace.skipped
+      << ",\"unmatched_begins\":" << unmatched_begins
+      << ",\"unmatched_ends\":" << unmatched_ends << '}';
+
+  out << ",\"chains\":{\"count\":" << chains.size()
+      << ",\"with_retransmit\":" << chains_with_retx
+      << ",\"max_makespan_us\":" << max_makespan << ",\"mean_makespan_us\":"
+      << format_double(chains.empty() ? 0.0
+                                      : static_cast<double>(total_makespan) /
+                                            static_cast<double>(chains.size()))
+      << '}';
+
+  out << ",\"span_stats\":[";
+  bool first = true;
+  for (auto& [name, durations] : by_name) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(name) << "\",";
+    append_duration_stats(out, durations);
+    out << '}';
+  }
+  out << ']';
+
+  out << ",\"hop_latency\":[";
+  first = true;
+  for (auto& [hop, gaps] : hop_gaps) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"hop\":" << hop << ',';
+    append_duration_stats(out, gaps);
+    out << '}';
+  }
+  out << ']';
+
+  const double amplification =
+      segments > 0 ? static_cast<double>(segments + retransmits) /
+                         static_cast<double>(segments)
+                   : 0.0;
+  out << ",\"retransmission\":{\"segments\":" << segments
+      << ",\"retransmits\":" << retransmits
+      << ",\"amplification\":" << format_double(amplification)
+      << ",\"chains_with_retransmit\":" << chains_with_retx << '}';
+
+  // -- Slowest chains, makespan descending (corr ascending on ties).
+  std::vector<const std::pair<const CorrelationId, Chain>*> ranked;
+  ranked.reserve(chains.size());
+  for (const auto& entry : chains) ranked.push_back(&entry);
+  std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+    if (a->second.makespan() != b->second.makespan()) {
+      return a->second.makespan() > b->second.makespan();
+    }
+    return a->first < b->first;
+  });
+  if (ranked.size() > options.top_n) ranked.resize(options.top_n);
+  out << ",\"slowest_chains\":[";
+  first = true;
+  for (const auto* entry : ranked) {
+    const Chain& chain = entry->second;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"corr\":\"" << format_corr(entry->first)
+        << "\",\"start_us\":" << chain.min_start
+        << ",\"end_us\":" << chain.max_end
+        << ",\"makespan_us\":" << chain.makespan()
+        << ",\"spans\":" << chain.spans.size()
+        << ",\"retransmits\":" << chain.retransmits << ",\"critical_path\":";
+    append_critical_path(out, chain, spans);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace p2panon::obs

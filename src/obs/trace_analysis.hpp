@@ -1,0 +1,62 @@
+// Offline causal-trace analysis.
+//
+// The tracer (obs/trace) writes what happened; this module answers why it
+// was slow. It ingests either sink format — the Chrome trace-event document
+// (`{"traceEvents":[...]}`, async phases b/e/n, id = hex correlation id) or
+// the JSONL causal log (one object per line) — reconstructs the span tree
+// per correlation chain, and renders one deterministic JSON report:
+//
+//   events          parse/matching accounting (skipped lines, unmatched
+//                   begins/ends) so a truncated trace is visible, not silent
+//   span_stats      per-span-name duration percentiles ("per-phase"):
+//                   count / total / mean / p50 / p90 / p99 / max, exact
+//                   (computed from the full sorted duration list, not
+//                   histogram buckets)
+//   hop_latency     per-hop-transition latency inside each chain: the gap
+//                   between consecutive hop_relay events is the per-hop
+//                   forwarding cost of the onion path, indexed by position
+//   retransmission  segment vs segment_retransmit amplification — how many
+//                   sends the loss/RTO machinery added per useful segment
+//   slowest_chains  top-N chains by makespan, each with a greedy critical
+//                   path (the chain's timeline covered by the longest-
+//                   extending spans, uncovered stretches reported as gaps)
+//
+// Everything is computed from sim_us only. wall_ns is host noise and using
+// it would make the report non-reproducible across machines; it is parsed
+// and discarded.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace p2panon::obs {
+
+/// Records recovered from a trace file, in file order.
+struct ParsedTrace {
+  std::vector<TraceRecord> records;
+  std::size_t skipped = 0;  // metadata events + unparseable lines
+};
+
+/// Chrome trace-event document (the ChromeTraceSink format).
+ParsedTrace parse_chrome_trace(std::string_view text);
+/// JSONL causal log (the JsonlTraceSink format). Unparseable lines are
+/// counted in `skipped`, not fatal — traces from killed runs stay usable.
+ParsedTrace parse_jsonl_trace(std::string_view text);
+/// Sniffs the format: a document whose first value is an object containing
+/// "traceEvents" parses as Chrome, anything else line-by-line as JSONL.
+ParsedTrace parse_trace(std::string_view text);
+
+struct AnalyzerOptions {
+  std::size_t top_n = 10;  // slowest chains to list in full
+};
+
+/// Renders the analysis report as one JSON document. Deterministic: same
+/// trace bytes + options -> same report bytes, on any host.
+std::string analyze_trace(const ParsedTrace& trace,
+                          const AnalyzerOptions& options = {});
+
+}  // namespace p2panon::obs

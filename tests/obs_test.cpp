@@ -16,6 +16,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace p2panon::obs {
@@ -280,6 +281,34 @@ TEST(OffMeansOffTest, TracedRunIsBitIdenticalToUntraced) {
   EXPECT_NE(doc.find("\"segment"), std::string::npos);
   EXPECT_NE(doc.find("reconstruct"), std::string::npos);
   EXPECT_FALSE(jsonl.lines().empty());
+}
+
+TEST(OffMeansOffTest, SamplerAndScoreboardPerturbNoOutcome) {
+  const auto baseline = harness::run_chaos_experiment(tiny_chaos(3));
+
+  // Same run with the time-series sampler and the health scoreboard on.
+  // Both only add read-only sampling ticks to the event queue, so every
+  // outcome counter must match; executed_events is the one legitimate
+  // difference (the ticks themselves) and is normalised out.
+  harness::ChaosConfig config = tiny_chaos(3);
+  Registry sampled_registry;
+  TimeseriesRecorder recorder(sampled_registry);
+  config.environment.metrics = &sampled_registry;
+  config.environment.timeseries = &recorder;
+  config.environment.timeseries_interval = 30 * kSecond;
+  config.health_interval = 30 * kSecond;
+  auto observed = harness::run_chaos_experiment(config);
+
+  EXPECT_GT(observed.executed_events, baseline.executed_events);
+  observed.executed_events = baseline.executed_events;
+  EXPECT_EQ(baseline.fingerprint(), observed.fingerprint());
+
+  // And the observers actually observed: windows were recorded, and the
+  // scoreboard counted them.
+  EXPECT_GT(recorder.sample_count(), 0u);
+  EXPECT_GT(recorder.series_count(), 0u);
+  EXPECT_GT(observed.health.windows, 0u);
+  EXPECT_FALSE(observed.health_table.empty());
 }
 
 }  // namespace

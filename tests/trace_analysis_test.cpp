@@ -1,0 +1,179 @@
+// Offline trace analyzer: format sniffing, begin/end matching, chain
+// reconstruction, critical-path extraction — plus the golden-trace check:
+// the committed report for tests/data/golden_trace.jsonl must reproduce
+// byte-identically, pinning the analyzer's output format.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace_analysis.hpp"
+
+#ifndef P2PANON_TEST_DATA_DIR
+#error "P2PANON_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace p2panon::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TraceParseTest, SniffsChromeVersusJsonl) {
+  const std::string valid =
+      "{\"traceEvents\":["
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"p2panon\"}},"
+      "{\"ph\":\"b\",\"cat\":\"anon\",\"name\":\"segment\",\"id\":\"0x2a\","
+      "\"pid\":1,\"tid\":1,\"ts\":10,\"args\":{\"wall_ns\":5}},"
+      "{\"ph\":\"e\",\"cat\":\"anon\",\"name\":\"segment\",\"id\":\"0x2a\","
+      "\"pid\":1,\"tid\":1,\"ts\":30}]}";
+  const ParsedTrace parsed = parse_trace(valid);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.skipped, 1u);  // the metadata event
+  EXPECT_EQ(parsed.records[0].phase, TraceRecord::Phase::kBegin);
+  EXPECT_EQ(parsed.records[0].corr, 0x2au);
+  EXPECT_EQ(parsed.records[0].sim_us, 10u);
+  EXPECT_EQ(parsed.records[0].wall_ns, 5u);
+
+  const std::string jsonl =
+      "{\"type\":\"instant\",\"cat\":\"net\",\"name\":\"drop\",\"corr\":7,"
+      "\"sim_us\":99,\"wall_ns\":1}\n"
+      "garbage\n";
+  const ParsedTrace lines = parse_trace(jsonl);
+  ASSERT_EQ(lines.records.size(), 1u);
+  EXPECT_EQ(lines.skipped, 1u);
+  EXPECT_EQ(lines.records[0].phase, TraceRecord::Phase::kInstant);
+  EXPECT_EQ(lines.records[0].corr, 7u);
+}
+
+TEST(TraceParseTest, LargeCorrelationIdsSurviveExactly) {
+  // 0x48095acbcf12303e does not fit a double mantissa; the parser must
+  // carry the raw token through, not round-trip via floating point.
+  const std::string line =
+      "{\"type\":\"begin\",\"cat\":\"anon\",\"name\":\"segment\","
+      "\"corr\":5190779876920143934,\"sim_us\":1,\"wall_ns\":1}\n";
+  const ParsedTrace parsed = parse_jsonl_trace(line);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].corr, 0x48095acbcf12303eull);
+}
+
+TEST(TraceAnalyzeTest, EmptyTraceRendersValidReport) {
+  const std::string report = analyze_trace(ParsedTrace{});
+  EXPECT_TRUE(json_valid(report)) << report;
+  EXPECT_NE(report.find("\"chains\":{\"count\":0"), std::string::npos);
+  EXPECT_NE(report.find("\"slowest_chains\":[]"), std::string::npos);
+}
+
+TEST(TraceAnalyzeTest, UncorrelatedSpansCountInStatsButFormNoChain) {
+  ParsedTrace trace;
+  TraceRecord begin;
+  begin.phase = TraceRecord::Phase::kBegin;
+  begin.name = "segment";
+  begin.corr = 0;  // background
+  begin.sim_us = 10;
+  TraceRecord end = begin;
+  end.phase = TraceRecord::Phase::kEnd;
+  end.sim_us = 25;
+  trace.records = {begin, end};
+  const std::string report = analyze_trace(trace);
+  EXPECT_NE(report.find("\"chains\":{\"count\":0"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"name\":\"segment\",\"count\":1"), std::string::npos)
+      << report;
+}
+
+TEST(TraceAnalyzeTest, FifoMatchingPairsRepeatedSpanNames) {
+  // Two same-name spans on one chain, interleaved begin/begin/end/end: FIFO
+  // pairs first-begin with first-end (10..30 and 20..40, not 10..40).
+  ParsedTrace trace;
+  const std::uint64_t times[] = {10, 20, 30, 40};
+  for (int i = 0; i < 4; ++i) {
+    TraceRecord r;
+    r.phase = i < 2 ? TraceRecord::Phase::kBegin : TraceRecord::Phase::kEnd;
+    r.name = "segment";
+    r.corr = 5;
+    r.sim_us = times[i];
+    trace.records.push_back(r);
+  }
+  const std::string report = analyze_trace(trace);
+  // Both spans are 20 us, so total 40 and max 20 — the 10..40 pairing
+  // would give max 30.
+  EXPECT_NE(report.find("\"count\":2,\"total_us\":40"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"max_us\":20"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"unmatched_begins\":0"), std::string::npos);
+}
+
+TEST(TraceAnalyzeTest, TopNLimitsSlowestChains) {
+  ParsedTrace trace;
+  for (std::uint64_t corr = 1; corr <= 5; ++corr) {
+    TraceRecord begin;
+    begin.phase = TraceRecord::Phase::kBegin;
+    begin.name = "segment";
+    begin.corr = corr;
+    begin.sim_us = 0;
+    TraceRecord end = begin;
+    end.phase = TraceRecord::Phase::kEnd;
+    end.sim_us = corr * 100;  // chain 5 is slowest
+    trace.records.push_back(begin);
+    trace.records.push_back(end);
+  }
+  AnalyzerOptions options;
+  options.top_n = 2;
+  const std::string report = analyze_trace(trace, options);
+  EXPECT_NE(report.find("\"corr\":\"0x5\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"corr\":\"0x4\""), std::string::npos) << report;
+  EXPECT_EQ(report.find("\"corr\":\"0x3\""), std::string::npos) << report;
+}
+
+// ---------------------------------------------------------------------------
+// Golden trace: committed input -> committed report, byte for byte.
+
+TEST(GoldenTraceTest, CommittedReportReproducesByteIdentically) {
+  const std::string dir = P2PANON_TEST_DATA_DIR;
+  const std::string trace_text = read_file(dir + "/golden_trace.jsonl");
+  ASSERT_FALSE(trace_text.empty());
+  const std::string golden = read_file(dir + "/golden_trace_report.json");
+  ASSERT_FALSE(golden.empty());
+
+  const ParsedTrace trace = parse_trace(trace_text);
+  EXPECT_EQ(trace.records.size(), 17u);
+  EXPECT_EQ(trace.skipped, 2u);  // meta line + non-JSON line
+
+  // The CLI writes the report plus one trailing newline.
+  const std::string report = analyze_trace(trace) + "\n";
+  EXPECT_EQ(report, golden)
+      << "analyzer output drifted from tests/data/golden_trace_report.json; "
+         "if the change is intentional, regenerate the golden file with "
+         "build/tools/trace_analyze";
+  EXPECT_TRUE(json_valid(report));
+}
+
+TEST(GoldenTraceTest, GoldenReportContainsExpectedStructure) {
+  const std::string dir = P2PANON_TEST_DATA_DIR;
+  const std::string golden = read_file(dir + "/golden_trace_report.json");
+  // Spot-check semantics, not just stability: two chains, one with a
+  // retransmission, per-hop gaps of 120 ms and 140 ms, and a critical path
+  // whose uncovered stretch surfaces as a "(gap)" entry.
+  EXPECT_NE(golden.find("\"chains\":{\"count\":2,\"with_retransmit\":1"),
+            std::string::npos);
+  EXPECT_NE(golden.find("\"hop\":0,\"count\":1,\"total_us\":120000"),
+            std::string::npos);
+  EXPECT_NE(golden.find("\"hop\":1,\"count\":1,\"total_us\":140000"),
+            std::string::npos);
+  EXPECT_NE(golden.find("\"amplification\":2.000"), std::string::npos);
+  EXPECT_NE(golden.find("\"name\":\"(gap)\",\"start_us\":700000"),
+            std::string::npos);
+  EXPECT_NE(golden.find("\"unmatched_begins\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2panon::obs
