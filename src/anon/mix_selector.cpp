@@ -16,10 +16,17 @@ std::optional<std::vector<std::vector<NodeId>>> MixSelector::select_paths(
   std::unordered_set<NodeId> exclude = {initiator, responder};
   exclude.insert(extra_exclude.begin(), extra_exclude.end());
 
+  // Both modes honor behavioral quarantine when the cache tracks
+  // suspicion (corruption resilience): a node over the quarantine
+  // threshold is never selected, random or biased, until it decays clean.
+  // Biased choice additionally demotes non-quarantined suspects inside
+  // top_by_predictor (score = q / (1 + penalty * s)). With suspicion off
+  // (the default) both calls are byte-identical to the seed behavior.
   std::vector<NodeId> picked;
   switch (choice_) {
     case MixChoice::kRandom:
-      picked = cache.sample_known(need, rng_, exclude);
+      picked = cache.sample_known(need, rng_, exclude, now,
+                                  /*honor_quarantine=*/true);
       break;
     case MixChoice::kBiased:
       picked = cache.top_by_predictor(need, now, exclude);

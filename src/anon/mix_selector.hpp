@@ -7,6 +7,13 @@
 //   - Biased: the nodes with the highest Eq. 3 liveness predictor.
 // The initiator and responder are always excluded, and the k paths are
 // node-disjoint by construction.
+//
+// Corruption resilience: when the cache has suspicion tracking enabled
+// (membership::SuspicionConfig), quarantined nodes are excluded from both
+// modes and biased choice scores candidates q / (1 + penalty * suspicion),
+// routing around relays that corrupted or stalled traffic the same way the
+// paper routes around dead ones. Off by default — selection then draws and
+// ranks exactly as the seed did.
 #pragma once
 
 #include <optional>

@@ -40,7 +40,8 @@ std::optional<OnionCodec::PeeledPath> parse_path_hop(ByteView plain) {
 
 Bytes serialize_payload_core(const PayloadCore& core) {
   Bytes out;
-  out.reserve(24 + core.responder_key.size() + core.segment.size());
+  out.reserve(24 + core.responder_key.size() + core.segment.size() +
+              (core.auth_flags != PayloadCore::kAuthNone ? 33 : 0));
   put_u64be(out, core.message_id);
   put_u32be(out, core.segment_index);
   put_u32be(out, core.original_size);
@@ -49,6 +50,17 @@ Bytes serialize_payload_core(const PayloadCore& core) {
   append(out, ByteView(core.responder_key.data(), core.responder_key.size()));
   put_u32be(out, static_cast<std::uint32_t>(core.segment.size()));
   append(out, core.segment);
+  // Auth trailer: appended after the segment so a legacy core's bytes are
+  // untouched. The trailer length is implied by auth_flags and cross-checked
+  // against the exact total size at parse time.
+  if (core.auth_flags != PayloadCore::kAuthNone) {
+    out.push_back(core.auth_flags);
+    append(out, ByteView(core.message_digest.data(),
+                         core.message_digest.size()));
+    if (core.auth_flags == PayloadCore::kAuthTagged) {
+      append(out, ByteView(core.auth_tag.data(), core.auth_tag.size()));
+    }
+  }
   return out;
 }
 
@@ -64,7 +76,33 @@ std::optional<PayloadCore> parse_payload_core(ByteView plain) {
   std::memcpy(core.responder_key.data(), plain.data() + 20,
               core.responder_key.size());
   const std::size_t seg_len = get_u32be(plain, 20 + crypto::kChaChaKeySize);
-  if (plain.size() != kHeader + seg_len) return std::nullopt;
+  // Three valid shapes, each with an exact total size: legacy (no
+  // trailer), digest trailer (+17), tagged trailer (+33). The flags byte
+  // must agree with the size, so no single-byte flip can move a core from
+  // one shape to another — the mismatch fails parsing instead.
+  constexpr std::size_t kDigestTrailer = 1 + crypto::kMessageDigestSize;
+  constexpr std::size_t kTaggedTrailer = kDigestTrailer + crypto::kSegmentTagSize;
+  if (plain.size() == kHeader + seg_len + kDigestTrailer ||
+      plain.size() == kHeader + seg_len + kTaggedTrailer) {
+    const std::uint8_t flags = plain[kHeader + seg_len];
+    const bool tagged = plain.size() == kHeader + seg_len + kTaggedTrailer;
+    if (flags != (tagged ? PayloadCore::kAuthTagged
+                         : PayloadCore::kAuthDigest)) {
+      return std::nullopt;
+    }
+    core.auth_flags = flags;
+    std::memcpy(core.message_digest.data(),
+                plain.data() + kHeader + seg_len + 1,
+                core.message_digest.size());
+    if (tagged) {
+      std::memcpy(core.auth_tag.data(),
+                  plain.data() + kHeader + seg_len + 1 +
+                      core.message_digest.size(),
+                  core.auth_tag.size());
+    }
+  } else if (plain.size() != kHeader + seg_len) {
+    return std::nullopt;
+  }
   // Semantic validation, not just framing: every honestly serialized core
   // satisfies the erasure layer's 1 <= m <= n <= 255 and indexes within n.
   // The statistical codec can hand us garbage that survives the length
@@ -75,7 +113,7 @@ std::optional<PayloadCore> parse_payload_core(ByteView plain) {
       core.segment_index >= core.total_segments) {
     return std::nullopt;
   }
-  const ByteView seg = plain.subspan(kHeader);
+  const ByteView seg = plain.subspan(kHeader, seg_len);
   core.segment.assign(seg.begin(), seg.end());
   return core;
 }

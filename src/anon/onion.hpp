@@ -30,6 +30,7 @@
 #include "common/types.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/segment_auth.hpp"
 
 namespace p2panon::anon {
 
@@ -44,6 +45,13 @@ struct PathHop {
 
 /// The responder-facing core of a payload onion.
 struct PayloadCore {
+  /// auth_flags values. Any other value fails parsing — a single byte flip
+  /// cannot turn one valid trailer shape into another without also breaking
+  /// the exact-size check.
+  static constexpr std::uint8_t kAuthNone = 0;    // legacy core, no trailer
+  static constexpr std::uint8_t kAuthDigest = 1;  // [flags][digest]
+  static constexpr std::uint8_t kAuthTagged = 3;  // [flags][digest][tag]
+
   MessageId message_id = 0;
   std::uint32_t segment_index = 0;
   std::uint32_t original_size = 0;  // |M| so the responder can truncate
@@ -51,6 +59,15 @@ struct PayloadCore {
   std::uint16_t total_segments = 1;   // n, so the responder picks the codec
   Bytes segment;                    // Mp
   RelayKey responder_key{};         // R_{L+1}, for the reverse path
+
+  // Corruption-resilience trailer (absent on the wire when auth_flags ==
+  // kAuthNone, which keeps legacy cores byte-identical). The digest is the
+  // truncated SHA-256 of the whole message M; the tag authenticates this
+  // segment plus every header field the decoder will trust (see
+  // crypto/segment_auth.hpp).
+  std::uint8_t auth_flags = kAuthNone;
+  crypto::MessageDigest message_digest{};
+  crypto::SegmentTag auth_tag{};
 };
 
 class OnionCodec {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "erasure/verified_decode.hpp"
 #include "obs/trace.hpp"
 
 namespace p2panon::anon {
@@ -57,11 +58,12 @@ std::optional<ReverseCore> parse_reverse_core(ByteView plain) {
   if (plain.size() < 13) return std::nullopt;
   ReverseCore core;
   const std::uint8_t type = plain[0];
-  if (type != 1 && type != 2) return std::nullopt;
+  if (type != 1 && type != 2 && type != 3) return std::nullopt;
   core.type = static_cast<ReverseCore::Type>(type);
   core.message_id = get_u64be(plain, 1);
   core.segment_index = get_u32be(plain, 9);
-  if (core.type == ReverseCore::Type::kAck) {
+  if (core.type == ReverseCore::Type::kAck ||
+      core.type == ReverseCore::Type::kCorruptNack) {
     return plain.size() == 13 ? std::optional<ReverseCore>(core)
                               : std::nullopt;
   }
@@ -119,7 +121,16 @@ AnonRouter::AnonRouter(sim::Simulator& simulator, net::Demux& demux,
       reconstructions_ctr_(metrics_->counter("anon_reconstructions_total")),
       reassembly_expired_ctr_(
           metrics_->counter("anon_reassemblies_expired_total")),
-      reconstruct_segments_(metrics_->histogram("anon_reconstruct_segments")) {
+      reconstruct_segments_(metrics_->histogram("anon_reconstruct_segments")),
+      auth_verified_ctr_(metrics_->counter("anon_segment_auth_total",
+                                           {{"result", "verified"}})),
+      auth_rejected_ctr_(metrics_->counter("anon_segment_auth_total",
+                                           {{"result", "rejected"}})),
+      auth_nacks_ctr_(metrics_->counter("anon_segment_auth_nacks_total")),
+      auth_fallback_ok_ctr_(metrics_->counter(
+          "anon_segment_auth_fallback_total", {{"result", "ok"}})),
+      auth_fallback_failed_ctr_(metrics_->counter(
+          "anon_segment_auth_fallback_total", {{"result", "failed"}})) {
   const std::size_t n = node_keys_.size();
   tables_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) tables_.emplace_back(rng_.fork());
@@ -578,17 +589,35 @@ void AnonRouter::on_teardown(NodeId to, StreamId sid) {
 void AnonRouter::deliver_to_responder(NodeId responder, RelayEntry& entry,
                                       const PayloadCore& core_value) {
   const PayloadCore* core = &core_value;
-  tables_[responder].refresh(entry, simulator_.now(), config_.state_ttl);
-  entry.key = core->responder_key;  // R_{L+1} (idempotent per path)
-
   const SimTime now = simulator_.now();
+  tables_[responder].refresh(entry, now, config_.state_ttl);
+
+  // Segment authentication (corruption resilience): verify the tag before
+  // trusting anything else in the core. The check is self-contained — the
+  // auth key derives from the core's own R_{L+1}, so a flip anywhere in
+  // the sealed core (the key, the erasure metadata, the digest, the
+  // segment bytes, or the tag itself) invalidates it.
+  const bool tagged = core->auth_flags == PayloadCore::kAuthTagged;
+  bool tag_verified = false;
+  if (tagged) {
+    const auto auth_key =
+        crypto::derive_segment_auth_key(core->responder_key);
+    const auto expected = crypto::segment_tag(
+        auth_key, core->message_id, core->segment_index, core->original_size,
+        core->needed_segments, core->total_segments, core->message_digest,
+        core->segment);
+    tag_verified = crypto::segment_tag_equal(expected, core->auth_tag);
+    (tag_verified ? auth_verified_ctr_ : auth_rejected_ctr_)->inc();
+  }
+  const bool trusted = !tagged || tag_verified;
+  if (trusted) {
+    entry.key = core->responder_key;  // R_{L+1} (idempotent per path)
+  }
+
   auto& rmap = reassembly_[responder];
   auto [it, inserted] = rmap.try_emplace(core->message_id);
   Reassembly& reassembly = it->second;
   if (inserted) {
-    reassembly.needed = core->needed_segments;
-    reassembly.total = core->total_segments;
-    reassembly.original_size = core->original_size;
     // Reconstruction span: opened by the first arriving segment, closed on
     // delivery below or on TTL expiry in sweep(). Correlated by message id,
     // the same chain the initiator's send_message events ride on.
@@ -596,12 +625,70 @@ void AnonRouter::deliver_to_responder(NodeId responder, RelayEntry& entry,
     if (tracer.enabled()) {
       obs::TraceArgs args;
       args.add("responder", static_cast<std::uint64_t>(responder))
-          .add("needed", static_cast<std::uint64_t>(reassembly.needed))
-          .add("total", static_cast<std::uint64_t>(reassembly.total));
+          .add("needed", static_cast<std::uint64_t>(core->needed_segments))
+          .add("total", static_cast<std::uint64_t>(core->total_segments));
       tracer.span_begin("anon", "reconstruct", core->message_id, args);
     }
   }
+  // Erasure metadata comes from the first *trusted* core (every core in
+  // legacy and digest modes; tag-verified ones in tagged mode). needed == 0
+  // marks "not yet trusted" — parse_payload_core guarantees m >= 1.
+  if (reassembly.needed == 0 && trusted) {
+    reassembly.needed = core->needed_segments;
+    reassembly.total = core->total_segments;
+    reassembly.original_size = core->original_size;
+  }
+  if (core->auth_flags > reassembly.auth_flags) {
+    reassembly.auth_flags = core->auth_flags;
+  }
+  if (tag_verified && !reassembly.digest_known) {
+    reassembly.digest_known = true;
+    reassembly.digest = core->message_digest;
+  }
+  if (core->auth_flags == PayloadCore::kAuthDigest) {
+    // Tagless mode: no single core is trusted, so digests are ballots. The
+    // validator later accepts any candidate — an oblivious byte-flipper
+    // cannot steer SHA-256 onto a chosen value, so a decode matching any
+    // ballot is the initiator's message (see DESIGN.md threat model).
+    bool counted = false;
+    for (auto& [digest, votes] : reassembly.digest_votes) {
+      if (digest == core->message_digest) {
+        ++votes;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) reassembly.digest_votes.emplace_back(core->message_digest, 1);
+  }
   reassembly.expires = now + config_.reassembly_ttl;
+
+  if (tagged && !tag_verified) {
+    // Quarantine: never admitted to direct reconstruction, but kept for
+    // the digest-validated subset search — the flip may have landed in the
+    // trailer while the segment bytes are intact. The arrival path is not
+    // recorded for responses, and the initiator gets a corruption verdict
+    // instead of an ack.
+    bool known = false;
+    for (const auto& seg : reassembly.quarantined) {
+      if (seg.index == core->segment_index && seg.data == core->segment) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      erasure::Segment seg;
+      seg.index = core->segment_index;
+      seg.data = core->segment;
+      reassembly.quarantined.push_back(std::move(seg));
+      reassembly.quarantined_sids.push_back(entry.upstream_sid);
+    }
+    responder_nack(responder, entry, core->message_id, core->segment_index);
+    if (!reassembly.delivered && reassembly.needed > 0 &&
+        reassembly.auth_flags != PayloadCore::kAuthNone) {
+      try_authenticated_decode(responder, core->message_id, reassembly);
+    }
+    return;
+  }
 
   // Track the arrival path for acks and responses (dedupe by sid).
   bool known_path = false;
@@ -613,51 +700,181 @@ void AnonRouter::deliver_to_responder(NodeId responder, RelayEntry& entry,
   }
   if (!known_path) reassembly.arrival_sids.push_back(entry.upstream_sid);
 
-  // Store the segment unless it's a duplicate index.
+  // Store the segment unless it's a duplicate index. In auth modes a
+  // tag-verified copy supersedes an unverified one (a clean retransmit
+  // must not be shadowed by the corrupted original), and a conflicting
+  // unverified duplicate is stashed as a quarantined alternate for the
+  // subset search instead of being dropped.
   bool duplicate = false;
-  for (const auto& seg : reassembly.segments) {
-    if (seg.index == core->segment_index) {
-      duplicate = true;
-      break;
+  for (std::size_t i = 0; i < reassembly.segments.size(); ++i) {
+    erasure::Segment& seg = reassembly.segments[i];
+    if (seg.index != core->segment_index) continue;
+    duplicate = true;
+    if (!reassembly.segment_verified[i]) {
+      if (tag_verified) {
+        seg.data = core->segment;
+        reassembly.segment_verified[i] = true;
+        reassembly.segment_sids[i] = entry.upstream_sid;
+      } else if (core->auth_flags != PayloadCore::kAuthNone &&
+                 seg.data != core->segment) {
+        erasure::Segment alternate;
+        alternate.index = core->segment_index;
+        alternate.data = core->segment;
+        reassembly.quarantined.push_back(std::move(alternate));
+        reassembly.quarantined_sids.push_back(entry.upstream_sid);
+      }
     }
+    break;
   }
   if (!duplicate) {
     erasure::Segment seg;
     seg.index = core->segment_index;
     seg.data = core->segment;
     reassembly.segments.push_back(std::move(seg));
+    reassembly.segment_sids.push_back(entry.upstream_sid);
+    reassembly.segment_verified.push_back(tag_verified);
   }
 
   if (config_.send_acks) {
     responder_ack(responder, entry, core->message_id, core->segment_index);
   }
 
-  if (!reassembly.delivered &&
-      reassembly.segments.size() >= reassembly.needed) {
+  if (reassembly.delivered || reassembly.needed == 0) return;
+  if (reassembly.auth_flags != PayloadCore::kAuthNone) {
+    try_authenticated_decode(responder, core->message_id, reassembly);
+    return;
+  }
+  if (reassembly.segments.size() >= reassembly.needed) {
     const auto& codec = codec_for(reassembly.needed, reassembly.total);
-    const auto decoded =
+    auto decoded =
         codec.decode(reassembly.segments, reassembly.original_size);
     if (decoded.has_value()) {
-      reassembly.delivered = true;
-      reconstructions_ctr_->inc();
-      reconstruct_segments_->record(reassembly.segments.size());
-      auto& tracer = obs::Tracer::instance();
-      if (tracer.enabled()) {
-        obs::TraceArgs args;
-        args.add("status", "delivered")
-            .add("segments_used",
-                 static_cast<std::uint64_t>(reassembly.segments.size()));
-        tracer.span_end("anon", "reconstruct", core->message_id, args);
+      deliver_reconstructed(responder, core->message_id, reassembly,
+                            std::move(*decoded));
+    }
+  }
+}
+
+bool AnonRouter::try_authenticated_decode(NodeId responder,
+                                          MessageId message_id,
+                                          Reassembly& reassembly) {
+  const auto& codec = codec_for(reassembly.needed, reassembly.total);
+
+  // Tagged mode, enough tag-verified segments: decode them directly. Every
+  // input is authenticated, so this cannot yield wrong bytes.
+  if (reassembly.digest_known) {
+    std::vector<erasure::Segment> verified;
+    for (std::size_t i = 0; i < reassembly.segments.size(); ++i) {
+      if (reassembly.segment_verified[i]) {
+        verified.push_back(reassembly.segments[i]);
       }
-      if (message_handler_) {
-        ReceivedMessage received;
-        received.responder = responder;
-        received.message_id = core->message_id;
-        received.data = *decoded;
-        received.segments_received = reassembly.segments.size();
-        received.reconstructed_at = now;
-        message_handler_(received);
+    }
+    if (verified.size() >= reassembly.needed) {
+      auto decoded = codec.decode(verified, reassembly.original_size);
+      if (decoded.has_value() &&
+          crypto::message_digest(*decoded) == reassembly.digest) {
+        deliver_reconstructed(responder, message_id, reassembly,
+                              std::move(*decoded));
+        return true;
       }
+      // Unreachable short of a tag forgery; fall through to the search.
+    }
+  } else if (reassembly.digest_votes.empty()) {
+    return false;  // no trusted digest and no ballots: nothing to validate
+  }
+
+  // Digest-validated subset search over everything received, quarantined
+  // alternates included (their tags failed, but the damage may have been
+  // confined to the trailer). The decoder never returns unvalidated
+  // plaintext: a candidate decode is delivered only when its digest
+  // matches the trusted digest (tagged mode) or any ballot (digest mode).
+  std::vector<erasure::Segment> pool;
+  std::vector<StreamId> pool_sids;
+  std::size_t admitted = reassembly.segments.size();
+  pool.reserve(admitted + reassembly.quarantined.size());
+  pool_sids.reserve(admitted + reassembly.quarantined.size());
+  for (std::size_t i = 0; i < admitted; ++i) {
+    pool.push_back(reassembly.segments[i]);
+    pool_sids.push_back(reassembly.segment_sids[i]);
+  }
+  for (std::size_t i = 0; i < reassembly.quarantined.size(); ++i) {
+    pool.push_back(reassembly.quarantined[i]);
+    pool_sids.push_back(reassembly.quarantined_sids[i]);
+  }
+  if (pool.size() < reassembly.needed) return false;
+
+  const erasure::DecodeValidator validate = [&](ByteView message) {
+    const auto digest = crypto::message_digest(message);
+    if (reassembly.digest_known) return digest == reassembly.digest;
+    for (const auto& [candidate, votes] : reassembly.digest_votes) {
+      if (candidate == digest) return true;
+    }
+    return false;
+  };
+  auto result =
+      erasure::verified_decode(codec, pool, reassembly.original_size,
+                               validate, config_.max_decode_subsets);
+  if (!result.has_value()) {
+    auth_fallback_failed_ctr_->inc();
+    return false;
+  }
+  auth_fallback_ok_ctr_->inc();
+
+  // Error location: every admitted segment proven corrupted earns its
+  // arrival path a corruption verdict. Quarantined alternates were already
+  // nacked on arrival — no double jeopardy.
+  std::vector<std::uint32_t> to_nack;
+  for (std::uint32_t index : result->corrupted_indices) {
+    for (std::size_t i = 0; i < admitted; ++i) {
+      if (pool[i].index == index) {
+        to_nack.push_back(index);
+        break;
+      }
+    }
+  }
+  nack_segments(responder, message_id, to_nack, pool, pool_sids);
+  deliver_reconstructed(responder, message_id, reassembly,
+                        std::move(result->message));
+  return true;
+}
+
+void AnonRouter::deliver_reconstructed(NodeId responder, MessageId message_id,
+                                       Reassembly& reassembly,
+                                       Bytes message) {
+  reassembly.delivered = true;
+  reconstructions_ctr_->inc();
+  reconstruct_segments_->record(reassembly.segments.size());
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    obs::TraceArgs args;
+    args.add("status", "delivered")
+        .add("segments_used",
+             static_cast<std::uint64_t>(reassembly.segments.size()));
+    tracer.span_end("anon", "reconstruct", message_id, args);
+  }
+  if (message_handler_) {
+    ReceivedMessage received;
+    received.responder = responder;
+    received.message_id = message_id;
+    received.data = std::move(message);
+    received.segments_received = reassembly.segments.size();
+    received.reconstructed_at = simulator_.now();
+    message_handler_(received);
+  }
+}
+
+void AnonRouter::nack_segments(NodeId responder, MessageId message_id,
+                               const std::vector<std::uint32_t>& indices,
+                               const std::vector<erasure::Segment>& pool,
+                               const std::vector<StreamId>& pool_sids) {
+  for (std::uint32_t index : indices) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].index != index) continue;
+      RelayEntry* entry = tables_[responder].find_by_upstream(pool_sids[i]);
+      if (entry != nullptr) {
+        responder_nack(responder, *entry, message_id, index);
+      }
+      break;
     }
   }
 }
@@ -674,6 +891,25 @@ void AnonRouter::responder_ack(NodeId responder, RelayEntry& entry,
       entry.key, seq | kReverseBit, serialize_reverse_core(ack));
   send_reverse(responder, entry.upstream, kTypePayloadRev, entry.upstream_sid,
                seq, wrapped);
+}
+
+void AnonRouter::responder_nack(NodeId responder, RelayEntry& entry,
+                                MessageId message_id,
+                                std::uint32_t segment_index) {
+  // Framed and sealed exactly like responder_ack. Note the key caveat: on
+  // a first-contact arrival whose flip landed in R_{L+1} itself, entry.key
+  // holds the corrupted key and the nack is garbage to the initiator — it
+  // drops on parse and the segment timeout covers the evidence instead.
+  ReverseCore nack;
+  nack.type = ReverseCore::Type::kCorruptNack;
+  nack.message_id = message_id;
+  nack.segment_index = segment_index;
+  const std::uint64_t seq = entry.reverse_seq++;
+  const Bytes wrapped = onion_.wrap_layer(
+      entry.key, seq | kReverseBit, serialize_reverse_core(nack));
+  send_reverse(responder, entry.upstream, kTypePayloadRev, entry.upstream_sid,
+               seq, wrapped);
+  auth_nacks_ctr_->inc();
 }
 
 void AnonRouter::on_payload_rev(NodeId to, StreamId sid, std::uint64_t seq,

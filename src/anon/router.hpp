@@ -40,6 +40,11 @@ struct RouterConfig {
   SimDuration sweep_interval = 30 * kSecond; // expiry sweep cadence
   SimDuration reassembly_ttl = 2 * kMinute;  // responder reassembly buffers
   bool send_acks = true;                     // per-segment end-to-end acks
+  /// Decode-attempt budget for the digest-validated subset-search fallback
+  /// (erasure/verified_decode). Only consulted when segments arrive with
+  /// an auth trailer — the initiator's opt-in is the feature switch, so
+  /// legacy traffic never reaches this code.
+  std::size_t max_decode_subsets = 24;
   obs::Registry* metrics = nullptr;          // nullptr = global registry
 };
 
@@ -197,7 +202,7 @@ class AnonRouter {
   };
 
   struct Reassembly {
-    std::size_t needed = 0;       // m
+    std::size_t needed = 0;       // m (0 = metadata not yet trusted)
     std::size_t total = 0;        // n
     std::size_t original_size = 0;
     std::vector<erasure::Segment> segments;
@@ -205,6 +210,18 @@ class AnonRouter {
     bool delivered = false;
     SimTime expires = 0;
     std::uint32_t next_response_id = 0;
+
+    // Corruption-resilience state; untouched (and unallocated) while only
+    // legacy cores arrive.
+    std::uint8_t auth_flags = 0;   // strongest trailer shape seen
+    bool digest_known = false;     // trusted digest (from a tag-verified core)
+    crypto::MessageDigest digest{};
+    std::vector<StreamId> segment_sids;     // arrival sid per admitted segment
+    std::vector<bool> segment_verified;     // tag-verified per admitted segment
+    std::vector<erasure::Segment> quarantined;  // tag-rejected, never decoded
+    std::vector<StreamId> quarantined_sids;
+    /// Digest ballots for the tagless mode: (digest, votes).
+    std::vector<std::pair<crypto::MessageDigest, std::size_t>> digest_votes;
   };
 
   void handle_forward(NodeId from, NodeId to, ByteView payload);
@@ -223,6 +240,23 @@ class AnonRouter {
                             const PayloadCore& core);
   void responder_ack(NodeId responder, RelayEntry& entry,
                      MessageId message_id, std::uint32_t segment_index);
+  /// Corruption verdict back to the initiator (ReverseCore::kCorruptNack),
+  /// framed and sealed exactly like responder_ack.
+  void responder_nack(NodeId responder, RelayEntry& entry,
+                      MessageId message_id, std::uint32_t segment_index);
+  /// Decode paths for reassemblies carrying an auth trailer: verified-only
+  /// decode, then digest-validated subset search over the remainder. Sends
+  /// corrupt-nacks for every segment proven bad. Returns true when the
+  /// message was delivered (or proven undeliverable this round is false —
+  /// more segments may still arrive).
+  bool try_authenticated_decode(NodeId responder, MessageId message_id,
+                                Reassembly& reassembly);
+  void deliver_reconstructed(NodeId responder, MessageId message_id,
+                             Reassembly& reassembly, Bytes message);
+  void nack_segments(NodeId responder, MessageId message_id,
+                     const std::vector<std::uint32_t>& indices,
+                     const std::vector<erasure::Segment>& pool,
+                     const std::vector<StreamId>& pool_sids);
   void sweep();
   void finish_pending(NodeId initiator, StreamId sid, bool ok, bool timed_out);
   void record_peel_failure(NodeId node, const char* where);
@@ -275,11 +309,26 @@ class AnonRouter {
   obs::Counter* reconstructions_ctr_;
   obs::Counter* reassembly_expired_ctr_;
   obs::HdrHistogram* reconstruct_segments_;
+  // Segment-authentication outcomes (corruption resilience). Registered
+  // eagerly like every other series; they stay 0 in legacy runs.
+  obs::Counter* auth_verified_ctr_;
+  obs::Counter* auth_rejected_ctr_;
+  obs::Counter* auth_nacks_ctr_;
+  obs::Counter* auth_fallback_ok_ctr_;
+  obs::Counter* auth_fallback_failed_ctr_;
 };
 
 // Reverse-core payloads (sealed under R_{L+1} / the responder key).
 struct ReverseCore {
-  enum class Type : std::uint8_t { kAck = 1, kResponseSegment = 2 };
+  /// kCorruptNack (corruption resilience): the responder's verdict that
+  /// the named segment arrived tampered with — either its auth tag failed
+  /// or the digest-validated decode proved it wrong. Framed exactly like
+  /// kAck (13 bytes). Only ever sent in reply to auth-trailer segments.
+  enum class Type : std::uint8_t {
+    kAck = 1,
+    kResponseSegment = 2,
+    kCorruptNack = 3,
+  };
   Type type = Type::kAck;
   MessageId message_id = 0;
   std::uint32_t segment_index = 0;

@@ -36,6 +36,12 @@ Session::Session(AnonRouter& router, const membership::NodeCache& cache,
   seg_expired_ctr_ =
       reg.counter("session_segments_total", {{"event", "expired"}});
   path_failures_ctr_ = reg.counter("session_path_failures_total");
+  nacks_rx_ctr_ = reg.counter("session_corrupt_nacks_total");
+  susp_corrupt_ctr_ = reg.counter("membership_suspicion_reports_total",
+                                  {{"evidence", "corrupt"}});
+  susp_stall_ctr_ = reg.counter("membership_suspicion_reports_total",
+                                {{"evidence", "stall"}});
+  quarantined_gauge_ = reg.gauge("membership_suspicion_quarantined");
   rtt_us_ = reg.histogram("session_rtt_us");
   rto_us_ = reg.histogram("session_rto_us");
   paths_.resize(config_.erasure.k);
@@ -319,6 +325,14 @@ MessageId Session::send_message(ByteView data) {
   session_codec().encode_into(data, encode_scratch_);
   const auto& segments = encode_scratch_;
 
+  // One digest per message, reused by every segment's trailer (and kept in
+  // the pending ledger so retransmits carry it too). Zero bytes of work
+  // with both auth knobs off.
+  crypto::MessageDigest digest{};
+  if (config_.segment_auth || config_.verified_decode) {
+    digest = crypto::message_digest(data);
+  }
+
   const Allocation alloc = make_allocation();
   ++messages_sent_;
   msgs_ctr_->inc();
@@ -336,16 +350,51 @@ MessageId Session::send_message(ByteView data) {
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const std::size_t path_index = alloc[s];
     if (paths_[path_index].state != PathState::kEstablished) continue;
-    send_segment_on_path(path_index, id, segments[s], data.size());
+    send_segment_on_path(path_index, id, segments[s], data.size(),
+                         /*retries=*/0, digest);
   }
   return id;
+}
+
+void Session::apply_auth_trailer(PayloadCore& core, const Path& path,
+                                 const crypto::MessageDigest& digest) const {
+  if (config_.segment_auth) {
+    core.auth_flags = PayloadCore::kAuthTagged;
+    core.message_digest = digest;
+    core.auth_tag = crypto::segment_tag(
+        crypto::derive_segment_auth_key(path.responder_key), core.message_id,
+        core.segment_index, core.original_size, core.needed_segments,
+        core.total_segments, digest, core.segment);
+  } else if (config_.verified_decode) {
+    core.auth_flags = PayloadCore::kAuthDigest;
+    core.message_digest = digest;
+  }
+}
+
+void Session::report_path_suspicion(std::size_t path_index, double weight,
+                                    obs::Counter* evidence_ctr) {
+  if (!config_.relay_suspicion || !cache_.suspicion_enabled() ||
+      weight <= 0.0) {
+    return;
+  }
+  const SimTime now = router_.simulator().now();
+  // The responder cannot name the guilty relay, only the guilty path:
+  // every relay on it shares the evidence and decays clean if innocent
+  // (paper-style accountability at path granularity).
+  for (NodeId relay : paths_[path_index].relays) {
+    cache_.report_suspicion(relay, weight, now);
+    evidence_ctr->inc();
+  }
+  quarantined_gauge_->set(
+      static_cast<std::int64_t>(cache_.quarantined_count(now)));
 }
 
 void Session::send_segment_on_path(std::size_t path_index,
                                    MessageId message_id,
                                    const erasure::Segment& segment,
                                    std::size_t original_size,
-                                   std::size_t retries) {
+                                   std::size_t retries,
+                                   const crypto::MessageDigest& digest) {
   // Rebuild-driven resends arrive here from a construct-ack chain; pin the
   // correlation back to the message so the timeout event and the relay
   // hops below stay on the message's causal tree.
@@ -369,6 +418,7 @@ void Session::send_segment_on_path(std::size_t path_index,
   core.total_segments = static_cast<std::uint16_t>(config_.erasure.n);
   core.segment = segment.data;
   core.responder_key = path.responder_key;
+  apply_auth_trailer(core, path, digest);
 
   Bytes blob = router_.onion().seal_payload_core(
       core, router_.directory().public_key(responder_), rng_);
@@ -400,6 +450,7 @@ void Session::send_segment_on_path(std::size_t path_index,
   pending.path_index = path_index;
   pending.sent_at = router_.simulator().now();
   pending.retries = retries;
+  pending.digest = digest;
   pending.timeout_event = router_.simulator().schedule_after(
       timeout, [this, key, alive = alive_] {
         if (!*alive) return;
@@ -413,6 +464,11 @@ void Session::on_segment_timeout(std::uint64_t key, bool fail_pending_path) {
   if (it == pending_segments_.end()) return;
   const std::size_t failed_path = it->second.path_index;
   ++failures_detected_;
+  // Stall evidence: the path swallowed a segment without an ack or a
+  // corruption verdict. Weaker than a corrupt-nack — dead relays produce
+  // it too, and the liveness predictor already covers those.
+  report_path_suspicion(failed_path, config_.suspicion_stall_weight,
+                        susp_stall_ctr_);
 
   if (config_.adaptive_timeouts) {
     PathHealth& health = path_health_[failed_path];
@@ -439,7 +495,7 @@ void Session::on_segment_timeout(std::uint64_t key, bool fail_pending_path) {
         end_segment_span(seg, "retransmitted");
         if (declare_failed) mark_path_failed(failed_path);
         send_segment_on_path(target, seg.message_id, seg.segment,
-                             seg.original_size, seg.retries + 1);
+                             seg.original_size, seg.retries + 1, seg.digest);
         return;
       }
     }
@@ -667,7 +723,8 @@ void Session::resend_pending(std::size_t old_path_index,
   for (const PendingSegment& pending : to_resend) {
     end_segment_span(pending, "resent_on_rebuild");
     send_segment_on_path(new_path_index, pending.message_id, pending.segment,
-                         pending.original_size);
+                         pending.original_size, /*retries=*/0,
+                         pending.digest);
   }
 }
 
@@ -727,6 +784,7 @@ void Session::handle_reverse_core(std::size_t path_index,
       }
       ++acks_matched_;
       path_info_[it->second.path_index].acks++;
+      path_health_[it->second.path_index].consecutive_nacks = 0;
       seg_acked_ctr_->inc();
       end_segment_span(it->second, "acked");
       pending_segments_.erase(it);
@@ -740,6 +798,60 @@ void Session::handle_reverse_core(std::size_t path_index,
     ++acks_received_;
     if (ack_handler_) {
       ack_handler_(core.message_id, core.segment_index, path_index);
+    }
+    return;
+  }
+
+  if (core.type == ReverseCore::Type::kCorruptNack) {
+    // The responder's verdict that a segment sent down this path arrived
+    // tampered with. Evidence first, then (optionally) recovery.
+    ++nacks_received_;
+    nacks_rx_ctr_->inc();
+    report_path_suspicion(path_index, config_.suspicion_corrupt_weight,
+                          susp_corrupt_ctr_);
+
+    const std::uint64_t key = pending_key(core.message_id, core.segment_index);
+    const auto it = pending_segments_.find(key);
+    if (config_.corruption_escalation && it != pending_segments_.end() &&
+        it->second.path_index == path_index) {
+      // The transmission is conclusively lost — no point waiting out its
+      // timer. Retransmit on a different established path while retry
+      // budget remains; otherwise close the ledger on it.
+      router_.simulator().cancel(it->second.timeout_event);
+      std::size_t target = paths_.size();
+      if (it->second.retries < config_.max_segment_retries) {
+        for (std::size_t step = 1; step < paths_.size(); ++step) {
+          const std::size_t candidate = (path_index + step) % paths_.size();
+          if (paths_[candidate].state != PathState::kEstablished) continue;
+          target = candidate;
+          break;
+        }
+      }
+      if (target < paths_.size()) {
+        const PendingSegment seg = std::move(it->second);
+        pending_segments_.erase(it);
+        ++segments_retransmitted_;
+        seg_retx_ctr_->inc();
+        end_segment_span(seg, "retransmitted_after_nack");
+        send_segment_on_path(target, seg.message_id, seg.segment,
+                             seg.original_size, seg.retries + 1, seg.digest);
+      } else {
+        expire_segment(key);
+      }
+    }
+    // Without escalation the pending entry keeps its timer: the timeout
+    // path handles it exactly as before this feature existed.
+
+    if (config_.corruption_escalation) {
+      PathHealth& health = path_health_[path_index];
+      ++health.consecutive_nacks;
+      if (health.consecutive_nacks >= config_.escalation_nack_threshold) {
+        // Sustained corruption on this path: declare it failed and let the
+        // existing rebuild/top-up machinery provision a replacement (with
+        // relay_suspicion on, the replacement avoids the suspects).
+        health.consecutive_nacks = 0;
+        mark_path_failed(path_index);
+      }
     }
     return;
   }
@@ -834,6 +946,10 @@ MessageId Session::send_message_on_demand(ByteView data) {
 
   session_codec().encode_into(data, encode_scratch_);
   const auto& segments = encode_scratch_;
+  crypto::MessageDigest digest{};
+  if (config_.segment_auth || config_.verified_decode) {
+    digest = crypto::message_digest(data);
+  }
   const Allocation alloc = make_allocation();
   ++messages_sent_;
   msgs_ctr_->inc();
@@ -850,7 +966,8 @@ MessageId Session::send_message_on_demand(ByteView data) {
     const std::size_t path_index = alloc[s];
     Path& path = paths_[path_index];
     if (path.state == PathState::kEstablished) {
-      send_segment_on_path(path_index, id, segments[s], data.size());
+      send_segment_on_path(path_index, id, segments[s], data.size(),
+                           /*retries=*/0, digest);
       sent_any = true;
     } else if (path.state == PathState::kPending) {
       if (needs_construction[path_index]) {
@@ -867,6 +984,7 @@ MessageId Session::send_message_on_demand(ByteView data) {
         core.total_segments = static_cast<std::uint16_t>(config_.erasure.n);
         core.segment = segments[s].data;
         core.responder_key = path.responder_key;
+        apply_auth_trailer(core, path, digest);
         Bytes blob = router_.onion().seal_payload_core(
             core, router_.directory().public_key(responder_), rng_);
         const std::uint64_t seq = path.next_seq++;
@@ -899,6 +1017,7 @@ MessageId Session::send_message_on_demand(ByteView data) {
         pending.original_size = data.size();
         pending.path_index = path_index;
         pending.sent_at = now;
+        pending.digest = digest;
         pending.timeout_event = router_.simulator().schedule_after(
             timeout, [this, key, alive = alive_] {
               if (!*alive) return;
@@ -910,7 +1029,8 @@ MessageId Session::send_message_on_demand(ByteView data) {
         // Later segments follow the construct message down the same path;
         // FIFO per-hop delivery means the state is cached by the time
         // they arrive.
-        send_segment_on_path(path_index, id, segments[s], data.size());
+        send_segment_on_path(path_index, id, segments[s], data.size(),
+                             /*retries=*/0, digest);
         sent_any = true;
       }
     }

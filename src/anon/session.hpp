@@ -24,6 +24,7 @@
 #include "anon/allocation.hpp"
 #include "anon/mix_selector.hpp"
 #include "anon/router.hpp"
+#include "crypto/segment_auth.hpp"
 #include "membership/node_cache.hpp"
 #include "obs/metrics.hpp"
 
@@ -73,6 +74,39 @@ struct SessionConfig {
   /// instead of the paper's whole-set retry. Off by default: partial
   /// provisioning is the paper's behavior and what the seed tests pin.
   bool require_full_construction = false;
+
+  // --- corruption resilience (all default OFF: with every switch off,
+  // behavior, the wire format, and RNG draws are byte-identical to the
+  // configuration above — the responder only runs its verification paths
+  // when a segment actually carries an auth trailer) ---
+
+  /// Appends the keyed auth trailer ([flags][digest][tag]) to every
+  /// outgoing segment: a 16-byte whole-message digest plus a 16-byte
+  /// HMAC tag keyed from the path's responder key (crypto/segment_auth).
+  /// The responder verifies each tag before admitting the segment to
+  /// reconstruction, quarantines failures, and answers them with a
+  /// corrupt-nack instead of an ack.
+  bool segment_auth = false;
+  /// Digest-only trailer ([flags][digest], no per-segment tags): the
+  /// responder validates every reconstruction against the digest ballots
+  /// and subset-searches around corrupted segments (erasure/
+  /// verified_decode). Implied by segment_auth — tags carry the digest.
+  bool verified_decode = false;
+  /// Feeds corruption verdicts (corrupt-nacks) and ack-timeout stalls into
+  /// the cache's behavioral-suspicion table, which biases and quarantines
+  /// mix choice. Needs the cache owner to have called enable_suspicion();
+  /// reports are silently dropped otherwise.
+  bool relay_suspicion = false;
+  double suspicion_corrupt_weight = 1.0;  // per relay, per corrupt-nack
+  double suspicion_stall_weight = 0.25;   // per relay, per ack timeout
+  /// Graceful degradation: a corrupt-nacked segment is retransmitted on
+  /// another established path (within max_segment_retries), and a path
+  /// with escalation_nack_threshold consecutive corruption verdicts is
+  /// declared failed — handing it to the existing rebuild/top-up
+  /// machinery, which provisions a fresh relay set (suspicion-biased when
+  /// relay_suspicion is on).
+  bool corruption_escalation = false;
+  std::size_t escalation_nack_threshold = 3;
 };
 
 enum class PathState { kUnbuilt, kPending, kEstablished, kFailed };
@@ -161,6 +195,10 @@ class Session {
   std::uint64_t acks_received() const { return acks_received_; }
   std::uint64_t path_failures_detected() const { return failures_detected_; }
   std::uint64_t proactive_replacements() const { return proactive_replacements_; }
+  /// Corruption verdicts (ReverseCore::kCorruptNack) received from the
+  /// responder across all paths. Always counted, even with every
+  /// corruption-resilience knob off (a legacy session never receives any).
+  std::uint64_t corrupt_nacks_received() const { return nacks_received_; }
 
   // Segment ledger: every send_segment_on_path call ends in exactly one of
   // {acked, expired, retransmitted} or is still pending, so
@@ -204,6 +242,7 @@ class Session {
     sim::EventId timeout_event = sim::kInvalidEventId;
     SimTime sent_at = 0;            // RTT sampling (adaptive mode)
     std::size_t retries = 0;        // retransmissions so far (Karn)
+    crypto::MessageDigest digest{};  // auth trailer for retransmits
   };
 
   /// Per-path RTT estimator and failure streaks (adaptive mode only).
@@ -213,6 +252,7 @@ class Session {
     double rttvar_us = 0.0;
     std::size_t consecutive_timeouts = 0;
     std::size_t rebuild_failures = 0;
+    std::size_t consecutive_nacks = 0;  // corruption-escalation streak
   };
 
   void attempt_construction();
@@ -225,7 +265,14 @@ class Session {
   void send_segment_on_path(std::size_t path_index, MessageId message_id,
                             const erasure::Segment& segment,
                             std::size_t original_size,
-                            std::size_t retries = 0);
+                            std::size_t retries = 0,
+                            const crypto::MessageDigest& digest = {});
+  /// Fills in the corruption-resilience trailer per the session knobs
+  /// (no-op with both off, keeping the wire bytes identical to the seed).
+  void apply_auth_trailer(PayloadCore& core, const Path& path,
+                          const crypto::MessageDigest& digest) const;
+  void report_path_suspicion(std::size_t path_index, double weight,
+                             obs::Counter* evidence_ctr);
   void on_segment_timeout(std::uint64_t key, bool fail_pending_path);
   void expire_segment(std::uint64_t key);
   /// Closes the segment's "segment"/"segment_retransmit" async span (picked
@@ -301,6 +348,7 @@ class Session {
   std::uint64_t segments_retransmitted_ = 0;
   std::uint64_t failures_detected_ = 0;
   std::uint64_t proactive_replacements_ = 0;
+  std::uint64_t nacks_received_ = 0;
 
   // Registry mirrors (resolved from the router's registry). The tallies
   // above stay the per-instance contract the seed tests assert; the series
@@ -312,6 +360,10 @@ class Session {
   obs::Counter* seg_acked_ctr_;
   obs::Counter* seg_expired_ctr_;
   obs::Counter* path_failures_ctr_;
+  obs::Counter* nacks_rx_ctr_;
+  obs::Counter* susp_corrupt_ctr_;
+  obs::Counter* susp_stall_ctr_;
+  obs::Gauge* quarantined_gauge_;
   obs::HdrHistogram* rtt_us_;
   obs::HdrHistogram* rto_us_;
 };

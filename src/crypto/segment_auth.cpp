@@ -1,0 +1,85 @@
+#include "crypto/segment_auth.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace p2panon::crypto {
+
+namespace {
+
+constexpr char kSalt[] = "p2panon-seg-auth";
+constexpr char kInfo[] = "tag";
+
+void put_u64be(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+}  // namespace
+
+SegmentAuthKey derive_segment_auth_key(const ChaChaKey& responder_key) {
+  const Bytes okm =
+      hkdf(ByteView(reinterpret_cast<const std::uint8_t*>(kSalt),
+                    sizeof(kSalt) - 1),
+           ByteView(responder_key.data(), responder_key.size()),
+           ByteView(reinterpret_cast<const std::uint8_t*>(kInfo),
+                    sizeof(kInfo) - 1),
+           32);
+  SegmentAuthKey key;
+  std::memcpy(key.data(), okm.data(), key.size());
+  return key;
+}
+
+MessageDigest message_digest(ByteView message) {
+  const Sha256Digest full = Sha256::hash(message);
+  MessageDigest digest;
+  std::memcpy(digest.data(), full.data(), digest.size());
+  return digest;
+}
+
+SegmentTag segment_tag(const SegmentAuthKey& key, std::uint64_t message_id,
+                       std::uint32_t segment_index,
+                       std::uint32_t original_size,
+                       std::uint16_t needed_segments,
+                       std::uint16_t total_segments,
+                       const MessageDigest& digest, ByteView segment) {
+  // Fixed-width header so no field boundary is ambiguous, then the digest
+  // and the segment bytes.
+  std::uint8_t header[8 + 4 + 4 + 2 + 2];
+  put_u64be(header, message_id);
+  header[8] = static_cast<std::uint8_t>(segment_index >> 24);
+  header[9] = static_cast<std::uint8_t>(segment_index >> 16);
+  header[10] = static_cast<std::uint8_t>(segment_index >> 8);
+  header[11] = static_cast<std::uint8_t>(segment_index);
+  header[12] = static_cast<std::uint8_t>(original_size >> 24);
+  header[13] = static_cast<std::uint8_t>(original_size >> 16);
+  header[14] = static_cast<std::uint8_t>(original_size >> 8);
+  header[15] = static_cast<std::uint8_t>(original_size);
+  header[16] = static_cast<std::uint8_t>(needed_segments >> 8);
+  header[17] = static_cast<std::uint8_t>(needed_segments);
+  header[18] = static_cast<std::uint8_t>(total_segments >> 8);
+  header[19] = static_cast<std::uint8_t>(total_segments);
+
+  Bytes msg;
+  msg.reserve(sizeof(header) + digest.size() + segment.size());
+  msg.insert(msg.end(), header, header + sizeof(header));
+  msg.insert(msg.end(), digest.begin(), digest.end());
+  msg.insert(msg.end(), segment.begin(), segment.end());
+
+  const Sha256Digest mac =
+      hmac_sha256(ByteView(key.data(), key.size()), msg);
+  SegmentTag tag;
+  std::memcpy(tag.data(), mac.data(), tag.size());
+  return tag;
+}
+
+bool segment_tag_equal(const SegmentTag& a, const SegmentTag& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace p2panon::crypto

@@ -1,0 +1,58 @@
+// Keyed per-segment authentication for erasure segments.
+//
+// Each erasure segment of a message can carry a 16-byte keyed tag plus a
+// 16-byte whole-message digest, appended to the serialized PayloadCore
+// (anon/onion.cpp). The tag key is derived from the path's responder key
+// R_{L+1} — the session key material both ends of the payload channel
+// already share — via HKDF, so no extra key exchange is needed:
+//
+//   K_auth = HKDF(salt = "p2panon-seg-auth", ikm = R_{L+1}, info = "tag")
+//   tag    = HMAC-SHA256(K_auth, mid || idx || size || m || n || digest
+//                                 || segment)[0..16)
+//   digest = SHA-256(whole message M)[0..16)
+//
+// A relay that flips any byte of the segment, the erasure metadata, the
+// digest, or the tag itself invalidates the tag; a flip in R_{L+1} changes
+// the derived key, which also invalidates it. The responder therefore
+// never admits a tampered segment to Reed-Solomon reconstruction, and the
+// whole-message digest lets it validate (or subset-search) a decode even
+// when per-segment tags are absent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace p2panon::crypto {
+
+constexpr std::size_t kSegmentTagSize = 16;
+constexpr std::size_t kMessageDigestSize = 16;
+
+using SegmentTag = std::array<std::uint8_t, kSegmentTagSize>;
+using MessageDigest = std::array<std::uint8_t, kMessageDigestSize>;
+using SegmentAuthKey = std::array<std::uint8_t, 32>;
+
+/// K_auth from the payload channel's responder key (the paper's R_{L+1}).
+SegmentAuthKey derive_segment_auth_key(const ChaChaKey& responder_key);
+
+/// Truncated SHA-256 of the whole message; travels in every segment's
+/// trailer so the responder can validate a reconstruction end to end.
+MessageDigest message_digest(ByteView message);
+
+/// Tag over the segment bytes and everything the decoder will trust about
+/// them (message id, segment index, original size, erasure (m, n), and the
+/// whole-message digest).
+SegmentTag segment_tag(const SegmentAuthKey& key, std::uint64_t message_id,
+                       std::uint32_t segment_index,
+                       std::uint32_t original_size,
+                       std::uint16_t needed_segments,
+                       std::uint16_t total_segments,
+                       const MessageDigest& digest, ByteView segment);
+
+/// Constant-time comparison (not strictly needed inside the simulation,
+/// but the primitive should not teach a timing side channel).
+bool segment_tag_equal(const SegmentTag& a, const SegmentTag& b);
+
+}  // namespace p2panon::crypto

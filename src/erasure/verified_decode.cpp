@@ -1,0 +1,85 @@
+#include "erasure/verified_decode.hpp"
+
+#include <algorithm>
+
+namespace p2panon::erasure {
+
+namespace {
+
+/// Re-encodes `message` and lists every supplied segment whose bytes do
+/// not match the authentic encoding (the error-location step).
+std::vector<std::uint32_t> locate_corrupted(const Codec& codec,
+                                            ByteView message,
+                                            std::span<const Segment> segments) {
+  const std::vector<Segment> authentic = codec.encode(message);
+  std::vector<std::uint32_t> corrupted;
+  for (const Segment& seg : segments) {
+    if (seg.index >= authentic.size() ||
+        seg.data != authentic[seg.index].data) {
+      corrupted.push_back(seg.index);
+    }
+  }
+  std::sort(corrupted.begin(), corrupted.end());
+  return corrupted;
+}
+
+}  // namespace
+
+std::optional<VerifiedDecode> verified_decode(const Codec& codec,
+                                              std::span<const Segment> segments,
+                                              std::size_t original_size,
+                                              const DecodeValidator& validate,
+                                              std::size_t max_subsets) {
+  const std::size_t m = codec.data_segments();
+  if (segments.size() < m || max_subsets == 0) return std::nullopt;
+
+  VerifiedDecode result;
+
+  // Fast path: decode over everything supplied. With no corruption this is
+  // the only attempt ever made.
+  ++result.subsets_tried;
+  if (auto decoded = codec.decode(segments, original_size);
+      decoded.has_value() && validate(*decoded)) {
+    result.message = std::move(*decoded);
+    result.corrupted_indices = locate_corrupted(codec, result.message,
+                                                segments);
+    return result;
+  }
+
+  // Subset search in index-lexicographic order, independent of arrival
+  // order, so the attempt sequence (and therefore the run) is
+  // deterministic.
+  std::vector<std::size_t> order(segments.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return segments[a].index < segments[b].index;
+  });
+
+  std::vector<std::size_t> combo(m);
+  for (std::size_t i = 0; i < m; ++i) combo[i] = i;
+  std::vector<Segment> subset(m);
+  while (result.subsets_tried < max_subsets) {
+    ++result.subsets_tried;
+    for (std::size_t i = 0; i < m; ++i) subset[i] = segments[order[combo[i]]];
+    if (auto decoded = codec.decode(subset, original_size);
+        decoded.has_value() && validate(*decoded)) {
+      result.message = std::move(*decoded);
+      result.corrupted_indices = locate_corrupted(codec, result.message,
+                                                  segments);
+      return result;
+    }
+    // Next combination of m out of segments.size().
+    std::size_t i = m;
+    while (i-- > 0) {
+      if (combo[i] + (m - i) < segments.size()) {
+        ++combo[i];
+        for (std::size_t j = i + 1; j < m; ++j) combo[j] = combo[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return std::nullopt;  // combinations exhausted
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace p2panon::erasure

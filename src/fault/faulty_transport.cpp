@@ -1,6 +1,7 @@
 #include "fault/faulty_transport.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "net/demux.hpp"
@@ -24,9 +25,12 @@ bool matches(const std::vector<NodeId>& nodes, NodeId node) {
 FaultyTransport::FaultyTransport(net::Transport& inner, const FaultPlan& plan,
                                  std::uint64_t seed, sim::Simulator* simulator,
                                  obs::Registry* metrics)
-    : inner_(inner), plan_(plan), simulator_(simulator), rng_(seed) {
-  obs::Registry* reg =
-      metrics != nullptr ? metrics : &obs::Registry::global();
+    : inner_(inner),
+      plan_(plan),
+      simulator_(simulator),
+      metrics_(metrics != nullptr ? metrics : &obs::Registry::global()),
+      rng_(seed) {
+  obs::Registry* reg = metrics_;
   inj_crash_ =
       reg->counter("fault_injections_total", {{"kind", "dropped_crash"}});
   inj_partition_ =
@@ -114,6 +118,13 @@ void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
       const std::size_t index = 1 + rng_.next_below(payload.size() - 1);
       payload[index] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
       ++counters_.corrupted;
+      ++corrupted_by_node_[from];
+      obs::Counter*& node_ctr = corrupt_node_ctrs_[from];
+      if (node_ctr == nullptr) {
+        node_ctr = metrics_->counter("fault_corruptions_total",
+                                     {{"node", std::to_string(from)}});
+      }
+      node_ctr->inc();
       record_injection("corrupted", inj_corrupted_, from, to);
       break;  // one flip is enough to invalidate the AEAD tag
     }

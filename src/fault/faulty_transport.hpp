@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "fault/fault_plan.hpp"
@@ -60,6 +61,13 @@ class FaultyTransport final : public net::Transport {
   const Counters& counters() const { return counters_; }
   net::Transport& inner() { return inner_; }
 
+  /// Per-sender corruption injections, keyed by the node whose outgoing
+  /// datagram was flipped — the "which relay is lying" ground truth the
+  /// suspicion layer's verdicts are scored against.
+  const std::unordered_map<NodeId, std::uint64_t>& corruptions_by_node() const {
+    return corrupted_by_node_;
+  }
+
  private:
   SimTime now() const { return simulator_ != nullptr ? simulator_->now() : 0; }
   void dispatch(NodeId from, NodeId to, Bytes payload, SimDuration extra);
@@ -70,8 +78,14 @@ class FaultyTransport final : public net::Transport {
   net::Transport& inner_;
   const FaultPlan& plan_;
   sim::Simulator* simulator_;
+  obs::Registry* metrics_;
   Rng rng_;
   Counters counters_;
+  // Lazily-registered per-sender corruption series: a clean run (or a plan
+  // with no corrupt rules) registers nothing, keeping metric dumps and
+  // fingerprints identical to the pre-feature baseline.
+  std::unordered_map<NodeId, std::uint64_t> corrupted_by_node_;
+  std::unordered_map<NodeId, obs::Counter*> corrupt_node_ctrs_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   obs::Counter* inj_crash_;

@@ -43,7 +43,8 @@ const char* scenario_name(ChaosScenario scenario) {
 
 fault::FaultPlan make_scenario_plan(ChaosScenario scenario,
                                     std::size_t num_nodes, SimTime start,
-                                    SimTime end, std::uint64_t seed) {
+                                    SimTime end, std::uint64_t seed,
+                                    double corrupt_probability) {
   fault::FaultPlan plan;
   Rng rng(seed ^ (0xC4A05ULL +
                   static_cast<std::uint64_t>(scenario) *
@@ -96,10 +97,11 @@ fault::FaultPlan make_scenario_plan(ChaosScenario scenario,
       break;
     }
     case ChaosScenario::kCorruptedRelayQuorum: {
-      // A quarter of the nodes turn byzantine for the whole window: half
-      // of the forward onions they emit have one byte flipped, so AEAD
-      // peels reject them downstream.
-      plan.corrupt(0.5, start, end, pick_victims(num_nodes, quarter, rng));
+      // A quarter of the nodes turn byzantine for the whole window: a
+      // fraction of the forward onions they emit have one byte flipped, so
+      // AEAD peels (or the responder's tag check) reject them downstream.
+      plan.corrupt(corrupt_probability, start, end,
+                   pick_victims(num_nodes, quarter, rng));
       break;
     }
     case ChaosScenario::kMildLossDrizzle: {
@@ -134,7 +136,10 @@ std::string ChaosResult::fingerprint() const {
       << faults.delayed << ':' << faults.corrupted << ':'
       << drops.sender_dead << ':' << drops.receiver_dead << ':'
       << drops.link_loss << ':' << drops.no_handler << ':' << peel_failures
-      << ':' << reassemblies_expired << ':' << executed_events;
+      << ':' << reassemblies_expired << ':' << executed_events << ':'
+      << messages_delivered_correct << ':' << messages_delivered_wrong
+      << ':' << auth_verified << ':' << auth_rejected << ':' << auth_nacks
+      << ':' << suspicion_reports << ':' << quarantined_nodes;
   return out.str();
 }
 
@@ -143,7 +148,7 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
   const SimTime fault_end = config.warmup + config.measure;
   const fault::FaultPlan plan = make_scenario_plan(
       config.scenario, config.environment.num_nodes, fault_start, fault_end,
-      config.environment.seed);
+      config.environment.seed, config.byzantine_probability);
 
   EnvironmentConfig env_config = config.environment;
   env_config.fault_plan = &plan;
@@ -171,10 +176,21 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
     // policy rather than the retry ceiling.
     base_session.max_segment_retries = config.adaptive_segment_retries;
   }
+  base_session.segment_auth = config.segment_auth;
+  base_session.verified_decode = config.verified_decode;
+  base_session.relay_suspicion = config.relay_suspicion;
+  base_session.corruption_escalation = config.corruption_escalation;
 
-  anon::Session session(env.router(),
-                        env.membership().cache(config.initiator),
-                        config.initiator, config.responder,
+  membership::NodeCache& initiator_cache =
+      env.membership().cache(config.initiator);
+  if (config.relay_suspicion) {
+    // Arm the evidence ledger before the session builds any path; the
+    // session itself only *reports* into it (reporting is const).
+    initiator_cache.enable_suspicion({});
+  }
+
+  anon::Session session(env.router(), initiator_cache, config.initiator,
+                        config.responder,
                         config.spec.session_config(base_session),
                         env.rng().fork());
 
@@ -187,12 +203,21 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
   };
   std::unordered_map<MessageId, Track> tracks;
 
+  const Bytes expected_payload(config.message_size, 0xc7);
   env.router().set_message_handler([&](const anon::ReceivedMessage& msg) {
     if (msg.responder != config.responder) return;
     const auto it = tracks.find(msg.message_id);
     if (it == tracks.end() || it->second.delivered) return;
     it->second.delivered = true;
     ++result.messages_delivered;
+    // Score the delivery against the bytes actually sent: a reconstruction
+    // that "succeeds" with different bytes is the integrity failure the
+    // auth trailer exists to turn into a closed failure.
+    if (msg.data == expected_payload) {
+      ++result.messages_delivered_correct;
+    } else {
+      ++result.messages_delivered_wrong;
+    }
   });
   session.set_segment_expiry_handler(
       [&](MessageId id, std::uint32_t, std::size_t) {
@@ -310,6 +335,18 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
   result.peel_failures = env.router().peel_failures();
   result.reassemblies_expired = env.router().reassemblies_expired();
   result.executed_events = env.simulator().executed_events();
+  result.auth_verified =
+      reg.counter_value("anon_segment_auth_total", {{"result", "verified"}});
+  result.auth_rejected =
+      reg.counter_value("anon_segment_auth_total", {{"result", "rejected"}});
+  result.auth_nacks = reg.counter_value("anon_segment_auth_nacks_total");
+  result.suspicion_reports =
+      reg.counter_value("membership_suspicion_reports_total",
+                        {{"evidence", "corrupt"}}) +
+      reg.counter_value("membership_suspicion_reports_total",
+                        {{"evidence", "stall"}});
+  result.quarantined_nodes = static_cast<std::uint64_t>(initiator_cache
+          .quarantined_count(env.simulator().now()));
   if (health != nullptr) {
     health_task->cancel();
     result.health = health->summary();

@@ -41,10 +41,13 @@ const char* scenario_name(ChaosScenario scenario);
 /// Builds the deterministic fault schedule for a scenario over the window
 /// [start, end). Nodes 0 and 1 (the pinned endpoints) are never crashed,
 /// partitioned away, or made byzantine; link-wide rules still affect their
-/// traffic.
+/// traffic. `corrupt_probability` is the per-datagram flip chance each
+/// byzantine relay applies in kCorruptedRelayQuorum (other scenarios
+/// ignore it).
 fault::FaultPlan make_scenario_plan(ChaosScenario scenario,
                                     std::size_t num_nodes, SimTime start,
-                                    SimTime end, std::uint64_t seed);
+                                    SimTime end, std::uint64_t seed,
+                                    double corrupt_probability = 0.5);
 
 struct ChaosConfig {
   EnvironmentConfig environment;
@@ -86,6 +89,18 @@ struct ChaosConfig {
   NodeId initiator = 0;
   NodeId responder = 1;
 
+  /// Per-datagram corruption probability of the byzantine relays in
+  /// kCorruptedRelayQuorum. The default matches the original scenario;
+  /// the byzantine sweep varies it.
+  double byzantine_probability = 0.5;
+  // Corruption-resilience toggles, forwarded into the session config (and,
+  // for relay_suspicion, armed on the initiator's node cache). All default
+  // OFF, preserving the pre-feature fingerprints bit-for-bit.
+  bool segment_auth = false;        ///< HMAC trailer per segment
+  bool verified_decode = false;     ///< digest trailer + subset-search decode
+  bool relay_suspicion = false;     ///< evidence-driven quarantine + bias
+  bool corruption_escalation = false;  ///< nack-driven re-route/rebuild
+
   /// > 0 runs a HealthScoreboard (window length = this) across the whole
   /// run; the summary and rendered table land in the result and the
   /// health_* gauges in the run's registry. 0 (default) = no scoreboard,
@@ -105,6 +120,18 @@ struct ChaosResult {
   std::uint64_t messages_failed = 0;    // undelivered but explainable
   std::uint64_t messages_unaccounted = 0;  // invariant: 0
   std::uint64_t reassemblies_expired = 0;  // responder-side TTL expiries
+
+  // Byzantine accounting: every delivery is scored against the payload the
+  // sender actually sent. `delivered_wrong` is the integrity failure the
+  // segment-auth tentpole exists to eliminate — with tags on it must be 0
+  // at any corruption rate (fail closed, never fabricate).
+  std::uint64_t messages_delivered_correct = 0;
+  std::uint64_t messages_delivered_wrong = 0;
+  std::uint64_t auth_verified = 0;    // responder-side tag successes
+  std::uint64_t auth_rejected = 0;    // responder-side tag failures
+  std::uint64_t auth_nacks = 0;       // corrupt-nacks sent back
+  std::uint64_t suspicion_reports = 0;  // corrupt + stall evidence filed
+  std::uint64_t quarantined_nodes = 0;  // gauge at end of run
 
   // Segment ledger (session counters after quiesce).
   std::uint64_t segments_sent = 0;
@@ -147,6 +174,32 @@ struct ChaosResult {
     return messages_accepted == 0
                ? 0.0
                : static_cast<double>(messages_delivered) /
+                     static_cast<double>(messages_accepted);
+  }
+  /// Fraction of accepted messages delivered with exactly the sent bytes.
+  double correct_rate() const {
+    return messages_accepted == 0
+               ? 0.0
+               : static_cast<double>(messages_delivered_correct) /
+                     static_cast<double>(messages_accepted);
+  }
+  /// Fraction of accepted messages delivered with *different* bytes —
+  /// the integrity violation. Invariant with segment auth on: 0.
+  double wrong_rate() const {
+    return messages_accepted == 0
+               ? 0.0
+               : static_cast<double>(messages_delivered_wrong) /
+                     static_cast<double>(messages_accepted);
+  }
+  /// Fraction of accepted messages that were neither delivered correct nor
+  /// delivered wrong: the protocol failed *closed*. With segment auth on,
+  /// failed_closed_rate + correct_rate == 1 at every corruption rate.
+  double failed_closed_rate() const {
+    return messages_accepted == 0
+               ? 0.0
+               : static_cast<double>(messages_accepted -
+                                     messages_delivered_correct -
+                                     messages_delivered_wrong) /
                      static_cast<double>(messages_accepted);
   }
   /// Delivered fraction of everything the application *tried* to send.

@@ -82,6 +82,36 @@ void HealthScoreboard::sample() {
         ->set(static_cast<std::int64_t>(delta));
   }
 
+  // Corruption attribution: windows are scored by the evidence both ends
+  // produce — responder-side segment-auth rejections and the corrupt-nack
+  // verdicts that reached the initiator. Both series sit at zero unless a
+  // session opted into the auth trailer, so legacy runs never see a
+  // corruption window.
+  const std::uint64_t rejections = registry_.counter_value(
+      "anon_segment_auth_total", {{"result", "rejected"}});
+  const std::uint64_t rejection_delta = rejections - prev_auth_rejections_;
+  prev_auth_rejections_ = rejections;
+  const std::uint64_t nacks =
+      registry_.counter_value("session_corrupt_nacks_total");
+  const std::uint64_t nack_delta = nacks - prev_corrupt_nacks_;
+  prev_corrupt_nacks_ = nacks;
+  summary_.total_auth_rejections += rejection_delta;
+  summary_.total_corrupt_nacks += nack_delta;
+  summary_.max_rejections_per_window =
+      std::max(summary_.max_rejections_per_window, rejection_delta);
+  const bool corruption = rejection_delta + nack_delta > 0;
+  if (corruption) {
+    ++summary_.corruption_windows;
+    ++corruption_streak_;
+  } else {
+    corruption_streak_ = 0;
+  }
+  summary_.max_corruption_streak =
+      std::max(summary_.max_corruption_streak, corruption_streak_);
+  registry_.gauge("health_window_auth_rejections")
+      ->set(static_cast<std::int64_t>(rejection_delta));
+  registry_.gauge("health_corruption_window")->set(corruption ? 1 : 0);
+
   // Stalled-path detection: established, traffic sent, nothing acked for
   // stall_windows consecutive windows.
   std::int64_t stalled_now = 0;
@@ -113,6 +143,13 @@ void HealthScoreboard::sample() {
   last_sample_us_ = now;
 }
 
+const char* HealthScoreboard::corruption_verdict() const {
+  if (summary_.corruption_windows == 0) return "clean";
+  return summary_.max_corruption_streak >= config_.corruption_verdict_windows
+             ? "sustained"
+             : "transient";
+}
+
 std::string HealthScoreboard::table() const {
   metrics::Table table({"health signal", "value"});
   table.add_row({"windows", std::to_string(summary_.windows)});
@@ -124,6 +161,13 @@ std::string HealthScoreboard::table() const {
                  std::to_string(summary_.stalled_path_windows)});
   table.add_row({"max drop rate (/s)",
                  format_rate(summary_.max_drop_rate_per_s)});
+  table.add_row({"corruption verdict", corruption_verdict()});
+  table.add_row({"corruption windows",
+                 std::to_string(summary_.corruption_windows) + " (streak " +
+                     std::to_string(summary_.max_corruption_streak) + ")"});
+  table.add_row({"auth rejections / corrupt nacks",
+                 std::to_string(summary_.total_auth_rejections) + " / " +
+                     std::to_string(summary_.total_corrupt_nacks)});
   for (std::size_t i = 0; i < kDropCauseCount; ++i) {
     table.add_row({std::string("drops ") + kDropCauses[i],
                    std::to_string(cause_stats_[i].window_total) +

@@ -43,6 +43,10 @@ struct HealthConfig {
   /// Churn transitions per window that make the window a storm. 0 = auto:
   /// max(8, num_nodes / 8).
   std::uint64_t storm_transitions = 0;
+  /// Consecutive corruption windows (segment-auth rejections or corrupt
+  /// nacks observed) before the run's attribution verdict escalates from
+  /// "transient" to "sustained".
+  std::size_t corruption_verdict_windows = 3;
 };
 
 struct HealthSummary {
@@ -53,6 +57,14 @@ struct HealthSummary {
   std::uint64_t max_transitions_per_window = 0;
   std::uint64_t total_window_drops = 0;
   double max_drop_rate_per_s = 0.0;  // worst single-cause window rate
+
+  // Corruption attribution (corruption-resilience extension; all zero when
+  // no segment carries an auth trailer).
+  std::size_t corruption_windows = 0;      // windows with corruption evidence
+  std::size_t max_corruption_streak = 0;   // longest consecutive run of them
+  std::uint64_t max_rejections_per_window = 0;
+  std::uint64_t total_auth_rejections = 0;  // responder-side tag failures
+  std::uint64_t total_corrupt_nacks = 0;    // initiator-side verdicts
 };
 
 class HealthScoreboard {
@@ -74,6 +86,11 @@ class HealthScoreboard {
 
   const HealthSummary& summary() const { return summary_; }
   const HealthConfig& config() const { return config_; }
+
+  /// Attribution verdict for the run so far: "clean" (no corruption
+  /// evidence in any window), "transient" (evidence, but never
+  /// corruption_verdict_windows windows in a row), or "sustained".
+  const char* corruption_verdict() const;
 
   /// Per-cause drop totals/worst rates plus the storm/stall counts as a
   /// rendered text table for experiment output.
@@ -99,6 +116,9 @@ class HealthScoreboard {
 
   HealthSummary summary_;
   std::uint64_t prev_transitions_ = 0;
+  std::uint64_t prev_auth_rejections_ = 0;
+  std::uint64_t prev_corrupt_nacks_ = 0;
+  std::size_t corruption_streak_ = 0;
   SimTime last_sample_us_ = 0;
   std::vector<PathWatch> path_watch_;
   std::vector<CauseStats> cause_stats_;

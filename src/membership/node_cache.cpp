@@ -1,6 +1,7 @@
 #include "membership/node_cache.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace p2panon::membership {
@@ -91,10 +92,22 @@ std::vector<NodeId> NodeCache::known_nodes() const {
 std::vector<NodeId> NodeCache::sample_known(
     std::size_t count, Rng& rng,
     const std::unordered_set<NodeId>& exclude) const {
+  // Legacy entry point (no clock): quarantine cannot decay without `now`,
+  // so this overload never consults suspicion. Selection paths that honor
+  // quarantine use the four-argument overload below.
+  return sample_known(count, rng, exclude, 0, /*honor_quarantine=*/false);
+}
+
+std::vector<NodeId> NodeCache::sample_known(
+    std::size_t count, Rng& rng, const std::unordered_set<NodeId>& exclude,
+    SimTime now, bool honor_quarantine) const {
+  const bool gate = honor_quarantine && suspicion_enabled_;
   std::vector<NodeId> pool;
   pool.reserve(known_count_);
   for (const Entry& e : entries_) {
-    if (e.known && exclude.count(e.node) == 0) pool.push_back(e.node);
+    if (!e.known || exclude.count(e.node) > 0) continue;
+    if (gate && quarantined(e.node, now)) continue;
+    pool.push_back(e.node);
   }
   if (pool.size() < count) return {};
   const auto picks = rng.sample_without_replacement(pool.size(), count);
@@ -111,6 +124,18 @@ std::vector<NodeId> NodeCache::top_by_predictor(
   scored.reserve(known_count_);
   for (const Entry& e : entries_) {
     if (!e.known || exclude.count(e.node) > 0) continue;
+    if (suspicion_enabled_) {
+      // Behavioral bias (§4.9 generalized): quarantined nodes are refused
+      // outright; any remaining suspicion demotes the liveness score by
+      // q / (1 + penalty * s), so equally-live clean nodes win.
+      if (quarantined(e.node, now)) continue;
+      const double s = suspicion(e.node, now);
+      scored.emplace_back(
+          predictor(e.node, now) /
+              (1.0 + suspicion_config_.bias_penalty * s),
+          e.node);
+      continue;
+    }
     scored.emplace_back(predictor(e.node, now), e.node);
   }
   if (scored.size() < count) return {};
@@ -133,6 +158,54 @@ void NodeCache::clear() {
     e.node = id;
   }
   known_count_ = 0;
+  for (Suspicion& s : suspicion_) s = Suspicion{};
+}
+
+// --- behavioral suspicion --------------------------------------------------------
+
+void NodeCache::enable_suspicion(const SuspicionConfig& config) {
+  suspicion_enabled_ = true;
+  suspicion_config_ = config;
+  suspicion_.assign(entries_.size(), Suspicion{});
+}
+
+double NodeCache::decayed_suspicion(NodeId node, SimTime now) const {
+  const Suspicion& s = suspicion_[node];
+  if (s.score == 0.0) return 0.0;
+  if (now <= s.updated) return s.score;
+  const double dt = static_cast<double>(now - s.updated);
+  const double half_life =
+      static_cast<double>(std::max<SimDuration>(suspicion_config_.half_life, 1));
+  return s.score * std::exp2(-dt / half_life);
+}
+
+void NodeCache::report_suspicion(NodeId node, double amount,
+                                 SimTime now) const {
+  if (!suspicion_enabled_ || node >= suspicion_.size() || amount <= 0.0) {
+    return;
+  }
+  Suspicion& s = suspicion_[node];
+  s.score = decayed_suspicion(node, now) + amount;
+  s.updated = now;
+}
+
+double NodeCache::suspicion(NodeId node, SimTime now) const {
+  if (!suspicion_enabled_ || node >= suspicion_.size()) return 0.0;
+  return decayed_suspicion(node, now);
+}
+
+bool NodeCache::quarantined(NodeId node, SimTime now) const {
+  if (!suspicion_enabled_ || node >= suspicion_.size()) return false;
+  return decayed_suspicion(node, now) >= suspicion_config_.quarantine_threshold;
+}
+
+std::size_t NodeCache::quarantined_count(SimTime now) const {
+  if (!suspicion_enabled_) return 0;
+  std::size_t count = 0;
+  for (NodeId node = 0; node < suspicion_.size(); ++node) {
+    if (quarantined(node, now)) ++count;
+  }
+  return count;
 }
 
 }  // namespace p2panon::membership

@@ -24,6 +24,21 @@
 
 namespace p2panon::membership {
 
+/// Behavioral-suspicion policy (corruption resilience extension). The
+/// paper's predictor captures *liveness*; suspicion captures *behavior* —
+/// evidence that a node corrupted or stalled traffic, fed back from the
+/// responder's ack channel. Scores decay exponentially so a quarantined
+/// node earns its way back after `half_life`-scale good behavior.
+struct SuspicionConfig {
+  SimDuration half_life = 5 * kMinute;
+  /// Decayed score at or above this excludes the node from mix selection
+  /// entirely (quarantine) until it decays back below.
+  double quarantine_threshold = 2.0;
+  /// Biased mix choice scores candidates q / (1 + bias_penalty * s): any
+  /// suspicion demotes a node below equally-live clean peers.
+  double bias_penalty = 1.0;
+};
+
 class NodeCache {
  public:
   struct Entry {
@@ -70,6 +85,14 @@ class NodeCache {
                                    const std::unordered_set<NodeId>& exclude)
       const;
 
+  /// Clock-aware overload: with suspicion enabled and `honor_quarantine`
+  /// set, nodes whose decayed suspicion is over the quarantine threshold
+  /// are excluded from the pool (MixSelector uses this). RNG draws are
+  /// unchanged relative to the legacy overload while suspicion is off.
+  std::vector<NodeId> sample_known(std::size_t count, Rng& rng,
+                                   const std::unordered_set<NodeId>& exclude,
+                                   SimTime now, bool honor_quarantine) const;
+
   /// `count` nodes with the highest Eq. 3 predictor, skipping `exclude` —
   /// the paper's *biased* mix choice.
   std::vector<NodeId> top_by_predictor(
@@ -79,9 +102,44 @@ class NodeCache {
   /// Drops everything (tests / node reset).
   void clear();
 
+  // --- behavioral suspicion (default OFF: until enable_suspicion() is
+  // called, every method below is a no-op / returns 0 and selection
+  // behavior is byte-identical to the seed) ---
+
+  /// Turns suspicion tracking on. Called at setup time by whoever owns the
+  /// cache mutably (harness, tests); reporting itself is const, see below.
+  void enable_suspicion(const SuspicionConfig& config);
+  bool suspicion_enabled() const { return suspicion_enabled_; }
+  const SuspicionConfig& suspicion_config() const { return suspicion_config_; }
+
+  /// Accrues `amount` suspicion on `node` (corruption evidence ~1.0,
+  /// stall evidence ~0.25), on top of the decayed current score. Const:
+  /// suspicion is a behavioral annotation filed by read-only holders of
+  /// the cache (Session observes it const), not membership state proper.
+  void report_suspicion(NodeId node, double amount, SimTime now) const;
+
+  /// Decayed suspicion score; 0 when disabled or never reported.
+  double suspicion(NodeId node, SimTime now) const;
+
+  /// True when the decayed score is at or above the quarantine threshold;
+  /// quarantined nodes are skipped by sample_known and top_by_predictor.
+  bool quarantined(NodeId node, SimTime now) const;
+
+  std::size_t quarantined_count(SimTime now) const;
+
  private:
   std::vector<Entry> entries_;
   std::size_t known_count_ = 0;
+
+  struct Suspicion {
+    double score = 0.0;
+    SimTime updated = 0;
+  };
+  double decayed_suspicion(NodeId node, SimTime now) const;
+
+  bool suspicion_enabled_ = false;
+  SuspicionConfig suspicion_config_;
+  mutable std::vector<Suspicion> suspicion_;
 };
 
 }  // namespace p2panon::membership

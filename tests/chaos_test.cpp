@@ -145,6 +145,88 @@ TEST(ChaosProtocolTest, RedundancyOrderingUnderMildLoss) {
             curmix.attempted_delivery_rate());
 }
 
+// --- byzantine integrity ---------------------------------------------------
+//
+// The corruption-resilience acceptance criterion: with segment auth +
+// verified decode on, a run under byzantine relays delivers the EXACT
+// bytes sent or fails closed — never fabricated bytes — at every swept
+// per-datagram corruption probability, up to 0.5 per hop.
+
+ChaosConfig byzantine_chaos(double probability, std::uint64_t seed) {
+  auto config =
+      small_chaos(ChaosScenario::kCorruptedRelayQuorum, seed, false);
+  config.measure = 15 * kMinute;  // byzantine construction is slow
+  config.byzantine_probability = probability;
+  config.segment_auth = true;
+  config.verified_decode = true;
+  config.corruption_escalation = true;
+  return config;
+}
+
+TEST(ChaosByzantineTest, FailsClosedNeverWrongAtEverySweptRate) {
+  std::uint64_t total_rejected = 0;
+  std::uint64_t total_verified = 0;
+  for (const double probability : {0.10, 0.25, 0.50}) {
+    SCOPED_TRACE(probability);
+    const auto result = run_chaos_experiment(byzantine_chaos(probability, 51));
+    expect_invariants(result);
+    // Never wrong bytes: every delivery scored against the sent payload.
+    EXPECT_EQ(result.messages_delivered_wrong, 0u);
+    EXPECT_EQ(result.messages_delivered_correct, result.messages_delivered);
+    total_rejected += result.auth_rejected;
+    total_verified += result.auth_verified;
+  }
+  // The defense was actually exercised: segments were tag-verified on the
+  // happy path and corrupted ones were rejected somewhere in the sweep.
+  EXPECT_GT(total_verified, 0u);
+  EXPECT_GT(total_rejected, 0u);
+}
+
+// Without the auth trailer the same schedule is a hazard: FastOnionCodec
+// has no integrity, so at least one corrupted reconstruction survives to
+// the application as wrong bytes. This is the baseline the tentpole
+// removes (and proof the fail-closed test above is non-vacuous).
+TEST(ChaosByzantineTest, BaselineWithoutTagsDeliversWrongBytes) {
+  std::uint64_t wrong = 0;
+  for (const std::uint64_t seed : {51, 52, 53}) {
+    auto config = byzantine_chaos(0.25, seed);
+    config.segment_auth = false;
+    config.verified_decode = false;
+    config.corruption_escalation = false;
+    const auto result = run_chaos_experiment(config);
+    expect_invariants(result);
+    wrong += result.messages_delivered_wrong;
+  }
+  EXPECT_GT(wrong, 0u);
+}
+
+// Relay suspicion must convert the responder's corruption verdicts into
+// routing pressure: evidence is filed, the byzantine quorum accrues
+// suspicion, and rebuilt paths avoid it — recovering deliveries the
+// tags-only run loses, never at the cost of integrity.
+TEST(ChaosByzantineTest, SuspicionBiasedRecoversDeliveries) {
+  const auto tags_only = run_chaos_experiment(byzantine_chaos(0.25, 54));
+
+  auto config = byzantine_chaos(0.25, 54);
+  config.relay_suspicion = true;
+  config.spec = anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kBiased);
+  const auto suspicion = run_chaos_experiment(config);
+
+  expect_invariants(tags_only);
+  expect_invariants(suspicion);
+  EXPECT_EQ(suspicion.messages_delivered_wrong, 0u);
+  EXPECT_GT(suspicion.suspicion_reports, 0u);
+  EXPECT_GE(suspicion.correct_rate(), tags_only.correct_rate());
+}
+
+TEST(ChaosByzantineTest, AuthRunIsDeterministic) {
+  auto config = byzantine_chaos(0.5, 55);
+  config.relay_suspicion = true;
+  const auto first = run_chaos_experiment(config);
+  const auto second = run_chaos_experiment(config);
+  EXPECT_EQ(first.fingerprint(), second.fingerprint());
+}
+
 // Adaptive RTO + backoff must help when links are lossy rather than dead:
 // retransmission recovers individual losses that the fixed configuration
 // turns into path teardowns. Compared on the attempted-delivery ratio —

@@ -4,6 +4,7 @@
 // property tests check round-trips, tamper detection and key separation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bytes.hpp"
@@ -14,6 +15,7 @@
 #include "crypto/keys.hpp"
 #include "crypto/poly1305.hpp"
 #include "crypto/sealed_box.hpp"
+#include "crypto/segment_auth.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/x25519.hpp"
 
@@ -396,6 +398,74 @@ TEST(KeyDirectoryTest, ProvisionRegistersAllNodes) {
   }
   EXPECT_FALSE(directory.has_key(16));
   EXPECT_THROW(directory.public_key(16), std::out_of_range);
+}
+
+// --- segment authentication --------------------------------------------------------
+
+ChaChaKey test_responder_key(std::uint8_t fill) {
+  ChaChaKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(fill + i);
+  }
+  return key;
+}
+
+TEST(SegmentAuthTest, KeyDerivationIsDeterministicAndKeyed) {
+  const SegmentAuthKey a = derive_segment_auth_key(test_responder_key(1));
+  const SegmentAuthKey b = derive_segment_auth_key(test_responder_key(1));
+  const SegmentAuthKey c = derive_segment_auth_key(test_responder_key(2));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SegmentAuthTest, DigestIsTruncatedSha256) {
+  const Bytes msg = {'s', 'e', 'g'};
+  const auto full = Sha256::hash(msg);
+  const MessageDigest digest = message_digest(msg);
+  EXPECT_TRUE(std::equal(digest.begin(), digest.end(), full.begin()));
+}
+
+TEST(SegmentAuthTest, TagCoversEveryAuthenticatedField) {
+  const SegmentAuthKey key = derive_segment_auth_key(test_responder_key(7));
+  const Bytes segment = {1, 2, 3, 4, 5};
+  const MessageDigest digest = message_digest(segment);
+  const SegmentTag tag = segment_tag(key, 42, 3, 512, 2, 4, digest, segment);
+
+  // Deterministic.
+  EXPECT_TRUE(segment_tag_equal(
+      tag, segment_tag(key, 42, 3, 512, 2, 4, digest, segment)));
+  // Any authenticated field changing changes the tag: key, message id,
+  // index, size, m, n, digest, segment bytes.
+  const SegmentAuthKey other_key =
+      derive_segment_auth_key(test_responder_key(8));
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(other_key, 42, 3, 512, 2, 4, digest, segment)));
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(key, 43, 3, 512, 2, 4, digest, segment)));
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(key, 42, 2, 512, 2, 4, digest, segment)));
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(key, 42, 3, 513, 2, 4, digest, segment)));
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(key, 42, 3, 512, 3, 4, digest, segment)));
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(key, 42, 3, 512, 2, 5, digest, segment)));
+  MessageDigest flipped_digest = digest;
+  flipped_digest[0] ^= 1;
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(key, 42, 3, 512, 2, 4, flipped_digest, segment)));
+  Bytes flipped_segment = segment;
+  flipped_segment[4] ^= 0x80;
+  EXPECT_FALSE(segment_tag_equal(
+      tag, segment_tag(key, 42, 3, 512, 2, 4, digest, flipped_segment)));
+}
+
+TEST(SegmentAuthTest, TagEqualIsExact) {
+  SegmentTag a{};
+  SegmentTag b{};
+  EXPECT_TRUE(segment_tag_equal(a, b));
+  b[kSegmentTagSize - 1] = 1;
+  EXPECT_FALSE(segment_tag_equal(a, b));
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "erasure/matrix.hpp"
 #include "erasure/reed_solomon.hpp"
 #include "erasure/replication.hpp"
+#include "erasure/verified_decode.hpp"
 
 namespace p2panon::erasure {
 namespace {
@@ -645,6 +646,94 @@ TEST(MakeCodecTest, PaperParameterization) {
   const auto codec = make_codec(2, 8);
   EXPECT_DOUBLE_EQ(codec->replication_factor(), 4.0);
   EXPECT_EQ(codec->segment_size(1024), 512u);
+}
+
+// --- Verified decode (byzantine-resilient fallback) --------------------------------
+
+Bytes patterned_message(std::size_t size) {
+  Bytes msg(size);
+  Rng rng(97);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return msg;
+}
+
+TEST(VerifiedDecodeTest, CleanSegmentsDecodeOnFirstTry) {
+  const ReedSolomonCodec codec(3, 6);
+  const Bytes msg = patterned_message(300);
+  const auto segments = codec.encode(msg);
+  const auto result = verified_decode(
+      codec, segments, msg.size(),
+      [&](ByteView candidate) {
+        return Bytes(candidate.begin(), candidate.end()) == msg;
+      },
+      32);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->message, msg);
+  EXPECT_TRUE(result->corrupted_indices.empty());
+  EXPECT_EQ(result->subsets_tried, 1u);
+}
+
+TEST(VerifiedDecodeTest, LocatesCorruptedSegmentsAndStillRecovers) {
+  const ReedSolomonCodec codec(3, 6);
+  const Bytes msg = patterned_message(300);
+  auto segments = codec.encode(msg);
+  // Tamper with two of the six: an intact 3-subset still exists.
+  segments[1].data[5] ^= 0x40;
+  segments[4].data[0] ^= 0x01;
+  const auto result = verified_decode(
+      codec, segments, msg.size(),
+      [&](ByteView candidate) {
+        return Bytes(candidate.begin(), candidate.end()) == msg;
+      },
+      32);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->message, msg);
+  // Error location: exactly the tampered indices, by re-encoding.
+  EXPECT_EQ(result->corrupted_indices,
+            (std::vector<std::uint32_t>{segments[1].index,
+                                        segments[4].index}));
+  EXPECT_GT(result->subsets_tried, 1u);
+}
+
+TEST(VerifiedDecodeTest, NeverReturnsUnvalidatedPlaintext) {
+  const ReedSolomonCodec codec(2, 4);
+  const Bytes msg = patterned_message(128);
+  auto segments = codec.encode(msg);
+  // Corrupt so many segments that no intact m-subset remains.
+  for (auto& segment : segments) segment.data[0] ^= 0xff;
+  const auto result = verified_decode(
+      codec, segments, msg.size(),
+      [&](ByteView candidate) {
+        return Bytes(candidate.begin(), candidate.end()) == msg;
+      },
+      64);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(VerifiedDecodeTest, SubsetBudgetBoundsTheSearch) {
+  const ReedSolomonCodec codec(3, 6);
+  const Bytes msg = patterned_message(300);
+  auto segments = codec.encode(msg);
+  segments[0].data[0] ^= 0x80;  // plain decode fails, search needed
+  // Budget of 1 covers only the plain decode: the search gives up even
+  // though an intact subset exists.
+  const auto result = verified_decode(
+      codec, segments, msg.size(),
+      [&](ByteView candidate) {
+        return Bytes(candidate.begin(), candidate.end()) == msg;
+      },
+      1);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(VerifiedDecodeTest, TooFewSegmentsFailsClosed) {
+  const ReedSolomonCodec codec(3, 6);
+  const Bytes msg = patterned_message(90);
+  const auto segments = codec.encode(msg);
+  const std::vector<Segment> two(segments.begin(), segments.begin() + 2);
+  const auto result = verified_decode(
+      codec, two, msg.size(), [](ByteView) { return true; }, 32);
+  EXPECT_FALSE(result.has_value());
 }
 
 }  // namespace

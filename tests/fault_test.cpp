@@ -105,6 +105,40 @@ TEST(FaultyTransportTest, CorruptionOnlyTouchesForwardChannel) {
   EXPECT_EQ(faulty.counters().corrupted, 1u);
 }
 
+TEST(FaultyTransportTest, CorruptionAttributedPerSender) {
+  net::LoopbackTransport loopback(4);
+  FaultPlan plan;
+  plan.corrupt(1.0, 0, kNeverTime, {1, 2});  // only nodes 1 and 2 byzantine
+  obs::Registry registry;
+  FaultyTransport faulty(loopback, plan, 7, nullptr, &registry);
+
+  for (NodeId node = 0; node < 4; ++node) {
+    loopback.register_handler(node, [](NodeId, NodeId, ByteView) {});
+  }
+  const Bytes forward = {
+      static_cast<std::uint8_t>(net::Channel::kAnonForward), 0x10, 0x20};
+  faulty.send(1, 3, forward);
+  faulty.send(1, 3, forward);
+  faulty.send(2, 3, forward);
+  faulty.send(0, 3, forward);  // honest sender: untouched
+  loopback.deliver_all();
+
+  // Ground truth per corrupting sender, both in the accessor and as
+  // fault_corruptions_total{node=...} series in the registry.
+  const auto& by_node = faulty.corruptions_by_node();
+  ASSERT_EQ(by_node.size(), 2u);
+  EXPECT_EQ(by_node.at(1), 2u);
+  EXPECT_EQ(by_node.at(2), 1u);
+  EXPECT_EQ(registry.counter_value("fault_corruptions_total",
+                                   {{"node", "1"}}), 2u);
+  EXPECT_EQ(registry.counter_value("fault_corruptions_total",
+                                   {{"node", "2"}}), 1u);
+  // The honest sender registered no series at all (lazy registration).
+  EXPECT_EQ(registry.counter_value("fault_corruptions_total",
+                                   {{"node", "0"}}), 0u);
+  EXPECT_EQ(faulty.counters().corrupted, 3u);
+}
+
 TEST(FaultyTransportTest, DuplicationDeliversTwice) {
   net::LoopbackTransport loopback(2);
   FaultPlan plan;

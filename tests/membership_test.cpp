@@ -136,6 +136,110 @@ TEST(NodeCacheTest, RandomSamplingIgnoresLiveness) {
   EXPECT_EQ(cache.sample_known(3, rng, {}).size(), 3u);
 }
 
+// --- behavioral suspicion (corruption resilience extension) ---------------
+
+TEST(SuspicionTest, DisabledIsInertAndByteIdentical) {
+  NodeCache cache(8);
+  for (NodeId node = 0; node < 6; ++node) cache.heard_directly(node, 0, 0);
+  // Reporting without enable_suspicion is a no-op.
+  cache.report_suspicion(2, 100.0, 0);
+  EXPECT_FALSE(cache.suspicion_enabled());
+  EXPECT_EQ(cache.suspicion(2, 0), 0.0);
+  EXPECT_FALSE(cache.quarantined(2, 0));
+  EXPECT_EQ(cache.quarantined_count(0), 0u);
+  // The clock-aware overload draws identically to the legacy one while
+  // suspicion is off — same RNG stream, same picks.
+  Rng legacy(7);
+  Rng aware(7);
+  EXPECT_EQ(cache.sample_known(4, legacy, {}),
+            cache.sample_known(4, aware, {}, 123 * kSecond, true));
+}
+
+TEST(SuspicionTest, ScoreDecaysExponentially) {
+  NodeCache cache(8);
+  cache.heard_directly(3, 0, 0);
+  SuspicionConfig config;
+  config.half_life = 5 * kMinute;
+  cache.enable_suspicion(config);
+  cache.report_suspicion(3, 2.0, 0);
+  EXPECT_DOUBLE_EQ(cache.suspicion(3, 0), 2.0);
+  // One half-life -> half the score; two -> a quarter.
+  EXPECT_NEAR(cache.suspicion(3, 5 * kMinute), 1.0, 1e-9);
+  EXPECT_NEAR(cache.suspicion(3, 10 * kMinute), 0.5, 1e-9);
+  // Repeated evidence accrues on top of the decayed score.
+  cache.report_suspicion(3, 1.0, 5 * kMinute);
+  EXPECT_NEAR(cache.suspicion(3, 5 * kMinute), 2.0, 1e-9);
+}
+
+TEST(SuspicionTest, QuarantineExcludesFromSelectionUntilDecayedClean) {
+  NodeCache cache(8);
+  const SimTime now = 1000 * kSecond;
+  for (NodeId node = 0; node < 5; ++node) {
+    cache.heard_directly(node, 900 * kSecond, now);
+  }
+  SuspicionConfig config;
+  config.half_life = 5 * kMinute;
+  config.quarantine_threshold = 2.0;
+  cache.enable_suspicion(config);
+  cache.report_suspicion(1, 4.0, now);
+  ASSERT_TRUE(cache.quarantined(1, now));
+  EXPECT_EQ(cache.quarantined_count(now), 1u);
+
+  // Random mix choice honoring quarantine never picks node 1...
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    for (NodeId pick : cache.sample_known(3, rng, {}, now, true)) {
+      EXPECT_NE(pick, 1u);
+    }
+  }
+  // ...and neither does the biased choice, regardless of its predictor.
+  const auto top = cache.top_by_predictor(4, now, {});
+  ASSERT_EQ(top.size(), 4u);
+  for (NodeId pick : top) EXPECT_NE(pick, 1u);
+
+  // Two half-lives later the score is 1.0 < threshold: readmitted.
+  const SimTime later = now + 10 * kMinute;
+  EXPECT_FALSE(cache.quarantined(1, later));
+  EXPECT_EQ(cache.quarantined_count(later), 0u);
+  bool seen = false;
+  for (int i = 0; i < 50 && !seen; ++i) {
+    for (NodeId pick : cache.sample_known(3, rng, {}, later, true)) {
+      seen = seen || pick == 1u;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(SuspicionTest, BiasedChoiceDemotesSuspectedButCleanNodes) {
+  NodeCache cache(8);
+  const SimTime now = 1000 * kSecond;
+  // Two equally-live candidates plus a clearly worse third.
+  cache.heard_directly(1, 900 * kSecond, now);
+  cache.heard_directly(2, 900 * kSecond, now);
+  cache.heard_directly(3, 1 * kSecond, now);
+  SuspicionConfig config;
+  config.quarantine_threshold = 100.0;  // never quarantine in this test
+  config.bias_penalty = 1.0;
+  cache.enable_suspicion(config);
+  // Sub-quarantine suspicion on node 1 drops it below its equally-live
+  // peer: q/(1+s) ranks node 2 first.
+  cache.report_suspicion(1, 1.0, now);
+  const auto top = cache.top_by_predictor(2, now, {});
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);
+}
+
+TEST(SuspicionTest, ClearResetsSuspicion) {
+  NodeCache cache(4);
+  cache.heard_directly(1, 0, 0);
+  cache.enable_suspicion({});
+  cache.report_suspicion(1, 10.0, 0);
+  EXPECT_TRUE(cache.quarantined(1, 0));
+  cache.clear();
+  EXPECT_EQ(cache.suspicion(1, 0), 0.0);
+  EXPECT_FALSE(cache.quarantined(1, 0));
+}
+
 // --- gossip dissemination ----------------------------------------------------------
 
 struct GossipFixture {

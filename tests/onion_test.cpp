@@ -211,5 +211,79 @@ TEST(PayloadCoreWireTest, ParseRejectsLengthMismatch) {
   EXPECT_FALSE(parse_payload_core(plain).has_value());
 }
 
+// The auth trailer admits exactly three wire shapes: legacy (no trailer),
+// digest ([flags=1][digest]), and tagged ([flags=3][digest][tag]). The
+// flags byte and the serialized size must agree; any other combination is
+// a parse failure, not a fallback.
+TEST(PayloadCoreWireTest, AuthTrailerShapesRoundTrip) {
+  PayloadCore core;
+  core.message_id = 77;
+  core.segment_index = 2;
+  core.needed_segments = 2;
+  core.total_segments = 4;
+  core.segment = Bytes(32, 0xab);
+  for (std::uint8_t i = 0; i < crypto::kMessageDigestSize; ++i) {
+    core.message_digest[i] = i;
+  }
+  for (std::uint8_t i = 0; i < crypto::kSegmentTagSize; ++i) {
+    core.auth_tag[i] = static_cast<std::uint8_t>(0xf0 + i);
+  }
+
+  const Bytes legacy = serialize_payload_core(core);  // kAuthNone default
+
+  core.auth_flags = PayloadCore::kAuthDigest;
+  const Bytes digest = serialize_payload_core(core);
+  EXPECT_EQ(digest.size(), legacy.size() + 1 + crypto::kMessageDigestSize);
+
+  core.auth_flags = PayloadCore::kAuthTagged;
+  const Bytes tagged = serialize_payload_core(core);
+  EXPECT_EQ(tagged.size(),
+            digest.size() + crypto::kSegmentTagSize);
+
+  const auto parsed_legacy = parse_payload_core(legacy);
+  ASSERT_TRUE(parsed_legacy.has_value());
+  EXPECT_EQ(parsed_legacy->auth_flags, PayloadCore::kAuthNone);
+
+  const auto parsed_digest = parse_payload_core(digest);
+  ASSERT_TRUE(parsed_digest.has_value());
+  EXPECT_EQ(parsed_digest->auth_flags, PayloadCore::kAuthDigest);
+  EXPECT_EQ(parsed_digest->message_digest, core.message_digest);
+
+  const auto parsed_tagged = parse_payload_core(tagged);
+  ASSERT_TRUE(parsed_tagged.has_value());
+  EXPECT_EQ(parsed_tagged->auth_flags, PayloadCore::kAuthTagged);
+  EXPECT_EQ(parsed_tagged->message_digest, core.message_digest);
+  EXPECT_EQ(parsed_tagged->auth_tag, core.auth_tag);
+}
+
+TEST(PayloadCoreWireTest, AuthTrailerRejectsFlagSizeMismatch) {
+  PayloadCore core;
+  core.needed_segments = 1;
+  core.total_segments = 1;
+  core.segment = Bytes(16, 0x11);
+  core.auth_flags = PayloadCore::kAuthTagged;
+  Bytes tagged = serialize_payload_core(core);
+
+  // Flip the flags byte (it sits right after the segment bytes) to the
+  // digest shape: the size now claims tagged but the flags claim digest.
+  const std::size_t flags_at =
+      tagged.size() - 1 - crypto::kMessageDigestSize - crypto::kSegmentTagSize;
+  ASSERT_EQ(tagged[flags_at], PayloadCore::kAuthTagged);
+  tagged[flags_at] = PayloadCore::kAuthDigest;
+  EXPECT_FALSE(parse_payload_core(tagged).has_value());
+  // Unknown flags value: rejected outright.
+  tagged[flags_at] = 2;
+  EXPECT_FALSE(parse_payload_core(tagged).has_value());
+  tagged[flags_at] = PayloadCore::kAuthTagged;
+  EXPECT_TRUE(parse_payload_core(tagged).has_value());
+
+  // Truncating the tag (tagged shape, digest-sized buffer with flags=3)
+  // is also a mismatch.
+  core.auth_flags = PayloadCore::kAuthDigest;
+  Bytes digest_shape = serialize_payload_core(core);
+  digest_shape[flags_at] = PayloadCore::kAuthTagged;
+  EXPECT_FALSE(parse_payload_core(digest_shape).has_value());
+}
+
 }  // namespace
 }  // namespace p2panon::anon
