@@ -30,6 +30,7 @@
 #include "common/config.hpp"
 #include "common/strings.hpp"
 #include "harness/chaos_experiment.hpp"
+#include "harness/membership_chaos.hpp"
 #include "harness/parallel.hpp"
 #include "metrics/table.hpp"
 #include "obs/export.hpp"
@@ -213,6 +214,204 @@ int run_byzantine_sweep(std::uint64_t seed, std::size_t seeds,
   return 0;
 }
 
+// --- membership sweep ------------------------------------------------------
+//
+// --membership-sweep drives the *control plane* fault scenarios
+// (harness/membership_chaos.hpp) through the durability harness: gossip
+// blackout, leader crash, stale injection, and claim inflation, each under
+// three arms — random mix choice (the liveness-ignorant floor), biased
+// (Eq. 3 over the faulted membership), and resilient (biased + staleness-
+// aware selection + anti-entropy repair + bounded trust + failover).
+//
+// Two committed gates ride on the JSON (scripts/check_bench_membership.py):
+//   1. under gossip blackout, the resilient arm's mean durability must not
+//      fall below the random arm's (staleness-aware bias >= the floor);
+//   2. the control fingerprint: with every membership-resilience knob at
+//      its default, a fixed chaos run must still produce the pre-PR
+//      fingerprint below, byte for byte.
+
+/// ChaosResult::fingerprint() of tiny_chaos(3) — 64 nodes, seed 3,
+/// mild-loss-drizzle, warmup 5 min, measure 6 min, 1 KB every 10 s,
+/// SimEra(4,2)/random — captured before the membership-resilience features
+/// landed. The control section reruns that exact config and must reproduce
+/// this string while every new knob sits at its default.
+constexpr const char* kPrePrFingerprint =
+    "1:35:19:17:4:13:0:26:20:1:5:6:60:0:0:0:0:0:0:0:171:0:0:0:0:173:0:0:0:"
+    "12:45782:4:0:0:0:0:0:0";
+
+ChaosConfig control_chaos_config() {
+  ChaosConfig config;
+  config.environment.num_nodes = 64;
+  config.environment.seed = 3;
+  config.scenario = ChaosScenario::kMildLossDrizzle;
+  config.warmup = 5 * kMinute;
+  config.measure = 6 * kMinute;
+  config.send_interval = 10 * kSecond;
+  config.spec = anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kRandom);
+  return config;
+}
+
+int run_membership_sweep(std::uint64_t seed, std::size_t seeds,
+                         std::size_t workers, const std::string& json_path) {
+  const auto runs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
+  constexpr MembershipScenario kMemScenarios[] = {
+      MembershipScenario::kGossipBlackout, MembershipScenario::kLeaderCrash,
+      MembershipScenario::kStaleInject, MembershipScenario::kClaimInflate};
+  constexpr MembershipArm kArms[] = {MembershipArm::kRandom,
+                                     MembershipArm::kBiased,
+                                     MembershipArm::kResilient};
+  constexpr std::size_t kScenarioCount =
+      sizeof(kMemScenarios) / sizeof(kMemScenarios[0]);
+  constexpr std::size_t kArmCount = sizeof(kArms) / sizeof(kArms[0]);
+
+  struct Job {
+    std::size_t scenario;
+    std::size_t arm;
+    std::size_t run;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t s = 0; s < kScenarioCount; ++s) {
+    for (std::size_t a = 0; a < kArmCount; ++a) {
+      for (std::size_t r = 0; r < runs; ++r) jobs.push_back({s, a, r});
+    }
+  }
+
+  std::printf("# Membership sweep: control-plane faults x recovery arms, "
+              "64 nodes, SimEra(4,2), %zu seeds per cell\n",
+              runs);
+
+  std::vector<DurabilityResult> results(jobs.size());
+  parallel_for(jobs.size(), workers, [&](std::size_t i) {
+    const Job& job = jobs[i];
+    MembershipChaosConfig config;
+    config.scenario = kMemScenarios[job.scenario];
+    config.arm = kArms[job.arm];
+    config.seed = seed + job.run;
+    results[i] = run_membership_chaos(config);
+  });
+
+  struct Cell {
+    double durability = 0.0;
+    double attempts = 0.0;
+    double belief = 0.0;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t stale_fallbacks = 0;
+    std::uint64_t biased_selects = 0;
+    std::uint64_t repair_accepted = 0;
+    std::uint64_t elections = 0;
+    fault::FaultyTransport::Counters faults;
+  };
+  std::vector<Cell> cells(kScenarioCount * kArmCount);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const DurabilityResult& r = results[i];
+    Cell& cell = cells[job.scenario * kArmCount + job.arm];
+    cell.durability += r.durability_seconds;
+    cell.attempts += static_cast<double>(r.construct_attempts);
+    cell.belief += r.belief_accuracy;
+    cell.sent += r.messages_sent;
+    cell.delivered += r.messages_delivered;
+    cell.stale_fallbacks += r.mix_stale_fallbacks;
+    cell.biased_selects += r.mix_biased_selects;
+    cell.repair_accepted += r.control.repair_records_accepted;
+    cell.elections += r.control.elections;
+    cell.faults.dropped_gossip_blackout += r.faults.dropped_gossip_blackout;
+    cell.faults.dropped_gossip_loss += r.faults.dropped_gossip_loss;
+    cell.faults.stale_injected += r.faults.stale_injected;
+    cell.faults.claims_inflated += r.faults.claims_inflated;
+    cell.faults.dropped_crash += r.faults.dropped_crash;
+  }
+
+  const double denom = static_cast<double>(runs);
+  metrics::Table table({"scenario", "arm", "durability_s", "attempts",
+                        "delivery", "belief", "stale_fallbacks",
+                        "repair_accepted", "elections"});
+  metrics::Table drop_table({"scenario", "arm", "gossip-blackout",
+                             "gossip-loss", "stale-inject", "claim-inflate",
+                             "crash-drop"});
+  obs::BenchReport report("chaos_membership_sweep");
+  for (std::size_t s = 0; s < kScenarioCount; ++s) {
+    for (std::size_t a = 0; a < kArmCount; ++a) {
+      const Cell& cell = cells[s * kArmCount + a];
+      const char* scenario = membership_scenario_name(kMemScenarios[s]);
+      const char* arm = membership_arm_name(kArms[a]);
+      const double durability = cell.durability / denom;
+      table.add_row(
+          {scenario, arm, format_double(durability, 1),
+           format_double(cell.attempts / denom, 1),
+           format_double(cell.sent > 0
+                             ? 100.0 * static_cast<double>(cell.delivered) /
+                                   static_cast<double>(cell.sent)
+                             : 0.0,
+                         1) +
+               "%",
+           format_double(100.0 * cell.belief / denom, 1) + "%",
+           std::to_string(cell.stale_fallbacks) + "/" +
+               std::to_string(cell.biased_selects),
+           std::to_string(cell.repair_accepted),
+           std::to_string(cell.elections)});
+      drop_table.add_row(
+          {scenario, arm,
+           std::to_string(cell.faults.dropped_gossip_blackout),
+           std::to_string(cell.faults.dropped_gossip_loss),
+           std::to_string(cell.faults.stale_injected),
+           std::to_string(cell.faults.claims_inflated),
+           std::to_string(cell.faults.dropped_crash)});
+      report.add(std::string("durability_") + scenario + "_" + arm,
+                 durability);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("# Membership-plane injections (summed over seeds)\n%s\n",
+              drop_table.render().c_str());
+  std::printf("Reading: under gossip blackout the biased arms rank on "
+              "fossils until repair heals the caches; the resilient arm's "
+              "anti-entropy + staleness-aware degradation must keep its "
+              "durability at or above the random floor (the CI gate). "
+              "Under leader crash only the failover arm re-elects "
+              "(elections > 0) and keeps dissemination alive; under claim "
+              "inflation bounded trust caps the fake uptimes that would "
+              "otherwise dominate the Eq. 3 ranking.\n");
+
+  // Control fingerprint: the pre-PR chaos run, once with factory defaults
+  // and once with every membership knob spelled out at its default value —
+  // all three strings must agree or a default drifted.
+  const ChaosResult control_default =
+      run_chaos_experiment(control_chaos_config());
+  ChaosConfig spelled = control_chaos_config();
+  spelled.environment.membership_kind = MembershipKind::kGossip;
+  spelled.environment.gossip.anti_entropy_interval = 0;
+  spelled.environment.gossip.per_node_rng = false;
+  spelled.environment.gossip.bounded_trust = false;
+  spelled.environment.membership_obs_interval = 0;
+  const ChaosResult control_spelled = run_chaos_experiment(spelled);
+  const bool fingerprint_ok =
+      control_default.fingerprint() == kPrePrFingerprint &&
+      control_spelled.fingerprint() == kPrePrFingerprint;
+  std::printf("control fingerprint: %s\n",
+              fingerprint_ok ? "MATCHES pre-PR baseline"
+                             : "MISMATCH vs pre-PR baseline");
+  if (!fingerprint_ok) {
+    std::printf("  pre-PR:  %s\n  default: %s\n  spelled: %s\n",
+                kPrePrFingerprint, control_default.fingerprint().c_str(),
+                control_spelled.fingerprint().c_str());
+  }
+
+  report.add("runs_per_cell", static_cast<std::uint64_t>(runs));
+  report.add_text("pre_pr_fingerprint", kPrePrFingerprint);
+  report.add_text("control_fingerprint", control_default.fingerprint());
+  report.add_text("control_fingerprint_spelled",
+                  control_spelled.fingerprint());
+  report.add("fingerprint_match",
+             static_cast<std::uint64_t>(fingerprint_ok ? 1 : 0));
+  report.add_section("durability", table.to_json());
+  report.add_section("membership_drops", drop_table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
+  return fingerprint_ok ? 0 : 1;
+}
+
 const ChaosScenario kScenarios[] = {
     ChaosScenario::kFlashCrowdCrash, ChaosScenario::kRollingPartition,
     ChaosScenario::kLossyLinkEpidemic, ChaosScenario::kCorruptedRelayQuorum,
@@ -363,7 +562,23 @@ int main(int argc, char** argv) {
       "failed-closed accounting)");
   auto& byz_seeds = flags.add_int(
       "byz-seeds", 3, "seeds per byzantine sweep cell");
+  auto& membership = flags.add_bool(
+      "membership-sweep", false,
+      "sweep control-plane fault scenarios (gossip blackout, leader crash, "
+      "stale/claim poisoning) x recovery arms through the durability "
+      "harness, plus the pre-PR control fingerprint guard");
+  auto& mem_seeds = flags.add_int(
+      "mem-seeds", 5, "seeds per membership sweep cell");
   flags.parse(argc, argv);
+
+  if (membership) {
+    return run_membership_sweep(
+        static_cast<std::uint64_t>(seed),
+        static_cast<std::size_t>(mem_seeds),
+        threads > 0 ? static_cast<std::size_t>(threads)
+                    : default_worker_threads(),
+        json_path);
+  }
 
   if (byzantine) {
     return run_byzantine_sweep(

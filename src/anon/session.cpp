@@ -23,7 +23,10 @@ Session::Session(AnonRouter& router, const membership::NodeCache& cache,
       responder_(responder),
       config_(config),
       rng_(rng),
-      selector_(config.mix_choice, rng_.fork()),
+      selector_(config.mix_choice, rng_.fork(),
+                StalenessPolicy{config.staleness_aware,
+                                config.staleness_stale_after,
+                                config.staleness_degrade_fraction}),
       alive_(std::make_shared<bool>(true)) {
   config_.erasure.validate();
   obs::Registry& reg = router_.metrics();
@@ -44,6 +47,12 @@ Session::Session(AnonRouter& router, const membership::NodeCache& cache,
   quarantined_gauge_ = reg.gauge("membership_suspicion_quarantined");
   rtt_us_ = reg.histogram("session_rtt_us");
   rto_us_ = reg.histogram("session_rto_us");
+  if (config_.staleness_aware) {
+    // Registered only when the mode is on, so default-off registries stay
+    // byte-identical to the pre-feature baseline.
+    stale_fallbacks_ctr_ = reg.counter("anon_mix_stale_fallbacks_total");
+    biased_selects_ctr_ = reg.counter("anon_mix_biased_selects_total");
+  }
   paths_.resize(config_.erasure.k);
   path_info_.resize(config_.erasure.k);
   path_health_.resize(config_.erasure.k);
@@ -72,6 +81,28 @@ Session::~Session() {
   }
 }
 
+std::optional<std::vector<std::vector<NodeId>>> Session::select_relays(
+    std::size_t paths, SimTime now, const std::vector<NodeId>& extra_exclude) {
+  auto out = selector_.select_paths(cache_, paths, config_.path_length, now,
+                                    initiator_, responder_, extra_exclude);
+  // Mirror the selector's staleness tallies into the registry by delta, so
+  // the counters track decisions (not calls) without the selector needing
+  // a registry handle. Both pointers are null unless staleness_aware.
+  if (stale_fallbacks_ctr_ != nullptr) {
+    const std::uint64_t fallbacks = selector_.stale_fallbacks();
+    if (fallbacks > mirrored_fallbacks_) {
+      stale_fallbacks_ctr_->inc(fallbacks - mirrored_fallbacks_);
+      mirrored_fallbacks_ = fallbacks;
+    }
+    const std::uint64_t biased = selector_.biased_selects();
+    if (biased > mirrored_biased_) {
+      biased_selects_ctr_->inc(biased - mirrored_biased_);
+      mirrored_biased_ = biased;
+    }
+  }
+  return out;
+}
+
 void Session::construct(ConstructHandler handler) {
   if (constructing_) {
     throw std::logic_error("Session::construct: already constructing");
@@ -88,9 +119,7 @@ void Session::attempt_construction() {
   construct_attempts_ctr_->inc();
 
   const SimTime now = router_.simulator().now();
-  auto selected =
-      selector_.select_paths(cache_, config_.erasure.k, config_.path_length,
-                             now, initiator_, responder_);
+  auto selected = select_relays(config_.erasure.k, now);
   if (!selected.has_value()) {
     // Cache too small right now; count the attempt and retry or give up.
     if (construct_attempts_ < config_.max_construct_attempts) {
@@ -218,9 +247,7 @@ void Session::top_up_missing_paths() {
       }
     }
     const SimTime now = router_.simulator().now();
-    auto selected = selector_.select_paths(cache_, 1, config_.path_length,
-                                           now, initiator_, responder_,
-                                           exclude);
+    auto selected = select_relays(1, now, exclude);
     if (!selected.has_value()) {
       // No disjoint relays for this slot right now; leave it for the
       // next round.
@@ -647,8 +674,7 @@ void Session::rebuild_path(std::size_t path_index) {
     }
   }
   const SimTime now = router_.simulator().now();
-  auto selected = selector_.select_paths(cache_, 1, config_.path_length, now,
-                                         initiator_, responder_, exclude);
+  auto selected = select_relays(1, now, exclude);
   if (!selected.has_value()) {
     if (config_.retry_backoff) {
       // Not enough disjoint relays right now: try again later instead of
@@ -912,9 +938,7 @@ MessageId Session::send_message_on_demand(ByteView data) {
                        paths_[j].relays.end());
       }
     }
-    auto selected = selector_.select_paths(cache_, 1, config_.path_length,
-                                           now, initiator_, responder_,
-                                           exclude);
+    auto selected = select_relays(1, now, exclude);
     if (!selected.has_value()) continue;
     if (path.sid != 0) {
       router_.unregister_reverse_handler(initiator_, path.sid);

@@ -107,6 +107,19 @@ struct SessionConfig {
   /// relay_suspicion is on).
   bool corruption_escalation = false;
   std::size_t escalation_nack_threshold = 3;
+
+  // --- control-plane resilience (default OFF: with the switch off, no
+  // cache-age scan runs, no extra RNG is drawn, no extra obs series is
+  // registered, and selection is byte-identical to the configuration
+  // above) ---
+
+  /// Staleness-aware mix selection: biased choice degrades to the random
+  /// sampler while more than `staleness_degrade_fraction` of the cache's
+  /// known-alive records are older than `staleness_stale_after`, and
+  /// recovers the bias as membership repair catches up (DESIGN §9).
+  bool staleness_aware = false;
+  SimDuration staleness_stale_after = 2 * kMinute;
+  double staleness_degrade_fraction = 0.5;
 };
 
 enum class PathState { kUnbuilt, kPending, kEstablished, kFailed };
@@ -199,6 +212,14 @@ class Session {
   /// responder across all paths. Always counted, even with every
   /// corruption-resilience knob off (a legacy session never receives any).
   std::uint64_t corrupt_nacks_received() const { return nacks_received_; }
+  /// Staleness-aware selection tallies (0 unless staleness_aware): how
+  /// often biased choice degraded to random because the cache was stale.
+  std::uint64_t mix_stale_fallbacks() const {
+    return selector_.stale_fallbacks();
+  }
+  std::uint64_t mix_biased_selects() const {
+    return selector_.biased_selects();
+  }
 
   // Segment ledger: every send_segment_on_path call ends in exactly one of
   // {acked, expired, retransmitted} or is still pending, so
@@ -287,6 +308,12 @@ class Session {
   void resend_pending(std::size_t old_path_index, std::size_t new_path_index);
   void check_predictors();
   void sync_path_info(std::size_t index);
+  /// All relay selection funnels through here so the staleness tallies are
+  /// mirrored into the registry regardless of which flow (construct,
+  /// top-up, rebuild, proactive replace) asked.
+  std::optional<std::vector<std::vector<NodeId>>> select_relays(
+      std::size_t paths, SimTime now,
+      const std::vector<NodeId>& extra_exclude = {});
   Allocation make_allocation() const;
   std::vector<std::size_t> usable_paths() const;
   const erasure::Codec& session_codec();
@@ -349,6 +376,8 @@ class Session {
   std::uint64_t failures_detected_ = 0;
   std::uint64_t proactive_replacements_ = 0;
   std::uint64_t nacks_received_ = 0;
+  std::uint64_t mirrored_fallbacks_ = 0;
+  std::uint64_t mirrored_biased_ = 0;
 
   // Registry mirrors (resolved from the router's registry). The tallies
   // above stay the per-instance contract the seed tests assert; the series
@@ -366,6 +395,10 @@ class Session {
   obs::Gauge* quarantined_gauge_;
   obs::HdrHistogram* rtt_us_;
   obs::HdrHistogram* rto_us_;
+  // Null unless staleness_aware (lazy registration keeps default-off
+  // registries byte-identical).
+  obs::Counter* stale_fallbacks_ctr_ = nullptr;
+  obs::Counter* biased_selects_ctr_ = nullptr;
 };
 
 }  // namespace p2panon::anon

@@ -72,8 +72,46 @@ FaultPlan& FaultPlan::corrupt(double probability, SimTime start, SimTime end,
   return *this;
 }
 
+FaultPlan& FaultPlan::gossip_blackout(SimTime start, SimTime end,
+                                      std::vector<NodeId> endpoints) {
+  gossip_blackouts_.push_back(
+      GossipBlackoutRule{start, end, std::move(endpoints)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::gossip_loss(double loss_rate, SimTime start, SimTime end,
+                                  std::vector<NodeId> endpoints) {
+  check_probability(loss_rate, "gossip_loss");
+  gossip_losses_.push_back(
+      GossipLossRule{loss_rate, start, end, std::move(endpoints)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stale_inject(double probability,
+                                   SimDuration extra_staleness, SimTime start,
+                                   SimTime end, std::vector<NodeId> at_nodes) {
+  check_probability(probability, "stale_inject");
+  stale_injects_.push_back(StaleInjectRule{probability, extra_staleness, start,
+                                           end, std::move(at_nodes)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::claim_inflate(double probability, double factor,
+                                    SimDuration boost, SimTime start,
+                                    SimTime end, std::vector<NodeId> at_nodes) {
+  check_probability(probability, "claim_inflate");
+  if (factor < 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan::claim_inflate: factor must be >= 1");
+  }
+  claim_inflates_.push_back(ClaimInflateRule{probability, factor, boost, start,
+                                             end, std::move(at_nodes)});
+  return *this;
+}
+
 bool FaultPlan::empty() const {
-  return crashes_.empty() && partitions_.empty() && !has_link_rules();
+  return crashes_.empty() && partitions_.empty() && !has_link_rules() &&
+         !has_membership_rules();
 }
 
 bool FaultPlan::is_crashed(NodeId node, SimTime now) const {

@@ -86,6 +86,55 @@ struct CorruptRule {
   std::vector<NodeId> at_nodes;  // empty = any sender
 };
 
+/// During [start, end), every gossip-channel (kGossip) datagram on a
+/// matching link is dropped — a total membership-dissemination blackout.
+/// Data-plane traffic is untouched, which is exactly what makes this fault
+/// interesting: routing keeps working while liveness knowledge rots. A link
+/// matches when either endpoint is in `endpoints`; empty matches every link.
+struct GossipBlackoutRule {
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+  std::vector<NodeId> endpoints;  // empty = all links
+};
+
+/// During [start, end), gossip-channel datagrams on matching links are
+/// dropped i.i.d. with `loss_rate` — lossy dissemination without a full
+/// blackout.
+struct GossipLossRule {
+  double loss_rate = 0.0;
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+  std::vector<NodeId> endpoints;  // empty = all links
+};
+
+/// During [start, end), each liveness record inside a gossip datagram sent
+/// by a node in `at_nodes` (empty = any sender) has `extra_staleness` added
+/// to its dt_since field with probability `probability` — in-flight record
+/// aging that makes receivers believe their information is older (or the
+/// subject deader) than it really is.
+struct StaleInjectRule {
+  double probability = 0.0;
+  SimDuration extra_staleness = 0;
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+  std::vector<NodeId> at_nodes;  // empty = any sender
+};
+
+/// During [start, end), a sender in `at_nodes` inflates its own first-person
+/// liveness record (dt_alive *= factor, += boost) with probability
+/// `probability` — the bounded liveness-claim attack from the paper's threat
+/// model: a node advertising a longer uptime than it has earned to attract
+/// biased selection. Only the self-record (record 0, subject == sender) is
+/// touched; relayed third-party records are left alone.
+struct ClaimInflateRule {
+  double probability = 0.0;
+  double factor = 1.0;
+  SimDuration boost = 0;
+  SimTime start = 0;
+  SimTime end = kNeverTime;
+  std::vector<NodeId> at_nodes;  // empty = any sender
+};
+
 class FaultPlan {
  public:
   // --- builders (chainable) ---
@@ -98,6 +147,16 @@ class FaultPlan {
                      SimTime start, SimTime end);
   FaultPlan& corrupt(double probability, SimTime start, SimTime end,
                      std::vector<NodeId> at_nodes = {});
+  FaultPlan& gossip_blackout(SimTime start, SimTime end,
+                             std::vector<NodeId> endpoints = {});
+  FaultPlan& gossip_loss(double loss_rate, SimTime start, SimTime end,
+                         std::vector<NodeId> endpoints = {});
+  FaultPlan& stale_inject(double probability, SimDuration extra_staleness,
+                          SimTime start, SimTime end,
+                          std::vector<NodeId> at_nodes = {});
+  FaultPlan& claim_inflate(double probability, double factor,
+                           SimDuration boost, SimTime start, SimTime end,
+                           std::vector<NodeId> at_nodes = {});
 
   bool empty() const;
 
@@ -112,6 +171,15 @@ class FaultPlan {
            !reorders_.empty() || !corrupts_.empty();
   }
 
+  /// True when any membership-plane rule exists. Gated separately from
+  /// has_link_rules() so a plan with only data-plane rules inspects no
+  /// gossip payloads (and vice versa) — keeping RNG draw sequences, and
+  /// therefore run fingerprints, independent between the two families.
+  bool has_membership_rules() const {
+    return !gossip_blackouts_.empty() || !gossip_losses_.empty() ||
+           !stale_injects_.empty() || !claim_inflates_.empty();
+  }
+
   const std::vector<CrashEvent>& crashes() const { return crashes_; }
   const std::vector<PartitionRule>& partitions() const { return partitions_; }
   const std::vector<LinkSpikeRule>& link_spikes() const {
@@ -120,6 +188,18 @@ class FaultPlan {
   const std::vector<DuplicateRule>& duplicates() const { return duplicates_; }
   const std::vector<ReorderRule>& reorders() const { return reorders_; }
   const std::vector<CorruptRule>& corrupts() const { return corrupts_; }
+  const std::vector<GossipBlackoutRule>& gossip_blackouts() const {
+    return gossip_blackouts_;
+  }
+  const std::vector<GossipLossRule>& gossip_losses() const {
+    return gossip_losses_;
+  }
+  const std::vector<StaleInjectRule>& stale_injects() const {
+    return stale_injects_;
+  }
+  const std::vector<ClaimInflateRule>& claim_inflates() const {
+    return claim_inflates_;
+  }
 
  private:
   std::vector<CrashEvent> crashes_;
@@ -128,6 +208,10 @@ class FaultPlan {
   std::vector<DuplicateRule> duplicates_;
   std::vector<ReorderRule> reorders_;
   std::vector<CorruptRule> corrupts_;
+  std::vector<GossipBlackoutRule> gossip_blackouts_;
+  std::vector<GossipLossRule> gossip_losses_;
+  std::vector<StaleInjectRule> stale_injects_;
+  std::vector<ClaimInflateRule> claim_inflates_;
 };
 
 }  // namespace p2panon::fault

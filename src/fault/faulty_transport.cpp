@@ -20,6 +20,36 @@ bool matches(const std::vector<NodeId>& nodes, NodeId node) {
          std::find(nodes.begin(), nodes.end(), node) != nodes.end();
 }
 
+// Gossip record wire layout, mirrored from membership/gossip.cpp. The fault
+// layer deliberately does not link against p2panon_membership (it sits below
+// it in the dependency order), so the offsets are hard-coded here and
+// cross-checked against membership::kRecordWireSize by membership_chaos_test.
+//
+// Datagram: [channel u8][kind u8][count u16be][record 0][record 1]...
+// Record:   [subject u32be][flags u8][dt_alive u64be][dt_since u64be] = 21 B
+constexpr std::size_t kGossipRecordSize = 21;
+constexpr std::size_t kGossipHeaderSize = 4;  // channel + kind + count
+constexpr std::size_t kSubjectOffset = 0;
+constexpr std::size_t kDtAliveOffset = 5;
+constexpr std::size_t kDtSinceOffset = 13;
+
+void store_u64be(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * (7 - i)));
+  }
+}
+
+// True when the payload is structurally a record-bearing gossip message:
+// the declared record count exactly accounts for every byte past the
+// header. Digest/repair-control messages (whose bodies are bucket hashes,
+// not 21-byte records) never satisfy this, so mutation rules skip them.
+bool is_record_bearing(const Bytes& payload) {
+  if (payload.size() < kGossipHeaderSize + kGossipRecordSize) return false;
+  const std::size_t count = get_u16be(payload, 2);
+  return count > 0 &&
+         kGossipHeaderSize + count * kGossipRecordSize == payload.size();
+}
+
 }  // namespace
 
 FaultyTransport::FaultyTransport(net::Transport& inner, const FaultPlan& plan,
@@ -83,6 +113,16 @@ void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
     ++counters_.dropped_partition;
     record_injection("dropped_partition", inj_partition_, from, to);
     return;
+  }
+
+  // Membership-plane rules apply only to gossip-channel datagrams, and only
+  // when such rules exist — a data-plane-only plan never inspects payloads
+  // or advances the RNG here.
+  if (plan_.has_membership_rules() && !payload.empty() &&
+      payload[0] == static_cast<std::uint8_t>(net::Channel::kGossip)) {
+    if (!apply_membership_rules(from, to, payload, when)) {
+      return;  // dropped by blackout or gossip loss
+    }
   }
 
   // Everything below draws from the decorator's own RNG stream; gated on
@@ -158,6 +198,87 @@ void FaultyTransport::send(NodeId from, NodeId to, Bytes payload) {
     dispatch(from, to, payload, extra_delay);
   }
   dispatch(from, to, std::move(payload), extra_delay);
+}
+
+bool FaultyTransport::apply_membership_rules(NodeId from, NodeId to,
+                                             Bytes& payload, SimTime when) {
+  for (const GossipBlackoutRule& rule : plan_.gossip_blackouts()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (!matches(rule.endpoints, from) && !matches(rule.endpoints, to)) {
+      continue;
+    }
+    ++counters_.dropped_gossip_blackout;
+    if (inj_gossip_blackout_ == nullptr) {
+      inj_gossip_blackout_ = metrics_->counter("fault_injections_total",
+                                               {{"kind", "gossip_blackout"}});
+    }
+    record_injection("gossip_blackout", inj_gossip_blackout_, from, to);
+    return false;
+  }
+
+  for (const GossipLossRule& rule : plan_.gossip_losses()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (!matches(rule.endpoints, from) && !matches(rule.endpoints, to)) {
+      continue;
+    }
+    if (rule.loss_rate > 0.0 && rng_.bernoulli(rule.loss_rate)) {
+      ++counters_.dropped_gossip_loss;
+      if (inj_gossip_loss_ == nullptr) {
+        inj_gossip_loss_ = metrics_->counter("fault_injections_total",
+                                             {{"kind", "gossip_loss"}});
+      }
+      record_injection("gossip_loss", inj_gossip_loss_, from, to);
+      return false;
+    }
+  }
+
+  // Record mutation applies only to structurally record-bearing messages;
+  // anti-entropy digests and other control shapes pass through untouched.
+  const bool mutate = (!plan_.stale_injects().empty() ||
+                       !plan_.claim_inflates().empty()) &&
+                      is_record_bearing(payload);
+  if (!mutate) return true;
+  const std::size_t count = get_u16be(payload, 2);
+
+  for (const StaleInjectRule& rule : plan_.stale_injects()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (!matches(rule.at_nodes, from)) continue;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!rng_.bernoulli(rule.probability)) continue;
+      const std::size_t base = kGossipHeaderSize + i * kGossipRecordSize;
+      const std::uint64_t dt_since = get_u64be(payload, base + kDtSinceOffset);
+      store_u64be(payload.data() + base + kDtSinceOffset,
+                  dt_since + static_cast<std::uint64_t>(rule.extra_staleness));
+      ++counters_.stale_injected;
+      if (inj_stale_ == nullptr) {
+        inj_stale_ = metrics_->counter("fault_injections_total",
+                                       {{"kind", "stale_injected"}});
+      }
+      record_injection("stale_injected", inj_stale_, from, to);
+    }
+  }
+
+  for (const ClaimInflateRule& rule : plan_.claim_inflates()) {
+    if (!in_window(rule.start, rule.end, when)) continue;
+    if (!matches(rule.at_nodes, from)) continue;
+    // Only the sender's own first-person record (always record 0 when
+    // present) is inflated — the attack is a node lying about itself.
+    const std::size_t base = kGossipHeaderSize;
+    if (get_u32be(payload, base + kSubjectOffset) != from) continue;
+    if (!rng_.bernoulli(rule.probability)) continue;
+    const std::uint64_t dt_alive = get_u64be(payload, base + kDtAliveOffset);
+    const double inflated = static_cast<double>(dt_alive) * rule.factor +
+                            static_cast<double>(rule.boost);
+    store_u64be(payload.data() + base + kDtAliveOffset,
+                static_cast<std::uint64_t>(inflated));
+    ++counters_.claims_inflated;
+    if (inj_inflate_ == nullptr) {
+      inj_inflate_ = metrics_->counter("fault_injections_total",
+                                       {{"kind", "claim_inflated"}});
+    }
+    record_injection("claim_inflated", inj_inflate_, from, to);
+  }
+  return true;
 }
 
 void FaultyTransport::dispatch(NodeId from, NodeId to, Bytes payload,

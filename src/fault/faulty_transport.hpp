@@ -27,8 +27,12 @@ namespace p2panon::fault {
 
 class FaultyTransport final : public net::Transport {
  public:
-  /// Per-cause accounting; `injected` rules (duplicate/delay/corrupt) do
-  /// not drop the datagram and are counted separately from drops.
+  /// Per-cause accounting; `injected` rules (duplicate/delay/corrupt/
+  /// stale/inflate) do not drop the datagram and are counted separately
+  /// from drops. The membership-plane fields are NOT part of
+  /// ChaosResult::fingerprint() — its string format predates them and must
+  /// stay byte-stable — they surface through the registry and the
+  /// membership-sweep tables instead.
   struct Counters {
     std::uint64_t dropped_crash = 0;
     std::uint64_t dropped_partition = 0;
@@ -36,8 +40,13 @@ class FaultyTransport final : public net::Transport {
     std::uint64_t duplicated = 0;
     std::uint64_t delayed = 0;
     std::uint64_t corrupted = 0;
+    std::uint64_t dropped_gossip_blackout = 0;
+    std::uint64_t dropped_gossip_loss = 0;
+    std::uint64_t stale_injected = 0;
+    std::uint64_t claims_inflated = 0;
     std::uint64_t total_dropped() const {
-      return dropped_crash + dropped_partition + dropped_loss;
+      return dropped_crash + dropped_partition + dropped_loss +
+             dropped_gossip_blackout + dropped_gossip_loss;
     }
   };
 
@@ -72,6 +81,11 @@ class FaultyTransport final : public net::Transport {
   SimTime now() const { return simulator_ != nullptr ? simulator_->now() : 0; }
   void dispatch(NodeId from, NodeId to, Bytes payload, SimDuration extra);
 
+  /// Applies gossip-channel rules (blackout/loss drops, record mutation) to
+  /// a membership datagram. Returns false when the datagram is dropped.
+  bool apply_membership_rules(NodeId from, NodeId to, Bytes& payload,
+                              SimTime when);
+
   void record_injection(const char* kind, obs::Counter* mirror, NodeId from,
                         NodeId to);
 
@@ -94,6 +108,13 @@ class FaultyTransport final : public net::Transport {
   obs::Counter* inj_duplicated_;
   obs::Counter* inj_delayed_;
   obs::Counter* inj_corrupted_;
+  // Membership-plane mirrors, registered lazily on first injection so a
+  // plan without membership rules leaves the registry byte-identical to the
+  // pre-feature baseline.
+  obs::Counter* inj_gossip_blackout_ = nullptr;
+  obs::Counter* inj_gossip_loss_ = nullptr;
+  obs::Counter* inj_stale_ = nullptr;
+  obs::Counter* inj_inflate_ = nullptr;
   obs::HdrHistogram* extra_delay_us_;
 };
 

@@ -99,6 +99,9 @@ DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
   base_session.construct_timeout = config.construct_timeout;
   base_session.ack_timeout = config.ack_timeout;
   base_session.max_construct_attempts = config.max_construct_attempts;
+  base_session.staleness_aware = config.staleness_aware;
+  base_session.staleness_stale_after = config.staleness_stale_after;
+  base_session.staleness_degrade_fraction = config.staleness_degrade_fraction;
 
   anon::Session session(env.router(),
                         env.membership().cache(config.initiator),
@@ -208,6 +211,15 @@ DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
       result.constructed
           ? monitor.lifetime_seconds(measure_end, config.measure)
           : 0.0;
+  // End-of-run observational reads (after the simulator stops, so they
+  // cannot perturb anything).
+  if (env.faulty_transport() != nullptr) {
+    result.faults = env.faulty_transport()->counters();
+  }
+  result.belief_accuracy = env.membership().belief_accuracy();
+  result.mix_stale_fallbacks = session.mix_stale_fallbacks();
+  result.mix_biased_selects = session.mix_biased_selects();
+  result.control = env.membership().control_stats();
   return result;
 }
 

@@ -40,6 +40,12 @@ struct DurabilityConfig {
   /// summary + table land in the result. 0 = off, byte-identical run.
   SimDuration health_interval = 0;
   HealthConfig health;  // interval field ignored; health_interval governs
+
+  /// Staleness-aware mix selection for the initiator's session (DESIGN §9).
+  /// Off by default: the session then selects exactly as the seed did.
+  bool staleness_aware = false;
+  SimDuration staleness_stale_after = 2 * kMinute;
+  double staleness_degrade_fraction = 0.5;
 };
 
 struct DurabilityResult {
@@ -54,6 +60,19 @@ struct DurabilityResult {
   /// Populated only when config.health_interval > 0.
   HealthSummary health;
   std::string health_table;  // rendered scoreboard, empty when disabled
+
+  // --- Observational extras (read at run end; never affect the run) ---
+
+  /// Fault-injection counters (all zero when no fault plan was set).
+  fault::FaultyTransport::Counters faults;
+  /// Network-wide belief accuracy at run end (fraction of (observer,
+  /// subject) pairs whose alive-belief matches churn ground truth).
+  double belief_accuracy = 0.0;
+  /// Staleness-aware selection tallies for the initiator's session.
+  std::uint64_t mix_stale_fallbacks = 0;
+  std::uint64_t mix_biased_selects = 0;
+  /// Control-plane recovery work done by the membership provider.
+  membership::ControlStats control;
 };
 
 DurabilityResult run_durability_experiment(const DurabilityConfig& config);

@@ -59,8 +59,16 @@ Environment::Environment(EnvironmentConfig config)
   Rng key_rng = rng_.fork();
   auto node_keys = directory_.provision(config_.num_nodes, key_rng);
 
-  membership_ = std::make_unique<membership::GossipMembership>(
-      simulator_, *demux_, *churn_, config_.gossip, rng_.fork());
+  // Either provider consumes exactly one fork here, so switching kinds
+  // leaves every downstream RNG stream (router) in place, and the default
+  // (gossip) run stays byte-identical to the seed.
+  if (config_.membership_kind == MembershipKind::kOneHop) {
+    membership_ = std::make_unique<membership::OneHopMembership>(
+        simulator_, *demux_, *churn_, config_.onehop, rng_.fork());
+  } else {
+    membership_ = std::make_unique<membership::GossipMembership>(
+        simulator_, *demux_, *churn_, config_.gossip, rng_.fork());
+  }
 
   if (config_.fast_crypto) {
     onion_ = std::make_unique<anon::FastOnionCodec>();
@@ -99,6 +107,62 @@ void Environment::start() {
               static_cast<std::int64_t>(simulator_.scheduled_total()));
         });
     obs_sampler_->start();
+  }
+  if (config_.membership_obs_interval > 0 &&
+      config_.membership_obs_node < config_.num_nodes) {
+    obs::Gauge* age_p50 = metrics_->gauge("membership_record_age_p50_ms");
+    obs::Gauge* age_p95 = metrics_->gauge("membership_record_age_p95_ms");
+    obs::Gauge* stale_bp = metrics_->gauge("membership_stale_fraction_bp");
+    obs::Gauge* known = metrics_->gauge("membership_cache_known");
+    obs::Counter* upd_direct = metrics_->counter(
+        "membership_cache_updates_total", {{"rule", "direct"}});
+    obs::Counter* upd_indirect = metrics_->counter(
+        "membership_cache_updates_total", {{"rule", "indirect"}});
+    obs::Counter* upd_rejected = metrics_->counter(
+        "membership_cache_updates_total", {{"rule", "rejected"}});
+    obs::Counter* upd_inflated = metrics_->counter(
+        "membership_cache_updates_total", {{"rule", "inflated"}});
+    obs::Counter* ae_rounds =
+        metrics_->counter("membership_anti_entropy_rounds_total");
+    obs::Counter* repair_sent =
+        metrics_->counter("membership_repair_records_sent_total");
+    obs::Counter* repair_accepted =
+        metrics_->counter("membership_repair_records_accepted_total");
+    obs::Counter* elections = metrics_->counter("membership_elections_total");
+    membership_sampler_ = std::make_unique<sim::PeriodicTask>(
+        simulator_, config_.membership_obs_interval,
+        [this, age_p50, age_p95, stale_bp, known, upd_direct, upd_indirect,
+         upd_rejected, upd_inflated, ae_rounds, repair_sent, repair_accepted,
+         elections] {
+          const auto& cache = membership_->cache(config_.membership_obs_node);
+          const auto ages = cache.age_stats(
+              simulator_.now(), config_.membership_obs_stale_after);
+          age_p50->set(static_cast<std::int64_t>(to_millis(ages.age_p50)));
+          age_p95->set(static_cast<std::int64_t>(to_millis(ages.age_p95)));
+          stale_bp->set(
+              static_cast<std::int64_t>(ages.stale_fraction * 10000.0));
+          known->set(static_cast<std::int64_t>(ages.alive_known));
+          const auto merges = cache.merge_stats();
+          upd_direct->inc(merges.updates_direct -
+                          last_merge_stats_.updates_direct);
+          upd_indirect->inc(merges.updates_indirect -
+                            last_merge_stats_.updates_indirect);
+          upd_rejected->inc(merges.merges_rejected -
+                            last_merge_stats_.merges_rejected);
+          upd_inflated->inc(merges.inflated_rejected -
+                            last_merge_stats_.inflated_rejected);
+          last_merge_stats_ = merges;
+          const auto control = membership_->control_stats();
+          ae_rounds->inc(control.anti_entropy_rounds -
+                         last_control_stats_.anti_entropy_rounds);
+          repair_sent->inc(control.repair_records_sent -
+                           last_control_stats_.repair_records_sent);
+          repair_accepted->inc(control.repair_records_accepted -
+                               last_control_stats_.repair_records_accepted);
+          elections->inc(control.elections - last_control_stats_.elections);
+          last_control_stats_ = control;
+        });
+    membership_sampler_->start();
   }
   if (config_.timeseries != nullptr && config_.timeseries_interval > 0) {
     timeseries_sampler_ = std::make_unique<sim::PeriodicTask>(

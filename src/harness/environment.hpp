@@ -18,6 +18,8 @@
 #include "crypto/keys.hpp"
 #include "fault/faulty_transport.hpp"
 #include "membership/gossip.hpp"
+#include "membership/onehop.hpp"
+#include "membership/provider.hpp"
 #include "net/demux.hpp"
 #include "net/latency_matrix.hpp"
 #include "net/sim_transport.hpp"
@@ -27,12 +29,19 @@
 
 namespace p2panon::harness {
 
+/// Which dissemination substrate backs the membership layer. Gossip is the
+/// default (and the seed behavior); OneHop exists to exercise the leader-
+/// failover recovery path under fault plans (DESIGN §9).
+enum class MembershipKind { kGossip, kOneHop };
+
 struct EnvironmentConfig {
   std::size_t num_nodes = 1024;
   std::uint64_t seed = 1;
   SimDuration mean_rtt = from_millis(152);
   std::string session_distribution = "pareto:median=3600";
+  MembershipKind membership_kind = MembershipKind::kGossip;
   membership::GossipConfig gossip;
+  membership::OneHopConfig onehop;  // used when membership_kind == kOneHop
   anon::RouterConfig router;
   bool fast_crypto = true;  // FastOnionCodec for statistical runs
   std::size_t path_length = 3;  // L
@@ -64,6 +73,16 @@ struct EnvironmentConfig {
   /// sampler above.
   obs::TimeseriesRecorder* timeseries = nullptr;
   SimDuration timeseries_interval = 0;
+
+  /// > 0 starts a periodic sampler exporting node-cache health for
+  /// `membership_obs_node` (record-age p50/p95, stale fraction, cache
+  /// size) plus per-merge-rule counters and control-plane stats into the
+  /// registry. Off by default: the sampler both schedules events and
+  /// lazily registers series, and the default run must stay byte-identical
+  /// to the seed.
+  SimDuration membership_obs_interval = 0;
+  NodeId membership_obs_node = 0;
+  SimDuration membership_obs_stale_after = 2 * kMinute;
 };
 
 class Environment {
@@ -83,7 +102,7 @@ class Environment {
   /// Non-null only when a fault plan was configured.
   fault::FaultyTransport* faulty_transport() { return faulty_.get(); }
   net::Demux& demux() { return *demux_; }
-  membership::GossipMembership& membership() { return *membership_; }
+  membership::MembershipProvider& membership() { return *membership_; }
   anon::AnonRouter& router() { return *router_; }
   const crypto::KeyDirectory& directory() const { return directory_; }
   const EnvironmentConfig& config() const { return config_; }
@@ -104,6 +123,11 @@ class Environment {
   bool attached_trace_clock_ = false;
   std::unique_ptr<sim::PeriodicTask> obs_sampler_;
   std::unique_ptr<sim::PeriodicTask> timeseries_sampler_;
+  std::unique_ptr<sim::PeriodicTask> membership_sampler_;
+  // Last-seen merge-stat / control-stat values, so the sampler can
+  // increment registry counters by delta instead of overwriting.
+  membership::NodeCache::MergeStats last_merge_stats_;
+  membership::ControlStats last_control_stats_;
   sim::Simulator simulator_;
   std::unique_ptr<net::LatencyMatrix> latency_;
   std::unique_ptr<churn::ChurnModel> churn_;
@@ -111,7 +135,7 @@ class Environment {
   std::unique_ptr<fault::FaultyTransport> faulty_;
   std::unique_ptr<net::Demux> demux_;
   crypto::KeyDirectory directory_;
-  std::unique_ptr<membership::GossipMembership> membership_;
+  std::unique_ptr<membership::MembershipProvider> membership_;
   std::unique_ptr<anon::OnionCodec> onion_;
   std::unique_ptr<anon::AnonRouter> router_;
 };

@@ -14,6 +14,14 @@ constexpr const char* kDropCauses[] = {"sender_dead", "receiver_dead",
 constexpr std::size_t kDropCauseCount =
     sizeof(kDropCauses) / sizeof(kDropCauses[0]);
 
+// Membership-plane injection kinds mirrored by FaultyTransport
+// (fault_injections_total{kind=...}).
+constexpr const char* kMembershipKinds[] = {"gossip_blackout", "gossip_loss",
+                                            "stale_injected",
+                                            "claim_inflated"};
+constexpr std::size_t kMembershipKindCount =
+    sizeof(kMembershipKinds) / sizeof(kMembershipKinds[0]);
+
 std::string format_rate(double v) {
   std::ostringstream out;
   out.precision(3);
@@ -31,7 +39,8 @@ HealthScoreboard::HealthScoreboard(sim::Simulator& simulator,
       churn_(churn),
       registry_(registry),
       config_(config),
-      cause_stats_(kDropCauseCount) {
+      cause_stats_(kDropCauseCount),
+      membership_stats_(kMembershipKindCount) {
   if (config_.storm_transitions == 0) {
     config_.storm_transitions =
         std::max<std::uint64_t>(8, static_cast<std::uint64_t>(num_nodes) / 8);
@@ -81,6 +90,37 @@ void HealthScoreboard::sample() {
     registry_.gauge("health_window_drops", {{"cause", kDropCauses[i]}})
         ->set(static_cast<std::int64_t>(delta));
   }
+
+  // Membership-plane fault windows: injections the fault layer applied to
+  // gossip traffic this window, plus leader re-elections (the harness
+  // sampler's membership_elections_total counter; reads 0 when absent).
+  std::uint64_t membership_delta = 0;
+  for (std::size_t i = 0; i < kMembershipKindCount; ++i) {
+    CauseStats& stats = membership_stats_[i];
+    const std::uint64_t total = registry_.counter_value(
+        "fault_injections_total", {{"kind", kMembershipKinds[i]}});
+    const std::uint64_t delta = total - stats.prev;
+    stats.prev = total;
+    stats.window_total += delta;
+    membership_delta += delta;
+    const double rate =
+        window_s > 0.0 ? static_cast<double>(delta) / window_s : 0.0;
+    stats.max_rate_per_s = std::max(stats.max_rate_per_s, rate);
+    registry_.gauge("health_window_membership_faults",
+                    {{"kind", kMembershipKinds[i]}})
+        ->set(static_cast<std::int64_t>(delta));
+  }
+  summary_.total_membership_faults += membership_delta;
+  summary_.max_membership_faults_per_window =
+      std::max(summary_.max_membership_faults_per_window, membership_delta);
+  if (membership_delta > 0) ++summary_.membership_fault_windows;
+  const std::uint64_t elections =
+      registry_.counter_value("membership_elections_total");
+  const std::uint64_t election_delta = elections - prev_elections_;
+  prev_elections_ = elections;
+  summary_.elections_observed += election_delta;
+  registry_.gauge("health_window_elections")
+      ->set(static_cast<std::int64_t>(election_delta));
 
   // Corruption attribution: windows are scored by the evidence both ends
   // produce — responder-side segment-auth rejections and the corrupt-nack
@@ -174,6 +214,19 @@ std::string HealthScoreboard::table() const {
                        " (peak " + format_rate(cause_stats_[i].max_rate_per_s) +
                        "/s)"});
   }
+  table.add_row({"membership fault windows",
+                 std::to_string(summary_.membership_fault_windows) +
+                     " (max/window " +
+                     std::to_string(summary_.max_membership_faults_per_window) +
+                     ")"});
+  for (std::size_t i = 0; i < kMembershipKindCount; ++i) {
+    table.add_row({std::string("membership ") + kMembershipKinds[i],
+                   std::to_string(membership_stats_[i].window_total) +
+                       " (peak " +
+                       format_rate(membership_stats_[i].max_rate_per_s) +
+                       "/s)"});
+  }
+  table.add_row({"leader elections", std::to_string(summary_.elections_observed)});
   return table.render();
 }
 

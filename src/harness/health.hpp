@@ -65,6 +65,17 @@ struct HealthSummary {
   std::uint64_t max_rejections_per_window = 0;
   std::uint64_t total_auth_rejections = 0;  // responder-side tag failures
   std::uint64_t total_corrupt_nacks = 0;    // initiator-side verdicts
+
+  // Membership-plane fault attribution (control-plane resilience, DESIGN
+  // §9; all zero without a membership fault plan). Windows are scored by
+  // the fault layer's injection counters (gossip_blackout / gossip_loss /
+  // stale_injected / claim_inflated), and leader churn is tracked through
+  // the membership_elections_total counter the harness sampler maintains —
+  // the recovery signal a leader-crash scenario should light up.
+  std::size_t membership_fault_windows = 0;
+  std::uint64_t total_membership_faults = 0;
+  std::uint64_t max_membership_faults_per_window = 0;
+  std::uint64_t elections_observed = 0;
 };
 
 class HealthScoreboard {
@@ -118,10 +129,12 @@ class HealthScoreboard {
   std::uint64_t prev_transitions_ = 0;
   std::uint64_t prev_auth_rejections_ = 0;
   std::uint64_t prev_corrupt_nacks_ = 0;
+  std::uint64_t prev_elections_ = 0;
   std::size_t corruption_streak_ = 0;
   SimTime last_sample_us_ = 0;
   std::vector<PathWatch> path_watch_;
   std::vector<CauseStats> cause_stats_;
+  std::vector<CauseStats> membership_stats_;
 };
 
 }  // namespace p2panon::harness

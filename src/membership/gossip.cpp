@@ -11,6 +11,21 @@ namespace {
 constexpr std::uint8_t kKindGossip = 1;
 constexpr std::uint8_t kKindSyncRequest = 2;
 constexpr std::uint8_t kKindSyncResponse = 3;
+// Anti-entropy repair (control-plane resilience, DESIGN §9). Digest and
+// digest-reply bodies are bucket hashes, not liveness records — their
+// shape deliberately never matches [count u16][count * 21-byte records],
+// so the fault layer's record-mutation rules pass them through untouched.
+constexpr std::uint8_t kKindDigest = 4;       // opens a repair round trip
+constexpr std::uint8_t kKindRepair = 5;       // records healing a diff
+constexpr std::uint8_t kKindDigestReply = 6;  // closes the round (no reply)
+
+// Stateless mixer for digest hashing (SplitMix64 finalizer).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 void encode_record(Bytes& out, NodeId subject, const LivenessInfo& info) {
@@ -56,6 +71,12 @@ GossipMembership::GossipMembership(sim::Simulator& simulator,
   for (std::size_t i = 0; i < n; ++i) {
     refresh_cursors_[i] = static_cast<NodeId>(rng_.next_below(n));
   }
+  if (config_.bounded_trust) {
+    for (NodeCache& cache : caches_) {
+      cache.enable_bounded_trust(config_.trust);
+      cache.enable_suspicion(config_.trust_suspicion);
+    }
+  }
 }
 
 void GossipMembership::start() {
@@ -88,6 +109,18 @@ void GossipMembership::start() {
     on_churn(node, up, when);
   });
 
+  // Per-node streams: one extra draw from rng_ seeds all of them, taken
+  // only when a mode that uses them is on — the default start() sequence
+  // is unchanged.
+  if (config_.per_node_rng || config_.anti_entropy_interval > 0) {
+    const std::uint64_t base = rng_.next_u64();
+    node_rngs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      node_rngs_.emplace_back(base ^
+                              mix64(static_cast<std::uint64_t>(i) + 1));
+    }
+  }
+
   tasks_.reserve(n);
   for (NodeId node = 0; node < n; ++node) {
     auto task = std::make_unique<sim::PeriodicTask>(
@@ -97,6 +130,20 @@ void GossipMembership::start() {
                    static_cast<SimDuration>(rng_.next_below(
                        static_cast<std::uint64_t>(config_.interval))));
     tasks_.push_back(std::move(task));
+  }
+
+  if (config_.anti_entropy_interval > 0) {
+    anti_entropy_tasks_.reserve(n);
+    for (NodeId node = 0; node < n; ++node) {
+      auto task = std::make_unique<sim::PeriodicTask>(
+          simulator_, config_.anti_entropy_interval,
+          [this, node] { anti_entropy_tick(node); });
+      task->start_at(simulator_.now() +
+                     static_cast<SimDuration>(node_rngs_[node].next_below(
+                         static_cast<std::uint64_t>(
+                             config_.anti_entropy_interval))));
+      anti_entropy_tasks_.push_back(std::move(task));
+    }
   }
 }
 
@@ -114,7 +161,7 @@ void GossipMembership::on_churn(NodeId node, bool up, SimTime when) {
     auto contacts = caches_[node].sample_known(
         std::min<std::size_t>(config_.churn_observers,
                               caches_[node].known_count()),
-        rng_, {node});
+        decision_rng(node), {node});
     bool sync_requested = false;
     for (NodeId contact : contacts) {
       send_records(node, contact, kKindGossip, {});
@@ -134,8 +181,10 @@ void GossipMembership::on_churn(NodeId node, bool up, SimTime when) {
     // the news spread epidemically from them.
     const SimDuration delay =
         config_.detection_delay_min +
-        static_cast<SimDuration>(rng_.next_below(static_cast<std::uint64_t>(
-            config_.detection_delay_max - config_.detection_delay_min + 1)));
+        static_cast<SimDuration>(
+            decision_rng(node).next_below(static_cast<std::uint64_t>(
+                config_.detection_delay_max - config_.detection_delay_min +
+                1)));
     simulator_.schedule_after(delay, [this, node] {
       if (churn_.is_up(node)) return;  // re-joined before detection
       std::size_t found = 0;
@@ -144,7 +193,7 @@ void GossipMembership::on_churn(NodeId node, bool up, SimTime when) {
            attempt < 8 * config_.churn_observers && found < config_.churn_observers;
            ++attempt) {
         const NodeId observer =
-            static_cast<NodeId>(rng_.next_below(n));
+            static_cast<NodeId>(decision_rng(node).next_below(n));
         if (observer == node || !churn_.is_up(observer)) continue;
         caches_[observer].heard_left_directly(node, simulator_.now());
         enqueue_rumor(observer, node);
@@ -162,7 +211,8 @@ void GossipMembership::enqueue_rumor(NodeId owner, NodeId subject) {
 }
 
 std::vector<NodeId> GossipMembership::pick_gossip_targets(NodeId node,
-                                                          std::size_t count) {
+                                                          std::size_t count,
+                                                          Rng& rng) {
   // Believed-alive cache entries, found by rejection sampling: with the
   // near-complete caches OneHop-style membership maintains, a random node
   // id is a valid target about half the time, so this avoids building a
@@ -174,7 +224,7 @@ std::vector<NodeId> GossipMembership::pick_gossip_targets(NodeId node,
   out.reserve(count);
   for (std::size_t attempt = 0; attempt < 16 * count + 64 && out.size() < count;
        ++attempt) {
-    const NodeId candidate = static_cast<NodeId>(rng_.next_below(n));
+    const NodeId candidate = static_cast<NodeId>(rng.next_below(n));
     if (candidate == node) continue;
     const auto* entry = cache.find(candidate);
     if (entry == nullptr || !entry->alive) continue;
@@ -261,9 +311,99 @@ void GossipMembership::gossip_tick(NodeId node) {
   }
   refresh_cursors_[node] = cursor;
 
-  for (NodeId target : pick_gossip_targets(node, config_.fanout)) {
+  for (NodeId target :
+       pick_gossip_targets(node, config_.fanout, decision_rng(node))) {
     send_records(node, target, kKindGossip, subjects);
   }
+}
+
+// --- anti-entropy repair (DESIGN §9) ---------------------------------------
+
+std::vector<std::uint64_t> GossipMembership::compute_digest(
+    NodeId node) const {
+  // Per-bucket XOR fold of h(subject, believed-alive) over known entries.
+  // Deliberately excludes the dt fields: those differ between any two
+  // caches almost always (local staleness), and a digest over them would
+  // flag every bucket every round. Alive/dead belief is the state whose
+  // divergence anti-entropy exists to heal.
+  std::vector<std::uint64_t> buckets(config_.anti_entropy_buckets, 0);
+  const NodeCache& cache = caches_[node];
+  const std::size_t n = caches_.size();
+  for (NodeId subject = 0; subject < n; ++subject) {
+    const auto* entry = cache.find(subject);
+    if (entry == nullptr) continue;
+    const std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(subject) * 2 +
+              (entry->alive ? 1 : 0));
+    buckets[subject % config_.anti_entropy_buckets] ^= h;
+  }
+  return buckets;
+}
+
+void GossipMembership::send_digest(NodeId from, NodeId to,
+                                   std::uint8_t kind) {
+  const auto buckets = compute_digest(from);
+  Bytes msg;
+  msg.reserve(3 + buckets.size() * 8);
+  msg.push_back(kind);
+  put_u16be(msg, static_cast<std::uint16_t>(buckets.size()));
+  for (std::uint64_t b : buckets) put_u64be(msg, b);
+  demux_.send(net::Channel::kGossip, from, to, msg);
+  ++messages_sent_;
+  bytes_sent_ += msg.size();
+  ++control_stats_.digests_sent;
+}
+
+void GossipMembership::anti_entropy_tick(NodeId node) {
+  if (!churn_.is_up(node)) return;
+  const auto partners = pick_gossip_targets(node, 1, node_rngs_[node]);
+  if (partners.empty()) return;
+  ++control_stats_.anti_entropy_rounds;
+  send_digest(node, partners.front(), kKindDigest);
+}
+
+void GossipMembership::handle_digest(NodeId from, NodeId to, ByteView payload,
+                                     bool reply_with_digest) {
+  if (payload.size() < 3) return;
+  const std::size_t count = get_u16be(payload, 1);
+  if (count == 0 || payload.size() < 3 + count * 8) return;
+  const auto own = compute_digest(to);
+  // Bucket counts must agree (same config everywhere in one deployment);
+  // compare only the common prefix defensively.
+  const std::size_t buckets = std::min(own.size(), count);
+  std::vector<bool> differs(buckets, false);
+  bool any = false;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (own[b] != get_u64be(payload, 3 + b * 8)) {
+      differs[b] = true;
+      any = true;
+    }
+  }
+  if (any) {
+    // Push our records for every differing bucket; the peer's merge rules
+    // keep whichever side is fresher, so pushing is safe even when the
+    // peer is the one with better information.
+    std::vector<NodeId> chunk;
+    const std::size_t chunk_size =
+        std::max<std::size_t>(config_.max_rumors * 4, 64);
+    const std::size_t n = caches_.size();
+    for (NodeId subject = 0; subject < n; ++subject) {
+      if (subject == to) continue;
+      const std::size_t idx = subject % config_.anti_entropy_buckets;
+      if (idx >= buckets || !differs[idx]) continue;
+      if (caches_[to].find(subject) == nullptr) continue;
+      chunk.push_back(subject);
+      ++control_stats_.repair_records_sent;
+      if (chunk.size() == chunk_size) {
+        send_records(to, from, kKindRepair, chunk);
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) send_records(to, from, kKindRepair, chunk);
+  }
+  // Close the round trip with our own digest so the initiator can push the
+  // buckets where *we* are behind. A reply never triggers another reply.
+  if (reply_with_digest) send_digest(to, from, kKindDigestReply);
 }
 
 void GossipMembership::handle_message(NodeId from, NodeId to,
@@ -290,7 +430,16 @@ void GossipMembership::handle_message(NodeId from, NodeId to,
     return;
   }
 
-  if (kind != kKindGossip && kind != kKindSyncResponse) return;
+  if (kind == kKindDigest || kind == kKindDigestReply) {
+    if (config_.anti_entropy_interval <= 0) return;
+    handle_digest(from, to, payload,
+                  /*reply_with_digest=*/kind == kKindDigest);
+    return;
+  }
+
+  if (kind != kKindGossip && kind != kKindSyncResponse && kind != kKindRepair) {
+    return;
+  }
   if (payload.size() < 3) return;
   const std::size_t count = get_u16be(payload, 1);
   std::vector<DecodedRecord> records;
@@ -311,11 +460,17 @@ void GossipMembership::handle_message(NodeId from, NodeId to,
     } else {
       accepted = cache.merge_indirect(rec.subject, rec.info, now);
     }
+    if (accepted && kind == kKindRepair) {
+      ++control_stats_.repair_records_accepted;
+    }
     // Re-gossip accepted *state changes* (alive flips or first sightings);
     // routine freshness updates don't need rumor amplification, and sync
-    // responses never re-gossip.
+    // responses never re-gossip. Repair-healed flips DO re-gossip: a node
+    // whose blackout just ended is the best seed for spreading the healed
+    // state onward.
     const bool changed = !prior_known || prior_alive != rec.info.alive;
-    if (accepted && changed && kind == kKindGossip) {
+    if (accepted && changed &&
+        (kind == kKindGossip || kind == kKindRepair)) {
       enqueue_rumor(to, rec.subject);
     }
   }

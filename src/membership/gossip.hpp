@@ -25,6 +25,7 @@
 #include "churn/churn_model.hpp"
 #include "common/rng.hpp"
 #include "membership/node_cache.hpp"
+#include "membership/provider.hpp"
 #include "net/demux.hpp"
 #include "sim/simulator.hpp"
 
@@ -47,9 +48,38 @@ struct GossipConfig {
   SimDuration detection_delay_max = 2 * kSecond;
   std::size_t churn_observers = 3;      // nodes that notice a join/leave
   bool seed_full_membership = true;     // OneHop-style complete initial view
+
+  // --- Control-plane resilience (DESIGN §9). Every knob below defaults
+  // OFF; with all of them off, RNG draw sequences and wire traffic are
+  // byte-identical to the seed. ---
+
+  /// Digest-based anti-entropy repair period; 0 disables. Each round a
+  /// node sends one partner a compact per-bucket digest of its alive/dead
+  /// beliefs; the partner pushes back records for every differing bucket
+  /// and returns its own digest so repair flows both ways (one round trip,
+  /// loop-free). This is what re-converges caches after a gossip blackout
+  /// or partition heals — rumor mongering alone has already forgotten the
+  /// deltas by then.
+  SimDuration anti_entropy_interval = 0;
+  /// Digest resolution: beliefs are XOR-folded into `subject % buckets`
+  /// slots. More buckets = finer diffs = fewer records pushed per repair.
+  std::size_t anti_entropy_buckets = 16;
+
+  /// Route gossip peer selection and churn-observer picks through
+  /// deterministic per-node RNG streams instead of the instance-shared
+  /// stream, so one node's draw history is independent of every other
+  /// node's tick interleaving.
+  bool per_node_rng = false;
+
+  /// Bounded-trust liveness merging: enables NodeCache bounded trust (and
+  /// the suspicion machinery it files inflation evidence through) on every
+  /// cache.
+  bool bounded_trust = false;
+  TrustConfig trust;
+  SuspicionConfig trust_suspicion;
 };
 
-class GossipMembership {
+class GossipMembership final : public MembershipProvider {
  public:
   GossipMembership(sim::Simulator& simulator, net::Demux& demux,
                    churn::ChurnModel& churn_model, GossipConfig config,
@@ -59,20 +89,25 @@ class GossipMembership {
 
   /// Seeds caches, subscribes to churn and starts the per-node gossip
   /// tasks (with random phase so rounds don't align).
-  void start();
+  void start() override;
 
-  NodeCache& cache(NodeId node) { return caches_[node]; }
-  const NodeCache& cache(NodeId node) const { return caches_[node]; }
+  NodeCache& cache(NodeId node) override { return caches_[node]; }
+  const NodeCache& cache(NodeId node) const override { return caches_[node]; }
 
   /// The node's own uptime (what it would report in its packets).
-  SimDuration own_uptime(NodeId node) const;
+  SimDuration own_uptime(NodeId node) const override;
 
-  std::size_t num_nodes() const { return caches_.size(); }
+  std::size_t num_nodes() const override { return caches_.size(); }
 
   /// Fraction of (live observer, subject) pairs whose alive/dead belief
   /// matches ground truth — dissemination quality metric used in tests.
-  double belief_accuracy() const;
+  double belief_accuracy() const override;
 
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  ControlStats control_stats() const override { return control_stats_; }
+
+  // Legacy accessor names, kept for direct users (tests).
   std::uint64_t gossip_messages_sent() const { return messages_sent_; }
   std::uint64_t gossip_bytes_sent() const { return bytes_sent_; }
 
@@ -84,11 +119,22 @@ class GossipMembership {
 
   void on_churn(NodeId node, bool up, SimTime when);
   void gossip_tick(NodeId node);
+  void anti_entropy_tick(NodeId node);
   void handle_message(NodeId from, NodeId to, ByteView payload);
+  void handle_digest(NodeId from, NodeId to, ByteView payload,
+                     bool reply_with_digest);
   void enqueue_rumor(NodeId owner, NodeId subject);
   void send_records(NodeId from, NodeId to, std::uint8_t kind,
                     const std::vector<NodeId>& subjects);
-  std::vector<NodeId> pick_gossip_targets(NodeId node, std::size_t count);
+  void send_digest(NodeId from, NodeId to, std::uint8_t kind);
+  std::vector<std::uint64_t> compute_digest(NodeId node) const;
+  std::vector<NodeId> pick_gossip_targets(NodeId node, std::size_t count,
+                                          Rng& rng);
+  /// The stream a node's own decisions draw from: its private stream in
+  /// per-node mode, the instance-shared stream otherwise.
+  Rng& decision_rng(NodeId node) {
+    return config_.per_node_rng ? node_rngs_[node] : rng_;
+  }
 
   sim::Simulator& simulator_;
   net::Demux& demux_;
@@ -101,9 +147,15 @@ class GossipMembership {
   std::vector<std::unordered_set<NodeId>> rumor_members_;  // dedupe
   std::vector<NodeId> refresh_cursors_;  // round-robin anti-entropy sweep
   std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> anti_entropy_tasks_;
+  // Per-node streams, materialized in start() only when a mode needing
+  // them is on (per_node_rng or anti-entropy) so the default draws nothing
+  // extra from rng_.
+  std::vector<Rng> node_rngs_;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  ControlStats control_stats_;
   bool started_ = false;
 };
 

@@ -16,8 +16,19 @@ void NodeCache::heard_directly(NodeId node, SimDuration dt_alive,
                                SimTime now) {
   Entry& e = entries_.at(node);
   if (!e.known) ++known_count_;
+  // Bounded trust: direct contact proves the node is alive *now*, but its
+  // claimed uptime is still just a claim. No node can have been up longer
+  // than the simulation has run, so cap at now + slack and file suspicion
+  // for the excess — the node stays usable but loses its stolen bias.
+  if (trust_enabled_ && dt_alive > now + trust_config_.claim_slack) {
+    dt_alive = now + trust_config_.claim_slack;
+    ++merge_stats_.inflated_rejected;
+    report_suspicion(node, trust_config_.inflation_suspicion, now);
+  }
+  ++merge_stats_.updates_direct;
   e.known = true;
   e.alive = true;
+  e.direct = true;
   e.dt_alive = dt_alive;
   e.dt_since = 0;
   e.t_last = now;
@@ -26,8 +37,10 @@ void NodeCache::heard_directly(NodeId node, SimDuration dt_alive,
 void NodeCache::heard_left_directly(NodeId node, SimTime now) {
   Entry& e = entries_.at(node);
   if (!e.known) ++known_count_;
+  ++merge_stats_.updates_direct;
   e.known = true;
   e.alive = false;
+  e.direct = true;
   e.dt_alive = 0;
   e.dt_since = 0;
   e.t_last = now;
@@ -36,10 +49,30 @@ void NodeCache::heard_left_directly(NodeId node, SimTime now) {
 bool NodeCache::merge_indirect(NodeId node, const LivenessInfo& info,
                                SimTime now) {
   Entry& e = entries_.at(node);
+  // Bounded trust: an indirect claim is rejected outright when it is
+  // physically impossible (more uptime than the clock allows) or when it
+  // contradicts our own direct observation of the subject (direct outranks
+  // indirect — a relayed rumor cannot make a node look longer-lived than
+  // we saw it ourselves).
+  if (trust_enabled_ && info.alive) {
+    const SimDuration slack = trust_config_.claim_slack;
+    const bool impossible =
+        info.dt_alive > now + slack;
+    const bool over_direct =
+        e.known && e.direct && e.alive &&
+        info.dt_alive > e.dt_alive + (now - e.t_last) + slack;
+    if (impossible || over_direct) {
+      ++merge_stats_.inflated_rejected;
+      report_suspicion(node, trust_config_.inflation_suspicion, now);
+      return false;
+    }
+  }
   if (!e.known) {
     ++known_count_;
+    ++merge_stats_.updates_indirect;
     e.known = true;
     e.alive = info.alive;
+    e.direct = false;
     e.dt_alive = info.dt_alive;
     e.dt_since = info.dt_since;
     e.t_last = now;
@@ -48,12 +81,15 @@ bool NodeCache::merge_indirect(NodeId node, const LivenessInfo& info,
   // Effective staleness of what we already have.
   const SimDuration current_since = e.dt_since + (now - e.t_last);
   if (info.dt_since < current_since) {
+    ++merge_stats_.updates_indirect;
     e.alive = info.alive;
+    e.direct = false;
     e.dt_alive = info.dt_alive;
     e.dt_since = info.dt_since;
     e.t_last = now;
     return true;
   }
+  ++merge_stats_.merges_rejected;
   return false;
 }
 
@@ -158,7 +194,43 @@ void NodeCache::clear() {
     e.node = id;
   }
   known_count_ = 0;
+  merge_stats_ = MergeStats{};
   for (Suspicion& s : suspicion_) s = Suspicion{};
+}
+
+// --- bounded trust ---------------------------------------------------------
+
+void NodeCache::enable_bounded_trust(const TrustConfig& config) {
+  trust_enabled_ = true;
+  trust_config_ = config;
+}
+
+NodeCache::AgeStats NodeCache::age_stats(SimTime now,
+                                         SimDuration stale_after) const {
+  AgeStats stats;
+  std::vector<SimDuration> ages;
+  ages.reserve(known_count_);
+  std::size_t stale = 0;
+  for (const Entry& e : entries_) {
+    if (!e.known || !e.alive) continue;
+    const SimDuration age = e.dt_since + (now - e.t_last);
+    ages.push_back(age);
+    if (age > stale_after) ++stale;
+  }
+  stats.alive_known = ages.size();
+  if (ages.empty()) return stats;
+  const std::size_t p50 = ages.size() / 2;
+  const std::size_t p95 =
+      std::min(ages.size() - 1, (ages.size() * 95) / 100);
+  std::nth_element(ages.begin(), ages.begin() + static_cast<long>(p50),
+                   ages.end());
+  stats.age_p50 = ages[p50];
+  std::nth_element(ages.begin(), ages.begin() + static_cast<long>(p95),
+                   ages.end());
+  stats.age_p95 = ages[p95];
+  stats.stale_fraction =
+      static_cast<double>(stale) / static_cast<double>(ages.size());
+  return stats;
 }
 
 // --- behavioral suspicion --------------------------------------------------------

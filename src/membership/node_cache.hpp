@@ -39,15 +39,55 @@ struct SuspicionConfig {
   double bias_penalty = 1.0;
 };
 
+/// Bounded-trust merge policy (control-plane resilience extension, DESIGN
+/// §9). Liveness claims are bounded by physics: a node running since the
+/// epoch can have accumulated at most `now` of uptime, and an indirect
+/// claim about a node we have observed directly cannot exceed our own
+/// observation extrapolated forward. Claims past those bounds (plus
+/// `claim_slack` of tolerance for clock skew) are capped or rejected, and
+/// the subject earns `inflation_suspicion` through the existing suspicion
+/// machinery — so a persistent inflater quarantines itself out of the mix
+/// pool.
+struct TrustConfig {
+  /// Tolerance added to every bound before a claim counts as inflated.
+  SimDuration claim_slack = 30 * kSecond;
+  /// Suspicion filed against the subject of an inflated claim (requires
+  /// enable_suspicion; silently dropped otherwise).
+  double inflation_suspicion = 0.5;
+};
+
 class NodeCache {
  public:
   struct Entry {
     NodeId node = kInvalidNode;
     bool known = false;
     bool alive = false;       // last observed state
+    bool direct = false;      // last update was a first-hand observation
     SimDuration dt_alive = 0; // subject uptime at observation
     SimDuration dt_since = 0; // observation age when recorded
     SimTime t_last = 0;       // local time the record was updated
+  };
+
+  /// Always-on cheap tallies of merge outcomes, surfaced as the obs
+  /// `membership_cache_updates_total{rule=...}` counters by the harness
+  /// sampler.
+  struct MergeStats {
+    std::uint64_t updates_direct = 0;    // heard_directly / heard_left_directly
+    std::uint64_t updates_indirect = 0;  // merge_indirect accepted
+    std::uint64_t merges_rejected = 0;   // merge_indirect stale-rejected
+    std::uint64_t inflated_rejected = 0; // bounded-trust capped or rejected
+  };
+
+  /// Record-age distribution over known-alive entries: how stale this
+  /// node's view of the living network is. `age` of an entry is its
+  /// effective dt_since (stored + local staleness). The staleness-aware
+  /// mix selector degrades from biased to random selection on
+  /// stale_fraction.
+  struct AgeStats {
+    std::size_t alive_known = 0;
+    SimDuration age_p50 = 0;
+    SimDuration age_p95 = 0;
+    double stale_fraction = 0.0;  // entries older than the given threshold
   };
 
   explicit NodeCache(std::size_t num_nodes);
@@ -102,6 +142,23 @@ class NodeCache {
   /// Drops everything (tests / node reset).
   void clear();
 
+  // --- bounded trust (default OFF: until enable_bounded_trust() is
+  // called, merge behavior is byte-identical to the seed) ---
+
+  /// Turns bounded-trust merging on: direct observations cap the subject's
+  /// claimed uptime at `now + claim_slack`, and indirect claims that exceed
+  /// either the physical bound or our own direct observation are rejected
+  /// (filing suspicion on the subject when suspicion is enabled).
+  void enable_bounded_trust(const TrustConfig& config);
+  bool bounded_trust_enabled() const { return trust_enabled_; }
+  const TrustConfig& trust_config() const { return trust_config_; }
+
+  const MergeStats& merge_stats() const { return merge_stats_; }
+
+  /// Record-age percentiles and stale fraction over known-alive entries;
+  /// `stale_after` is the age past which an entry counts as stale.
+  AgeStats age_stats(SimTime now, SimDuration stale_after) const;
+
   // --- behavioral suspicion (default OFF: until enable_suspicion() is
   // called, every method below is a no-op / returns 0 and selection
   // behavior is byte-identical to the seed) ---
@@ -130,6 +187,9 @@ class NodeCache {
  private:
   std::vector<Entry> entries_;
   std::size_t known_count_ = 0;
+  bool trust_enabled_ = false;
+  TrustConfig trust_config_;
+  MergeStats merge_stats_;
 
   struct Suspicion {
     double score = 0.0;

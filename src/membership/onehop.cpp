@@ -10,6 +10,14 @@ namespace {
 constexpr std::uint8_t kKindEventToLeader = 1;     // observer -> own leader
 constexpr std::uint8_t kKindEventInterLeader = 2;  // leader -> other leaders
 constexpr std::uint8_t kKindKeepalive = 3;         // leader -> unit members
+constexpr std::uint8_t kKindLeaderAnnounce = 4;    // new leader -> unit+peers
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 OneHopMembership::OneHopMembership(sim::Simulator& simulator,
@@ -34,15 +42,36 @@ std::size_t OneHopMembership::unit_of(NodeId node) const {
   return std::min<std::size_t>(node / unit_size, config_.units - 1);
 }
 
-NodeId OneHopMembership::unit_leader(std::size_t unit) const {
+std::pair<std::size_t, std::size_t> OneHopMembership::unit_range(
+    std::size_t unit) const {
   const std::size_t n = caches_.size();
   const std::size_t unit_size = (n + config_.units - 1) / config_.units;
   const std::size_t begin = unit * unit_size;
-  const std::size_t end = std::min(n, begin + unit_size);
+  return {begin, std::min(n, begin + unit_size)};
+}
+
+NodeId OneHopMembership::unit_leader(std::size_t unit) const {
+  const auto [begin, end] = unit_range(unit);
   for (std::size_t node = begin; node < end; ++node) {
     if (churn_.is_up(static_cast<NodeId>(node))) {
       return static_cast<NodeId>(node);
     }
+  }
+  return kInvalidNode;
+}
+
+NodeId OneHopMembership::believed_leader(NodeId observer,
+                                         std::size_t unit) const {
+  const auto [begin, end] = unit_range(unit);
+  for (std::size_t node = begin; node < end; ++node) {
+    const NodeId id = static_cast<NodeId>(node);
+    if (id == observer) {
+      // A node always knows its own state.
+      if (churn_.is_up(observer)) return id;
+      continue;
+    }
+    const auto* entry = caches_[observer].find(id);
+    if (entry != nullptr && entry->alive) return id;
   }
   return kInvalidNode;
 }
@@ -71,6 +100,34 @@ void OneHopMembership::start() {
   churn_.subscribe([this](NodeId node, bool up, SimTime when) {
     on_churn(node, up, when);
   });
+
+  if (config_.deterministic_failover) {
+    // Failover mode replaces the per-unit ground-truth keepalive tasks
+    // with a per-node watchdog: whoever believes itself leader does
+    // keepalive duty (including empty heartbeats, so silence is a
+    // signal), and members time the leader out after leader_miss_threshold
+    // intervals. Task phases come from deterministic per-node streams.
+    const std::size_t n = caches_.size();
+    const std::uint64_t base = rng_.next_u64();
+    node_rngs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      node_rngs_.emplace_back(base ^
+                              mix64(static_cast<std::uint64_t>(i) + 1));
+    }
+    last_leader_heard_.assign(n, simulator_.now());
+    watchdog_tasks_.reserve(n);
+    for (NodeId node = 0; node < n; ++node) {
+      auto task = std::make_unique<sim::PeriodicTask>(
+          simulator_, config_.keepalive_interval,
+          [this, node] { watchdog_tick(node); });
+      task->start_at(
+          simulator_.now() +
+          static_cast<SimDuration>(node_rngs_[node].next_below(
+              static_cast<std::uint64_t>(config_.keepalive_interval))));
+      watchdog_tasks_.push_back(std::move(task));
+    }
+    return;
+  }
 
   keepalive_tasks_.reserve(config_.units);
   for (std::size_t unit = 0; unit < config_.units; ++unit) {
@@ -135,6 +192,12 @@ void OneHopMembership::send_event(NodeId from, NodeId to, std::uint8_t kind,
 void OneHopMembership::on_churn(NodeId node, bool up, SimTime when) {
   (void)when;
   if (up) {
+    // A rejoiner's leader-silence clock restarts: it has not heard anyone
+    // while down, and must not fail its leader over before the first
+    // keepalive has had a chance to arrive.
+    if (config_.deterministic_failover) {
+      last_leader_heard_[node] = simulator_.now();
+    }
     // The joiner reports to its unit leader directly.
     deliver_event(node, node);
     return;
@@ -155,7 +218,12 @@ void OneHopMembership::on_churn(NodeId node, bool up, SimTime when) {
 }
 
 void OneHopMembership::deliver_event(NodeId observer, NodeId subject) {
-  const NodeId leader = unit_leader(unit_of(observer));
+  // Failover mode routes by the observer's *belief*; ground-truth mode by
+  // churn state (the seed's simulator shortcut).
+  const std::size_t own_unit = unit_of(observer);
+  const NodeId leader = config_.deterministic_failover
+                            ? believed_leader(observer, own_unit)
+                            : unit_leader(own_unit);
   if (leader == kInvalidNode) return;
   LivenessInfo info;
   if (observer == subject) {
@@ -170,7 +238,9 @@ void OneHopMembership::deliver_event(NodeId observer, NodeId subject) {
   if (leader == observer) {
     // Already at the leader: fan out to other unit leaders.
     for (std::size_t unit = 0; unit < config_.units; ++unit) {
-      const NodeId other = unit_leader(unit);
+      const NodeId other = config_.deterministic_failover
+                               ? believed_leader(observer, unit)
+                               : unit_leader(unit);
       if (other == kInvalidNode || other == leader) continue;
       send_event(leader, other, kKindEventInterLeader, subject, info);
     }
@@ -183,16 +253,19 @@ void OneHopMembership::deliver_event(NodeId observer, NodeId subject) {
 void OneHopMembership::keepalive_tick(std::size_t unit) {
   const NodeId leader = unit_leader(unit);
   if (leader == kInvalidNode) return;
+  if (pending_unit_events_[unit].empty()) return;
+  keepalive_send(leader, unit, /*always_send=*/false);
+}
+
+void OneHopMembership::keepalive_send(NodeId leader, std::size_t unit,
+                                      bool always_send) {
   auto& pending = pending_unit_events_[unit];
-  if (pending.empty()) return;
+  if (pending.empty() && !always_send) return;
   std::sort(pending.begin(), pending.end());
   pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
 
   const SimTime now = simulator_.now();
-  const std::size_t n = caches_.size();
-  const std::size_t unit_size = (n + config_.units - 1) / config_.units;
-  const std::size_t begin = unit * unit_size;
-  const std::size_t end = std::min(n, begin + unit_size);
+  const auto [begin, end] = unit_range(unit);
 
   Bytes msg;
   msg.push_back(kKindKeepalive);
@@ -214,12 +287,99 @@ void OneHopMembership::keepalive_tick(std::size_t unit) {
 
   for (std::size_t member = begin; member < end; ++member) {
     const NodeId id = static_cast<NodeId>(member);
-    if (id == leader || !churn_.is_up(id)) continue;
+    if (id == leader) continue;
+    if (config_.deterministic_failover) {
+      // Belief-routed: a leader cannot consult ground truth for its
+      // members any more than for anything else; sends to dead members
+      // are dropped by the transport.
+      const auto* entry = caches_[leader].find(id);
+      if (entry == nullptr || !entry->alive) continue;
+    } else if (!churn_.is_up(id)) {
+      continue;
+    }
     demux_.send(net::Channel::kGossip, leader, id, msg);
     ++messages_sent_;
     bytes_sent_ += msg.size();
   }
   pending.clear();
+}
+
+void OneHopMembership::watchdog_tick(NodeId node) {
+  if (!churn_.is_up(node)) return;
+  const std::size_t unit = unit_of(node);
+  const SimTime now = simulator_.now();
+  const NodeId bleader = believed_leader(node, unit);
+  if (bleader == node) {
+    // Self-believed leader does keepalive duty — always, so members can
+    // read silence as failure.
+    keepalive_send(node, unit, /*always_send=*/true);
+    last_leader_heard_[node] = now;
+    return;
+  }
+  if (bleader == kInvalidNode) return;
+  const SimDuration silence = now - last_leader_heard_[node];
+  const SimDuration threshold =
+      static_cast<SimDuration>(config_.leader_miss_threshold) *
+      config_.keepalive_interval;
+  if (silence <= threshold) return;
+  // Leader silent too long: declare it dead locally and re-elect. The
+  // lowest-id rule means every member with the same beliefs elects the
+  // same successor; only the successor itself announces.
+  caches_[node].heard_left_directly(bleader, now);
+  last_leader_heard_[node] = now;  // restart the clock for the successor
+  const NodeId next = believed_leader(node, unit);
+  if (next == node) {
+    ++control_stats_.elections;
+    announce_leader(node, unit);
+  }
+}
+
+void OneHopMembership::announce_leader(NodeId node, std::size_t unit) {
+  const SimTime now = simulator_.now();
+  const auto [begin, end] = unit_range(unit);
+
+  // The announcement carries the announcer's own record plus its view of
+  // every lower-id unit member (the predecessors it believes dead), so
+  // receivers that still trusted a dead predecessor converge in one hop
+  // instead of timing each predecessor out in sequence.
+  Bytes msg;
+  msg.push_back(kKindLeaderAnnounce);
+  std::vector<std::pair<NodeId, LivenessInfo>> records;
+  LivenessInfo own;
+  own.alive = true;
+  own.dt_alive = own_uptime(node);
+  own.dt_since = 0;
+  records.emplace_back(node, own);
+  for (std::size_t id = begin; id < static_cast<std::size_t>(node); ++id) {
+    const auto obs = caches_[node].observation(static_cast<NodeId>(id), now);
+    if (obs.has_value()) records.emplace_back(static_cast<NodeId>(id), *obs);
+  }
+  put_u16be(msg, static_cast<std::uint16_t>(records.size()));
+  for (const auto& [subject, info] : records) {
+    encode_record(msg, subject, info);
+  }
+
+  // Unit members we believe alive, plus every other unit's believed leader
+  // (so inter-leader event routing finds us).
+  for (std::size_t member = begin; member < end; ++member) {
+    const NodeId id = static_cast<NodeId>(member);
+    if (id == node) continue;
+    const auto* entry = caches_[node].find(id);
+    if (entry == nullptr || !entry->alive) continue;
+    demux_.send(net::Channel::kGossip, node, id, msg);
+    ++messages_sent_;
+    bytes_sent_ += msg.size();
+    ++control_stats_.leader_announcements;
+  }
+  for (std::size_t other = 0; other < config_.units; ++other) {
+    if (other == unit) continue;
+    const NodeId peer = believed_leader(node, other);
+    if (peer == kInvalidNode) continue;
+    demux_.send(net::Channel::kGossip, node, peer, msg);
+    ++messages_sent_;
+    bytes_sent_ += msg.size();
+    ++control_stats_.leader_announcements;
+  }
 }
 
 void OneHopMembership::handle_message(NodeId from, NodeId to,
@@ -230,6 +390,14 @@ void OneHopMembership::handle_message(NodeId from, NodeId to,
   std::vector<DecodedRecord> records;
   if (!decode_records(payload, 3, count, records)) return;
   const SimTime now = simulator_.now();
+
+  // Failover mode: a keepalive or announcement from a same-unit peer is
+  // proof of an acting leader — reset the silence clock.
+  if (config_.deterministic_failover &&
+      (kind == kKindKeepalive || kind == kKindLeaderAnnounce) &&
+      unit_of(from) == unit_of(to)) {
+    last_leader_heard_[to] = now;
+  }
 
   NodeCache& cache = caches_[to];
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -249,7 +417,9 @@ void OneHopMembership::handle_message(NodeId from, NodeId to,
         const auto obs = cache.observation(rec.subject, now);
         if (obs.has_value()) {
           for (std::size_t unit = 0; unit < config_.units; ++unit) {
-            const NodeId other = unit_leader(unit);
+            const NodeId other = config_.deterministic_failover
+                                     ? believed_leader(to, unit)
+                                     : unit_leader(unit);
             if (other == kInvalidNode || other == to) continue;
             send_event(to, other, kKindEventInterLeader, rec.subject, *obs);
           }

@@ -25,7 +25,7 @@ TEST(EnvironmentTest, AssemblesAndRuns) {
   EXPECT_NEAR(env.churn().measured_availability(env.simulator().now()), 0.5,
               0.15);
   // Gossip flowed and beliefs track ground truth.
-  EXPECT_GT(env.membership().gossip_messages_sent(), 100u);
+  EXPECT_GT(env.membership().messages_sent(), 100u);
   EXPECT_GT(env.membership().belief_accuracy(), 0.9);
   // The PKI covers every node.
   EXPECT_EQ(env.directory().size(), 96u);

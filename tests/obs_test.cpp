@@ -366,5 +366,50 @@ TEST(OffMeansOffTest, CorruptionDefensesOffAreByteIdentical) {
   EXPECT_EQ(tagged.messages_delivered_wrong, 0u);
 }
 
+// Control-plane resilience (DESIGN §9) rides the same discipline: with
+// every membership knob spelled out at its default, a run is byte-identical
+// to the unspelled baseline and no membership health series ever registers.
+TEST(OffMeansOffTest, MembershipResilienceOffIsByteIdentical) {
+  const auto baseline = harness::run_chaos_experiment(tiny_chaos(3));
+
+  harness::ChaosConfig spelled = tiny_chaos(3);
+  spelled.environment.membership_kind = harness::MembershipKind::kGossip;
+  spelled.environment.gossip.anti_entropy_interval = 0;
+  spelled.environment.gossip.per_node_rng = false;
+  spelled.environment.gossip.bounded_trust = false;
+  spelled.environment.membership_obs_interval = 0;
+  Registry registry;
+  spelled.environment.metrics = &registry;
+  const auto off = harness::run_chaos_experiment(spelled);
+
+  EXPECT_EQ(baseline.fingerprint(), off.fingerprint());
+  // The sampler never ran and the repair machinery never moved.
+  EXPECT_EQ(registry.counter_value("membership_cache_updates_total",
+                                   {{"rule", "direct"}}), 0u);
+  EXPECT_EQ(registry.counter_value("membership_anti_entropy_rounds_total"),
+            0u);
+  EXPECT_EQ(registry.counter_value("membership_repair_records_sent_total"),
+            0u);
+  EXPECT_EQ(registry.counter_value("membership_elections_total"), 0u);
+  EXPECT_EQ(registry.counter_value("fault_injections_total",
+                                   {{"kind", "gossip_blackout"}}), 0u);
+  EXPECT_EQ(registry.counter_value("fault_injections_total",
+                                   {{"kind", "stale_injected"}}), 0u);
+
+  // The knobs are not dead: the same schedule with anti-entropy and the
+  // membership sampler on produces repair rounds and cache-health series
+  // (the fingerprint is free to differ — repair legitimately adds traffic).
+  harness::ChaosConfig on = tiny_chaos(3);
+  on.environment.gossip.anti_entropy_interval = 15 * kSecond;
+  on.environment.membership_obs_interval = 30 * kSecond;
+  Registry on_registry;
+  on.environment.metrics = &on_registry;
+  harness::run_chaos_experiment(on);
+  EXPECT_GT(on_registry.counter_value("membership_anti_entropy_rounds_total"),
+            0u);
+  EXPECT_GT(on_registry.counter_value("membership_cache_updates_total",
+                                      {{"rule", "direct"}}), 0u);
+}
+
 }  // namespace
 }  // namespace p2panon::obs

@@ -308,8 +308,8 @@ TEST(DeterminismTest, IdenticalSeedsProduceIdenticalSimulations) {
     env.start();
     env.simulator().run_until(10 * kMinute);
     return std::make_tuple(env.simulator().executed_events(),
-                           env.membership().gossip_messages_sent(),
-                           env.membership().gossip_bytes_sent(),
+                           env.membership().messages_sent(),
+                           env.membership().bytes_sent(),
                            env.churn().total_transitions(),
                            env.transport().bytes_sent());
   };
