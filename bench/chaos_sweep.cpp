@@ -29,6 +29,7 @@
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
+#include "harness/anonymity_experiment.hpp"
 #include "harness/chaos_experiment.hpp"
 #include "harness/membership_chaos.hpp"
 #include "harness/parallel.hpp"
@@ -412,6 +413,222 @@ int run_membership_sweep(std::uint64_t seed, std::size_t seeds,
   return fingerprint_ok ? 0 : 1;
 }
 
+// --- anonymity sweep -------------------------------------------------------
+//
+// --anonymity-sweep taps a LinkObserver into the wire and replays the
+// captured flow log through the offline attack engine (DESIGN §10):
+// predecessor (paper §5 Case 1 with a planted fraction-f insider set),
+// intersection over trial windows, and timing correlation at the
+// responder. 3 protocols x 5 arms: a compromised-fraction grid
+// {f=5%, 10%, 20%}, a cover-traffic arm, and a fast-churn arm.
+//
+// The committed gates (scripts/check_bench_anonymity.py):
+//   1. empirical first-relay compromise tracks 1-(1-f)^k across the f
+//      grid for every protocol;
+//   2. cover traffic strictly lowers timing-correlation success;
+//   3. the multipath anonymity cost is visible: predecessor success and
+//      entropy order sanely across CurMix/SimRep/SimEra;
+//   4. off means off: the pre-PR control fingerprint reproduces with the
+//      observer left unconfigured.
+
+struct AnonymityArm {
+  const char* name;
+  double fraction;
+  bool cover;
+  bool fast_churn;
+};
+
+constexpr AnonymityArm kAnonArms[] = {
+    {"f05", 0.05, false, false},  {"base", 0.10, false, false},
+    {"f20", 0.20, false, false},  {"cover", 0.10, true, false},
+    {"churn", 0.10, false, true},
+};
+constexpr std::size_t kAnonArmCount =
+    sizeof(kAnonArms) / sizeof(kAnonArms[0]);
+
+/// Short report-key slugs for the three protocol arms.
+constexpr const char* kAnonProtoSlugs[] = {"curmix", "simrep2", "simera4"};
+
+AnonymityConfig anonymity_cell_config(std::size_t proto, std::size_t arm,
+                                      std::uint64_t seed,
+                                      std::size_t nodes) {
+  const anon::ProtocolSpec specs[] = {
+      anon::ProtocolSpec::curmix(anon::MixChoice::kRandom),
+      anon::ProtocolSpec::simrep(2, anon::MixChoice::kRandom),
+      anon::ProtocolSpec::simera(4, 2, anon::MixChoice::kRandom)};
+  const AnonymityArm& a = kAnonArms[arm];
+  AnonymityConfig config;
+  config.environment.num_nodes = nodes;
+  config.environment.seed = seed;
+  config.spec = specs[proto];
+  config.compromised_fraction = a.fraction;
+  config.cover_traffic = a.cover;
+  config.trials = 36;  // 24 default; more trials tighten the f-grid gate
+  if (a.fast_churn) {
+    config.environment.session_distribution = "pareto:median=900";
+    config.pin_all_up = false;  // measure rebuild-driven exposure
+  }
+  return config;
+}
+
+int run_anonymity_sweep(std::uint64_t seed, std::size_t seeds,
+                        std::size_t nodes, std::size_t workers,
+                        const std::string& json_path,
+                        const std::string& flow_log_path) {
+  const auto runs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(seeds) * bench_scale()));
+  constexpr std::size_t kProtoCount = 3;
+
+  struct Job {
+    std::size_t proto;
+    std::size_t arm;
+    std::size_t run;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t p = 0; p < kProtoCount; ++p) {
+    for (std::size_t a = 0; a < kAnonArmCount; ++a) {
+      for (std::size_t r = 0; r < runs; ++r) jobs.push_back({p, a, r});
+    }
+  }
+
+  std::printf("# Anonymity sweep: passive global observer + offline "
+              "attacks, %zu nodes, %zu seeds per cell\n",
+              nodes, runs);
+
+  std::vector<AnonymityResult> results(jobs.size());
+  parallel_for(jobs.size(), workers, [&](std::size_t i) {
+    const Job& job = jobs[i];
+    AnonymityConfig config =
+        anonymity_cell_config(job.proto, job.arm, seed + job.run, nodes);
+    // One representative capture (CurMix/base, first seed) as link-record
+    // JSONL, for tools/trace_analyze --flows cross-referencing.
+    if (!flow_log_path.empty() && job.proto == 0 && job.arm == 1 &&
+        job.run == 0) {
+      config.flow_log_path = flow_log_path;
+    }
+    results[i] = run_anonymity_experiment(config);
+  });
+
+  struct Cell {
+    double pred_success = 0, pred_compromise = 0, pred_entropy = 0;
+    double pred_set = 0, gt_compromise = 0;
+    double inter_success = 0, inter_set = 0;
+    double corr_success = 0, corr_entropy = 0, corr_set = 0;
+    double eq4 = 0, exposure = 0, uniform_entropy = 0;
+    std::uint64_t trials = 0, constructed = 0, cover_msgs = 0;
+    std::uint64_t flows = 0, evicted = 0;
+  };
+  std::vector<Cell> cells(kProtoCount * kAnonArmCount);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const AnonymityResult& r = results[i];
+    Cell& cell = cells[job.proto * kAnonArmCount + job.arm];
+    cell.pred_success += r.predecessor.success_rate;
+    cell.pred_compromise += r.predecessor.compromise_rate;
+    cell.pred_entropy += r.predecessor.posterior_entropy_bits;
+    cell.pred_set += r.predecessor.anonymity_set_mean;
+    cell.gt_compromise += r.ground_truth_compromise_rate;
+    cell.inter_success += r.intersection.success_rate;
+    cell.inter_set += r.intersection.anonymity_set_mean;
+    cell.corr_success += r.correlation.success_rate;
+    cell.corr_entropy += r.correlation.posterior_entropy_bits;
+    cell.corr_set += r.correlation.anonymity_set_mean;
+    cell.eq4 += r.eq4_identification;
+    cell.exposure += r.multipath_exposure;
+    cell.uniform_entropy += r.uniform_entropy;
+    cell.trials += r.trials_attempted;
+    cell.constructed += r.trials_constructed;
+    cell.cover_msgs += r.cover_messages;
+    cell.flows += r.flows_recorded;
+    cell.evicted += r.flows_evicted;
+  }
+
+  const double denom = static_cast<double>(runs);
+  metrics::Table table({"protocol", "arm", "pred_succ", "eq4",
+                        "compromise", "1-(1-f)^k", "pred_H", "corr_succ",
+                        "inter_set", "flows"});
+  obs::BenchReport report("chaos_anonymity_sweep");
+  for (std::size_t p = 0; p < kProtoCount; ++p) {
+    for (std::size_t a = 0; a < kAnonArmCount; ++a) {
+      const Cell& cell = cells[p * kAnonArmCount + a];
+      const std::string proto = kAnonProtoSlugs[p];
+      const std::string arm = kAnonArms[a].name;
+      const std::string key = proto + "_" + arm;
+      table.add_row(
+          {anonymity_cell_config(p, a, 0, nodes).spec.name(), arm,
+           format_double(cell.pred_success / denom, 3),
+           format_double(cell.eq4 / denom, 3),
+           format_double(cell.pred_compromise / denom, 3),
+           format_double(cell.exposure / denom, 3),
+           format_double(cell.pred_entropy / denom, 2),
+           format_double(cell.corr_success / denom, 3),
+           format_double(cell.inter_set / denom, 1),
+           std::to_string(cell.flows)});
+      report.add("pred_success_" + key, cell.pred_success / denom);
+      report.add("pred_compromise_" + key, cell.pred_compromise / denom);
+      report.add("pred_entropy_" + key, cell.pred_entropy / denom);
+      report.add("pred_set_" + key, cell.pred_set / denom);
+      report.add("gt_compromise_" + key, cell.gt_compromise / denom);
+      report.add("inter_success_" + key, cell.inter_success / denom);
+      report.add("inter_set_" + key, cell.inter_set / denom);
+      report.add("corr_success_" + key, cell.corr_success / denom);
+      report.add("corr_entropy_" + key, cell.corr_entropy / denom);
+      report.add("corr_set_" + key, cell.corr_set / denom);
+      report.add("eq4_" + key, cell.eq4 / denom);
+      report.add("exposure_" + key, cell.exposure / denom);
+      report.add("uniform_entropy_" + key, cell.uniform_entropy / denom);
+      report.add("trials_" + key, cell.trials);
+      report.add("constructed_" + key, cell.constructed);
+      report.add("cover_messages_" + key, cell.cover_msgs);
+      report.add("flows_" + key, cell.flows);
+      report.add("flows_evicted_" + key, cell.evicted);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: `compromise` is the wire-observed fraction of "
+              "trials whose first relay was an insider; it must track the "
+              "1-(1-f)^k column across the f grid (more paths, more "
+              "exposure — the multipath anonymity cost). `pred_succ` vs "
+              "`eq4` compares the attacker's realized posterior mass on "
+              "the initiator with the paper's closed form. Cover traffic "
+              "leaves the predecessor columns alone but dilutes "
+              "`corr_succ`: timing correlation cannot tell the real sender "
+              "from the dummies. Under churn the intersection set shrinks "
+              "toward the persistent initiator.\n");
+
+  // Off means off: the pre-PR chaos control run, once with factory
+  // defaults and once with the observer hook explicitly nulled — the
+  // fingerprints must match the committed baseline byte for byte.
+  const ChaosResult control_default =
+      run_chaos_experiment(control_chaos_config());
+  ChaosConfig spelled = control_chaos_config();
+  spelled.environment.link_tap = nullptr;
+  const ChaosResult control_spelled = run_chaos_experiment(spelled);
+  const bool fingerprint_ok =
+      control_default.fingerprint() == kPrePrFingerprint &&
+      control_spelled.fingerprint() == kPrePrFingerprint;
+  std::printf("control fingerprint: %s\n",
+              fingerprint_ok ? "MATCHES pre-PR baseline"
+                             : "MISMATCH vs pre-PR baseline");
+  if (!fingerprint_ok) {
+    std::printf("  pre-PR:  %s\n  default: %s\n  spelled: %s\n",
+                kPrePrFingerprint, control_default.fingerprint().c_str(),
+                control_spelled.fingerprint().c_str());
+  }
+
+  report.add("runs_per_cell", static_cast<std::uint64_t>(runs));
+  report.add("nodes", static_cast<std::uint64_t>(nodes));
+  report.add_text("pre_pr_fingerprint", kPrePrFingerprint);
+  report.add_text("control_fingerprint", control_default.fingerprint());
+  report.add_text("control_fingerprint_spelled",
+                  control_spelled.fingerprint());
+  report.add("fingerprint_match",
+             static_cast<std::uint64_t>(fingerprint_ok ? 1 : 0));
+  report.add_section("anonymity", table.to_json());
+  if (!report.write_if_requested(json_path)) return 1;
+  return fingerprint_ok ? 0 : 1;
+}
+
 const ChaosScenario kScenarios[] = {
     ChaosScenario::kFlashCrowdCrash, ChaosScenario::kRollingPartition,
     ChaosScenario::kLossyLinkEpidemic, ChaosScenario::kCorruptedRelayQuorum,
@@ -569,7 +786,28 @@ int main(int argc, char** argv) {
       "harness, plus the pre-PR control fingerprint guard");
   auto& mem_seeds = flags.add_int(
       "mem-seeds", 5, "seeds per membership sweep cell");
+  auto& anonymity = flags.add_bool(
+      "anonymity-sweep", false,
+      "tap a passive global observer into the wire and sweep protocol x "
+      "{compromised-f grid, cover traffic, churn}, replaying the flow log "
+      "through the predecessor/intersection/correlation attack engine");
+  auto& anon_seeds = flags.add_int(
+      "anon-seeds", 3, "seeds per anonymity sweep cell");
+  auto& flow_log = flags.add_string(
+      "flow-log", "",
+      "anonymity sweep: dump one cell's captured flow log here as "
+      "link-record JSONL (for trace_analyze --flows)");
   flags.parse(argc, argv);
+
+  if (anonymity) {
+    return run_anonymity_sweep(
+        static_cast<std::uint64_t>(seed),
+        static_cast<std::size_t>(anon_seeds),
+        static_cast<std::size_t>(nodes),
+        threads > 0 ? static_cast<std::size_t>(threads)
+                    : default_worker_threads(),
+        json_path, flow_log);
+  }
 
   if (membership) {
     return run_membership_sweep(

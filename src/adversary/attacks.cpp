@@ -1,0 +1,311 @@
+#include "adversary/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "net/demux.hpp"
+
+namespace p2panon::adversary {
+
+namespace {
+
+constexpr std::uint8_t kFwd =
+    static_cast<std::uint8_t>(net::Channel::kAnonForward);
+
+/// An origin send: forward-channel send with no forward-channel delivery
+/// into the sender within the hold window — an initiator or cover sender
+/// injecting fresh traffic, as opposed to a relay passing it on.
+struct OriginSend {
+  std::uint64_t t = 0;
+  NodeId from = 0;
+  NodeId to = 0;  // the first relay
+};
+
+struct FlowIndex {
+  std::vector<OriginSend> origins;               // time-ordered
+  std::vector<std::uint64_t> responder_ingress;  // fwd deliveries into R
+};
+
+/// Two passes over the log: first the per-node inbound delivery times
+/// (append order is time order — sim time is monotonic — so the vectors
+/// come out sorted), then origin classification by binary search.
+FlowIndex build_index(const AttackScenario& s) {
+  if (s.log == nullptr) {
+    throw std::invalid_argument("AttackScenario: log must be set");
+  }
+  const FlowLog& log = *s.log;
+  std::vector<std::vector<std::uint64_t>> inbound(s.num_nodes);
+  FlowIndex index;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const FlowRecord r = log.at(i);
+    if (r.channel != kFwd || r.bytes < s.min_flow_bytes) continue;
+    if (r.dir != FlowDir::kDeliver || r.to >= s.num_nodes) continue;
+    inbound[r.to].push_back(r.time_us);
+    if (r.to == s.responder) index.responder_ingress.push_back(r.time_us);
+  }
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const FlowRecord r = log.at(i);
+    if (r.channel != kFwd || r.bytes < s.min_flow_bytes) continue;
+    if (r.dir != FlowDir::kSend || r.from >= s.num_nodes) continue;
+    const auto& in = inbound[r.from];
+    const std::uint64_t lo =
+        r.time_us >= s.origin_hold_us ? r.time_us - s.origin_hold_us : 0;
+    const auto it = std::lower_bound(in.begin(), in.end(), lo);
+    const bool relayed = it != in.end() && *it <= r.time_us;
+    if (!relayed) index.origins.push_back({r.time_us, r.from, r.to});
+  }
+  return index;
+}
+
+/// Origin sends with t in [start, end], as an iterator pair.
+std::pair<std::vector<OriginSend>::const_iterator,
+          std::vector<OriginSend>::const_iterator>
+origins_in(const std::vector<OriginSend>& origins, std::uint64_t start,
+           std::uint64_t end) {
+  const auto lo = std::lower_bound(
+      origins.begin(), origins.end(), start,
+      [](const OriginSend& o, std::uint64_t t) { return o.t < t; });
+  const auto hi = std::upper_bound(
+      lo, origins.end(), end,
+      [](std::uint64_t t, const OriginSend& o) { return t < o.t; });
+  return {lo, hi};
+}
+
+/// A window that starts before the ring's earliest surviving record has
+/// lost traffic to eviction; scoring it would under-count, so skip it.
+bool window_covered(const FlowLog& log, const TrialWindow& w) {
+  return log.evicted() == 0 || w.start_us >= log.earliest_us();
+}
+
+double entropy_of_map(const std::map<NodeId, double>& weights) {
+  std::vector<double> w;
+  w.reserve(weights.size());
+  for (const auto& [node, weight] : weights) w.push_back(weight);
+  return entropy_bits(w);
+}
+
+double mass_on(const std::map<NodeId, double>& weights, NodeId node,
+               double total) {
+  const auto it = weights.find(node);
+  if (it == weights.end() || total <= 0.0) return 0.0;
+  return it->second / total;
+}
+
+}  // namespace
+
+double entropy_bits(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+CompromiseModel CompromiseModel::plant(std::size_t n, double fraction,
+                                       std::uint64_t seed,
+                                       const std::vector<NodeId>& protect) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument(
+        "CompromiseModel: fraction must be in [0, 1]");
+  }
+  CompromiseModel model;
+  model.fraction = fraction;
+  model.compromised.assign(n, false);
+  std::vector<NodeId> eligible;
+  eligible.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    if (std::find(protect.begin(), protect.end(), id) == protect.end()) {
+      eligible.push_back(id);
+    }
+  }
+  // round(f * n) insiders, as the paper counts f against the whole
+  // population; capped by the eligible pool when roles are protected.
+  std::size_t want = static_cast<std::size_t>(
+      fraction * static_cast<double>(n) + 0.5);
+  want = std::min(want, eligible.size());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(eligible.size() - i));
+    std::swap(eligible[i], eligible[j]);
+    model.compromised[eligible[i]] = true;
+  }
+  return model;
+}
+
+std::size_t CompromiseModel::count() const {
+  return static_cast<std::size_t>(
+      std::count(compromised.begin(), compromised.end(), true));
+}
+
+AnonymityReport predecessor_attack(const AttackScenario& scenario,
+                                   const CompromiseModel& model,
+                                   const std::vector<TrialWindow>& windows) {
+  AnonymityReport report;
+  report.attack = "predecessor";
+  const FlowIndex index = build_index(scenario);
+  const std::size_t honest = std::max<std::size_t>(1, model.honest_count());
+  double success = 0.0, entropy = 0.0, set_size = 0.0;
+  std::size_t scored = 0, with_case1 = 0;
+  for (const TrialWindow& w : windows) {
+    if (!window_covered(*scenario.log, w)) {
+      ++report.trials_skipped;
+      continue;
+    }
+    // Case-1 observations: origin sends whose first relay is an insider.
+    // Each compromised first relay reports its predecessor.
+    std::map<NodeId, double> posterior;
+    double total = 0.0;
+    const auto [lo, hi] = origins_in(index.origins, w.start_us, w.end_us);
+    for (auto it = lo; it != hi; ++it) {
+      if (model.is_compromised(it->to)) {
+        posterior[it->from] += 1.0;
+        total += 1.0;
+      }
+    }
+    ++scored;
+    if (total == 0.0) {
+      // Case 2: nothing observed; uniform guess over the honest pool.
+      success += 1.0 / static_cast<double>(honest);
+      entropy += std::log2(static_cast<double>(honest));
+      set_size += static_cast<double>(honest);
+      continue;
+    }
+    ++with_case1;
+    success += mass_on(posterior, scenario.initiator, total);
+    entropy += entropy_of_map(posterior);
+    set_size += static_cast<double>(posterior.size());
+  }
+  report.trials = scored;
+  if (scored > 0) {
+    const double denom = static_cast<double>(scored);
+    report.success_rate = success / denom;
+    report.compromise_rate = static_cast<double>(with_case1) / denom;
+    report.anonymity_set_mean = set_size / denom;
+    report.posterior_entropy_bits = entropy / denom;
+  }
+  return report;
+}
+
+AnonymityReport intersection_attack(const AttackScenario& scenario,
+                                    const std::vector<TrialWindow>& windows) {
+  AnonymityReport report;
+  report.attack = "intersection";
+  const FlowIndex index = build_index(scenario);
+  std::set<NodeId> intersection;
+  bool have_any = false;
+  std::size_t scored = 0;
+  for (const TrialWindow& w : windows) {
+    if (!window_covered(*scenario.log, w)) {
+      ++report.trials_skipped;
+      continue;
+    }
+    // Only windows in which the responder actually received forward
+    // traffic tie the session to the wire.
+    const auto active = std::lower_bound(index.responder_ingress.begin(),
+                                         index.responder_ingress.end(),
+                                         w.start_us);
+    if (active == index.responder_ingress.end() || *active > w.end_us) {
+      continue;
+    }
+    std::set<NodeId> senders;
+    const auto [lo, hi] = origins_in(index.origins, w.start_us, w.end_us);
+    for (auto it = lo; it != hi; ++it) senders.insert(it->from);
+    if (senders.empty()) continue;
+    ++scored;
+    if (!have_any) {
+      intersection = std::move(senders);
+      have_any = true;
+    } else {
+      std::set<NodeId> next;
+      std::set_intersection(intersection.begin(), intersection.end(),
+                            senders.begin(), senders.end(),
+                            std::inserter(next, next.begin()));
+      intersection = std::move(next);
+    }
+  }
+  report.trials = scored;
+  if (!have_any) {
+    // No usable window: the attacker knows nothing beyond "not the
+    // responder".
+    const std::size_t pool = std::max<std::size_t>(1, scenario.num_nodes - 1);
+    report.success_rate = 1.0 / static_cast<double>(pool);
+    report.anonymity_set_mean = static_cast<double>(pool);
+    report.posterior_entropy_bits = std::log2(static_cast<double>(pool));
+    return report;
+  }
+  const std::size_t set = std::max<std::size_t>(1, intersection.size());
+  report.anonymity_set_mean = static_cast<double>(intersection.size());
+  report.posterior_entropy_bits =
+      intersection.empty() ? 0.0 : std::log2(static_cast<double>(set));
+  report.success_rate = intersection.count(scenario.initiator) != 0
+                            ? 1.0 / static_cast<double>(set)
+                            : 0.0;
+  return report;
+}
+
+AnonymityReport correlation_attack(const AttackScenario& scenario,
+                                   const std::vector<TrialWindow>& windows,
+                                   std::uint64_t max_lag_us) {
+  AnonymityReport report;
+  report.attack = "correlation";
+  const FlowIndex index = build_index(scenario);
+  double success = 0.0, entropy = 0.0, set_size = 0.0;
+  std::size_t scored = 0;
+  const std::size_t pool = std::max<std::size_t>(1, scenario.num_nodes - 1);
+  for (const TrialWindow& w : windows) {
+    if (!window_covered(*scenario.log, w)) {
+      ++report.trials_skipped;
+      continue;
+    }
+    const auto e_lo = std::lower_bound(index.responder_ingress.begin(),
+                                       index.responder_ingress.end(),
+                                       w.start_us);
+    const auto e_hi = std::upper_bound(e_lo, index.responder_ingress.end(),
+                                       w.end_us);
+    for (auto egress = e_lo; egress != e_hi; ++egress) {
+      const std::uint64_t t = *egress;
+      const std::uint64_t start = t >= max_lag_us ? t - max_lag_us : 0;
+      std::map<NodeId, double> posterior;
+      double total = 0.0;
+      const auto [lo, hi] = origins_in(index.origins, start, t);
+      for (auto it = lo; it != hi; ++it) {
+        posterior[it->from] += 1.0;
+        total += 1.0;
+      }
+      ++scored;
+      if (total == 0.0) {
+        // Egress with no candidate ingress (lag window too small):
+        // uniform over everyone but the responder.
+        success += 1.0 / static_cast<double>(pool);
+        entropy += std::log2(static_cast<double>(pool));
+        set_size += static_cast<double>(pool);
+        continue;
+      }
+      success += mass_on(posterior, scenario.initiator, total);
+      entropy += entropy_of_map(posterior);
+      set_size += static_cast<double>(posterior.size());
+    }
+  }
+  report.trials = scored;
+  if (scored > 0) {
+    const double denom = static_cast<double>(scored);
+    report.success_rate = success / denom;
+    report.anonymity_set_mean = set_size / denom;
+    report.posterior_entropy_bits = entropy / denom;
+  }
+  return report;
+}
+
+}  // namespace p2panon::adversary

@@ -1,0 +1,117 @@
+// Offline traffic-analysis attack engine over captured FlowLogs
+// (DESIGN §10).
+//
+// Every attack consumes only what a passive wire observer gets — the
+// FlowRecord fields — plus, for the predecessor attack, a compromised-node
+// set modelling the paper's fraction-f insider adversary. Attacks run
+// offline over the log after the run, mirroring how traffic analysis is
+// done in practice, and emit an AnonymityReport: guess-success rate,
+// empirical anonymity-set size, and the Shannon entropy of the attacker's
+// posterior, ready to compare against the Eq. 4 closed forms in
+// src/analysis/anonymity.
+//
+// Shared mechanics: an "origin send" is a forward-channel send from a node
+// with no forward-channel delivery into it within the preceding
+// origin_hold_us. Relays in this codebase forward synchronously at the
+// delivery instant, so a small hold window separates initiators (and cover
+// senders) from relays without any protocol knowledge the observer would
+// not have.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversary/link_observer.hpp"
+#include "common/types.hpp"
+
+namespace p2panon::adversary {
+
+/// The paper's fraction-f insider model: a fixed set of compromised nodes
+/// that report what they see (here: which predecessor handed them an
+/// origin send). `protect` lets experiments keep designated roles (the
+/// measured initiator/responder) honest, matching the paper's analysis
+/// where the initiator is by definition not the attacker.
+struct CompromiseModel {
+  std::vector<bool> compromised;  // indexed by NodeId
+  double fraction = 0.0;          // requested f (before rounding)
+
+  /// Plants round(f * n) compromised nodes drawn uniformly from
+  /// [0, n) \ protect, using a dedicated RNG stream.
+  static CompromiseModel plant(std::size_t n, double fraction,
+                               std::uint64_t seed,
+                               const std::vector<NodeId>& protect = {});
+
+  bool is_compromised(NodeId node) const {
+    return node < compromised.size() && compromised[node];
+  }
+  std::size_t count() const;
+  std::size_t honest_count() const { return compromised.size() - count(); }
+};
+
+/// One observation interval, typically a session lifetime. Attacks score
+/// each window independently (predecessor, correlation) or jointly
+/// (intersection).
+struct TrialWindow {
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+};
+
+/// What the attacker is trying to de-anonymize, and the log to do it
+/// from. `initiator` is ground truth used ONLY for scoring the attack's
+/// output — the attacks never condition on it.
+struct AttackScenario {
+  const FlowLog* log = nullptr;
+  NodeId initiator = 0;
+  NodeId responder = 0;
+  std::size_t num_nodes = 0;
+  std::uint32_t min_flow_bytes = 0;     // drop runt datagrams below this
+  std::uint64_t origin_hold_us = 1000;  // relay-forward detection window
+};
+
+/// Attack outcome. success_rate is the attacker's *expected* probability
+/// of naming the initiator — the mean posterior mass on the true
+/// initiator — which avoids argmax tie-break artifacts on small scenarios
+/// while agreeing with guess-accuracy in expectation.
+struct AnonymityReport {
+  std::string attack;
+  std::size_t trials = 0;          // windows (or egress events) scored
+  std::size_t trials_skipped = 0;  // fell off the ring buffer, not scored
+  double success_rate = 0.0;       // mean posterior mass on the initiator
+  double compromise_rate = 0.0;    // trials with >= 1 Case-1 observation
+  double anonymity_set_mean = 0.0;     // mean candidate-set size
+  double posterior_entropy_bits = 0.0; // mean Shannon entropy of posterior
+  // Closed-form comparators, filled by the caller from analysis/anonymity
+  // (the attack itself has no protocol knowledge to derive them).
+  double baseline_success = 0.0;
+  double baseline_entropy_bits = 0.0;
+};
+
+/// Paper §5 Case 1: compromised first relays report the predecessor that
+/// handed them an origin send; windows with no such observation fall back
+/// to the uniform guess over the honest pool (Case 2).
+AnonymityReport predecessor_attack(const AttackScenario& scenario,
+                                   const CompromiseModel& model,
+                                   const std::vector<TrialWindow>& windows);
+
+/// Intersection attack: the candidate set is the intersection, over every
+/// window in which the responder received forward traffic, of the origin
+/// senders active in that window. Persistent senders survive; churned
+/// cover senders drop out.
+AnonymityReport intersection_attack(const AttackScenario& scenario,
+                                    const std::vector<TrialWindow>& windows);
+
+/// Timing correlation: for each forward-channel delivery into the
+/// responder, the candidates are the origin sends within the preceding
+/// max_lag_us; the posterior is count-weighted over their senders. Cover
+/// traffic dilutes the posterior, which is exactly the mitigation claim
+/// this measures.
+AnonymityReport correlation_attack(const AttackScenario& scenario,
+                                   const std::vector<TrialWindow>& windows,
+                                   std::uint64_t max_lag_us);
+
+/// Shannon entropy (bits) of a discrete distribution given as
+/// non-negative weights (normalized internally; zero total -> 0 bits).
+double entropy_bits(const std::vector<double>& weights);
+
+}  // namespace p2panon::adversary

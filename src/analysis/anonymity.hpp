@@ -41,4 +41,19 @@ double first_relay_compromised_monte_carlo(double f, std::size_t L,
 /// acceptable.
 double multipath_first_relay_exposure(double f, std::size_t k);
 
+/// Size of the honest pool an attacker is left guessing over in Case 2:
+/// round(N * (1 - f)), floored at 1 when any honest node exists (N >= 1,
+/// f < 1) and 0 for the fully-degenerate inputs (N = 0 or f = 1).
+std::size_t honest_anonymity_set(std::size_t N, double f);
+
+/// Entropy (bits) of a uniform posterior over `set_size` candidates — the
+/// closed-form comparator for empirical posterior entropy. 0 for
+/// set_size <= 1.
+double uniform_entropy_bits(std::size_t set_size);
+
+// All helpers accept the degenerate corners of a sweep grid — f = 0,
+// f = 1, L = 0, k = 0, N = 0 — and return the limit value (a probability
+// in [0, 1] or a size) instead of NaN/throwing; only f outside [0, 1]
+// is rejected.
+
 }  // namespace p2panon::analysis

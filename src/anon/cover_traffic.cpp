@@ -8,13 +8,17 @@ CoverTrafficGenerator::CoverTrafficGenerator(AnonRouter& router,
                                              CacheProvider caches,
                                              LivenessOracle is_up,
                                              std::vector<NodeId> nodes,
-                                             ConfigProvider config, Rng rng)
+                                             ConfigProvider config, Rng rng,
+                                             obs::Registry* metrics)
     : router_(router),
       caches_(std::move(caches)),
       is_up_(std::move(is_up)),
       nodes_(std::move(nodes)),
       config_(std::move(config)),
-      rng_(rng) {}
+      rng_(rng),
+      cover_messages_(metrics != nullptr
+                          ? metrics->counter("anon_cover_messages_total")
+                          : nullptr) {}
 
 CoverTrafficGenerator::~CoverTrafficGenerator() {
   *alive_ = false;
@@ -71,6 +75,7 @@ void CoverTrafficGenerator::tick(std::size_t index) {
     if (ok) {
       raw->send_message(dummy);
       ++messages_sent_;
+      if (cover_messages_ != nullptr) cover_messages_->inc();
     }
     // Retire the session shortly after: one dummy round per tick. The
     // relay states it created expire via TTL like any other path.

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "anon/session.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2panon::anon {
@@ -33,10 +34,14 @@ class CoverTrafficGenerator {
   using CacheProvider = std::function<const membership::NodeCache&(NodeId)>;
   using ConfigProvider = std::function<CoverTrafficConfig(NodeId)>;
 
-  /// `nodes` lists the participants. Config may differ per node.
+  /// `nodes` lists the participants. Config may differ per node. When a
+  /// registry is supplied, dummy sends are counted as
+  /// `anon_cover_messages_total` (registered lazily here, so runs without
+  /// cover traffic keep their registry snapshots untouched).
   CoverTrafficGenerator(AnonRouter& router, CacheProvider caches,
                         LivenessOracle is_up, std::vector<NodeId> nodes,
-                        ConfigProvider config, Rng rng);
+                        ConfigProvider config, Rng rng,
+                        obs::Registry* metrics = nullptr);
   ~CoverTrafficGenerator();
   CoverTrafficGenerator(const CoverTrafficGenerator&) = delete;
   CoverTrafficGenerator& operator=(const CoverTrafficGenerator&) = delete;
@@ -61,6 +66,7 @@ class CoverTrafficGenerator {
   std::vector<std::unique_ptr<Session>> in_flight_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::uint64_t messages_sent_ = 0;
+  obs::Counter* cover_messages_ = nullptr;  // null without a registry
 };
 
 }  // namespace p2panon::anon

@@ -46,6 +46,7 @@ Environment::Environment(EnvironmentConfig config)
                  config_.fault_plan->is_crashed(node, simulator_.now()));
       },
       /*per_hop_overhead=*/0, net::LinkFaultConfig{}, metrics_);
+  transport_->set_tap(config_.link_tap);
 
   if (config_.fault_plan != nullptr) {
     faulty_ = std::make_unique<fault::FaultyTransport>(

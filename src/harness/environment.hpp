@@ -74,6 +74,13 @@ struct EnvironmentConfig {
   obs::TimeseriesRecorder* timeseries = nullptr;
   SimDuration timeseries_interval = 0;
 
+  /// Optional passive wire observer (not owned; must outlive the
+  /// Environment) installed on the SimTransport underneath any fault
+  /// decorator — a global observer sees the wire, not the faults' view.
+  /// Null (the default) is a plain pointer pass: no RNG stream, event or
+  /// registry series changes, so runs stay byte-identical to the seed.
+  net::LinkTap* link_tap = nullptr;
+
   /// > 0 starts a periodic sampler exporting node-cache health for
   /// `membership_obs_node` (record-age p50/p95, stale fraction, cache
   /// size) plus per-merge-rule counters and control-plane stats into the

@@ -21,6 +21,17 @@ void trace_drop(const char* cause, NodeId from, NodeId to) {
                                   args);
 }
 
+/// Wire-observer metadata at the current tap point. The channel byte is
+/// the demux framing prefix — link-layer headers a passive observer
+/// reads legitimately; payload bytes past it are never surfaced.
+LinkTapMeta tap_meta(std::uint64_t now_us, const Bytes& payload) {
+  LinkTapMeta meta;
+  meta.when_us = now_us;
+  meta.correlation = obs::current_correlation();
+  meta.protocol = payload.empty() ? 0 : payload[0];
+  return meta;
+}
+
 }  // namespace
 
 SimTransport::SimTransport(sim::Simulator& simulator,
@@ -64,6 +75,13 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
     if (obs::Tracer::instance().enabled()) trace_drop("sender_dead", from, to);
     return;
   }
+  // The wire observer sees every datagram that leaves a live sender —
+  // including ones link loss or a dead receiver will eat in flight, which
+  // is exactly what makes drops observable as unmatched sends.
+  if (tap_ != nullptr) {
+    tap_->on_send(from, to, payload.size() + per_hop_overhead_,
+                  tap_meta(simulator_.now(), payload));
+  }
   // Link faults: i.i.d. datagram loss and per-packet latency jitter.
   // Guarded so the default configuration draws nothing and stays
   // bit-identical to the fault-free transport.
@@ -90,6 +108,13 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
         }
         const Handler& handler = handlers_[to];
         if (handler) {
+          // Tap before dispatch: a relay forwards synchronously inside the
+          // handler, so tapping here keeps "delivery into x" ahead of
+          // "forward send from x" in the flow log at equal sim time.
+          if (tap_ != nullptr) {
+            tap_->on_deliver(from, to, data.size() + per_hop_overhead_,
+                             tap_meta(simulator_.now(), data));
+          }
           handler(from, to, data);
         } else {
           drop_no_handler_->inc();

@@ -76,6 +76,11 @@ class SimTransport final : public Transport {
   /// The registry this transport records into.
   obs::Registry& metrics() const { return *metrics_; }
 
+  /// Installs a passive wire observer (nullptr detaches). The default —
+  /// no tap — adds zero work per datagram and keeps runs byte-identical
+  /// to a tapless transport; the pointer is not owned.
+  void set_tap(LinkTap* tap) { tap_ = tap; }
+
   /// Resets the bandwidth counters (e.g. after warm-up).
   void reset_counters();
 
@@ -88,6 +93,7 @@ class SimTransport final : public Transport {
   Rng fault_rng_;
   std::vector<Handler> handlers_;
   obs::Registry* metrics_;
+  LinkTap* tap_ = nullptr;
   obs::Counter* messages_sent_;
   obs::Counter* bytes_sent_;
   obs::Counter* drop_sender_dead_;

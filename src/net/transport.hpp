@@ -17,6 +17,34 @@
 
 namespace p2panon::net {
 
+/// Link-level metadata handed to a LinkTap alongside each observed
+/// datagram. `protocol` is the demux channel byte (the first payload
+/// byte) — the "port number" analog a wire observer legitimately sees;
+/// 0 for empty payloads. `correlation` is the obs causal chain id active
+/// at the tap point (deliveries inherit the send's chain via the event
+/// queue), so flow records can be cross-referenced with span traces.
+struct LinkTapMeta {
+  std::uint64_t when_us = 0;     // simulator time at the tap point
+  std::uint64_t correlation = 0;  // obs::current_correlation()
+  std::uint8_t protocol = 0;      // demux channel byte, 0 if unframed
+};
+
+/// Passive wire observer: sees link endpoints, sizes and timing — never
+/// payload plaintext (the onion layer's job is to make that useless
+/// anyway, but the observer API should not even offer it). Install with
+/// SimTransport::set_tap or wrap any Transport in an ObservedTransport.
+/// on_send fires when a datagram is handed to the wire; on_deliver when
+/// it reaches a live receiver with a handler. Drops are visible as a
+/// send without a matching delivery.
+class LinkTap {
+ public:
+  virtual ~LinkTap() = default;
+  virtual void on_send(NodeId from, NodeId to, std::size_t bytes,
+                       const LinkTapMeta& meta) = 0;
+  virtual void on_deliver(NodeId from, NodeId to, std::size_t bytes,
+                          const LinkTapMeta& meta) = 0;
+};
+
 class Transport {
  public:
   /// Invoked at the destination when a datagram arrives.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <deque>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -50,6 +51,31 @@ bool record_from_chrome(const JsonValue& event, TraceRecord& out) {
   const JsonValue* args = event.find("args");
   const JsonValue* wall = args != nullptr ? args->find("wall_ns") : nullptr;
   out.wall_ns = wall != nullptr ? wall->as_u64() : 0;
+  return true;
+}
+
+bool flow_from_jsonl(const JsonValue& line, LinkFlow& out) {
+  const JsonValue* flow = line.find("flow");
+  if (flow == nullptr || !flow->is_string()) return false;
+  if (flow->string == "deliver") {
+    out.deliver = true;
+  } else if (flow->string == "send") {
+    out.deliver = false;
+  } else {
+    return false;
+  }
+  const JsonValue* sim = line.find("sim_us");
+  out.sim_us = sim != nullptr ? sim->as_u64() : 0;
+  const JsonValue* from = line.find("from");
+  out.from = from != nullptr ? static_cast<std::uint32_t>(from->as_u64()) : 0;
+  const JsonValue* to = line.find("to");
+  out.to = to != nullptr ? static_cast<std::uint32_t>(to->as_u64()) : 0;
+  const JsonValue* bytes = line.find("bytes");
+  out.bytes = bytes != nullptr ? bytes->as_u64() : 0;
+  const JsonValue* chan = line.find("chan");
+  out.channel = chan != nullptr ? chan->as_u64() : 0;
+  const JsonValue* corr = line.find("corr");
+  out.corr = corr != nullptr ? corr->as_u64() : 0;
   return true;
 }
 
@@ -215,15 +241,42 @@ ParsedTrace parse_jsonl_trace(std::string_view text) {
     pos = eol + 1;
     if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
     const auto value = json_parse(line);
+    if (value == nullptr || !value->is_object()) {
+      ++out.skipped;
+      continue;
+    }
+    LinkFlow flow;
+    if (flow_from_jsonl(*value, flow)) {
+      out.flows.push_back(flow);
+      continue;
+    }
     TraceRecord record;
-    if (value != nullptr && value->is_object() &&
-        record_from_jsonl(*value, record)) {
+    if (record_from_jsonl(*value, record)) {
       out.records.push_back(std::move(record));
     } else {
       ++out.skipped;
     }
   }
   return out;
+}
+
+void parse_flows_jsonl(std::string_view text, ParsedTrace& trace) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    const auto value = json_parse(line);
+    LinkFlow flow;
+    if (value != nullptr && value->is_object() &&
+        flow_from_jsonl(*value, flow)) {
+      trace.flows.push_back(flow);
+    } else {
+      ++trace.skipped;
+    }
+  }
 }
 
 ParsedTrace parse_trace(std::string_view text) {
@@ -390,7 +443,47 @@ std::string analyze_trace(const ParsedTrace& trace,
     append_critical_path(out, chain, spans);
     out << '}';
   }
-  out << "]}";
+  out << ']';
+
+  // -- Link-flow accounting, only when flows were ingested: the golden
+  // span-only reports must stay byte-identical.
+  if (!trace.flows.empty()) {
+    std::uint64_t sends = 0, delivers = 0, flow_bytes = 0;
+    std::uint64_t first_us = UINT64_MAX, last_us = 0;
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+        by_channel;  // chan -> {count, bytes}
+    std::uint64_t correlated = 0;
+    std::set<CorrelationId> matched_chains;
+    for (const LinkFlow& f : trace.flows) {
+      (f.deliver ? delivers : sends) += 1;
+      flow_bytes += f.bytes;
+      first_us = std::min(first_us, f.sim_us);
+      last_us = std::max(last_us, f.sim_us);
+      auto& cell = by_channel[f.channel];
+      ++cell.first;
+      cell.second += f.bytes;
+      if (f.corr != 0 && chains.count(f.corr) != 0) {
+        ++correlated;
+        matched_chains.insert(f.corr);
+      }
+    }
+    out << ",\"flows\":{\"count\":" << trace.flows.size()
+        << ",\"sends\":" << sends << ",\"delivers\":" << delivers
+        << ",\"bytes_total\":" << flow_bytes
+        << ",\"first_us\":" << (first_us == UINT64_MAX ? 0 : first_us)
+        << ",\"last_us\":" << last_us << ",\"channels\":[";
+    first = true;
+    for (const auto& [chan, cell] : by_channel) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"chan\":" << chan << ",\"count\":" << cell.first
+          << ",\"bytes\":" << cell.second << '}';
+    }
+    out << "],\"correlated\":{\"flows\":" << correlated
+        << ",\"chains\":" << matched_chains.size() << "}}";
+  }
+
+  out << '}';
   return out.str();
 }
 

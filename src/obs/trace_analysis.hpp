@@ -20,6 +20,11 @@
 //   slowest_chains  top-N chains by makespan, each with a greedy critical
 //                   path (the chain's timeline covered by the longest-
 //                   extending spans, uncovered stretches reported as gaps)
+//   flows           only when link-record JSONL was ingested (--flows or
+//                   flow lines mixed into the trace): wire accounting per
+//                   direction and channel, plus the cross-reference count
+//                   of flows whose correlation id matches a span chain —
+//                   the join between what the wire saw and why
 //
 // Everything is computed from sim_us only. wall_ns is host noise and using
 // it would make the report non-reproducible across machines; it is parsed
@@ -35,9 +40,24 @@
 
 namespace p2panon::obs {
 
+/// One link-record line from an adversary FlowLog JSONL dump
+/// (src/adversary/link_observer — lines shaped
+/// {"flow":"send","sim_us":...,"from":...,"to":...,"bytes":...,
+///  "chan":...,"corr":...}).
+struct LinkFlow {
+  bool deliver = false;  // "flow":"deliver" vs "send"
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t sim_us = 0;
+  std::uint64_t corr = 0;
+  std::uint64_t channel = 0;
+};
+
 /// Records recovered from a trace file, in file order.
 struct ParsedTrace {
   std::vector<TraceRecord> records;
+  std::vector<LinkFlow> flows;  // link records, if any were ingested
   std::size_t skipped = 0;  // metadata events + unparseable lines
 };
 
@@ -45,7 +65,12 @@ struct ParsedTrace {
 ParsedTrace parse_chrome_trace(std::string_view text);
 /// JSONL causal log (the JsonlTraceSink format). Unparseable lines are
 /// counted in `skipped`, not fatal — traces from killed runs stay usable.
+/// Lines carrying a "flow" key are link records and land in `flows`.
 ParsedTrace parse_jsonl_trace(std::string_view text);
+/// Link-record JSONL only (a FlowLog dump); appends to `trace.flows` and
+/// counts unparseable lines in `trace.skipped`. Used by trace_analyze
+/// --flows to join a flow capture onto a span trace by correlation id.
+void parse_flows_jsonl(std::string_view text, ParsedTrace& trace);
 /// Sniffs the format: a document whose first value is an object containing
 /// "traceEvents" parses as Chrome, anything else line-by-line as JSONL.
 ParsedTrace parse_trace(std::string_view text);

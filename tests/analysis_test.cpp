@@ -149,10 +149,48 @@ TEST(AnonymityTest, MultipathExposureGrowsWithK) {
 }
 
 TEST(AnonymityTest, RejectsBadFraction) {
-  EXPECT_THROW(initiator_identification_probability(100, 1.0, 3),
+  // Only fractions outside [0, 1] are invalid; the closed interval itself
+  // is well-defined (f = 1 means certain identification, f = 0 means none).
+  EXPECT_THROW(initiator_identification_probability(100, 1.5, 3),
                std::invalid_argument);
   EXPECT_THROW(initiator_identification_probability(100, -0.1, 3),
                std::invalid_argument);
+  EXPECT_THROW(first_relay_compromised_weight(-0.01, 3),
+               std::invalid_argument);
+  EXPECT_THROW(multipath_first_relay_exposure(1.01, 4),
+               std::invalid_argument);
+}
+
+TEST(AnonymityTest, DegenerateCornersAreWellDefined) {
+  // f = 1: every relay is compromised — identification is certain, the
+  // honest pool is empty, exposure is total.
+  EXPECT_DOUBLE_EQ(initiator_identification_probability(100, 1.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(multipath_first_relay_exposure(1.0, 4), 1.0);
+  EXPECT_EQ(honest_anonymity_set(100, 1.0), 0u);
+  // f = 0: no attacker anywhere.
+  EXPECT_DOUBLE_EQ(initiator_identification_probability(100, 0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(multipath_first_relay_exposure(0.0, 4), 0.0);
+  EXPECT_EQ(honest_anonymity_set(100, 0.0), 100u);
+  // Empty network / zero-length path / zero paths: no identification
+  // event can occur, and nothing throws.
+  EXPECT_DOUBLE_EQ(initiator_identification_probability(0, 0.1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(initiator_identification_probability(100, 0.1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(first_relay_compromised_weight(0.1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(multipath_first_relay_exposure(0.1, 0), 0.0);
+  EXPECT_EQ(honest_anonymity_set(0, 0.1), 0u);
+  // The probability stays clamped even when L exceeds any realistic bound.
+  const double huge_l = initiator_identification_probability(10, 0.9, 64);
+  EXPECT_GE(huge_l, 0.0);
+  EXPECT_LE(huge_l, 1.0);
+}
+
+TEST(AnonymityTest, UniformEntropyMatchesLog2) {
+  EXPECT_DOUBLE_EQ(uniform_entropy_bits(0), 0.0);
+  EXPECT_DOUBLE_EQ(uniform_entropy_bits(1), 0.0);
+  EXPECT_DOUBLE_EQ(uniform_entropy_bits(2), 1.0);
+  EXPECT_NEAR(uniform_entropy_bits(90), std::log2(90.0), 1e-12);
+  // The honest pool of a 96-node network at f = 0.1 rounds to 86.
+  EXPECT_EQ(honest_anonymity_set(96, 0.1), 86u);
 }
 
 // --- bandwidth model -----------------------------------------------------------------------

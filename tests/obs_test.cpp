@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/link_observer.hpp"
 #include "common/rng.hpp"
 #include "harness/chaos_experiment.hpp"
 #include "metrics/cdf.hpp"
@@ -409,6 +410,30 @@ TEST(OffMeansOffTest, MembershipResilienceOffIsByteIdentical) {
             0u);
   EXPECT_GT(on_registry.counter_value("membership_cache_updates_total",
                                       {{"rule", "direct"}}), 0u);
+}
+
+// The adversary capture layer (DESIGN §10) is off unless an experiment
+// installs a LinkTap: spelling the null tap out changes nothing, and —
+// stronger — installing a real observer still changes nothing, because the
+// tap only records (own RNG stream, no scheduling, no protocol writes).
+TEST(OffMeansOffTest, LinkObserverOffIsByteIdenticalAndOnIsPassive) {
+  const auto baseline = harness::run_chaos_experiment(tiny_chaos(3));
+
+  harness::ChaosConfig spelled = tiny_chaos(3);
+  spelled.environment.link_tap = nullptr;
+  Registry registry;
+  spelled.environment.metrics = &registry;
+  const auto off = harness::run_chaos_experiment(spelled);
+  EXPECT_EQ(baseline.fingerprint(), off.fingerprint());
+  EXPECT_EQ(registry.counter_value("adversary_flows_total",
+                                   {{"dir", "send"}}), 0u);
+
+  harness::ChaosConfig tapped = tiny_chaos(3);
+  adversary::LinkObserver observer;
+  tapped.environment.link_tap = &observer;
+  const auto on = harness::run_chaos_experiment(tapped);
+  EXPECT_EQ(baseline.fingerprint(), on.fingerprint());
+  EXPECT_GT(observer.log().appended(), 0u);
 }
 
 }  // namespace

@@ -157,6 +157,48 @@ TEST(GoldenTraceTest, CommittedReportReproducesByteIdentically) {
   EXPECT_TRUE(json_valid(report));
 }
 
+TEST(FlowIngestTest, FlowLinesJoinChainsByCorrelationId) {
+  // A span chain under corr 7 plus link-record lines, mixed into one
+  // JSONL stream: flow lines must not be counted as skipped, and the
+  // flows section must join the corr-7 flows onto the chain.
+  const std::string text =
+      "{\"type\":\"begin\",\"name\":\"path_construct\",\"corr\":7,"
+      "\"sim_us\":100}\n"
+      "{\"type\":\"end\",\"name\":\"path_construct\",\"corr\":7,"
+      "\"sim_us\":900}\n"
+      "{\"flow\":\"send\",\"sim_us\":120,\"from\":4,\"to\":9,\"bytes\":512,"
+      "\"chan\":2,\"corr\":7}\n"
+      "{\"flow\":\"deliver\",\"sim_us\":180,\"from\":4,\"to\":9,"
+      "\"bytes\":512,\"chan\":2,\"corr\":7}\n"
+      "{\"flow\":\"send\",\"sim_us\":500,\"from\":1,\"to\":2,\"bytes\":64,"
+      "\"chan\":1,\"corr\":0}\n";
+  const ParsedTrace trace = parse_jsonl_trace(text);
+  EXPECT_EQ(trace.records.size(), 2u);
+  EXPECT_EQ(trace.flows.size(), 3u);
+  EXPECT_EQ(trace.skipped, 0u);
+  EXPECT_TRUE(trace.flows[1].deliver);
+  EXPECT_EQ(trace.flows[0].channel, 2u);
+
+  const std::string report = analyze_trace(trace);
+  EXPECT_NE(report.find("\"flows\":{\"count\":3,\"sends\":2,\"delivers\":1,"
+                        "\"bytes_total\":1088"),
+            std::string::npos);
+  EXPECT_NE(report.find("\"chan\":1,\"count\":1,\"bytes\":64"),
+            std::string::npos);
+  EXPECT_NE(report.find("\"correlated\":{\"flows\":2,\"chains\":1}"),
+            std::string::npos);
+
+  // A separate flows file appends through the dedicated parser.
+  ParsedTrace joined = parse_jsonl_trace(text.substr(0, text.find("{\"flow")));
+  parse_flows_jsonl(text.substr(text.find("{\"flow")), joined);
+  EXPECT_EQ(joined.flows.size(), 3u);
+
+  // Span-only traces never grow a flows section (golden stability).
+  ParsedTrace span_only = trace;
+  span_only.flows.clear();
+  EXPECT_EQ(analyze_trace(span_only).find("\"flows\""), std::string::npos);
+}
+
 TEST(GoldenTraceTest, GoldenReportContainsExpectedStructure) {
   const std::string dir = P2PANON_TEST_DATA_DIR;
   const std::string golden = read_file(dir + "/golden_trace_report.json");

@@ -1,12 +1,16 @@
 // trace_analyze — offline causal analysis of a trace written by the sim.
 //
-//   trace_analyze --in trace.json [--out report.json] [--top 10]
+//   trace_analyze --in trace.json [--flows flows.jsonl] [--out report.json]
+//                 [--top 10]
 //
 // --in accepts either sink format (Chrome trace-event document or JSONL
-// causal log; the format is sniffed). The report goes to --out, or stdout
-// when --out is empty. See src/obs/trace_analysis.hpp for what the report
-// contains; the output is byte-deterministic for a given trace, so reports
-// can be committed as goldens and diffed across runs.
+// causal log; the format is sniffed). --flows ingests a link-record JSONL
+// dump from the adversary LinkObserver; the flows are cross-referenced
+// against the span chains by correlation id and reported in a "flows"
+// section. The report goes to --out, or stdout when --out is empty. See
+// src/obs/trace_analysis.hpp for what the report contains; the output is
+// byte-deterministic for a given trace, so reports can be committed as
+// goldens and diffed across runs.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -32,6 +36,8 @@ int main(int argc, char** argv) {
   p2panon::FlagSet flags;
   auto& in_path = flags.add_string(
       "in", "", "trace file to analyze (Chrome trace JSON or JSONL)");
+  auto& flows_path = flags.add_string(
+      "flows", "", "link-record JSONL (adversary FlowLog dump) to join in");
   auto& out_path = flags.add_string(
       "out", "", "write the report here (empty = stdout)");
   auto& top_n = flags.add_int("top", 10, "slowest chains to list in full");
@@ -52,9 +58,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
     return 1;
   }
-  const p2panon::obs::ParsedTrace trace = p2panon::obs::parse_trace(text);
-  if (trace.records.empty()) {
-    std::fprintf(stderr, "%s: no trace records recognized (%zu skipped)\n",
+  p2panon::obs::ParsedTrace trace = p2panon::obs::parse_trace(text);
+  if (!flows_path.empty()) {
+    std::string flow_text;
+    if (!read_file(flows_path, flow_text)) {
+      std::fprintf(stderr, "cannot read %s\n", flows_path.c_str());
+      return 1;
+    }
+    p2panon::obs::parse_flows_jsonl(flow_text, trace);
+  }
+  if (trace.records.empty() && trace.flows.empty()) {
+    std::fprintf(stderr,
+                 "%s: no trace records or link flows recognized "
+                 "(%zu skipped)\n",
                  in_path.c_str(), trace.skipped);
     return 1;
   }
