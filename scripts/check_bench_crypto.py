@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate onion-crypto data-plane throughput against the committed baseline.
+
+Usage: check_bench_crypto.py <fresh.json> <baseline.json>
+
+Both files are micro_crypto --json reports. Fails (exit 1) when:
+  * the dispatched ChaCha20 kernel is not at least MIN_SPEEDUP times the
+    in-binary scalar reference measured in the same run (this is a
+    same-host ratio, so it is safe to gate absolutely);
+  * the pooled in-place relay path performed any heap allocations per
+    segment (the zero-allocation acceptance gate; requires the counting
+    alloc-probe hooks to be linked, asserted via alloc_probe_active);
+  * any gated throughput metric drops below THRESHOLD times the committed
+    baseline. Only relative regressions are gated -- absolute numbers vary
+    across CI hosts, so the baseline is only meaningful when produced on
+    comparable hardware; the 20% slack absorbs normal noise.
+"""
+
+import json
+import sys
+
+GATED_KEYS = [
+    "chacha20_MBps",
+    "aead_seal_MBps",
+    "aead_open_MBps",
+    "relay_layer_MBps",
+]
+THRESHOLD = 0.8
+MIN_SPEEDUP = 3.0
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("bench") != "micro_crypto":
+        raise SystemExit(f"{path}: not a micro_crypto report")
+    return doc["values"]
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh = load(argv[1])
+    base = load(argv[2])
+    failures = []
+
+    speedup = float(fresh.get("chacha20_speedup", 0.0))
+    status = "ok" if speedup >= MIN_SPEEDUP else "FAIL"
+    print(f"chacha20_speedup: {speedup:.2f}x vs scalar reference "
+          f"(floor {MIN_SPEEDUP:.1f}x) -> {status}")
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"chacha20_speedup: {speedup:.2f} < {MIN_SPEEDUP:.1f}")
+
+    if int(fresh.get("alloc_probe_active", 0)) != 1:
+        failures.append("alloc_probe_active != 1: counting hooks not linked, "
+                        "relay_path_allocs is meaningless")
+    allocs = int(fresh.get("relay_path_allocs", -1))
+    status = "ok" if allocs == 0 else "FAIL"
+    print(f"relay_path_allocs: {allocs} per segment -> {status}")
+    if allocs != 0:
+        failures.append(f"relay_path_allocs: {allocs} != 0")
+
+    for key in GATED_KEYS:
+        if key not in fresh:
+            failures.append(f"{key}: missing from {argv[1]}")
+            continue
+        if key not in base:
+            print(f"{key}: not in baseline, skipping")
+            continue
+        got, want = float(fresh[key]), THRESHOLD * float(base[key])
+        status = "ok" if got >= want else "REGRESSION"
+        print(f"{key}: {got:.1f} MB/s vs floor {want:.1f} MB/s "
+              f"(baseline {float(base[key]):.1f}) -> {status}")
+        if got < want:
+            failures.append(
+                f"{key}: {got:.1f} < {THRESHOLD:.0%} of baseline "
+                f"{float(base[key]):.1f}")
+    if failures:
+        print("FAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("crypto bench throughput within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

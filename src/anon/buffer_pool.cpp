@@ -1,0 +1,31 @@
+#include "anon/buffer_pool.hpp"
+
+#include <algorithm>
+
+namespace p2panon::anon {
+
+BufferPool::BufferPool(std::size_t default_capacity)
+    : default_capacity_(default_capacity) {
+  free_.reserve(kMaxIdle);
+}
+
+Bytes BufferPool::acquire(std::size_t size_hint) {
+  const std::size_t want = std::max(size_hint, default_capacity_);
+  if (!free_.empty()) {
+    Bytes buf = std::move(free_.back());
+    free_.pop_back();
+    if (buf.capacity() < want) buf.reserve(want);
+    return buf;
+  }
+  Bytes buf;
+  buf.reserve(want);
+  return buf;
+}
+
+void BufferPool::release(Bytes&& buf) {
+  if (free_.size() >= kMaxIdle) return;  // let it free
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+}  // namespace p2panon::anon

@@ -1,0 +1,59 @@
+// Freelist buffer pool for the relay data plane.
+//
+// A relayed segment used to allocate a fresh Bytes at every hop (peel,
+// re-wrap, forward). The pool keeps released buffers' capacity warm so the
+// steady-state receive → peel/wrap-in-place → forward pipeline reuses the
+// same few allocations forever: after warm-up, relaying performs zero heap
+// allocations per segment (asserted in tests via common/alloc_probe).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace p2panon::anon {
+
+class BufferPool {
+ public:
+  /// Buffers are pre-reserved to at least `default_capacity` so typical
+  /// segments (8 KiB erasure segments + layer overheads fit well inside
+  /// the default) never regrow.
+  explicit BufferPool(std::size_t default_capacity = 16384);
+
+  /// Returns an empty buffer with capacity >= max(size_hint, default).
+  Bytes acquire(std::size_t size_hint = 0);
+
+  /// Returns a buffer to the freelist; contents cleared, capacity kept.
+  /// The freelist is bounded — beyond that buffers are simply freed.
+  void release(Bytes&& buf);
+
+  std::size_t idle() const { return free_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxIdle = 64;
+
+  std::size_t default_capacity_;
+  std::vector<Bytes> free_;
+};
+
+/// RAII lease on a pool buffer; returns it on scope exit.
+class PooledBytes {
+ public:
+  explicit PooledBytes(BufferPool& pool, std::size_t size_hint = 0)
+      : pool_(&pool), buf_(pool.acquire(size_hint)) {}
+  ~PooledBytes() { pool_->release(std::move(buf_)); }
+
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+
+  Bytes& get() { return buf_; }
+  Bytes& operator*() { return buf_; }
+  Bytes* operator->() { return &buf_; }
+
+ private:
+  BufferPool* pool_;
+  Bytes buf_;
+};
+
+}  // namespace p2panon::anon

@@ -9,6 +9,24 @@
 
 namespace p2panon::anon {
 
+// --- base-class in-place defaults -----------------------------------------------
+//
+// Correct for any codec (delegates to the allocating forms); Real and Fast
+// override with genuinely allocation-free versions.
+
+void OnionCodec::wrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                                     Bytes& buf) const {
+  buf = wrap_layer(key, seq, buf);
+}
+
+bool OnionCodec::unwrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                                       Bytes& buf) const {
+  auto inner = unwrap_layer(key, seq, buf);
+  if (!inner.has_value()) return false;
+  buf = std::move(*inner);
+  return true;
+}
+
 // --- shared serialization ------------------------------------------------------
 
 Bytes serialize_path_hop(const PathHop& hop, ByteView rest) {
@@ -173,6 +191,24 @@ std::optional<Bytes> RealOnionCodec::unwrap_layer(const RelayKey& key,
   return crypto::aead_open(key, crypto::nonce_from_seq(seq), {}, outer);
 }
 
+void RealOnionCodec::wrap_layer_in_place(const RelayKey& key,
+                                         std::uint64_t seq,
+                                         Bytes& buf) const {
+  buf.resize(buf.size() + crypto::kAeadTagSize);
+  crypto::aead_seal_into(key, crypto::nonce_from_seq(seq), {}, buf);
+}
+
+bool RealOnionCodec::unwrap_layer_in_place(const RelayKey& key,
+                                           std::uint64_t seq,
+                                           Bytes& buf) const {
+  if (buf.size() < crypto::kAeadTagSize) return false;
+  if (!crypto::aead_open_into(key, crypto::nonce_from_seq(seq), {}, buf)) {
+    return false;
+  }
+  buf.resize(buf.size() - crypto::kAeadTagSize);
+  return true;
+}
+
 std::size_t RealOnionCodec::layer_overhead() const {
   return crypto::kAeadTagSize;
 }
@@ -288,6 +324,22 @@ std::optional<Bytes> FastOnionCodec::unwrap_layer(const RelayKey& key,
   Bytes out(outer.begin(), outer.end() - crypto::kAeadTagSize);
   xor_keystream(key_seed(ByteView(key.data(), key.size())) ^ seq, out);
   return out;
+}
+
+void FastOnionCodec::wrap_layer_in_place(const RelayKey& key,
+                                         std::uint64_t seq,
+                                         Bytes& buf) const {
+  xor_keystream(key_seed(ByteView(key.data(), key.size())) ^ seq, buf);
+  buf.resize(buf.size() + crypto::kAeadTagSize, 0);
+}
+
+bool FastOnionCodec::unwrap_layer_in_place(const RelayKey& key,
+                                           std::uint64_t seq,
+                                           Bytes& buf) const {
+  if (buf.size() < crypto::kAeadTagSize) return false;
+  buf.resize(buf.size() - crypto::kAeadTagSize);
+  xor_keystream(key_seed(ByteView(key.data(), key.size())) ^ seq, buf);
+  return true;
 }
 
 std::size_t FastOnionCodec::layer_overhead() const {

@@ -111,6 +111,18 @@ class OnionCodec {
                                             std::uint64_t seq,
                                             ByteView outer) const = 0;
 
+  /// In-place layer ops — the relay fast path. wrap grows `buf` by
+  /// layer_overhead() and seals it in place; unwrap authenticates, strips
+  /// the layer and shrinks `buf` (returning false with `buf` unchanged on
+  /// failure). Byte outputs are identical to the allocating forms. When
+  /// `buf` has spare capacity (e.g. a BufferPool lease) neither op touches
+  /// the heap; the base-class defaults delegate to the allocating forms so
+  /// other codecs stay correct without overriding.
+  virtual void wrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                                   Bytes& buf) const;
+  virtual bool unwrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                                     Bytes& buf) const;
+
   /// Per-layer ciphertext expansion in bytes (for bandwidth math).
   virtual std::size_t layer_overhead() const = 0;
   /// Sealed-core expansion over the serialized PayloadCore.
@@ -138,6 +150,10 @@ class RealOnionCodec final : public OnionCodec {
                    ByteView inner) const override;
   std::optional<Bytes> unwrap_layer(const RelayKey& key, std::uint64_t seq,
                                     ByteView outer) const override;
+  void wrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                           Bytes& buf) const override;
+  bool unwrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                             Bytes& buf) const override;
   std::size_t layer_overhead() const override;
   std::size_t core_overhead() const override;
   std::string name() const override { return "real"; }
@@ -165,6 +181,10 @@ class FastOnionCodec final : public OnionCodec {
                    ByteView inner) const override;
   std::optional<Bytes> unwrap_layer(const RelayKey& key, std::uint64_t seq,
                                     ByteView outer) const override;
+  void wrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                           Bytes& buf) const override;
+  bool unwrap_layer_in_place(const RelayKey& key, std::uint64_t seq,
+                             Bytes& buf) const override;
   std::size_t layer_overhead() const override;
   std::size_t core_overhead() const override;
   std::string name() const override { return "fast"; }

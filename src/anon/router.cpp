@@ -158,8 +158,8 @@ void AnonRouter::start() {
 void AnonRouter::send_forward(NodeId from, NodeId to, std::uint8_t type,
                               StreamId sid, std::uint64_t seq,
                               ByteView blob) {
-  Bytes msg;
-  msg.reserve(17 + blob.size());
+  PooledBytes lease(pool_, 17 + blob.size());
+  Bytes& msg = *lease;
   msg.push_back(type);
   put_u64be(msg, sid);
   if (type == kTypePayload || type == kTypeRetarget ||
@@ -180,8 +180,8 @@ void AnonRouter::send_forward(NodeId from, NodeId to, std::uint8_t type,
 void AnonRouter::send_reverse(NodeId from, NodeId to, std::uint8_t type,
                               StreamId sid, std::uint64_t seq,
                               ByteView blob) {
-  Bytes msg;
-  msg.reserve(18 + blob.size());
+  PooledBytes lease(pool_, 18 + blob.size());
+  Bytes& msg = *lease;
   msg.push_back(type);
   put_u64be(msg, sid);
   if (type == kTypePayloadRev) {
@@ -433,15 +433,18 @@ void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
   const bool traced = obs::Tracer::instance().enabled();
   std::optional<HopRelaySpan> hop_span;
   if (traced) hop_span.emplace(to, "payload");
-  const auto inner = onion_.unwrap_layer(entry->key, seq, blob);
-  if (!inner.has_value()) {
+  // Relay fast path: peel in place in a pooled buffer — zero heap
+  // allocations per segment once the pool is warm.
+  PooledBytes buf(pool_, blob.size());
+  buf->assign(blob.begin(), blob.end());
+  if (!onion_.unwrap_layer_in_place(entry->key, seq, *buf)) {
     record_peel_failure(to, "payload");
     return;
   }
   ++messages_forwarded_;
   forwarded_ctr_->inc();
   send_forward(to, entry->downstream, kTypePayload, entry->downstream_sid,
-               seq, *inner);
+               seq, *buf);
 }
 
 StreamId AnonRouter::new_initiator_sid(NodeId initiator) {
@@ -495,9 +498,9 @@ void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
   ++messages_forwarded_;
   forwarded_ctr_->inc();
 
-  const auto inner = onion_.unwrap_layer(peeled->hop.relay_key, seq,
-                                         payload_blob);
-  if (!inner.has_value()) {
+  PooledBytes inner(pool_, payload_blob.size());
+  inner->assign(payload_blob.begin(), payload_blob.end());
+  if (!onion_.unwrap_layer_in_place(peeled->hop.relay_key, seq, *inner)) {
     record_peel_failure(to, "construct_payload");
     return;
   }
@@ -506,13 +509,12 @@ void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
     // the responder as a normal payload message.
     send_forward(to, peeled->hop.next, kTypePayload, down_sid, seq, *inner);
   } else {
-    Bytes combined;
-    combined.reserve(4 + peeled->rest.size() + inner->size());
-    put_u32be(combined, static_cast<std::uint32_t>(peeled->rest.size()));
-    append(combined, peeled->rest);
-    append(combined, *inner);
+    PooledBytes combined(pool_, 4 + peeled->rest.size() + inner->size());
+    put_u32be(*combined, static_cast<std::uint32_t>(peeled->rest.size()));
+    append(*combined, peeled->rest);
+    append(*combined, *inner);
     send_forward(to, peeled->hop.next, kTypeConstructPayload, down_sid, seq,
-                 combined);
+                 *combined);
   }
 }
 
@@ -548,8 +550,9 @@ void AnonRouter::on_retarget(NodeId to, StreamId sid, std::uint64_t seq,
   const bool traced = obs::Tracer::instance().enabled();
   std::optional<HopRelaySpan> hop_span;
   if (traced) hop_span.emplace(to, "retarget");
-  const auto inner = onion_.unwrap_layer(entry->key, seq, blob);
-  if (!inner.has_value()) {
+  PooledBytes inner(pool_, blob.size());
+  inner->assign(blob.begin(), blob.end());
+  if (!onion_.unwrap_layer_in_place(entry->key, seq, *inner)) {
     record_peel_failure(to, "retarget");
     return;
   }
@@ -922,12 +925,14 @@ void AnonRouter::on_payload_rev(NodeId to, StreamId sid, std::uint64_t seq,
     const bool traced = obs::Tracer::instance().enabled();
     std::optional<HopRelaySpan> hop_span;
     if (traced) hop_span.emplace(to, "reverse");
-    const Bytes wrapped =
-        onion_.wrap_layer(entry->key, seq | kReverseBit, blob);
+    // Reverse relay fast path: add this hop's layer in place.
+    PooledBytes buf(pool_, blob.size() + onion_.layer_overhead());
+    buf->assign(blob.begin(), blob.end());
+    onion_.wrap_layer_in_place(entry->key, seq | kReverseBit, *buf);
     ++messages_forwarded_;
     forwarded_ctr_->inc();
     send_reverse(to, entry->upstream, kTypePayloadRev, entry->upstream_sid,
-                 seq, wrapped);
+                 seq, *buf);
     return;
   }
   // Initiator case: hand the blob to the session owning this path.

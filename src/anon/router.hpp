@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "anon/buffer_pool.hpp"
 #include "anon/onion.hpp"
 #include "anon/path_state.hpp"
 #include "common/rng.hpp"
@@ -275,6 +276,11 @@ class AnonRouter {
   LivenessOracle is_up_;
   RouterConfig config_;
   Rng rng_;
+
+  // Relay data-plane scratch: peel/wrap buffers and framing buffers lease
+  // from here so steady-state relaying reuses warmed capacity instead of
+  // allocating per message.
+  BufferPool pool_;
 
   std::vector<PathStateTable> tables_;
   std::vector<std::unordered_map<StreamId, PendingConstruction>> pending_;

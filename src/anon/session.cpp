@@ -450,8 +450,10 @@ void Session::send_segment_on_path(std::size_t path_index,
   Bytes blob = router_.onion().seal_payload_core(
       core, router_.directory().public_key(responder_), rng_);
   const std::uint64_t seq = path.next_seq++;
+  blob.reserve(blob.size() +
+               path.relay_keys.size() * router_.onion().layer_overhead());
   for (std::size_t i = path.relay_keys.size(); i-- > 0;) {
-    blob = router_.onion().wrap_layer(path.relay_keys[i], seq, blob);
+    router_.onion().wrap_layer_in_place(path.relay_keys[i], seq, blob);
   }
   router_.send_payload(initiator_, path.sid, path.relays.front(), seq,
                        std::move(blob));
@@ -777,17 +779,18 @@ void Session::check_predictors() {
 void Session::on_reverse(std::size_t path_index,
                          const ReverseDelivery& delivery) {
   Path& path = paths_[path_index];
-  // Strip the relay layers (R_1 outermost) and the responder-core layer.
-  Bytes blob(delivery.blob.begin(), delivery.blob.end());
+  // Strip the relay layers (R_1 outermost) and the responder-core layer,
+  // all in place in the session-owned scratch buffer.
+  Bytes& blob = reverse_scratch_;
+  blob.assign(delivery.blob.begin(), delivery.blob.end());
   const std::uint64_t seq = delivery.seq | AnonRouter::kReverseBit;
   for (const RelayKey& key : path.relay_keys) {
-    auto inner = router_.onion().unwrap_layer(key, seq, blob);
-    if (!inner.has_value()) return;
-    blob = std::move(*inner);
+    if (!router_.onion().unwrap_layer_in_place(key, seq, blob)) return;
   }
-  auto core_plain = router_.onion().unwrap_layer(path.responder_key, seq, blob);
-  if (!core_plain.has_value()) return;
-  const auto core = parse_reverse_core(*core_plain);
+  if (!router_.onion().unwrap_layer_in_place(path.responder_key, seq, blob)) {
+    return;
+  }
+  const auto core = parse_reverse_core(blob);
   if (!core.has_value()) return;
   handle_reverse_core(path_index, *core);
 }
@@ -1012,8 +1015,10 @@ MessageId Session::send_message_on_demand(ByteView data) {
         Bytes blob = router_.onion().seal_payload_core(
             core, router_.directory().public_key(responder_), rng_);
         const std::uint64_t seq = path.next_seq++;
+        blob.reserve(blob.size() +
+                     path.relay_keys.size() * router_.onion().layer_overhead());
         for (std::size_t i = path.relay_keys.size(); i-- > 0;) {
-          blob = router_.onion().wrap_layer(path.relay_keys[i], seq, blob);
+          router_.onion().wrap_layer_in_place(path.relay_keys[i], seq, blob);
         }
         if (obs::Tracer::instance().enabled()) {
           obs::TraceArgs args;
@@ -1087,10 +1092,12 @@ void Session::redirect(NodeId new_responder, RedirectHandler handler) {
     if (path.state != PathState::kEstablished) continue;
     // Layer the 4-byte destination so only the last relay can read it.
     Bytes blob;
+    blob.reserve(4 +
+                 path.relay_keys.size() * router_.onion().layer_overhead());
     put_u32be(blob, new_responder);
     const std::uint64_t seq = path.next_seq++;
     for (std::size_t i = path.relay_keys.size(); i-- > 0;) {
-      blob = router_.onion().wrap_layer(path.relay_keys[i], seq, blob);
+      router_.onion().wrap_layer_in_place(path.relay_keys[i], seq, blob);
     }
     router_.send_retarget(
         initiator_, path.sid, path.relays.front(), seq, std::move(blob),

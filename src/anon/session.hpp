@@ -346,6 +346,12 @@ class Session {
   // and the pending-ack ledger), so nothing references it across events.
   std::vector<erasure::Segment> encode_scratch_;
 
+  // Reverse-path scratch: on_reverse strips every relay layer plus the
+  // responder layer in place here, so ack processing allocates nothing
+  // once the buffer is warm. parse_reverse_core copies what it keeps
+  // before handle_reverse_core can re-enter the send path.
+  Bytes reverse_scratch_;
+
   // In-flight segments keyed by (message_id, segment_index).
   std::unordered_map<std::uint64_t, PendingSegment> pending_segments_;
 

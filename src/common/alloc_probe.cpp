@@ -1,0 +1,13 @@
+#include "common/alloc_probe.hpp"
+
+// Weak no-op fallbacks: binaries that do not opt into the counting hooks
+// (src/common/alloc_probe_hooks.cpp) see an inactive probe. The hooks file
+// provides strong definitions that win at link time.
+
+namespace p2panon::alloc_probe {
+
+__attribute__((weak)) bool active() { return false; }
+
+__attribute__((weak)) std::uint64_t allocations() { return 0; }
+
+}  // namespace p2panon::alloc_probe

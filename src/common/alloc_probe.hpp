@@ -1,0 +1,22 @@
+// Heap-allocation probe for zero-allocation assertions.
+//
+// Production binaries link only the weak no-op definitions below (via
+// p2panon_common) and pay nothing. Tests and benches that want to assert
+// "this path performs zero heap allocations" add
+// `src/common/alloc_probe_hooks.cpp` to their own sources
+// (`target_sources(<target> PRIVATE ...)`), which provides strong
+// definitions plus counting global operator new/delete overrides for the
+// whole binary. Measure a region by differencing allocations() around it.
+#pragma once
+
+#include <cstdint>
+
+namespace p2panon::alloc_probe {
+
+/// True when the counting hooks are linked into this binary.
+bool active();
+
+/// Heap allocations (operator new calls) observed so far; 0 when inactive.
+std::uint64_t allocations();
+
+}  // namespace p2panon::alloc_probe

@@ -1,6 +1,7 @@
 #include "crypto/aead.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace p2panon::crypto {
 
@@ -13,42 +14,65 @@ PolyKey poly_key_for(const ChaChaKey& key, const ChaChaNonce& nonce) {
   return pk;
 }
 
-Bytes mac_input(ByteView aad, ByteView ciphertext) {
-  Bytes input;
-  input.reserve(aad.size() + ciphertext.size() + 32);
-  append(input, aad);
-  input.resize((input.size() + 15) / 16 * 16, 0);
-  append(input, ciphertext);
-  input.resize((input.size() + 15) / 16 * 16, 0);
+// MAC over aad || pad16 || ciphertext || pad16 || le64(|aad|) || le64(|ct|),
+// absorbed incrementally — the padded stream never exists in memory.
+PolyTag mac_tag(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
+                ByteView ciphertext) {
+  Poly1305 mac(poly_key_for(key, nonce));
+  mac.update(aad);
+  mac.pad16();
+  mac.update(ciphertext);
+  mac.pad16();
   std::uint8_t lengths[16];
   store_u64le(lengths, aad.size());
   store_u64le(lengths + 8, ciphertext.size());
-  append(input, ByteView(lengths, 16));
-  return input;
+  mac.update(ByteView(lengths, 16));
+  return mac.finish();
 }
 
 }  // namespace
 
 Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
                 ByteView plaintext) {
-  Bytes ciphertext = chacha20_encrypt(key, nonce, 1, plaintext);
-  const PolyKey pk = poly_key_for(key, nonce);
-  const PolyTag tag = poly1305(pk, mac_input(aad, ciphertext));
-  append(ciphertext, ByteView(tag.data(), tag.size()));
-  return ciphertext;
+  Bytes out(plaintext.size() + kAeadTagSize);
+  if (!plaintext.empty()) {
+    std::memcpy(out.data(), plaintext.data(), plaintext.size());
+  }
+  aead_seal_into(key, nonce, aad, out);
+  return out;
 }
 
 std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
                                ByteView aad, ByteView sealed) {
   if (sealed.size() < kAeadTagSize) return std::nullopt;
-  const ByteView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
-  PolyTag tag;
-  std::memcpy(tag.data(), sealed.data() + ciphertext.size(), tag.size());
-  const PolyKey pk = poly_key_for(key, nonce);
-  if (!poly1305_verify(tag, pk, mac_input(aad, ciphertext))) {
-    return std::nullopt;
+  Bytes buf(sealed.begin(), sealed.end());
+  if (!aead_open_into(key, nonce, aad, buf)) return std::nullopt;
+  buf.resize(buf.size() - kAeadTagSize);
+  return buf;
+}
+
+void aead_seal_into(const ChaChaKey& key, const ChaChaNonce& nonce,
+                    ByteView aad, MutableByteView buf) {
+  if (buf.size() < kAeadTagSize) {
+    throw std::invalid_argument("aead_seal_into: buffer smaller than tag");
   }
-  return chacha20_encrypt(key, nonce, 1, ciphertext);
+  const MutableByteView body = buf.first(buf.size() - kAeadTagSize);
+  chacha20_xor(key, nonce, 1, body);
+  const PolyTag tag = mac_tag(key, nonce, aad, ByteView(body));
+  std::memcpy(buf.data() + body.size(), tag.data(), tag.size());
+}
+
+bool aead_open_into(const ChaChaKey& key, const ChaChaNonce& nonce,
+                    ByteView aad, MutableByteView buf) {
+  if (buf.size() < kAeadTagSize) return false;
+  const MutableByteView body = buf.first(buf.size() - kAeadTagSize);
+  const PolyTag actual = mac_tag(key, nonce, aad, ByteView(body));
+  if (!constant_time_equal(ByteView(actual.data(), actual.size()),
+                           ByteView(buf.data() + body.size(), kAeadTagSize))) {
+    return false;
+  }
+  chacha20_xor(key, nonce, 1, body);
+  return true;
 }
 
 ChaChaNonce nonce_from_seq(std::uint64_t seq) {

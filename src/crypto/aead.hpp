@@ -3,6 +3,11 @@
 // Every onion layer and sealed box in the anonymity protocols is sealed
 // with this AEAD, so a relay that tampers with a layer is detected by the
 // next hop. Verified against the RFC 8439 §2.8.2 vector.
+//
+// The `_into` forms are the relay data plane's entry points: they seal and
+// open in caller-owned scratch, with the MAC computed incrementally over
+// aad || pad || ciphertext || pad || lengths, so a seal or open performs
+// zero heap allocations. The allocating forms are wrappers over them.
 #pragma once
 
 #include <optional>
@@ -22,6 +27,20 @@ Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
 /// Opens ciphertext || tag; returns nullopt if authentication fails.
 std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
                                ByteView aad, ByteView sealed);
+
+/// In-place seal: `buf` holds the plaintext in its first size()-16 bytes
+/// with 16 spare bytes after it; on return buf = ciphertext || tag. Output
+/// bytes are identical to aead_seal. Throws std::invalid_argument when buf
+/// is smaller than the tag. Performs no heap allocations.
+void aead_seal_into(const ChaChaKey& key, const ChaChaNonce& nonce,
+                    ByteView aad, MutableByteView buf);
+
+/// In-place open: `buf` holds ciphertext || tag. On success returns true
+/// with the plaintext in buf.first(size()-16) (the tag bytes are left
+/// untouched); on authentication failure returns false with buf unchanged.
+/// Performs no heap allocations.
+bool aead_open_into(const ChaChaKey& key, const ChaChaNonce& nonce,
+                    ByteView aad, MutableByteView buf);
 
 /// Deterministic nonce from a 64-bit sequence number (low 8 bytes LE,
 /// top 4 bytes zero). Safe as long as a (key, seq) pair is never reused.

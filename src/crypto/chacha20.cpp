@@ -1,6 +1,14 @@
 #include "crypto/chacha20.hpp"
 
 #include <cstring>
+#include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define P2PANON_CHACHA_X86 1
+#include <immintrin.h>
+#else
+#define P2PANON_CHACHA_X86 0
+#endif
 
 namespace p2panon::crypto {
 
@@ -47,6 +55,357 @@ void block_to_keystream(const std::uint32_t state[16], std::uint8_t out[64]) {
   }
 }
 
+// --- Keystream-XOR kernel variants ------------------------------------------
+//
+// Every variant computes dst[i] = src[i] ^ keystream[i] with byte-identical
+// results; they only differ in how many 64-byte blocks they produce per
+// step. Common contract: `base` is the initialized state with word 12 unset,
+// `counter` is the 64-bit running block index, and the caller has already
+// validated that `counter + ceil(len/64) <= 2^32`, so every per-block
+// counter a kernel materializes fits in 32 bits. Multi-block kernels only
+// run full batches and delegate the tail to xor_ref, which also keeps the
+// per-lane counters inside the validated space.
+
+void xor_ref(const std::uint32_t base[16], std::uint64_t counter,
+             const std::uint8_t* src, std::uint8_t* dst, std::size_t len) {
+  // The original scalar loop: one block at a time. Kept as the golden
+  // reference, the benchmark baseline, and the tail path of every batched
+  // kernel.
+  std::uint32_t state[16];
+  std::memcpy(state, base, sizeof(state));
+  std::uint8_t keystream[64];
+  std::size_t offset = 0;
+  while (offset < len) {
+    state[12] = static_cast<std::uint32_t>(counter++);
+    block_to_keystream(state, keystream);
+    const std::size_t take = std::min<std::size_t>(64, len - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      dst[offset + i] = src[offset + i] ^ keystream[i];
+    }
+    offset += take;
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+
+// Portable 4-lane vector: GNU vector extensions compile to whatever SIMD
+// the target has (SSE2 on x86, NEON on arm, plain scalar otherwise), so
+// wide4 stays fast on hosts where the hand-written x86 kernels are compiled
+// out.
+typedef std::uint32_t U32x4 __attribute__((vector_size(16)));
+
+inline U32x4 splat4(std::uint32_t x) { return U32x4{x, x, x, x}; }
+
+inline U32x4 rotl4(U32x4 x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void xor_wide4(const std::uint32_t base[16], std::uint64_t counter,
+               const std::uint8_t* src, std::uint8_t* dst, std::size_t len) {
+  // Four blocks interleaved, one lane per block: v[w] holds word w of all
+  // four blocks, so every quarter-round statement is a single 4-lane vector
+  // operation with no cross-lane dependency.
+  std::size_t offset = 0;
+  while (len - offset >= 256) {
+    const std::uint32_t c0 = static_cast<std::uint32_t>(counter);
+    U32x4 v[16];
+    for (int w = 0; w < 16; ++w) v[w] = splat4(base[w]);
+    const U32x4 counters = U32x4{c0, c0 + 1, c0 + 2, c0 + 3};
+    v[12] = counters;
+    auto qr = [&v](int a, int b, int c, int d) {
+      v[a] += v[b]; v[d] = rotl4(v[d] ^ v[a], 16);
+      v[c] += v[d]; v[b] = rotl4(v[b] ^ v[c], 12);
+      v[a] += v[b]; v[d] = rotl4(v[d] ^ v[a], 8);
+      v[c] += v[d]; v[b] = rotl4(v[b] ^ v[c], 7);
+    };
+    for (int round = 0; round < 10; ++round) {
+      qr(0, 4, 8, 12);
+      qr(1, 5, 9, 13);
+      qr(2, 6, 10, 14);
+      qr(3, 7, 11, 15);
+      qr(0, 5, 10, 15);
+      qr(1, 6, 11, 12);
+      qr(2, 7, 8, 13);
+      qr(3, 4, 9, 14);
+    }
+    for (int w = 0; w < 16; ++w) {
+      v[w] += (w == 12) ? counters : splat4(base[w]);
+    }
+    for (int l = 0; l < 4; ++l) {
+      const std::uint8_t* s = src + offset + static_cast<std::size_t>(l) * 64;
+      std::uint8_t* d = dst + offset + static_cast<std::size_t>(l) * 64;
+      for (int w = 0; w < 16; ++w) {
+        store_u32le(d + 4 * w, load_u32le(s + 4 * w) ^ v[w][l]);
+      }
+    }
+    counter += 4;
+    offset += 256;
+  }
+  if (offset < len) xor_ref(base, counter, src + offset, dst + offset, len - offset);
+}
+
+#else  // no GNU vector extensions
+
+void xor_wide4(const std::uint32_t base[16], std::uint64_t counter,
+               const std::uint8_t* src, std::uint8_t* dst, std::size_t len) {
+  // Four blocks interleaved in scalar arrays; correct everywhere, relies on
+  // the compiler to keep the four independent chains in flight.
+  std::size_t offset = 0;
+  while (len - offset >= 256) {
+    std::uint32_t v[16][4];
+    for (int w = 0; w < 16; ++w) {
+      for (int l = 0; l < 4; ++l) v[w][l] = base[w];
+    }
+    for (int l = 0; l < 4; ++l) {
+      v[12][l] = static_cast<std::uint32_t>(counter) + static_cast<std::uint32_t>(l);
+    }
+    auto qr = [&v](int a, int b, int c, int d) {
+      for (int l = 0; l < 4; ++l) v[a][l] += v[b][l];
+      for (int l = 0; l < 4; ++l) v[d][l] = rotl(v[d][l] ^ v[a][l], 16);
+      for (int l = 0; l < 4; ++l) v[c][l] += v[d][l];
+      for (int l = 0; l < 4; ++l) v[b][l] = rotl(v[b][l] ^ v[c][l], 12);
+      for (int l = 0; l < 4; ++l) v[a][l] += v[b][l];
+      for (int l = 0; l < 4; ++l) v[d][l] = rotl(v[d][l] ^ v[a][l], 8);
+      for (int l = 0; l < 4; ++l) v[c][l] += v[d][l];
+      for (int l = 0; l < 4; ++l) v[b][l] = rotl(v[b][l] ^ v[c][l], 7);
+    };
+    for (int round = 0; round < 10; ++round) {
+      qr(0, 4, 8, 12);
+      qr(1, 5, 9, 13);
+      qr(2, 6, 10, 14);
+      qr(3, 7, 11, 15);
+      qr(0, 5, 10, 15);
+      qr(1, 6, 11, 12);
+      qr(2, 7, 8, 13);
+      qr(3, 4, 9, 14);
+    }
+    for (int l = 0; l < 4; ++l) {
+      const std::uint8_t* s = src + offset + static_cast<std::size_t>(l) * 64;
+      std::uint8_t* d = dst + offset + static_cast<std::size_t>(l) * 64;
+      for (int w = 0; w < 16; ++w) {
+        const std::uint32_t input =
+            (w == 12) ? static_cast<std::uint32_t>(counter) +
+                            static_cast<std::uint32_t>(l)
+                      : base[w];
+        store_u32le(d + 4 * w, load_u32le(s + 4 * w) ^ (v[w][l] + input));
+      }
+    }
+    counter += 4;
+    offset += 256;
+  }
+  if (offset < len) xor_ref(base, counter, src + offset, dst + offset, len - offset);
+}
+
+#endif  // GNU vector extensions
+
+#if P2PANON_CHACHA_X86
+
+// pshufb-based 16/8-bit rotates (byte permutations); 12/7 go through
+// shift+or. Masks follow the standard ChaCha SSSE3 layout: within each
+// 4-byte lane, rotate-left-16 swaps byte pairs and rotate-left-8 moves the
+// top byte to the bottom.
+#define P2PANON_CHACHA_QR128(a, b, c, d, rot16, rot8)                \
+  do {                                                               \
+    (a) = _mm_add_epi32((a), (b));                                   \
+    (d) = _mm_shuffle_epi8(_mm_xor_si128((d), (a)), (rot16));        \
+    (c) = _mm_add_epi32((c), (d));                                   \
+    (b) = _mm_xor_si128((b), (c));                                   \
+    (b) = _mm_or_si128(_mm_slli_epi32((b), 12), _mm_srli_epi32((b), 20)); \
+    (a) = _mm_add_epi32((a), (b));                                   \
+    (d) = _mm_shuffle_epi8(_mm_xor_si128((d), (a)), (rot8));         \
+    (c) = _mm_add_epi32((c), (d));                                   \
+    (b) = _mm_xor_si128((b), (c));                                   \
+    (b) = _mm_or_si128(_mm_slli_epi32((b), 7), _mm_srli_epi32((b), 25)); \
+  } while (0)
+
+__attribute__((target("ssse3"))) void xor_ssse3(const std::uint32_t base[16],
+                                                std::uint64_t counter,
+                                                const std::uint8_t* src,
+                                                std::uint8_t* dst,
+                                                std::size_t len) {
+  // Four blocks per step, one 128-bit register per state word with lane =
+  // block. The per-block results are recovered with a 4x4 32-bit transpose
+  // (unpack lo/hi pairs) per group of four state words.
+  const __m128i rot16 =
+      _mm_set_epi8(13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  const __m128i rot8 =
+      _mm_set_epi8(14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  std::size_t offset = 0;
+  while (len - offset >= 256) {
+    __m128i inp[16];
+    for (int w = 0; w < 16; ++w) {
+      inp[w] = _mm_set1_epi32(static_cast<int>(base[w]));
+    }
+    inp[12] = _mm_add_epi32(
+        _mm_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(counter))),
+        _mm_set_epi32(3, 2, 1, 0));
+    __m128i v[16];
+    for (int w = 0; w < 16; ++w) v[w] = inp[w];
+    for (int round = 0; round < 10; ++round) {
+      P2PANON_CHACHA_QR128(v[0], v[4], v[8], v[12], rot16, rot8);
+      P2PANON_CHACHA_QR128(v[1], v[5], v[9], v[13], rot16, rot8);
+      P2PANON_CHACHA_QR128(v[2], v[6], v[10], v[14], rot16, rot8);
+      P2PANON_CHACHA_QR128(v[3], v[7], v[11], v[15], rot16, rot8);
+      P2PANON_CHACHA_QR128(v[0], v[5], v[10], v[15], rot16, rot8);
+      P2PANON_CHACHA_QR128(v[1], v[6], v[11], v[12], rot16, rot8);
+      P2PANON_CHACHA_QR128(v[2], v[7], v[8], v[13], rot16, rot8);
+      P2PANON_CHACHA_QR128(v[3], v[4], v[9], v[14], rot16, rot8);
+    }
+    for (int w = 0; w < 16; ++w) v[w] = _mm_add_epi32(v[w], inp[w]);
+    const std::uint8_t* s = src + offset;
+    std::uint8_t* d = dst + offset;
+    for (int g = 0; g < 4; ++g) {
+      const __m128i t0 = _mm_unpacklo_epi32(v[4 * g + 0], v[4 * g + 1]);
+      const __m128i t1 = _mm_unpackhi_epi32(v[4 * g + 0], v[4 * g + 1]);
+      const __m128i t2 = _mm_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+      const __m128i t3 = _mm_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+      const __m128i blk[4] = {
+          _mm_unpacklo_epi64(t0, t2), _mm_unpackhi_epi64(t0, t2),
+          _mm_unpacklo_epi64(t1, t3), _mm_unpackhi_epi64(t1, t3)};
+      for (int j = 0; j < 4; ++j) {
+        const std::size_t at = static_cast<std::size_t>(j) * 64 +
+                               static_cast<std::size_t>(g) * 16;
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(d + at),
+            _mm_xor_si128(blk[j], _mm_loadu_si128(
+                                      reinterpret_cast<const __m128i*>(s + at))));
+      }
+    }
+    counter += 4;
+    offset += 256;
+  }
+  if (offset < len) xor_ref(base, counter, src + offset, dst + offset, len - offset);
+}
+
+#define P2PANON_CHACHA_QR256(a, b, c, d, rot16, rot8)                   \
+  do {                                                                  \
+    (a) = _mm256_add_epi32((a), (b));                                   \
+    (d) = _mm256_shuffle_epi8(_mm256_xor_si256((d), (a)), (rot16));     \
+    (c) = _mm256_add_epi32((c), (d));                                   \
+    (b) = _mm256_xor_si256((b), (c));                                   \
+    (b) = _mm256_or_si256(_mm256_slli_epi32((b), 12),                   \
+                          _mm256_srli_epi32((b), 20));                  \
+    (a) = _mm256_add_epi32((a), (b));                                   \
+    (d) = _mm256_shuffle_epi8(_mm256_xor_si256((d), (a)), (rot8));      \
+    (c) = _mm256_add_epi32((c), (d));                                   \
+    (b) = _mm256_xor_si256((b), (c));                                   \
+    (b) = _mm256_or_si256(_mm256_slli_epi32((b), 7),                    \
+                          _mm256_srli_epi32((b), 25));                  \
+  } while (0)
+
+__attribute__((target("avx2"))) void xor_avx2(const std::uint32_t base[16],
+                                              std::uint64_t counter,
+                                              const std::uint8_t* src,
+                                              std::uint8_t* dst,
+                                              std::size_t len) {
+  // Eight blocks per step: lane = block, with blocks 0-3 in the low 128-bit
+  // half and 4-7 in the high half. vpshufb permutes within each half, so
+  // the SSSE3 rotate masks broadcast straight up, and the transpose works
+  // per half — after unpacking, each 256-bit result carries block j in its
+  // low half and block j+4 in its high half, stored as two 128-bit halves
+  // 256 bytes apart.
+  const __m128i rot16_128 =
+      _mm_set_epi8(13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  const __m128i rot8_128 =
+      _mm_set_epi8(14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  const __m256i rot16 = _mm256_broadcastsi128_si256(rot16_128);
+  const __m256i rot8 = _mm256_broadcastsi128_si256(rot8_128);
+  std::size_t offset = 0;
+  while (len - offset >= 512) {
+    __m256i inp[16];
+    for (int w = 0; w < 16; ++w) {
+      inp[w] = _mm256_set1_epi32(static_cast<int>(base[w]));
+    }
+    inp[12] = _mm256_add_epi32(
+        _mm256_set1_epi32(
+            static_cast<int>(static_cast<std::uint32_t>(counter))),
+        _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0));
+    __m256i v[16];
+    for (int w = 0; w < 16; ++w) v[w] = inp[w];
+    for (int round = 0; round < 10; ++round) {
+      P2PANON_CHACHA_QR256(v[0], v[4], v[8], v[12], rot16, rot8);
+      P2PANON_CHACHA_QR256(v[1], v[5], v[9], v[13], rot16, rot8);
+      P2PANON_CHACHA_QR256(v[2], v[6], v[10], v[14], rot16, rot8);
+      P2PANON_CHACHA_QR256(v[3], v[7], v[11], v[15], rot16, rot8);
+      P2PANON_CHACHA_QR256(v[0], v[5], v[10], v[15], rot16, rot8);
+      P2PANON_CHACHA_QR256(v[1], v[6], v[11], v[12], rot16, rot8);
+      P2PANON_CHACHA_QR256(v[2], v[7], v[8], v[13], rot16, rot8);
+      P2PANON_CHACHA_QR256(v[3], v[4], v[9], v[14], rot16, rot8);
+    }
+    for (int w = 0; w < 16; ++w) v[w] = _mm256_add_epi32(v[w], inp[w]);
+    const std::uint8_t* s = src + offset;
+    std::uint8_t* d = dst + offset;
+    for (int g = 0; g < 4; ++g) {
+      const __m256i t0 = _mm256_unpacklo_epi32(v[4 * g + 0], v[4 * g + 1]);
+      const __m256i t1 = _mm256_unpackhi_epi32(v[4 * g + 0], v[4 * g + 1]);
+      const __m256i t2 = _mm256_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+      const __m256i t3 = _mm256_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+      const __m256i blk[4] = {
+          _mm256_unpacklo_epi64(t0, t2), _mm256_unpackhi_epi64(t0, t2),
+          _mm256_unpacklo_epi64(t1, t3), _mm256_unpackhi_epi64(t1, t3)};
+      for (int j = 0; j < 4; ++j) {
+        const std::size_t lo_at = static_cast<std::size_t>(j) * 64 +
+                                  static_cast<std::size_t>(g) * 16;
+        const std::size_t hi_at = lo_at + 256;
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(d + lo_at),
+            _mm_xor_si128(_mm256_castsi256_si128(blk[j]),
+                          _mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(s + lo_at))));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(d + hi_at),
+            _mm_xor_si128(_mm256_extracti128_si256(blk[j], 1),
+                          _mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(s + hi_at))));
+      }
+    }
+    counter += 8;
+    offset += 512;
+  }
+  if (offset < len) xor_ssse3(base, counter, src + offset, dst + offset, len - offset);
+}
+
+#endif  // P2PANON_CHACHA_X86
+
+using XorFn = void (*)(const std::uint32_t[16], std::uint64_t,
+                       const std::uint8_t*, std::uint8_t*, std::size_t);
+
+struct Dispatch {
+  XorFn fn;
+  const char* name;
+};
+
+const Dispatch& dispatch() {
+  static const Dispatch d = [] {
+#if P2PANON_CHACHA_X86
+    if (__builtin_cpu_supports("avx2")) {
+      return Dispatch{xor_avx2, "avx2"};
+    }
+    if (__builtin_cpu_supports("ssse3")) {
+      return Dispatch{xor_ssse3, "ssse3"};
+    }
+#endif
+    return Dispatch{xor_wide4, "wide4"};
+  }();
+  return d;
+}
+
+// Shared validation: equal sizes and — the counter-wrap bugfix — the
+// keystream must fit in the 32-bit block space above initial_counter. The
+// old code incremented the 32-bit state word directly and silently wrapped
+// to block 0 after 256 GiB, reusing keystream under the same (key, nonce).
+void check_xor_args(std::uint32_t initial_counter, ByteView src,
+                    MutableByteView dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("chacha20_xor: src/dst size mismatch");
+  }
+  const std::uint64_t blocks = (static_cast<std::uint64_t>(src.size()) + 63) / 64;
+  const std::uint64_t space = (std::uint64_t{1} << 32) - initial_counter;
+  if (blocks > space) {
+    throw std::length_error(
+        "chacha20_xor: keystream would wrap the 32-bit block counter "
+        "(keystream reuse)");
+  }
+}
+
 }  // namespace
 
 std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
@@ -61,26 +420,102 @@ std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
 
 void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                   std::uint32_t initial_counter, MutableByteView data) {
-  std::uint32_t state[16];
-  init_state(state, key, nonce, initial_counter);
-  std::uint8_t keystream[64];
-  std::size_t offset = 0;
-  while (offset < data.size()) {
-    block_to_keystream(state, keystream);
-    ++state[12];
-    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
-    for (std::size_t i = 0; i < take; ++i) {
-      data[offset + i] ^= keystream[i];
-    }
-    offset += take;
-  }
+  chacha20_xor(key, nonce, initial_counter, ByteView(data), data);
+}
+
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, ByteView src,
+                  MutableByteView dst) {
+  check_xor_args(initial_counter, src, dst);
+  if (src.empty()) return;
+  std::uint32_t base[16];
+  init_state(base, key, nonce, 0);
+  dispatch().fn(base, initial_counter, src.data(), dst.data(), src.size());
 }
 
 Bytes chacha20_encrypt(const ChaChaKey& key, const ChaChaNonce& nonce,
                        std::uint32_t initial_counter, ByteView data) {
-  Bytes out(data.begin(), data.end());
-  chacha20_xor(key, nonce, initial_counter, out);
+  Bytes out(data.size());
+  chacha20_xor(key, nonce, initial_counter, data, out);
   return out;
 }
+
+const char* chacha20_kernel_name() { return dispatch().name; }
+
+// Weak-linked provenance hook, same shape as p2panon_gf256_kernel_name:
+// obs/export records the dispatched ChaCha kernel in --json manifests when
+// the crypto library is linked in.
+extern "C" const char* p2panon_chacha20_kernel_name() {
+  return chacha20_kernel_name();
+}
+
+namespace crypto_detail {
+
+bool kernel_available(Kernel k) {
+  switch (k) {
+    case Kernel::kRef:
+    case Kernel::kWide4:
+      return true;
+    case Kernel::kSsse3:
+#if P2PANON_CHACHA_X86
+      return __builtin_cpu_supports("ssse3");
+#else
+      return false;
+#endif
+    case Kernel::kAvx2:
+#if P2PANON_CHACHA_X86
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* kernel_label(Kernel k) {
+  switch (k) {
+    case Kernel::kRef:
+      return "ref";
+    case Kernel::kWide4:
+      return "wide4";
+    case Kernel::kSsse3:
+      return "ssse3";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+void chacha20_xor(Kernel k, const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, ByteView src,
+                  MutableByteView dst) {
+  check_xor_args(initial_counter, src, dst);
+  if (!kernel_available(k)) {
+    throw std::invalid_argument("crypto_detail: kernel unavailable on host");
+  }
+  if (src.empty()) return;
+  std::uint32_t base[16];
+  init_state(base, key, nonce, 0);
+  switch (k) {
+    case Kernel::kRef:
+      xor_ref(base, initial_counter, src.data(), dst.data(), src.size());
+      return;
+    case Kernel::kWide4:
+      xor_wide4(base, initial_counter, src.data(), dst.data(), src.size());
+      return;
+    case Kernel::kSsse3:
+#if P2PANON_CHACHA_X86
+      xor_ssse3(base, initial_counter, src.data(), dst.data(), src.size());
+#endif
+      return;
+    case Kernel::kAvx2:
+#if P2PANON_CHACHA_X86
+      xor_avx2(base, initial_counter, src.data(), dst.data(), src.size());
+#endif
+      return;
+  }
+}
+
+}  // namespace crypto_detail
 
 }  // namespace p2panon::crypto

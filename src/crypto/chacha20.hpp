@@ -3,6 +3,21 @@
 // Used as the symmetric cipher for onion payload layers (the paper's
 // R_i-keyed layers) and inside the AEAD. Verified against the RFC 8439
 // block-function and encryption vectors.
+//
+// The keystream application is the relay data plane's hottest loop, so it
+// runs through batched kernels behind the same runtime-dispatch pattern as
+// the GF(256) row kernels (`src/erasure/gf256`): a 4-way interleaved scalar
+// kernel plus SSSE3 (4 blocks/step) and AVX2 (8 blocks/step) variants, all
+// byte-identical to the single-block reference, selected once per process
+// with `__builtin_cpu_supports`. `crypto_detail` exposes every variant so
+// golden-vector tests can pin them against the reference and benchmarks can
+// report a per-kernel throughput series.
+//
+// The block counter is the RFC's 32-bit word 13 of the state. Internally it
+// is carried in 64 bits, and any call whose keystream would run past the
+// 32-bit block space under one (key, nonce) throws std::length_error
+// instead of silently wrapping back to block 0 (which would reuse
+// keystream).
 #pragma once
 
 #include <array>
@@ -24,12 +39,51 @@ std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
                                             std::uint32_t counter);
 
 /// XORs `data` with the keystream starting at block `initial_counter`.
-/// Encryption and decryption are the same operation.
+/// Encryption and decryption are the same operation. Throws
+/// std::length_error when the data spans more 64-byte blocks than remain in
+/// the 32-bit counter space above `initial_counter` (the keystream would
+/// repeat).
 void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                   std::uint32_t initial_counter, MutableByteView data);
 
-/// Out-of-place convenience.
+/// Out-of-place form: dst[i] = src[i] ^ keystream[i]. `src` and `dst` must
+/// have equal sizes and either not overlap or be the exact same range.
+/// Same counter-overflow contract as the in-place form.
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, ByteView src,
+                  MutableByteView dst);
+
+/// Out-of-place convenience (allocates the result).
 Bytes chacha20_encrypt(const ChaChaKey& key, const ChaChaNonce& nonce,
                        std::uint32_t initial_counter, ByteView data);
+
+/// Kernel chacha20_xor dispatched to: "avx2", "ssse3" or "wide4".
+const char* chacha20_kernel_name();
+
+namespace crypto_detail {
+
+/// Individual keystream-XOR kernel variants, exposed so golden-vector tests
+/// can pin every implementation byte-identical to the reference and
+/// benchmarks can report a per-kernel throughput series. `kRef` is the
+/// original one-block-at-a-time scalar loop (the scalar baseline); `kWide4`
+/// interleaves four blocks for ILP; the SIMD variants compute 4 (SSSE3) or
+/// 8 (AVX2) blocks per step.
+enum class Kernel { kRef, kWide4, kSsse3, kAvx2 };
+
+inline constexpr std::array<Kernel, 4> kAllKernels = {
+    Kernel::kRef, Kernel::kWide4, Kernel::kSsse3, Kernel::kAvx2};
+
+/// False when the host CPU cannot run the variant.
+bool kernel_available(Kernel k);
+
+const char* kernel_label(Kernel k);
+
+/// Forces a specific variant. Requires kernel_available(k). Same size,
+/// aliasing and counter-overflow contract as the public chacha20_xor.
+void chacha20_xor(Kernel k, const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, ByteView src,
+                  MutableByteView dst);
+
+}  // namespace crypto_detail
 
 }  // namespace p2panon::crypto

@@ -103,42 +103,85 @@ inline void freeze(U192& h) {
 
 }  // namespace
 
-PolyTag poly1305(const PolyKey& key, ByteView message) {
+Poly1305::Poly1305(const PolyKey& key) {
   // r with RFC clamping; s is the final addend.
-  std::uint64_t r0 = load_u64le(key.data());
-  std::uint64_t r1 = load_u64le(key.data() + 8);
-  r0 &= 0x0ffffffc0fffffffULL;
-  r1 &= 0x0ffffffc0ffffffcULL;
-  const std::uint64_t s0 = load_u64le(key.data() + 16);
-  const std::uint64_t s1 = load_u64le(key.data() + 24);
+  r0_ = load_u64le(key.data()) & 0x0ffffffc0fffffffULL;
+  r1_ = load_u64le(key.data() + 8) & 0x0ffffffc0ffffffcULL;
+  s0_ = load_u64le(key.data() + 16);
+  s1_ = load_u64le(key.data() + 24);
+  h_[0] = h_[1] = h_[2] = 0;
+}
 
-  U192 h{{0, 0, 0}};
+void Poly1305::process_block(const std::uint8_t block[16],
+                             std::uint64_t hibit) {
+  U192 h{{h_[0], h_[1], h_[2]}};
+  const U192 n{{load_u64le(block), load_u64le(block + 8), hibit}};
+  h = mul_mod(add(h, n), r0_, r1_);
+  h_[0] = h.limb[0];
+  h_[1] = h.limb[1];
+  h_[2] = h.limb[2];
+}
+
+void Poly1305::update(ByteView data) {
+  if (data.empty()) return;
   std::size_t offset = 0;
-  while (offset < message.size()) {
-    const std::size_t take = std::min<std::size_t>(16, message.size() - offset);
-    std::uint8_t block[17] = {0};
-    std::memcpy(block, message.data() + offset, take);
-    block[take] = 1;  // the 2^(8*len) bit
-    U192 n{{load_u64le(block), load_u64le(block + 8),
-            static_cast<std::uint64_t>(block[16])}};
-    h = add(h, n);
-    h = mul_mod(h, r0, r1);
-    offset += take;
+  if (buf_len_ != 0) {
+    const std::size_t take =
+        std::min<std::size_t>(16 - buf_len_, data.size());
+    std::memcpy(buf_ + buf_len_, data.data(), take);
+    buf_len_ += take;
+    offset = take;
+    if (buf_len_ < 16) return;
+    process_block(buf_, 1);
+    buf_len_ = 0;
+  }
+  while (data.size() - offset >= 16) {
+    process_block(data.data() + offset, 1);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buf_, data.data() + offset, data.size() - offset);
+    buf_len_ = data.size() - offset;
+  }
+}
+
+void Poly1305::pad16() {
+  if (buf_len_ == 0) return;
+  std::memset(buf_ + buf_len_, 0, 16 - buf_len_);
+  process_block(buf_, 1);
+  buf_len_ = 0;
+}
+
+PolyTag Poly1305::finish() {
+  if (buf_len_ != 0) {
+    // Trailing partial block: the 2^(8*len) bit lands inside the 16 bytes.
+    std::uint8_t block[16] = {0};
+    std::memcpy(block, buf_, buf_len_);
+    block[buf_len_] = 1;
+    process_block(block, 0);
+    buf_len_ = 0;
   }
 
+  U192 h{{h_[0], h_[1], h_[2]}};
   freeze(h);
 
   // tag = (h + s) mod 2^128
-  unsigned __int128 c = static_cast<unsigned __int128>(h.limb[0]) + s0;
+  unsigned __int128 c = static_cast<unsigned __int128>(h.limb[0]) + s0_;
   const std::uint64_t t0 = static_cast<std::uint64_t>(c);
   c >>= 64;
-  c += static_cast<unsigned __int128>(h.limb[1]) + s1;
+  c += static_cast<unsigned __int128>(h.limb[1]) + s1_;
   const std::uint64_t t1 = static_cast<std::uint64_t>(c);
 
   PolyTag tag;
   store_u64le(tag.data(), t0);
   store_u64le(tag.data() + 8, t1);
   return tag;
+}
+
+PolyTag poly1305(const PolyKey& key, ByteView message) {
+  Poly1305 mac(key);
+  mac.update(message);
+  return mac.finish();
 }
 
 bool poly1305_verify(const PolyTag& expected, const PolyKey& key,

@@ -1,8 +1,13 @@
 // Poly1305 one-time authenticator (RFC 8439).
 //
 // Implemented with a small fixed-width big integer over 64-bit limbs and
-// explicit reduction mod 2^130 - 5; clarity over speed (the simulator's
-// hot path is not MAC computation). Verified against the RFC 8439 vector.
+// explicit reduction mod 2^130 - 5. Verified against the RFC 8439 vector.
+//
+// The incremental `Poly1305` class lets the AEAD authenticate
+// aad || pad || ciphertext || pad || lengths without ever materializing
+// that padded stream in a buffer (the allocation the old `mac_input`
+// helper made on every seal/open); the one-shot `poly1305` is a thin
+// wrapper over it.
 #pragma once
 
 #include <array>
@@ -17,6 +22,33 @@ constexpr std::size_t kPolyTagSize = 16;
 
 using PolyKey = std::array<std::uint8_t, kPolyKeySize>;
 using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+/// Incremental Poly1305. Feed the message in arbitrary-size chunks with
+/// update(); pad16() zero-fills to the next 16-byte boundary (the AEAD's
+/// inter-section padding); finish() consumes the object and returns the
+/// tag. Equivalent to the one-shot form over the concatenated stream.
+class Poly1305 {
+ public:
+  explicit Poly1305(const PolyKey& key);
+
+  void update(ByteView data);
+
+  /// Zero-pads the absorbed stream to a 16-byte boundary (no-op when
+  /// already aligned). Matches RFC 8439 §2.8 padding1/padding2.
+  void pad16();
+
+  PolyTag finish();
+
+ private:
+  /// Absorbs one block: h = (h + block + hibit·2^128) · r mod 2^130-5.
+  void process_block(const std::uint8_t block[16], std::uint64_t hibit);
+
+  std::uint64_t r0_, r1_;  // clamped key half
+  std::uint64_t s0_, s1_;  // final addend
+  std::uint64_t h_[3];     // accumulator, little-endian 64-bit limbs
+  std::uint8_t buf_[16];   // pending partial block
+  std::size_t buf_len_ = 0;
+};
 
 PolyTag poly1305(const PolyKey& key, ByteView message);
 

@@ -77,9 +77,10 @@ SegmentTag segment_tag(const SegmentAuthKey& key, std::uint64_t message_id,
 }
 
 bool segment_tag_equal(const SegmentTag& a, const SegmentTag& b) {
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
-  return diff == 0;
+  // Secret-derived MACs must never be compared with early-exit equality:
+  // route through the shared constant-time helper like poly1305_verify.
+  return constant_time_equal(ByteView(a.data(), a.size()),
+                             ByteView(b.data(), b.size()));
 }
 
 }  // namespace p2panon::crypto

@@ -20,6 +20,9 @@ std::string& add_json_flag(FlagSet& flags) {
 // does not, the symbol resolves to null and the manifest says "unlinked".
 extern "C" const char* p2panon_gf256_kernel_name() __attribute__((weak));
 
+// Same arrangement for the ChaCha20 keystream kernel (src/crypto/chacha20.cpp).
+extern "C" const char* p2panon_chacha20_kernel_name() __attribute__((weak));
+
 namespace {
 
 #ifndef P2PANON_GIT_SHA
@@ -42,6 +45,10 @@ std::string render_provenance() {
   out += "\",\"gf256_kernel\":\"";
   out += json_escape(p2panon_gf256_kernel_name != nullptr
                          ? p2panon_gf256_kernel_name()
+                         : "unlinked");
+  out += "\",\"chacha20_kernel\":\"";
+  out += json_escape(p2panon_chacha20_kernel_name != nullptr
+                         ? p2panon_chacha20_kernel_name()
                          : "unlinked");
   out += "\",\"bench_scale\":";
   out += format_number(bench_scale());

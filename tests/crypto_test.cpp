@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
@@ -125,6 +128,48 @@ TEST(HkdfTest, Rfc5869Case3NoSaltNoInfo) {
             "9d201395faa4b61a96c8");
 }
 
+// RFC 4231 cases 6 and 7: 131-byte keys, longer than the SHA-256 block, so
+// HMAC must hash the key first — the long-key path the short-key cases
+// above never reach.
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_of_digest(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, Rfc4231Case7LongKeyLongData) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key,
+      bytes_of("This is a test using a larger than block-size key and a "
+               "larger than block-size data. The key needs to be hashed "
+               "before being used by the HMAC algorithm."));
+  EXPECT_EQ(hex_of_digest(mac),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// RFC 5869 case 2: maximum-length inputs with multi-block expand (L = 82
+// spans three HMAC rounds).
+TEST(HkdfTest, Rfc5869Case2LongInputs) {
+  Bytes ikm, salt, info;
+  for (int b = 0x00; b <= 0x4f; ++b) ikm.push_back(static_cast<std::uint8_t>(b));
+  for (int b = 0x60; b <= 0xaf; ++b) salt.push_back(static_cast<std::uint8_t>(b));
+  for (int b = 0xb0; b <= 0xff; ++b) info.push_back(static_cast<std::uint8_t>(b));
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(hex_of_digest(prk),
+            "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244");
+  const Bytes okm = hkdf(salt, ikm, info, 82);
+  EXPECT_EQ(to_hex(okm),
+            "b11e398dc80327a1c8e7f78c596a4934"
+            "4f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09"
+            "da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f"
+            "1d87");
+}
+
 // --- ChaCha20 --------------------------------------------------------------------
 
 TEST(ChaCha20Test, Rfc8439BlockFunction) {
@@ -170,6 +215,152 @@ TEST(ChaCha20Test, XorRoundTrips) {
     Bytes round = chacha20_encrypt(key, nonce, 0, data);
     chacha20_xor(key, nonce, 0, round);
     EXPECT_EQ(round, data) << "len=" << len;
+  }
+}
+
+TEST(ChaCha20Test, OutOfPlaceMatchesInPlaceAndPreservesSource) {
+  Rng rng(8);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  ChaChaNonce nonce;
+  rng.fill(nonce.data(), nonce.size());
+  Bytes src(1000);
+  rng.fill(src.data(), src.size());
+  const Bytes src_copy = src;
+  Bytes dst(src.size(), 0xcc);
+  chacha20_xor(key, nonce, 5, src, dst);
+  EXPECT_EQ(src, src_copy);  // the drift bug: src must not be consumed
+  Bytes in_place = src;
+  chacha20_xor(key, nonce, 5, in_place);
+  EXPECT_EQ(dst, in_place);
+  EXPECT_THROW(
+      chacha20_xor(key, nonce, 0, src, MutableByteView(dst.data(), 999)),
+      std::invalid_argument);
+}
+
+// Regression for the counter-wrap keystream-reuse bug: the keystream block
+// index used to be incremented as a 32-bit state word and silently wrapped
+// to block 0 after 256 GiB under one (key, nonce). Running up to the
+// boundary must match per-block outputs exactly; running past it must
+// throw, never reuse keystream.
+TEST(ChaCha20Test, CounterBoundaryMatchesBlockFunction) {
+  Rng rng(15);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  ChaChaNonce nonce;
+  rng.fill(nonce.data(), nonce.size());
+  // Last 4 blocks of the counter space, ending exactly at 2^32.
+  const std::uint32_t start = 0xfffffffcu;
+  Bytes zeros(4 * 64, 0);
+  const Bytes keystream = chacha20_encrypt(key, nonce, start, zeros);
+  for (int b = 0; b < 4; ++b) {
+    const auto expect = chacha20_block(key, nonce, start + b);
+    const Bytes got(keystream.begin() + b * 64, keystream.begin() + (b + 1) * 64);
+    EXPECT_EQ(got, Bytes(expect.begin(), expect.end())) << "block " << b;
+  }
+}
+
+TEST(ChaCha20Test, ThrowsInsteadOfWrappingCounter) {
+  Rng rng(16);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  ChaChaNonce nonce;
+  rng.fill(nonce.data(), nonce.size());
+  Bytes data(5 * 64);
+  // 5 blocks needed, only 4 left in the 32-bit space: must throw.
+  EXPECT_THROW(chacha20_xor(key, nonce, 0xfffffffcu, data),
+               std::length_error);
+  // A partial fifth block also spills: 4 blocks + 1 byte.
+  Bytes partial(4 * 64 + 1);
+  EXPECT_THROW(chacha20_xor(key, nonce, 0xfffffffcu, partial),
+               std::length_error);
+  // Exactly fitting is fine.
+  Bytes fits(4 * 64);
+  EXPECT_NO_THROW(chacha20_xor(key, nonce, 0xfffffffcu, fits));
+  // Every forced kernel enforces the same contract.
+  for (const auto k : crypto_detail::kAllKernels) {
+    if (!crypto_detail::kernel_available(k)) continue;
+    Bytes out(data.size());
+    EXPECT_THROW(
+        crypto_detail::chacha20_xor(k, key, nonce, 0xfffffffcu, data, out),
+        std::length_error)
+        << crypto_detail::kernel_label(k);
+  }
+}
+
+// --- ChaCha20 kernel golden vectors ------------------------------------------------
+//
+// Every kernel variant (ref / wide4 / ssse3 / avx2) must be byte-identical
+// to the reference across sizes straddling every batch width (64-byte
+// block, 256-byte 4-block batch, 512-byte 8-block batch) and across
+// counter positions including the top of the 32-bit space. Mirrors the
+// gf256_detail golden-vector pattern.
+TEST(ChaCha20KernelTest, AllKernelsMatchReferenceAcrossSizes) {
+  Rng rng(17);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  ChaChaNonce nonce;
+  rng.fill(nonce.data(), nonce.size());
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 0; n <= 130; ++n) sizes.push_back(n);
+  for (std::size_t n : {192u, 255u, 256u, 257u, 319u, 320u, 511u, 512u, 513u,
+                        768u, 1023u, 1024u, 2048u, 4095u, 4096u}) {
+    sizes.push_back(n);
+  }
+  Bytes src(4096 + 1);
+  rng.fill(src.data(), src.size());
+  for (const std::size_t len : sizes) {
+    const ByteView input = ByteView(src).first(len);
+    Bytes expect(len);
+    crypto_detail::chacha20_xor(crypto_detail::Kernel::kRef, key, nonce, 1,
+                                input, expect);
+    for (const auto k : crypto_detail::kAllKernels) {
+      if (!crypto_detail::kernel_available(k)) continue;
+      Bytes got(len, 0xa5);
+      crypto_detail::chacha20_xor(k, key, nonce, 1, input, got);
+      EXPECT_EQ(got, expect)
+          << "kernel=" << crypto_detail::kernel_label(k) << " len=" << len;
+    }
+  }
+}
+
+TEST(ChaCha20KernelTest, AllKernelsMatchReferenceAtCounterBoundary) {
+  Rng rng(18);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  ChaChaNonce nonce;
+  rng.fill(nonce.data(), nonce.size());
+  Bytes src(16 * 64);
+  rng.fill(src.data(), src.size());
+  // Starting counters that make the batched kernels' lane counters span
+  // the very top of the 32-bit space.
+  for (const std::uint32_t start :
+       {0u, 1u, 0xfffffff0u, 0xfffffff7u, 0xfffffff9u}) {
+    const std::size_t blocks_left =
+        static_cast<std::size_t>((std::uint64_t{1} << 32) - start);
+    const std::size_t len = std::min<std::size_t>(src.size(), blocks_left * 64);
+    const ByteView input = ByteView(src).first(len);
+    Bytes expect(len);
+    crypto_detail::chacha20_xor(crypto_detail::Kernel::kRef, key, nonce,
+                                start, input, expect);
+    for (const auto k : crypto_detail::kAllKernels) {
+      if (!crypto_detail::kernel_available(k)) continue;
+      Bytes got(len, 0x5a);
+      crypto_detail::chacha20_xor(k, key, nonce, start, input, got);
+      EXPECT_EQ(got, expect)
+          << "kernel=" << crypto_detail::kernel_label(k)
+          << " counter=" << start;
+    }
+  }
+}
+
+TEST(ChaCha20KernelTest, DispatchedKernelIsAvailableAndLabeled) {
+  const std::string name = chacha20_kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "ssse3" || name == "wide4") << name;
+  EXPECT_TRUE(crypto_detail::kernel_available(crypto_detail::Kernel::kRef));
+  EXPECT_TRUE(crypto_detail::kernel_available(crypto_detail::Kernel::kWide4));
+  for (const auto k : crypto_detail::kAllKernels) {
+    EXPECT_STRNE(crypto_detail::kernel_label(k), "?");
   }
 }
 
@@ -221,6 +412,48 @@ INSTANTIATE_TEST_SUITE_P(BlockBoundaries, Poly1305LengthTest,
                          ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 64,
                                            255));
 
+// The incremental Poly1305 class must match the one-shot function no matter
+// how the message is chunked across update() calls.
+TEST(Poly1305IncrementalTest, MatchesOneShotAcrossChunkings) {
+  Rng rng(21);
+  PolyKey key;
+  rng.fill(key.data(), key.size());
+  for (const std::size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u, 300u}) {
+    Bytes msg(len);
+    rng.fill(msg.data(), msg.size());
+    const PolyTag oneshot = poly1305(key, msg);
+    for (const std::size_t chunk : {1u, 3u, 16u, 17u, 64u, 1000u}) {
+      Poly1305 mac(key);
+      for (std::size_t off = 0; off < msg.size(); off += chunk) {
+        mac.update(ByteView(msg).subspan(off, std::min(chunk, msg.size() - off)));
+      }
+      EXPECT_EQ(mac.finish(), oneshot) << "len=" << len << " chunk=" << chunk;
+    }
+  }
+}
+
+// pad16() must be equivalent to feeding explicit zero padding to the next
+// 16-byte boundary — the property the AEAD mac construction relies on to
+// avoid materializing aad || pad || ct || pad.
+TEST(Poly1305IncrementalTest, Pad16MatchesExplicitZeroPadding) {
+  Rng rng(22);
+  PolyKey key;
+  rng.fill(key.data(), key.size());
+  for (const std::size_t a_len : {0u, 1u, 12u, 16u, 17u, 40u}) {
+    Bytes a(a_len), b(33);
+    rng.fill(a.data(), a.size());
+    rng.fill(b.data(), b.size());
+    Poly1305 inc(key);
+    inc.update(a);
+    inc.pad16();
+    inc.update(b);
+    Bytes flat = a;
+    flat.resize((a.size() + 15) / 16 * 16, 0);
+    flat.insert(flat.end(), b.begin(), b.end());
+    EXPECT_EQ(inc.finish(), poly1305(key, flat)) << "a_len=" << a_len;
+  }
+}
+
 // --- AEAD -------------------------------------------------------------------------
 
 TEST(AeadTest, Rfc8439Vector) {
@@ -271,6 +504,73 @@ TEST(AeadTest, RejectsTruncation) {
   Bytes sealed = aead_seal(key, nonce, {}, bytes_of("hello"));
   sealed.resize(kAeadTagSize - 1);
   EXPECT_FALSE(aead_open(key, nonce, {}, sealed).has_value());
+}
+
+// --- In-place AEAD ----------------------------------------------------------------
+
+// The zero-allocation forms must produce byte-identical output to the
+// allocating ones across message sizes (including empty).
+TEST(AeadInPlaceTest, SealIntoMatchesAeadSeal) {
+  Rng rng(23);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  const ChaChaNonce nonce = nonce_from_seq(9);
+  const Bytes aad = bytes_of("layer-aad");
+  for (const std::size_t len : {0u, 1u, 15u, 16u, 63u, 64u, 65u, 1024u}) {
+    Bytes plaintext(len);
+    rng.fill(plaintext.data(), plaintext.size());
+    const Bytes expect = aead_seal(key, nonce, aad, plaintext);
+    Bytes buf = plaintext;
+    buf.resize(buf.size() + kAeadTagSize);
+    aead_seal_into(key, nonce, aad, buf);
+    EXPECT_EQ(buf, expect) << "len=" << len;
+  }
+}
+
+TEST(AeadInPlaceTest, OpenIntoRoundTripsRfc8439Vector) {
+  const auto key = array_from_hex<32>(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const auto nonce = array_from_hex<12>("070000004041424344454647");
+  const Bytes aad = from_hex("50515253c0c1c2c3c4c5c6c7");
+  const Bytes plaintext = bytes_of(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  Bytes buf = plaintext;
+  buf.resize(buf.size() + kAeadTagSize);
+  aead_seal_into(key, nonce, aad, buf);
+  EXPECT_EQ(to_hex(ByteView(buf).subspan(plaintext.size())),
+            "1ae10b594f09e26a7e902ecbd0600691");
+  ASSERT_TRUE(aead_open_into(key, nonce, aad, buf));
+  EXPECT_EQ(Bytes(buf.begin(), buf.end() - kAeadTagSize), plaintext);
+}
+
+TEST(AeadInPlaceTest, OpenIntoLeavesBufferUnchangedOnFailure) {
+  Rng rng(24);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  const ChaChaNonce nonce = nonce_from_seq(10);
+  Bytes buf = bytes_of("attack at dawn");
+  buf.resize(buf.size() + kAeadTagSize);
+  aead_seal_into(key, nonce, {}, buf);
+  Bytes tampered = buf;
+  tampered[0] ^= 0x01;
+  const Bytes before = tampered;
+  EXPECT_FALSE(aead_open_into(key, nonce, {}, tampered));
+  EXPECT_EQ(tampered, before);  // no partial decrypt on auth failure
+  // Wrong AAD also fails; correct inputs still open.
+  Bytes wrong_aad = buf;
+  EXPECT_FALSE(aead_open_into(key, nonce, bytes_of("x"), wrong_aad));
+  EXPECT_TRUE(aead_open_into(key, nonce, {}, buf));
+}
+
+TEST(AeadInPlaceTest, RejectsBufferSmallerThanTag) {
+  Rng rng(25);
+  ChaChaKey key;
+  rng.fill(key.data(), key.size());
+  const ChaChaNonce nonce = nonce_from_seq(11);
+  Bytes tiny(kAeadTagSize - 1);
+  EXPECT_THROW(aead_seal_into(key, nonce, {}, tiny), std::invalid_argument);
+  EXPECT_FALSE(aead_open_into(key, nonce, {}, tiny));
 }
 
 // --- X25519 -------------------------------------------------------------------------

@@ -2,7 +2,9 @@
 // that the fast codec is byte-size-identical to the real one.
 #include <gtest/gtest.h>
 
+#include "anon/buffer_pool.hpp"
 #include "anon/onion.hpp"
+#include "common/alloc_probe.hpp"
 #include "common/rng.hpp"
 
 namespace p2panon::anon {
@@ -124,11 +126,91 @@ TEST_P(OnionCodecTest, NestedLayersStripInOrder) {
   EXPECT_EQ(blob, core);
 }
 
+// The in-place wrap/unwrap forms are the relay fast path; they must be
+// byte-identical to the allocating forms for both codecs.
+TEST_P(OnionCodecTest, InPlaceFormsMatchAllocatingForms) {
+  CodecFixture fx;
+  const auto codec = make_codec();
+  const RelayKey key = crypto::random_symmetric_key(fx.rng);
+  for (const std::size_t len : {0u, 1u, 64u, 1024u, 8192u}) {
+    Bytes inner(len);
+    fx.rng.fill(inner.data(), inner.size());
+    const Bytes outer = codec->wrap_layer(key, 11, inner);
+    Bytes buf = inner;
+    codec->wrap_layer_in_place(key, 11, buf);
+    EXPECT_EQ(buf, outer) << "len=" << len;
+    ASSERT_TRUE(codec->unwrap_layer_in_place(key, 11, buf));
+    EXPECT_EQ(buf, inner) << "len=" << len;
+  }
+  // Tamper and truncation still fail through the in-place path (Real only;
+  // the Fast codec is deliberately unauthenticated).
+  if (GetParam()) {
+    Bytes buf = bytes_of("segment");
+    codec->wrap_layer_in_place(key, 12, buf);
+    Bytes tampered = buf;
+    tampered[1] ^= 0x10;
+    EXPECT_FALSE(codec->unwrap_layer_in_place(key, 12, tampered));
+    Bytes wrong_seq = buf;
+    EXPECT_FALSE(codec->unwrap_layer_in_place(key, 13, wrong_seq));
+  }
+  Bytes tiny(codec->layer_overhead() - 1);
+  EXPECT_FALSE(codec->unwrap_layer_in_place(key, 12, tiny));
+}
+
 INSTANTIATE_TEST_SUITE_P(RealAndFast, OnionCodecTest,
                          ::testing::Values(true, false),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Real" : "Fast";
                          });
+
+// --- Zero-allocation relay path ----------------------------------------------------
+
+// Steady-state relaying (acquire pooled buffer, peel or wrap a layer in
+// place) must perform zero heap allocations per segment. onion_test links
+// the strong alloc_probe hooks, so allocations() counts operator new for
+// the whole binary.
+TEST(ZeroAllocRelayTest, PooledInPlaceRelayPathDoesNotAllocate) {
+  ASSERT_TRUE(alloc_probe::active())
+      << "alloc_probe_hooks.cpp must be linked into onion_test";
+  Rng rng(99);
+  RealOnionCodec codec;
+  const RelayKey key = crypto::random_symmetric_key(rng);
+  BufferPool pool;
+  Bytes segment(8192);
+  rng.fill(segment.data(), segment.size());
+  const Bytes wire = codec.wrap_layer(key, 21, segment);
+
+  // Warm the pool: first lease may grow the freelist entry.
+  { PooledBytes warm(pool, wire.size() + codec.layer_overhead()); }
+
+  for (int round = 0; round < 4; ++round) {
+    const std::uint64_t before = alloc_probe::allocations();
+    {
+      // Receive: copy the wire blob into a pooled buffer, peel in place
+      // (forward direction), then re-wrap in place (reverse direction) —
+      // the two relay data-plane operations.
+      PooledBytes buf(pool, wire.size() + codec.layer_overhead());
+      buf->assign(wire.begin(), wire.end());
+      ASSERT_TRUE(codec.unwrap_layer_in_place(key, 21, *buf));
+      codec.wrap_layer_in_place(key, 21, *buf);
+    }
+    const std::uint64_t after = alloc_probe::allocations();
+    EXPECT_EQ(after - before, 0u) << "round " << round;
+  }
+}
+
+TEST(ZeroAllocRelayTest, PoolReusesCapacity) {
+  BufferPool pool(1024);
+  Bytes first = pool.acquire(4096);
+  const std::size_t cap = first.capacity();
+  EXPECT_GE(cap, 4096u);
+  pool.release(std::move(first));
+  EXPECT_EQ(pool.idle(), 1u);
+  const Bytes second = pool.acquire();
+  EXPECT_EQ(second.capacity(), cap);  // same warm buffer came back
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(pool.idle(), 0u);
+}
 
 TEST(RealOnionCodecTest, WrongKeyOrTamperRejected) {
   CodecFixture fx;
