@@ -25,6 +25,8 @@ for bench in build/bench/*; do
       *table*|*fig5*) "$bench" --nodes 128 >/dev/null ;;
       *ablate_failure*) "$bench" --nodes 128 --seeds 1 >/dev/null ;;
       *sec_*) "$bench" --nodes 128 >/dev/null ;;
+      # The scale probe's default sweep reaches N=16k (~11 GB); smoke small.
+      *scale_probe*) "$bench" --sizes 256,512 >/dev/null ;;
       # Plain "0.01" (no unit suffix) parses on both old and new
       # google-benchmark; the "0.01s" form is rejected by older releases.
       *micro*) "$bench" --benchmark_min_time=0.01 >/dev/null ;;

@@ -80,6 +80,18 @@ class FlowLog {
   /// Writes to_jsonl() to `path`; returns false on I/O error.
   bool write_jsonl(const std::string& path) const;
 
+  /// Heap footprint of the columnar ring (all columns, at capacity) for
+  /// the capacity byte census.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(time_us_.capacity()) * sizeof(std::uint64_t) +
+           static_cast<std::uint64_t>(corr_.capacity()) * sizeof(std::uint64_t) +
+           static_cast<std::uint64_t>(from_.capacity()) * sizeof(NodeId) +
+           static_cast<std::uint64_t>(to_.capacity()) * sizeof(NodeId) +
+           static_cast<std::uint64_t>(bytes_.capacity()) * sizeof(std::uint32_t) +
+           static_cast<std::uint64_t>(channel_.capacity()) +
+           static_cast<std::uint64_t>(dir_.capacity());
+  }
+
  private:
   std::size_t slot(std::size_t i) const;
 

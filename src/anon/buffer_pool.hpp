@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -29,6 +30,14 @@ class BufferPool {
   void release(Bytes&& buf);
 
   std::size_t idle() const { return free_.size(); }
+
+  /// Heap footprint of the idle freelist (warmed capacities included) for
+  /// the capacity byte census.
+  std::uint64_t memory_bytes() const {
+    std::uint64_t total = free_.capacity() * sizeof(Bytes);
+    for (const Bytes& buf : free_) total += buf.capacity();
+    return total;
+  }
 
  private:
   static constexpr std::size_t kMaxIdle = 64;

@@ -79,16 +79,19 @@ void CoverTrafficGenerator::tick(std::size_t index) {
     }
     // Retire the session shortly after: one dummy round per tick. The
     // relay states it created expire via TTL like any other path.
-    router_.simulator().schedule_after(10 * kSecond, [this, raw,
-                                                      alive = alive_] {
-      if (!*alive) return;
-      in_flight_.erase(
-          std::remove_if(in_flight_.begin(), in_flight_.end(),
-                         [raw](const std::unique_ptr<Session>& s) {
-                           return s.get() == raw;
-                         }),
-          in_flight_.end());
-    });
+    static const auto kCoverEvent = obs::capacity::event_type("cover.retire");
+    router_.simulator().schedule_after(
+        10 * kSecond,
+        [this, raw, alive = alive_] {
+          if (!*alive) return;
+          in_flight_.erase(
+              std::remove_if(in_flight_.begin(), in_flight_.end(),
+                             [raw](const std::unique_ptr<Session>& s) {
+                               return s.get() == raw;
+                             }),
+              in_flight_.end());
+        },
+        kCoverEvent);
   });
 }
 

@@ -65,7 +65,19 @@ class PathStateTable {
 
   std::size_t size() const { return by_upstream_.size(); }
 
+  /// Estimated heap footprint of both lookup maps (bucket arrays plus one
+  /// heap node per entry) for the capacity byte census.
+  std::uint64_t memory_bytes() const {
+    return map_bytes(by_upstream_) + map_bytes(downstream_to_upstream_);
+  }
+
  private:
+  template <typename Map>
+  static std::uint64_t map_bytes(const Map& m) {
+    return static_cast<std::uint64_t>(m.bucket_count()) * sizeof(void*) +
+           static_cast<std::uint64_t>(m.size()) *
+               (sizeof(typename Map::value_type) + 2 * sizeof(void*));
+  }
   StreamId fresh_sid();
 
   Rng rng_;

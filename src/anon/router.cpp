@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "erasure/verified_decode.hpp"
+#include "obs/capacity/census.hpp"
 #include "obs/trace.hpp"
 
 namespace p2panon::anon {
@@ -228,12 +229,16 @@ StreamId AnonRouter::initiate_path(NodeId initiator,
     tracer.span_begin("anon", "path_construct", sid, args);
   }
 
+  static const auto kTimeoutEvent =
+      obs::capacity::event_type("router.timeout");
   PendingConstruction pending;
   pending.callback = std::move(callback);
-  pending.timeout_event =
-      simulator_.schedule_after(timeout, [this, initiator, sid] {
+  pending.timeout_event = simulator_.schedule_after(
+      timeout,
+      [this, initiator, sid] {
         finish_pending(initiator, sid, /*ok=*/false, /*timed_out=*/true);
-      });
+      },
+      kTimeoutEvent);
   pending_[initiator].emplace(sid, std::move(pending));
 
   send_forward(initiator, relays.front(), kTypeConstruct, sid, 0, onion_blob);
@@ -531,13 +536,17 @@ void AnonRouter::send_retarget(NodeId initiator, StreamId sid,
     args.add("initiator", static_cast<std::uint64_t>(initiator));
     tracer.span_begin("anon", "retarget", sid, args);
   }
+  static const auto kTimeoutEvent =
+      obs::capacity::event_type("router.timeout");
   PendingConstruction pending;
   pending.callback = std::move(callback);
   pending.span = "retarget";
-  pending.timeout_event =
-      simulator_.schedule_after(timeout, [this, initiator, sid] {
+  pending.timeout_event = simulator_.schedule_after(
+      timeout,
+      [this, initiator, sid] {
         finish_pending(initiator, sid, /*ok=*/false, /*timed_out=*/true);
-      });
+      },
+      kTimeoutEvent);
   pending_[initiator][sid] = std::move(pending);
   send_forward(initiator, first_relay, kTypeRetarget, sid, seq, blob);
 }
@@ -1038,6 +1047,44 @@ std::size_t AnonRouter::reverse_handler_count(NodeId node) const {
 
 std::size_t AnonRouter::reassembly_count(NodeId node) const {
   return reassembly_[node].size();
+}
+
+void AnonRouter::byte_census(obs::capacity::ByteCensus& census) const {
+  std::uint64_t table_bytes = obs::capacity::vector_bytes(tables_);
+  for (const PathStateTable& table : tables_) {
+    table_bytes += table.memory_bytes();
+  }
+  census.add("router", "path_state_tables", table_bytes);
+
+  std::uint64_t pending_bytes = obs::capacity::vector_bytes(pending_);
+  for (const auto& map : pending_) {
+    pending_bytes += obs::capacity::hash_map_bytes(map);
+  }
+  pending_bytes += obs::capacity::vector_bytes(reverse_handlers_);
+  for (const auto& map : reverse_handlers_) {
+    pending_bytes += obs::capacity::hash_map_bytes(map);
+  }
+  census.add("router", "pending_and_handlers", pending_bytes);
+
+  std::uint64_t reassembly_bytes = obs::capacity::vector_bytes(reassembly_);
+  for (const auto& map : reassembly_) {
+    reassembly_bytes += obs::capacity::hash_map_bytes(map);
+    for (const auto& [id, r] : map) {
+      std::uint64_t held = 0;
+      for (const auto& seg : r.segments) held += seg.data.capacity();
+      for (const auto& seg : r.quarantined) held += seg.data.capacity();
+      held += obs::capacity::vector_bytes(r.arrival_sids) +
+              obs::capacity::vector_bytes(r.segment_sids) +
+              obs::capacity::vector_bytes(r.quarantined_sids) +
+              obs::capacity::vector_bytes(r.digest_votes);
+      reassembly_bytes += held;
+    }
+  }
+  census.add("router", "reassembly", reassembly_bytes);
+
+  census.add("router", "node_keys",
+             obs::capacity::vector_bytes(node_keys_));
+  census.add("router", "buffer_pool", pool_.memory_bytes());
 }
 
 }  // namespace p2panon::anon

@@ -34,6 +34,10 @@
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
+namespace p2panon::obs::capacity {
+class ByteCensus;
+}  // namespace p2panon::obs::capacity
+
 namespace p2panon::anon {
 
 struct RouterConfig {
@@ -155,6 +159,11 @@ class AnonRouter {
   std::size_t pending_construction_count(NodeId node) const;
   std::size_t reverse_handler_count(NodeId node) const;
   std::size_t reassembly_count(NodeId node) const;
+
+  /// Reports the router's per-node structures (path-state tables, pending
+  /// constructions, reverse handlers, reassembly buffers, node keys, the
+  /// relay buffer pool) into the capacity byte census under "router".
+  void byte_census(obs::capacity::ByteCensus& census) const;
 
   /// Fires when an *undelivered* reassembly record is TTL-swept — the
   /// message can no longer complete at that responder (segments that

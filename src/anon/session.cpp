@@ -289,12 +289,16 @@ void Session::retry_construction() {
     attempt_construction();  // immediate retry: the paper's behavior
     return;
   }
+  static const auto kBackoffEvent =
+      obs::capacity::event_type("session.timer");
   construct_backoff_event_ = router_.simulator().schedule_after(
-      backoff_delay(construct_attempts_ - 1), [this, alive = alive_] {
+      backoff_delay(construct_attempts_ - 1),
+      [this, alive = alive_] {
         if (!*alive || torn_down_) return;
         construct_backoff_event_ = sim::kInvalidEventId;
         attempt_construction();
-      });
+      },
+      kBackoffEvent);
 }
 
 SimDuration Session::backoff_delay(std::size_t failures) {
@@ -480,11 +484,15 @@ void Session::send_segment_on_path(std::size_t path_index,
   pending.sent_at = router_.simulator().now();
   pending.retries = retries;
   pending.digest = digest;
+  static const auto kSegmentTimerEvent =
+      obs::capacity::event_type("session.timer");
   pending.timeout_event = router_.simulator().schedule_after(
-      timeout, [this, key, alive = alive_] {
+      timeout,
+      [this, key, alive = alive_] {
         if (!*alive) return;
         on_segment_timeout(key, /*fail_pending_path=*/false);
-      });
+      },
+      kSegmentTimerEvent);
   pending_segments_[key] = std::move(pending);
 }
 
@@ -652,13 +660,16 @@ void Session::schedule_rebuild(std::size_t path_index) {
     rebuild_path(path_index);
     return;
   }
+  static const auto kRebuildEvent =
+      obs::capacity::event_type("session.timer");
   router_.simulator().schedule_after(
       backoff_delay(path_health_[path_index].rebuild_failures - 1),
       [this, path_index, alive = alive_] {
         if (!*alive || torn_down_) return;
         if (paths_[path_index].state != PathState::kFailed) return;
         rebuild_path(path_index);
-      });
+      },
+      kRebuildEvent);
 }
 
 void Session::rebuild_path(std::size_t path_index) {
@@ -1047,11 +1058,15 @@ MessageId Session::send_message_on_demand(ByteView data) {
         pending.path_index = path_index;
         pending.sent_at = now;
         pending.digest = digest;
+        static const auto kResendTimerEvent =
+            obs::capacity::event_type("session.timer");
         pending.timeout_event = router_.simulator().schedule_after(
-            timeout, [this, key, alive = alive_] {
+            timeout,
+            [this, key, alive = alive_] {
               if (!*alive) return;
               on_segment_timeout(key, /*fail_pending_path=*/true);
-            });
+            },
+            kResendTimerEvent);
         pending_segments_[key] = std::move(pending);
         sent_any = true;
       } else {

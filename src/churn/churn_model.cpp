@@ -52,8 +52,10 @@ void ChurnModel::subscribe(ChurnListener listener) {
 void ChurnModel::schedule_transition(NodeId node) {
   const double session_seconds = dist_->sample(rng_);
   const SimDuration delay = from_seconds(session_seconds);
-  nodes_[node].next_transition =
-      simulator_.schedule_after(delay, [this, node] { transition(node); });
+  static const auto kTransitionEvent =
+      obs::capacity::event_type("churn.transition");
+  nodes_[node].next_transition = simulator_.schedule_after(
+      delay, [this, node] { transition(node); }, kTransitionEvent);
 }
 
 void ChurnModel::transition(NodeId node) {

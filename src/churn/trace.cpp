@@ -89,8 +89,10 @@ TraceChurn TraceChurn::from_trace(sim::Simulator& simulator,
 void TraceChurn::start() {
   if (started_) throw std::logic_error("TraceChurn::start called twice");
   started_ = true;
+  static const auto kTraceEvent = obs::capacity::event_type("churn.trace");
   for (const ChurnEvent& event : events_) {
-    simulator_.schedule_at(event.when, [this, event] { apply(event); });
+    simulator_.schedule_at(
+        event.when, [this, event] { apply(event); }, kTraceEvent);
   }
 }
 

@@ -44,6 +44,12 @@ class KeyDirectory {
   bool has_key(NodeId node) const;
   std::size_t size() const { return keys_.size(); }
 
+  /// Heap footprint of the directory for the capacity byte census.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(keys_.capacity()) * sizeof(X25519Key) +
+           present_.capacity() / 8;
+  }
+
  private:
   std::vector<X25519Key> keys_;
   std::vector<bool> present_;

@@ -284,10 +284,14 @@ bool FaultyTransport::apply_membership_rules(NodeId from, NodeId to,
 void FaultyTransport::dispatch(NodeId from, NodeId to, Bytes payload,
                                SimDuration extra) {
   if (extra > 0 && simulator_ != nullptr) {
+    static const auto kRedeliverEvent =
+        obs::capacity::event_type("fault.redeliver");
     simulator_->schedule_after(
-        extra, [this, from, to, data = std::move(payload)]() mutable {
+        extra,
+        [this, from, to, data = std::move(payload)]() mutable {
           inner_.send(from, to, std::move(data));
-        });
+        },
+        kRedeliverEvent);
     return;
   }
   inner_.send(from, to, std::move(payload));

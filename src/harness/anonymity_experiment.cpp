@@ -33,6 +33,7 @@ void export_report(obs::Registry& metrics,
 }  // namespace
 
 AnonymityResult run_anonymity_experiment(const AnonymityConfig& config) {
+  static const auto kSendEvent = obs::capacity::event_type("harness.send");
   const std::size_t n = config.environment.num_nodes;
 
   // The capture layer is built before the Environment so the transport is
@@ -106,7 +107,9 @@ AnonymityResult run_anonymity_experiment(const AnonymityConfig& config) {
         std::move(cover_set),
         [cover_config](NodeId) { return cover_config; }, env.rng().fork(),
         &env.metrics());
-    env.simulator().schedule_at(config.warmup, [&cover] { cover->start(); });
+    env.simulator().schedule_at(
+        config.warmup, [&cover] { cover->start(); },
+        obs::capacity::event_type("harness.send"));
   }
 
   // Sequential trials: one short-lived session each, with its window and
@@ -124,7 +127,8 @@ AnonymityResult run_anonymity_experiment(const AnonymityConfig& config) {
     if (current->send_message(payload) != 0) ++result.messages_sent;
     env.simulator().schedule_after(
         config.send_interval,
-        [&send_loop, gen, window_end] { send_loop(gen, window_end); });
+        [&send_loop, gen, window_end] { send_loop(gen, window_end); },
+        kSendEvent);
   };
 
   for (std::size_t i = 0; i < config.trials; ++i) {

@@ -144,6 +144,9 @@ std::string ChaosResult::fingerprint() const {
 }
 
 ChaosResult run_chaos_experiment(const ChaosConfig& config) {
+  static const auto kSendEvent = obs::capacity::event_type("harness.send");
+  static const auto kHealthEvent =
+      obs::capacity::event_type("harness.health");
   const SimTime fault_start = config.warmup + config.fault_grace;
   const SimTime fault_end = config.warmup + config.measure;
   const fault::FaultPlan plan = make_scenario_plan(
@@ -249,16 +252,20 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
       tracks[id].segments_placed = static_cast<std::size_t>(
           session.segments_sent() - segments_before);
     }
-    env.simulator().schedule_after(config.send_interval, send_one);
+    env.simulator().schedule_after(config.send_interval, send_one,
+                                  kSendEvent);
   };
-  env.simulator().schedule_at(config.warmup, [&] {
-    session.construct([&](bool ok, std::size_t attempts) {
-      result.constructed = ok;
-      result.construct_attempts = attempts;
-      if (!ok) return;
-      send_one();
-    });
-  });
+  env.simulator().schedule_at(
+      config.warmup,
+      [&] {
+        session.construct([&](bool ok, std::size_t attempts) {
+          result.constructed = ok;
+          result.construct_attempts = attempts;
+          if (!ok) return;
+          send_one();
+        });
+      },
+      kSendEvent);
 
   // Optional rolling health scoreboard. Sampling reads churn/session/
   // registry state only, so the simulated outcome (and every RNG stream)
@@ -273,9 +280,8 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
         health_config);
     health->attach_session(session);
     health_task = std::make_unique<sim::PeriodicTask>(
-        env.simulator(), config.health_interval, [&health] {
-          health->sample();
-        });
+        env.simulator(), config.health_interval,
+        [&health] { health->sample(); }, kHealthEvent);
     health_task->start();
   }
 

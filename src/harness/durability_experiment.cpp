@@ -88,6 +88,9 @@ class DurabilityMonitor {
 }  // namespace
 
 DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
+  static const auto kSendEvent = obs::capacity::event_type("harness.send");
+  static const auto kHealthEvent =
+      obs::capacity::event_type("harness.health");
   Environment env(config.environment);
   env.churn().pin_up(config.initiator);
   env.churn().pin_up(config.responder);
@@ -157,7 +160,8 @@ DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
     } else {
       current_message = 0;
     }
-    env.simulator().schedule_after(config.send_interval, send_one);
+    env.simulator().schedule_after(config.send_interval, send_one,
+                                  kSendEvent);
   };
 
   // At warm-up end: construct (with retries inside the session), arm the
@@ -193,9 +197,8 @@ DurabilityResult run_durability_experiment(const DurabilityConfig& config) {
         config.environment.num_nodes, health_config);
     health->attach_session(session);
     health_task = std::make_unique<sim::PeriodicTask>(
-        env.simulator(), config.health_interval, [&health] {
-          health->sample();
-        });
+        env.simulator(), config.health_interval,
+        [&health] { health->sample(); }, kHealthEvent);
     health_task->start();
   }
 

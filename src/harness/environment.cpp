@@ -1,6 +1,7 @@
 #include "harness/environment.hpp"
 
 #include "churn/distributions.hpp"
+#include "common/alloc_probe.hpp"
 #include "obs/trace.hpp"
 
 namespace p2panon::harness {
@@ -27,13 +28,25 @@ Environment::Environment(EnvironmentConfig config)
     obs::Tracer::instance().set_sim_clock(&tracer_sim_clock, &simulator_);
     attached_trace_clock_ = true;
   }
-  latency_ = std::make_unique<net::LatencyMatrix>(net::LatencyMatrix::synthetic(
-      config_.num_nodes, rng_.fork(), config_.mean_rtt));
+  simulator_.set_profiler(config_.loop_profiler);
+  // Alloc-probe subsystem tags: in binaries that link the counting hooks
+  // (scale_probe, capacity tests) each phase's heap bytes are attributed
+  // to its subsystem; elsewhere MemScope collapses to two no-op calls.
+  {
+    alloc_probe::MemScope mem_scope("latency_matrix");
+    latency_ = std::make_unique<net::LatencyMatrix>(
+        net::LatencyMatrix::synthetic(config_.num_nodes, rng_.fork(),
+                                      config_.mean_rtt));
+  }
 
-  const auto session_dist =
-      churn::parse_distribution(config_.session_distribution);
-  churn_ = std::make_unique<churn::ChurnModel>(
-      simulator_, config_.num_nodes, *session_dist, rng_.fork());
+  {
+    alloc_probe::MemScope mem_scope("churn");
+    const auto session_dist =
+        churn::parse_distribution(config_.session_distribution);
+    churn_ = std::make_unique<churn::ChurnModel>(
+        simulator_, config_.num_nodes, *session_dist, rng_.fork());
+  }
+  alloc_probe::MemScope transport_scope("transport");
 
   // The liveness oracle folds in plan-scripted crashes so that a crashed
   // node also refuses deliveries that are already in flight (same failure
@@ -57,8 +70,10 @@ Environment::Environment(EnvironmentConfig config)
                                  : static_cast<net::Transport&>(*transport_);
   demux_ = std::make_unique<net::Demux>(wire, config_.num_nodes);
 
+  alloc_probe::MemScope pki_scope("pki");
   Rng key_rng = rng_.fork();
   auto node_keys = directory_.provision(config_.num_nodes, key_rng);
+  alloc_probe::MemScope membership_scope("membership");
 
   // Either provider consumes exactly one fork here, so switching kinds
   // leaves every downstream RNG stream (router) in place, and the default
@@ -71,6 +86,7 @@ Environment::Environment(EnvironmentConfig config)
         simulator_, *demux_, *churn_, config_.gossip, rng_.fork());
   }
 
+  alloc_probe::MemScope router_scope("router");
   if (config_.fast_crypto) {
     onion_ = std::make_unique<anon::FastOnionCodec>();
   } else {
@@ -94,6 +110,7 @@ void Environment::start() {
   membership_->start();  // subscribes to churn before transitions begin
   router_->start();
   churn_->start();
+  static const auto kSamplerEvent = obs::capacity::event_type("obs.sampler");
   if (config_.obs_sample_interval > 0) {
     obs::Gauge* pending = metrics_->gauge("obs_sim_pending_events");
     obs::Gauge* executed = metrics_->gauge("obs_sim_executed_events");
@@ -106,7 +123,8 @@ void Environment::start() {
               static_cast<std::int64_t>(simulator_.executed_events()));
           scheduled->set(
               static_cast<std::int64_t>(simulator_.scheduled_total()));
-        });
+        },
+        kSamplerEvent);
     obs_sampler_->start();
   }
   if (config_.membership_obs_interval > 0 &&
@@ -162,15 +180,25 @@ void Environment::start() {
                                last_control_stats_.repair_records_accepted);
           elections->inc(control.elections - last_control_stats_.elections);
           last_control_stats_ = control;
-        });
+        },
+        kSamplerEvent);
     membership_sampler_->start();
   }
   if (config_.timeseries != nullptr && config_.timeseries_interval > 0) {
     timeseries_sampler_ = std::make_unique<sim::PeriodicTask>(
         simulator_, config_.timeseries_interval,
-        [this] { config_.timeseries->sample(simulator_.now()); });
+        [this] { config_.timeseries->sample(simulator_.now()); },
+        kSamplerEvent);
     timeseries_sampler_->start();
   }
+}
+
+void Environment::byte_census(obs::capacity::ByteCensus& census) const {
+  census.add("latency_matrix", "delays", latency_->memory_bytes());
+  membership_->byte_census(census);
+  router_->byte_census(census);
+  census.add("pki", "directory", directory_.memory_bytes());
+  census.add("sim", "event_queue", simulator_.queue_memory_bytes());
 }
 
 NodeId Environment::random_up_node(NodeId exclude) {

@@ -23,6 +23,8 @@
 #include "net/demux.hpp"
 #include "net/latency_matrix.hpp"
 #include "net/sim_transport.hpp"
+#include "obs/capacity/census.hpp"
+#include "obs/capacity/loop_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
@@ -74,6 +76,13 @@ struct EnvironmentConfig {
   obs::TimeseriesRecorder* timeseries = nullptr;
   SimDuration timeseries_interval = 0;
 
+  /// Optional capacity loop profiler (not owned; must outlive the
+  /// Environment) attached to the simulator at construction. Passive —
+  /// it only reads wall clocks around event dispatch, never schedules or
+  /// draws randomness — so attaching one keeps runs byte-identical to the
+  /// seed; the default (null) costs one branch per event.
+  obs::capacity::LoopProfiler* loop_profiler = nullptr;
+
   /// Optional passive wire observer (not owned; must outlive the
   /// Environment) installed on the SimTransport underneath any fault
   /// decorator — a global observer sees the wire, not the faults' view.
@@ -121,6 +130,11 @@ class Environment {
   /// Picks a currently-up node uniformly, excluding `exclude` (or
   /// kInvalidNode when none is up).
   NodeId random_up_node(NodeId exclude);
+
+  /// Walks every big owned structure (latency matrix, membership caches,
+  /// router tables, PKI, event queue) and reports container footprints
+  /// into `census`. Read-only — callable mid-run without perturbing it.
+  void byte_census(obs::capacity::ByteCensus& census) const;
 
  private:
   EnvironmentConfig config_;

@@ -25,7 +25,9 @@ class Probe {
       ratio_.record(ok);
       if (ok) session_->teardown();
       // Defer deletion: we are inside the session's own callback.
-      env.simulator().schedule_after(0, [this] { delete this; });
+      env.simulator().schedule_after(
+          0, [this] { delete this; },
+          obs::capacity::event_type("harness.setup"));
     });
   }
 
@@ -61,6 +63,8 @@ PathSetupResult run_path_setup_experiment(const PathSetupConfig& config) {
   std::function<void(NodeId)> schedule_next = [&](NodeId node) {
     const SimDuration gap =
         from_seconds(env.rng().exponential(config.event_interarrival_seconds));
+    static const auto kSetupEvent =
+        obs::capacity::event_type("harness.setup");
     env.simulator().schedule_after(gap, [&, node] {
       const SimTime now = env.simulator().now();
       if (now <= measure_end) schedule_next(node);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/capacity/census.hpp"
 
 namespace p2panon::membership {
 
@@ -121,10 +122,12 @@ void GossipMembership::start() {
     }
   }
 
+  static const auto kRoundEvent = obs::capacity::event_type("gossip.round");
   tasks_.reserve(n);
   for (NodeId node = 0; node < n; ++node) {
     auto task = std::make_unique<sim::PeriodicTask>(
-        simulator_, config_.interval, [this, node] { gossip_tick(node); });
+        simulator_, config_.interval, [this, node] { gossip_tick(node); },
+        kRoundEvent);
     // Random phase so the fleet doesn't gossip in lockstep.
     task->start_at(simulator_.now() +
                    static_cast<SimDuration>(rng_.next_below(
@@ -133,11 +136,13 @@ void GossipMembership::start() {
   }
 
   if (config_.anti_entropy_interval > 0) {
+    static const auto kAntiEntropyEvent =
+        obs::capacity::event_type("gossip.anti_entropy");
     anti_entropy_tasks_.reserve(n);
     for (NodeId node = 0; node < n; ++node) {
       auto task = std::make_unique<sim::PeriodicTask>(
           simulator_, config_.anti_entropy_interval,
-          [this, node] { anti_entropy_tick(node); });
+          [this, node] { anti_entropy_tick(node); }, kAntiEntropyEvent);
       task->start_at(simulator_.now() +
                      static_cast<SimDuration>(node_rngs_[node].next_below(
                          static_cast<std::uint64_t>(
@@ -185,21 +190,27 @@ void GossipMembership::on_churn(NodeId node, bool up, SimTime when) {
             decision_rng(node).next_below(static_cast<std::uint64_t>(
                 config_.detection_delay_max - config_.detection_delay_min +
                 1)));
-    simulator_.schedule_after(delay, [this, node] {
-      if (churn_.is_up(node)) return;  // re-joined before detection
-      std::size_t found = 0;
-      const std::size_t n = caches_.size();
-      for (std::size_t attempt = 0;
-           attempt < 8 * config_.churn_observers && found < config_.churn_observers;
-           ++attempt) {
-        const NodeId observer =
-            static_cast<NodeId>(decision_rng(node).next_below(n));
-        if (observer == node || !churn_.is_up(observer)) continue;
-        caches_[observer].heard_left_directly(node, simulator_.now());
-        enqueue_rumor(observer, node);
-        ++found;
-      }
-    });
+    static const auto kDetectEvent =
+        obs::capacity::event_type("gossip.detect");
+    simulator_.schedule_after(
+        delay,
+        [this, node] {
+          if (churn_.is_up(node)) return;  // re-joined before detection
+          std::size_t found = 0;
+          const std::size_t n = caches_.size();
+          for (std::size_t attempt = 0;
+               attempt < 8 * config_.churn_observers &&
+               found < config_.churn_observers;
+               ++attempt) {
+            const NodeId observer =
+                static_cast<NodeId>(decision_rng(node).next_below(n));
+            if (observer == node || !churn_.is_up(observer)) continue;
+            caches_[observer].heard_left_directly(node, simulator_.now());
+            enqueue_rumor(observer, node);
+            ++found;
+          }
+        },
+        kDetectEvent);
   }
 }
 
@@ -492,6 +503,33 @@ double GossipMembership::belief_accuracy() const {
   }
   return total ? static_cast<double>(correct) / static_cast<double>(total)
                : 0.0;
+}
+
+void GossipMembership::byte_census(obs::capacity::ByteCensus& census) const {
+  std::uint64_t cache_bytes =
+      obs::capacity::vector_bytes(caches_);  // headers
+  for (const NodeCache& cache : caches_) cache_bytes += cache.memory_bytes();
+  census.add("membership", "node_caches", cache_bytes);
+
+  std::uint64_t rumor_bytes = obs::capacity::vector_bytes(rumor_queues_);
+  for (const auto& queue : rumor_queues_) {
+    rumor_bytes += queue.size() * sizeof(Rumor);
+  }
+  rumor_bytes += obs::capacity::vector_bytes(rumor_members_);
+  for (const auto& members : rumor_members_) {
+    rumor_bytes += obs::capacity::hash_map_bytes(members);
+  }
+  census.add("membership", "rumor_queues", rumor_bytes);
+
+  census.add("membership", "refresh_cursors",
+             obs::capacity::vector_bytes(refresh_cursors_));
+  census.add("membership", "node_rngs",
+             obs::capacity::vector_bytes(node_rngs_));
+  census.add("membership", "gossip_tasks",
+             obs::capacity::vector_bytes(tasks_) +
+                 obs::capacity::vector_bytes(anti_entropy_tasks_) +
+                 (tasks_.size() + anti_entropy_tasks_.size()) *
+                     sizeof(sim::PeriodicTask));
 }
 
 }  // namespace p2panon::membership

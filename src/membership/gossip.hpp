@@ -107,6 +107,8 @@ class GossipMembership final : public MembershipProvider {
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
   ControlStats control_stats() const override { return control_stats_; }
 
+  void byte_census(obs::capacity::ByteCensus& census) const override;
+
   // Legacy accessor names, kept for direct users (tests).
   std::uint64_t gossip_messages_sent() const { return messages_sent_; }
   std::uint64_t gossip_bytes_sent() const { return bytes_sent_; }

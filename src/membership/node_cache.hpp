@@ -184,6 +184,15 @@ class NodeCache {
 
   std::size_t quarantined_count(SimTime now) const;
 
+  /// Heap footprint (entries plus the lazily-sized suspicion table) for
+  /// the capacity byte census. N caches of N entries each is the
+  /// membership layer's O(N²) term.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(entries_.capacity()) * sizeof(Entry) +
+           static_cast<std::uint64_t>(suspicion_.capacity()) *
+               sizeof(Suspicion);
+  }
+
  private:
   std::vector<Entry> entries_;
   std::size_t known_count_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "membership/gossip.hpp"  // record wire helpers
+#include "obs/capacity/census.hpp"
 
 namespace p2panon::membership {
 
@@ -115,11 +116,13 @@ void OneHopMembership::start() {
                               mix64(static_cast<std::uint64_t>(i) + 1));
     }
     last_leader_heard_.assign(n, simulator_.now());
+    static const auto kWatchdogEvent =
+        obs::capacity::event_type("onehop.watchdog");
     watchdog_tasks_.reserve(n);
     for (NodeId node = 0; node < n; ++node) {
       auto task = std::make_unique<sim::PeriodicTask>(
           simulator_, config_.keepalive_interval,
-          [this, node] { watchdog_tick(node); });
+          [this, node] { watchdog_tick(node); }, kWatchdogEvent);
       task->start_at(
           simulator_.now() +
           static_cast<SimDuration>(node_rngs_[node].next_below(
@@ -129,11 +132,13 @@ void OneHopMembership::start() {
     return;
   }
 
+  static const auto kKeepaliveEvent =
+      obs::capacity::event_type("onehop.keepalive");
   keepalive_tasks_.reserve(config_.units);
   for (std::size_t unit = 0; unit < config_.units; ++unit) {
     auto task = std::make_unique<sim::PeriodicTask>(
         simulator_, config_.keepalive_interval,
-        [this, unit] { keepalive_tick(unit); });
+        [this, unit] { keepalive_tick(unit); }, kKeepaliveEvent);
     task->start_at(simulator_.now() +
                    static_cast<SimDuration>(rng_.next_below(
                        static_cast<std::uint64_t>(config_.keepalive_interval))));
@@ -208,13 +213,17 @@ void OneHopMembership::on_churn(NodeId node, bool up, SimTime when) {
       config_.detection_delay_min +
       static_cast<SimDuration>(rng_.next_below(static_cast<std::uint64_t>(
           config_.detection_delay_max - config_.detection_delay_min + 1)));
-  simulator_.schedule_after(delay, [this, node] {
-    if (churn_.is_up(node)) return;
-    const NodeId leader = unit_leader(unit_of(node));
-    if (leader == kInvalidNode) return;
-    caches_[leader].heard_left_directly(node, simulator_.now());
-    deliver_event(leader, node);
-  });
+  static const auto kDetectEvent = obs::capacity::event_type("onehop.detect");
+  simulator_.schedule_after(
+      delay,
+      [this, node] {
+        if (churn_.is_up(node)) return;
+        const NodeId leader = unit_leader(unit_of(node));
+        if (leader == kInvalidNode) return;
+        caches_[leader].heard_left_directly(node, simulator_.now());
+        deliver_event(leader, node);
+      },
+      kDetectEvent);
 }
 
 void OneHopMembership::deliver_event(NodeId observer, NodeId subject) {
@@ -451,6 +460,28 @@ double OneHopMembership::belief_accuracy() const {
   }
   return total ? static_cast<double>(correct) / static_cast<double>(total)
                : 0.0;
+}
+
+void OneHopMembership::byte_census(obs::capacity::ByteCensus& census) const {
+  std::uint64_t cache_bytes = obs::capacity::vector_bytes(caches_);
+  for (const NodeCache& cache : caches_) cache_bytes += cache.memory_bytes();
+  census.add("membership", "node_caches", cache_bytes);
+
+  std::uint64_t pending_bytes =
+      obs::capacity::vector_bytes(pending_unit_events_);
+  for (const auto& events : pending_unit_events_) {
+    pending_bytes += obs::capacity::vector_bytes(events);
+  }
+  census.add("membership", "pending_unit_events", pending_bytes);
+
+  census.add("membership", "node_rngs",
+             obs::capacity::vector_bytes(node_rngs_) +
+                 obs::capacity::vector_bytes(last_leader_heard_));
+  census.add("membership", "keepalive_tasks",
+             obs::capacity::vector_bytes(keepalive_tasks_) +
+                 obs::capacity::vector_bytes(watchdog_tasks_) +
+                 (keepalive_tasks_.size() + watchdog_tasks_.size()) *
+                     sizeof(sim::PeriodicTask));
 }
 
 }  // namespace p2panon::membership

@@ -93,6 +93,8 @@ class OneHopMembership final : public MembershipProvider {
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
   ControlStats control_stats() const override { return control_stats_; }
 
+  void byte_census(obs::capacity::ByteCensus& census) const override;
+
  private:
   void on_churn(NodeId node, bool up, SimTime when);
   void deliver_event(NodeId observer, NodeId subject);

@@ -15,6 +15,10 @@
 #include "common/types.hpp"
 #include "membership/node_cache.hpp"
 
+namespace p2panon::obs::capacity {
+class ByteCensus;
+}  // namespace p2panon::obs::capacity
+
 namespace p2panon::membership {
 
 /// Control-plane activity tallies, uniform across substrates (fields a
@@ -53,6 +57,11 @@ class MembershipProvider {
   virtual std::uint64_t bytes_sent() const = 0;
 
   virtual ControlStats control_stats() const = 0;
+
+  /// Reports this substrate's container footprints into the capacity byte
+  /// census under the "membership" subsystem (caches, rumor queues,
+  /// dissemination tasks). Read-only; never perturbs the run.
+  virtual void byte_census(obs::capacity::ByteCensus& census) const = 0;
 };
 
 }  // namespace p2panon::membership

@@ -41,6 +41,13 @@ class LatencyMatrix {
 
   std::size_t num_nodes() const { return n_; }
 
+  /// Heap footprint of the delay table — the repo's canonical O(N²)
+  /// structure, reported per-subsystem by the capacity byte census.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(delays_.capacity()) *
+           sizeof(SimDuration);
+  }
+
   /// Mean RTT over all ordered pairs (a != b).
   SimDuration mean_rtt() const;
 

@@ -97,8 +97,10 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
     delay = static_cast<SimDuration>(static_cast<double>(delay) * factor);
   }
   delay_us_->record(static_cast<std::uint64_t>(delay));
+  static const auto kDeliverEvent = obs::capacity::event_type("net.deliver");
   simulator_.schedule_after(
-      delay, [this, from, to, data = std::move(payload)]() {
+      delay,
+      [this, from, to, data = std::move(payload)]() {
         if (!liveness_(to)) {
           drop_receiver_dead_->inc();
           if (obs::Tracer::instance().enabled()) {
@@ -122,7 +124,8 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
             trace_drop("no_handler", from, to);
           }
         }
-      });
+      },
+      kDeliverEvent);
 }
 
 void SimTransport::register_handler(NodeId node, Handler handler) {

@@ -1,0 +1,69 @@
+#include "obs/capacity/rusage.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define P2PANON_HAVE_RUSAGE 1
+#endif
+
+namespace p2panon::obs::capacity {
+
+namespace {
+
+std::uint64_t read_vm_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+ResourceUsage sample_resource_usage() {
+  ResourceUsage usage;
+#if P2PANON_HAVE_RUSAGE
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    usage.max_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;
+#else
+    usage.max_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
+#endif
+    usage.user_sec = static_cast<double>(ru.ru_utime.tv_sec) +
+                     static_cast<double>(ru.ru_utime.tv_usec) / 1e6;
+    usage.sys_sec = static_cast<double>(ru.ru_stime.tv_sec) +
+                    static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
+    usage.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+    usage.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+  }
+#endif
+  usage.current_rss_kb = read_vm_rss_kb();
+  return usage;
+}
+
+std::string resource_usage_json(const ResourceUsage& usage) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"max_rss_kb\":%llu,\"current_rss_kb\":%llu,"
+                "\"user_sec\":%.3f,\"sys_sec\":%.3f,"
+                "\"minor_faults\":%llu,\"major_faults\":%llu}",
+                static_cast<unsigned long long>(usage.max_rss_kb),
+                static_cast<unsigned long long>(usage.current_rss_kb),
+                usage.user_sec, usage.sys_sec,
+                static_cast<unsigned long long>(usage.minor_faults),
+                static_cast<unsigned long long>(usage.major_faults));
+  return buffer;
+}
+
+}  // namespace p2panon::obs::capacity

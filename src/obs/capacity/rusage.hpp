@@ -1,0 +1,31 @@
+// Process-level resource capture: getrusage (peak RSS, user/sys CPU,
+// faults) plus the current VmRSS from /proc/self/status where available.
+// Every bench embeds a sample in its provenance block, so committed
+// baselines self-report what the run cost — peak RSS is the number the
+// scale gate holds per-N ceilings against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p2panon::obs::capacity {
+
+struct ResourceUsage {
+  std::uint64_t max_rss_kb = 0;      // getrusage ru_maxrss (peak, KiB)
+  std::uint64_t current_rss_kb = 0;  // /proc/self/status VmRSS; 0 if absent
+  double user_sec = 0;               // ru_utime
+  double sys_sec = 0;                // ru_stime
+  std::uint64_t minor_faults = 0;    // ru_minflt
+  std::uint64_t major_faults = 0;    // ru_majflt
+};
+
+/// Samples the calling process. Fields that the platform cannot provide
+/// stay zero; the call itself never fails.
+ResourceUsage sample_resource_usage();
+
+/// `{"max_rss_kb":...,"current_rss_kb":...,...}` — deterministic field
+/// order (values, of course, vary per run; they are provenance, not
+/// gated metrics).
+std::string resource_usage_json(const ResourceUsage& usage);
+
+}  // namespace p2panon::obs::capacity

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/config.hpp"
+#include "obs/capacity/rusage.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -52,6 +53,8 @@ std::string render_provenance() {
                          : "unlinked");
   out += "\",\"bench_scale\":";
   out += format_number(bench_scale());
+  out += ",\"resources\":";
+  out += capacity::resource_usage_json(capacity::sample_resource_usage());
   out += ",\"flags\":{";
   bool first = true;
   for (const auto& [name, value] : last_parsed_flags()) {

@@ -9,12 +9,14 @@
 //    "values": {"<key>": <number>, ...},
 //    "sections": {"<name>": <raw json>, ...},
 //    "provenance": {"git_sha": ..., "gf256_kernel": ..., "bench_scale": ...,
+//                   "resources": {"max_rss_kb": ..., "user_sec": ..., ...},
 //                   "flags": {...}},           // run manifest, always present
 //    "metrics": <Registry::snapshot_json()>}   // only when a registry is given
 //
 // so BENCH_*.json files from successive runs diff cleanly and committed
 // baselines are self-describing (the manifest records the revision, the
-// dispatched GF(256) kernel, any CI scale-down, and the full flag set that
+// dispatched GF(256) kernel, any CI scale-down, the process resource cost
+// — peak RSS, user/sys CPU via getrusage — and the full flag set that
 // produced them).
 #pragma once
 

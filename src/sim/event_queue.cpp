@@ -5,9 +5,11 @@
 
 namespace p2panon::sim {
 
-EventId EventQueue::schedule(SimTime when, Callback fn) {
+EventId EventQueue::schedule(SimTime when, Callback fn,
+                             obs::capacity::EventTypeId type) {
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn), obs::current_correlation()});
+  heap_.push(
+      Entry{when, id, std::move(fn), obs::current_correlation(), type});
   live_.insert(id);
   return id;
 }
@@ -41,7 +43,7 @@ EventQueue::Ready EventQueue::pop() {
   Entry top = heap_.top();
   heap_.pop();
   live_.erase(top.id);
-  return Ready{top.time, top.id, std::move(top.fn), top.corr};
+  return Ready{top.time, top.id, std::move(top.fn), top.corr, top.type};
 }
 
 void EventQueue::clear() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/capacity/loop_profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace p2panon::sim {
@@ -28,8 +29,13 @@ class EventQueue {
   /// Schedules `fn` at absolute time `when`. Returns a handle usable with
   /// cancel(). Events at equal times run in insertion order. The thread's
   /// current correlation id is captured into the entry so causal chains
-  /// survive the trip through the queue (see obs/trace.hpp).
-  EventId schedule(SimTime when, Callback fn);
+  /// survive the trip through the queue (see obs/trace.hpp). `type` tags
+  /// the event for the capacity loop profiler (obs/capacity): subsystems
+  /// intern a type id once and pass it on every schedule; untyped events
+  /// land in the profiler's catch-all bucket.
+  EventId schedule(SimTime when, Callback fn,
+                   obs::capacity::EventTypeId type =
+                       obs::capacity::kUntypedEvent);
 
   /// Cancels a pending event. Returns true if the event was still pending;
   /// cancelling an already-fired or already-cancelled id is a no-op.
@@ -52,6 +58,7 @@ class EventQueue {
     EventId id;
     Callback fn;
     obs::CorrelationId corr;
+    obs::capacity::EventTypeId type;
   };
   Ready pop();
 
@@ -61,12 +68,23 @@ class EventQueue {
   /// Total events ever scheduled (diagnostics).
   std::uint64_t scheduled_total() const { return next_id_ - 1; }
 
+  /// Estimated heap footprint (heap entries incl. tombstones plus the
+  /// live-id set) for the capacity byte census. An estimate: the heap's
+  /// backing vector capacity is not observable through priority_queue.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(heap_.size()) * sizeof(Entry) +
+           static_cast<std::uint64_t>(live_.bucket_count()) * sizeof(void*) +
+           static_cast<std::uint64_t>(live_.size()) *
+               (sizeof(EventId) + 2 * sizeof(void*));
+  }
+
  private:
   struct Entry {
     SimTime time;
     EventId id;
     Callback fn;
     obs::CorrelationId corr;
+    obs::capacity::EventTypeId type;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

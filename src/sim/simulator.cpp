@@ -5,17 +5,18 @@
 
 namespace p2panon::sim {
 
-EventId Simulator::schedule_at(SimTime when, EventQueue::Callback fn) {
+EventId Simulator::schedule_at(SimTime when, EventQueue::Callback fn,
+                               obs::capacity::EventTypeId type) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at in the past");
   }
-  return queue_.schedule(when, std::move(fn));
+  return queue_.schedule(when, std::move(fn), type);
 }
 
-EventId Simulator::schedule_after(SimDuration delay,
-                                  EventQueue::Callback fn) {
+EventId Simulator::schedule_after(SimDuration delay, EventQueue::Callback fn,
+                                  obs::capacity::EventTypeId type) {
   if (delay < 0) delay = 0;
-  return queue_.schedule(now_ + delay, std::move(fn));
+  return queue_.schedule(now_ + delay, std::move(fn), type);
 }
 
 bool Simulator::step() {
@@ -26,7 +27,11 @@ bool Simulator::step() {
   // Restore the correlation id captured at schedule() time so everything the
   // callback does (including scheduling further events) stays on the chain.
   obs::CorrelationScope scope(ready.corr);
-  ready.fn();
+  if (profiler_ != nullptr) {
+    profiler_->dispatch(ready.type, ready.fn);
+  } else {
+    ready.fn();
+  }
   return true;
 }
 
@@ -61,19 +66,23 @@ void Simulator::reset() {
 }
 
 PeriodicTask::PeriodicTask(Simulator& simulator, SimDuration interval,
-                           std::function<void()> fn)
-    : simulator_(simulator), interval_(interval), fn_(std::move(fn)) {}
+                           std::function<void()> fn,
+                           obs::capacity::EventTypeId type)
+    : simulator_(simulator),
+      interval_(interval),
+      fn_(std::move(fn)),
+      type_(type) {}
 
 PeriodicTask::~PeriodicTask() { cancel(); }
 
 void PeriodicTask::start() {
   cancel();
-  event_ = simulator_.schedule_after(interval_, [this] { fire(); });
+  event_ = simulator_.schedule_after(interval_, [this] { fire(); }, type_);
 }
 
 void PeriodicTask::start_at(SimTime when) {
   cancel();
-  event_ = simulator_.schedule_at(when, [this] { fire(); });
+  event_ = simulator_.schedule_at(when, [this] { fire(); }, type_);
 }
 
 void PeriodicTask::cancel() {
@@ -85,7 +94,7 @@ void PeriodicTask::cancel() {
 
 void PeriodicTask::fire() {
   // Reschedule before running so the callback can cancel() the series.
-  event_ = simulator_.schedule_after(interval_, [this] { fire(); });
+  event_ = simulator_.schedule_after(interval_, [this] { fire(); }, type_);
   fn_();
 }
 

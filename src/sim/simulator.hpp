@@ -28,10 +28,16 @@ class Simulator : public Clock {
   SimTime now() const override { return now_; }
 
   /// Schedules at an absolute virtual time; `when` must be >= now().
-  EventId schedule_at(SimTime when, EventQueue::Callback fn);
+  /// `type` tags the event for the capacity loop profiler; untyped
+  /// events fall into the profiler's catch-all bucket.
+  EventId schedule_at(SimTime when, EventQueue::Callback fn,
+                      obs::capacity::EventTypeId type =
+                          obs::capacity::kUntypedEvent);
 
   /// Schedules `delay` from now; negative delays clamp to now.
-  EventId schedule_after(SimDuration delay, EventQueue::Callback fn);
+  EventId schedule_after(SimDuration delay, EventQueue::Callback fn,
+                         obs::capacity::EventTypeId type =
+                             obs::capacity::kUntypedEvent);
 
   bool cancel(EventId id) { return queue_.cancel(id); }
   bool pending(EventId id) const { return queue_.pending(id); }
@@ -56,8 +62,21 @@ class Simulator : public Clock {
   /// (timer churn), which the obs stats sampler reports.
   std::uint64_t scheduled_total() const { return queue_.scheduled_total(); }
 
+  /// Estimated event-queue heap footprint (capacity byte census).
+  std::uint64_t queue_memory_bytes() const { return queue_.memory_bytes(); }
+
   /// Clears all pending events and resets time to zero.
   void reset();
+
+  /// Attaches (or detaches, with nullptr) the capacity loop profiler.
+  /// The profiler is passive — it only reads wall clocks around event
+  /// callbacks — so attaching it never changes simulated outcomes; the
+  /// default (null) pays one branch per event. Not owned; must outlive
+  /// the run.
+  void set_profiler(obs::capacity::LoopProfiler* profiler) {
+    profiler_ = profiler;
+  }
+  obs::capacity::LoopProfiler* profiler() const { return profiler_; }
 
  private:
   bool step();  // fires one event; false when queue empty
@@ -66,6 +85,7 @@ class Simulator : public Clock {
   SimTime now_ = 0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  obs::capacity::LoopProfiler* profiler_ = nullptr;
 };
 
 /// Repeating timer helper: reschedules itself every `interval` until
@@ -73,7 +93,9 @@ class Simulator : public Clock {
 class PeriodicTask {
  public:
   PeriodicTask(Simulator& simulator, SimDuration interval,
-               std::function<void()> fn);
+               std::function<void()> fn,
+               obs::capacity::EventTypeId type =
+                   obs::capacity::kUntypedEvent);
   ~PeriodicTask();
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
@@ -90,6 +112,7 @@ class PeriodicTask {
   Simulator& simulator_;
   SimDuration interval_;
   std::function<void()> fn_;
+  obs::capacity::EventTypeId type_;
   EventId event_ = kInvalidEventId;
 };
 

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "harness/chaos_experiment.hpp"
 #include "metrics/cdf.hpp"
+#include "obs/capacity/loop_profiler.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -310,6 +311,29 @@ TEST(OffMeansOffTest, SamplerAndScoreboardPerturbNoOutcome) {
   EXPECT_GT(recorder.series_count(), 0u);
   EXPECT_GT(observed.health.windows, 0u);
   EXPECT_FALSE(observed.health_table.empty());
+}
+
+// The capacity loop profiler is pure observation: it reads wall clocks
+// and writes only its own slots, never scheduling events or touching RNG
+// streams. A run with the profiler attached must therefore be
+// byte-identical to the detached baseline — and the profiler must still
+// have observed every dispatch.
+TEST(OffMeansOffTest, LoopProfilerAttachedIsByteIdentical) {
+  const auto baseline = harness::run_chaos_experiment(tiny_chaos(3));
+
+  harness::ChaosConfig config = tiny_chaos(3);
+  obs::capacity::LoopProfiler profiler;
+  config.environment.loop_profiler = &profiler;
+  const auto profiled = harness::run_chaos_experiment(config);
+
+  EXPECT_EQ(baseline.fingerprint(), profiled.fingerprint());
+
+  // The profiler saw the run: every executed event was dispatched through
+  // it, and the type table attributed named subsystem events.
+  const auto report = profiler.report();
+  EXPECT_EQ(report.dispatches_total, profiled.executed_events);
+  EXPECT_GT(report.samples_total, 0u);
+  EXPECT_GE(report.types.size(), 2u);
 }
 
 // The corruption-resilience features (segment auth, verified decode, relay
