@@ -4,13 +4,14 @@
 
 namespace p2panon::anon {
 
-BufferPool::BufferPool(std::size_t default_capacity)
-    : default_capacity_(default_capacity) {
+BufferPool::BufferPool(std::size_t default_capacity, std::size_t max_capacity)
+    : default_capacity_(default_capacity), max_capacity_(max_capacity) {
   free_.reserve(kMaxIdle);
 }
 
 Bytes BufferPool::acquire(std::size_t size_hint) {
   const std::size_t want = std::max(size_hint, default_capacity_);
+  high_water_ = std::max(high_water_, want);
   if (!free_.empty()) {
     Bytes buf = std::move(free_.back());
     free_.pop_back();
@@ -23,6 +24,8 @@ Bytes BufferPool::acquire(std::size_t size_hint) {
 }
 
 void BufferPool::release(Bytes&& buf) {
+  high_water_ = std::max(high_water_, buf.capacity());
+  if (max_capacity_ > 0 && buf.capacity() > max_capacity_) return;  // too big
   if (free_.size() >= kMaxIdle) return;  // let it free
   buf.clear();
   free_.push_back(std::move(buf));

@@ -17,10 +17,16 @@ namespace p2panon::anon {
 
 class BufferPool {
  public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
   /// Buffers are pre-reserved to at least `default_capacity` so typical
   /// segments (8 KiB erasure segments + layer overheads fit well inside
-  /// the default) never regrow.
-  explicit BufferPool(std::size_t default_capacity = 16384);
+  /// the default) never regrow. `max_capacity` (0 = uncapped) bounds the
+  /// capacity the pool will *retain*: a burst can still grow a leased
+  /// buffer arbitrarily (correctness over the cap), but oversized buffers
+  /// are freed on release instead of staying warm on the freelist.
+  explicit BufferPool(std::size_t default_capacity = kDefaultCapacity,
+                      std::size_t max_capacity = 0);
 
   /// Returns an empty buffer with capacity >= max(size_hint, default).
   Bytes acquire(std::size_t size_hint = 0);
@@ -30,6 +36,12 @@ class BufferPool {
   void release(Bytes&& buf);
 
   std::size_t idle() const { return free_.size(); }
+
+  /// Largest single-buffer capacity this pool has ever handed out or taken
+  /// back — the burst regrowth past default_capacity that used to be
+  /// invisible. Surfaced in the router's byte census.
+  std::size_t high_water() const { return high_water_; }
+  std::size_t max_capacity() const { return max_capacity_; }
 
   /// Heap footprint of the idle freelist (warmed capacities included) for
   /// the capacity byte census.
@@ -43,6 +55,8 @@ class BufferPool {
   static constexpr std::size_t kMaxIdle = 64;
 
   std::size_t default_capacity_;
+  std::size_t max_capacity_;
+  std::size_t high_water_ = 0;
   std::vector<Bytes> free_;
 };
 

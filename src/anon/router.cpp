@@ -1,5 +1,6 @@
 #include "anon/router.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/logging.hpp"
@@ -17,6 +18,13 @@ constexpr std::uint8_t kTypePayloadRev = 4;
 constexpr std::uint8_t kTypeTeardown = 5;
 constexpr std::uint8_t kTypeRetarget = 6;
 constexpr std::uint8_t kTypeConstructPayload = 7;
+// Overload backpressure (reverse channel, plain like kTypeConstructAck):
+// [type][sid:8][class:1]. A shedding relay originates it toward its
+// upstream; every relay maps downstream sid -> upstream sid until the
+// frame reaches the initiator's reverse handler. Only emitted when
+// RouterConfig::overload.backpressure is on, so legacy wire traffic never
+// contains it.
+constexpr std::uint8_t kTypeBackpressure = 8;
 
 /// Zero-sim-duration async span bracketing one relay's processing of a
 /// datagram; only reached behind an enabled() check. Keeps the per-hop peel
@@ -102,6 +110,7 @@ AnonRouter::AnonRouter(sim::Simulator& simulator, net::Demux& demux,
       is_up_(std::move(is_up)),
       config_(config),
       rng_(rng),
+      pool_(BufferPool::kDefaultCapacity, config.pool_max_capacity),
       metrics_(config.metrics != nullptr ? config.metrics
                                          : &obs::Registry::global()),
       bytes_construct_(
@@ -131,8 +140,21 @@ AnonRouter::AnonRouter(sim::Simulator& simulator, net::Demux& demux,
       auth_fallback_ok_ctr_(metrics_->counter(
           "anon_segment_auth_fallback_total", {{"result", "ok"}})),
       auth_fallback_failed_ctr_(metrics_->counter(
-          "anon_segment_auth_fallback_total", {{"result", "failed"}})) {
+          "anon_segment_auth_fallback_total", {{"result", "failed"}})),
+      shed_ctrs_{metrics_->counter("anon_overload_sheds_total",
+                                   {{"class", "bulk"}}),
+                 metrics_->counter("anon_overload_sheds_total",
+                                   {{"class", "streaming"}}),
+                 metrics_->counter("anon_overload_sheds_total",
+                                   {{"class", "interactive"}}),
+                 metrics_->counter("anon_overload_sheds_total",
+                                   {{"class", "control"}})},
+      admission_rejects_ctr_(
+          metrics_->counter("anon_admission_rejects_total")),
+      backpressure_ctr_(
+          metrics_->counter("anon_backpressure_signals_total")) {
   const std::size_t n = node_keys_.size();
+  load_.resize(n);
   tables_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) tables_.emplace_back(rng_.fork());
   pending_.resize(n);
@@ -157,15 +179,21 @@ void AnonRouter::start() {
 // --- framing --------------------------------------------------------------------
 
 void AnonRouter::send_forward(NodeId from, NodeId to, std::uint8_t type,
-                              StreamId sid, std::uint64_t seq,
-                              ByteView blob) {
-  PooledBytes lease(pool_, 17 + blob.size());
+                              StreamId sid, std::uint64_t seq, ByteView blob,
+                              SegmentPriority priority) {
+  PooledBytes lease(pool_, 18 + blob.size());
   Bytes& msg = *lease;
   msg.push_back(type);
   put_u64be(msg, sid);
   if (type == kTypePayload || type == kTypeRetarget ||
       type == kTypeConstructPayload) {
     put_u64be(msg, seq);
+  }
+  // The shed-priority byte exists only in overload mode and only on
+  // payload frames; every other frame type is control-plane by
+  // construction. Off means off: legacy framing is byte-identical.
+  if (config_.overload.enabled && type == kTypePayload) {
+    msg.push_back(static_cast<std::uint8_t>(priority));
   }
   append(msg, blob);
   if (type == kTypeConstruct || type == kTypeRetarget) {
@@ -287,8 +315,9 @@ void AnonRouter::unregister_reverse_handler(NodeId initiator, StreamId sid) {
 
 void AnonRouter::send_payload(NodeId initiator, StreamId sid,
                               NodeId first_relay, std::uint64_t seq,
-                              Bytes blob) {
-  send_forward(initiator, first_relay, kTypePayload, sid, seq, blob);
+                              Bytes blob, SegmentPriority priority) {
+  send_forward(initiator, first_relay, kTypePayload, sid, seq, blob,
+               priority);
 }
 
 void AnonRouter::send_teardown(NodeId initiator, StreamId sid,
@@ -309,7 +338,14 @@ void AnonRouter::handle_forward(NodeId from, NodeId to, ByteView payload) {
     case kTypePayload: {
       if (payload.size() < 17) return;
       const std::uint64_t seq = get_u64be(payload, 9);
-      on_payload(from, to, sid, seq, payload.subspan(17));
+      if (config_.overload.enabled) {
+        if (payload.size() < 18) return;
+        const auto priority = static_cast<SegmentPriority>(payload[17]);
+        on_payload(from, to, sid, seq, payload.subspan(18), priority);
+      } else {
+        on_payload(from, to, sid, seq, payload.subspan(17),
+                   SegmentPriority::kInteractive);
+      }
       break;
     }
     case kTypeTeardown:
@@ -349,13 +385,124 @@ void AnonRouter::handle_reverse(NodeId from, NodeId to, ByteView payload) {
       on_payload_rev(to, sid, seq, payload.subspan(17));
       break;
     }
+    case kTypeBackpressure: {
+      if (payload.size() < 10) return;
+      on_backpressure(to, sid, payload[9]);
+      break;
+    }
     default:
       break;
   }
 }
 
+// --- overload machinery ------------------------------------------------------
+
+double AnonRouter::drain_load(NodeId node) {
+  NodeLoad& load = load_[node];
+  const SimTime now = simulator_.now();
+  if (now > load.last_drain) {
+    const double drained = config_.overload.drain_rate_per_s *
+                           (static_cast<double>(now - load.last_drain) /
+                            static_cast<double>(kSecond));
+    load.level = std::max(0.0, load.level - drained);
+  }
+  load.last_drain = now;
+  return load.level;
+}
+
+void AnonRouter::charge_load(NodeId node) { load_[node].level += 1.0; }
+
+bool AnonRouter::should_shed(NodeId node, SegmentPriority priority) {
+  const auto& ovl = config_.overload;
+  const double level = load_[node].level;
+  const double cap = static_cast<double>(ovl.relay_queue_capacity);
+  if (priority == SegmentPriority::kControl) return false;  // never
+  if (!ovl.shedding) return level >= cap;  // priority-blind tail drop
+  // Graded thresholds: bulk gives way first, interactive only when the
+  // queue is effectively full.
+  switch (priority) {
+    case SegmentPriority::kBulk: return level >= 0.70 * cap;
+    case SegmentPriority::kStreaming: return level >= 0.85 * cap;
+    case SegmentPriority::kInteractive: return level >= 0.97 * cap;
+    case SegmentPriority::kControl: return false;
+  }
+  return false;
+}
+
+void AnonRouter::count_shed(SegmentPriority priority) {
+  shed_ctrs_[static_cast<std::size_t>(priority) & 3]->inc();
+}
+
+void AnonRouter::signal_backpressure(NodeId node, NodeId upstream,
+                                     StreamId upstream_sid,
+                                     SegmentPriority priority) {
+  backpressure_ctr_->inc();
+  const Bytes cls(1, static_cast<std::uint8_t>(priority));
+  send_reverse(node, upstream, kTypeBackpressure, upstream_sid, 0, cls);
+}
+
+void AnonRouter::on_backpressure(NodeId to, StreamId sid,
+                                 std::uint8_t shed_class) {
+  // Relay on the path: map downstream sid -> upstream sid and pass it on
+  // (same plain-frame chain ConstructAck rides).
+  RelayEntry* entry = tables_[to].find_by_downstream(sid);
+  if (entry != nullptr) {
+    const Bytes cls(1, shed_class);
+    send_reverse(to, entry->upstream, kTypeBackpressure, entry->upstream_sid,
+                 0, cls);
+    return;
+  }
+  // Initiator: surface the signal to the session owning this path.
+  const auto it = reverse_handlers_[to].find(sid);
+  if (it == reverse_handlers_[to].end()) return;
+  ReverseDelivery delivery;
+  delivery.sid = sid;
+  delivery.backpressure = true;
+  delivery.shed_class = shed_class;
+  it->second(delivery);
+}
+
+AnonRouter::OverloadStats AnonRouter::overload_stats(SimTime now) const {
+  OverloadStats stats;
+  stats.capacity = config_.overload.relay_queue_capacity;
+  if (!config_.overload.enabled) return stats;
+  const double hot = 0.70 * static_cast<double>(stats.capacity);
+  for (NodeId node = 0; node < load_.size(); ++node) {
+    const double level = relay_queue_level(node, now);
+    stats.total_level += level;
+    stats.max_level = std::max(stats.max_level, level);
+    if (level >= hot) ++stats.hot_nodes;
+  }
+  return stats;
+}
+
+double AnonRouter::relay_queue_level(NodeId node, SimTime now) const {
+  const NodeLoad& load = load_[node];
+  if (now <= load.last_drain) return load.level;
+  const double drained = config_.overload.drain_rate_per_s *
+                         (static_cast<double>(now - load.last_drain) /
+                          static_cast<double>(kSecond));
+  return std::max(0.0, load.level - drained);
+}
+
 void AnonRouter::on_construct(NodeId from, NodeId to, StreamId sid,
                               ByteView onion_blob) {
+  if (config_.overload.enabled) {
+    const double level = drain_load(to);
+    if (config_.overload.admission_control &&
+        level >= config_.overload.admission_threshold *
+                     static_cast<double>(
+                         config_.overload.relay_queue_capacity)) {
+      // Saturated: refuse the path before installing any state. Status 0
+      // rides the existing ConstructAck chain back to the initiator, whose
+      // session retries elsewhere with its normal backoff.
+      admission_rejects_ctr_->inc();
+      Bytes status(1, 0);
+      send_reverse(to, from, kTypeConstructAck, sid, 0, status);
+      return;
+    }
+    charge_load(to);  // construct processing occupies the queue too
+  }
   const bool traced = obs::Tracer::instance().enabled();
   std::optional<HopRelaySpan> hop_span;
   if (traced) hop_span.emplace(to, "construct");
@@ -403,7 +550,8 @@ void AnonRouter::on_construct_ack(NodeId to, StreamId sid, bool ok) {
 }
 
 void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
-                            std::uint64_t seq, ByteView blob) {
+                            std::uint64_t seq, ByteView blob,
+                            SegmentPriority priority) {
   RelayEntry* entry = tables_[to].find_by_upstream(sid);
   if (entry == nullptr) {
     // First contact as the responder: the last relay has stripped every
@@ -435,6 +583,23 @@ void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
     return;
   }
   tables_[to].refresh(*entry, simulator_.now(), config_.state_ttl);
+  if (config_.overload.enabled) {
+    // Bounded relay queue: drain the leaky bucket, then either shed this
+    // segment (before spending the peel) or charge it to the queue. The
+    // drop is silent on the forward path — the initiator's segment
+    // timeout covers it — but with backpressure on the relay tells the
+    // upstream chain what class it shed.
+    drain_load(to);
+    if (should_shed(to, priority)) {
+      count_shed(priority);
+      if (config_.overload.backpressure) {
+        signal_backpressure(to, entry->upstream, entry->upstream_sid,
+                            priority);
+      }
+      return;
+    }
+    charge_load(to);
+  }
   const bool traced = obs::Tracer::instance().enabled();
   std::optional<HopRelaySpan> hop_span;
   if (traced) hop_span.emplace(to, "payload");
@@ -449,7 +614,7 @@ void AnonRouter::on_payload(NodeId from, NodeId to, StreamId sid,
   ++messages_forwarded_;
   forwarded_ctr_->inc();
   send_forward(to, entry->downstream, kTypePayload, entry->downstream_sid,
-               seq, *buf);
+               seq, *buf, priority);
 }
 
 StreamId AnonRouter::new_initiator_sid(NodeId initiator) {
@@ -483,6 +648,13 @@ void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
   const ByteView onion_blob = blob.subspan(4, onion_len);
   const ByteView payload_blob = blob.subspan(4 + onion_len);
 
+  if (config_.overload.enabled) {
+    // Combined construct+payload is path (re)construction — control-plane
+    // by classification, so it is charged to the queue but never shed
+    // (shedding the retransmit vehicle would livelock recovery).
+    drain_load(to);
+    charge_load(to);
+  }
   const bool traced = obs::Tracer::instance().enabled();
   std::optional<HopRelaySpan> hop_span;
   if (traced) hop_span.emplace(to, "construct_payload");
@@ -511,8 +683,10 @@ void AnonRouter::on_construct_payload(NodeId from, NodeId to, StreamId sid,
   }
   if (peeled->hop.last) {
     // Construction ends here (§4.1); the stripped payload carries on to
-    // the responder as a normal payload message.
-    send_forward(to, peeled->hop.next, kTypePayload, down_sid, seq, *inner);
+    // the responder as a normal payload message. It keeps the control
+    // classification it travelled with.
+    send_forward(to, peeled->hop.next, kTypePayload, down_sid, seq, *inner,
+                 SegmentPriority::kControl);
   } else {
     PooledBytes combined(pool_, 4 + peeled->rest.size() + inner->size());
     put_u32be(*combined, static_cast<std::uint32_t>(peeled->rest.size()));
@@ -1085,6 +1259,9 @@ void AnonRouter::byte_census(obs::capacity::ByteCensus& census) const {
   census.add("router", "node_keys",
              obs::capacity::vector_bytes(node_keys_));
   census.add("router", "buffer_pool", pool_.memory_bytes());
+  // Largest single buffer the pool ever produced — burst regrowth past
+  // the 16 KiB default used to be invisible here.
+  census.add("router", "buffer_pool_high_water", pool_.high_water());
 }
 
 }  // namespace p2panon::anon

@@ -40,6 +40,27 @@ class ByteCensus;
 
 namespace p2panon::anon {
 
+/// Shed-priority class a payload segment travels with. Numeric order is
+/// shed order: under overload the lowest classes are shed first and
+/// kControl (construct/ack/teardown machinery and anything the session
+/// does not explicitly classify as data) is never shed.
+enum class SegmentPriority : std::uint8_t {
+  kBulk = 0,
+  kStreaming = 1,
+  kInteractive = 2,
+  kControl = 3,
+};
+
+inline const char* segment_priority_name(SegmentPriority priority) {
+  switch (priority) {
+    case SegmentPriority::kBulk: return "bulk";
+    case SegmentPriority::kStreaming: return "streaming";
+    case SegmentPriority::kInteractive: return "interactive";
+    case SegmentPriority::kControl: return "control";
+  }
+  return "unknown";
+}
+
 struct RouterConfig {
   SimDuration state_ttl = 2 * kMinute;       // §4.3 TTL on cached path state
   SimDuration sweep_interval = 30 * kSecond; // expiry sweep cadence
@@ -51,6 +72,36 @@ struct RouterConfig {
   /// legacy traffic never reaches this code.
   std::size_t max_decode_subsets = 24;
   obs::Registry* metrics = nullptr;          // nullptr = global registry
+
+  /// Hard cap on the capacity the relay buffer pool retains per buffer
+  /// (0 = uncapped, the legacy behavior). See BufferPool.
+  std::size_t pool_max_capacity = 0;
+
+  /// Overload-resilience knobs. `enabled` turns on the per-relay leaky
+  /// bucket that models bounded forwarding queues; the sub-switches pick
+  /// what happens at saturation. Everything defaults OFF: with
+  /// enabled=false no load is tracked, payload framing is unchanged, and
+  /// runs are byte-identical to the legacy router.
+  struct OverloadConfig {
+    bool enabled = false;
+    /// Queue depth (in segments) a relay can absorb before it saturates.
+    std::size_t relay_queue_capacity = 64;
+    /// Segments per second the relay's queue drains.
+    double drain_rate_per_s = 50.0;
+    /// Priority-aware shedding: shed bulk from ~70% occupancy, streaming
+    /// from ~85%, interactive only when full, control never. With
+    /// shedding=false a saturated relay tail-drops every payload class
+    /// indiscriminately (the collapse arm in the overload sweep).
+    bool shedding = false;
+    /// Refuse new path constructions (ConstructAck status 0) while the
+    /// relay sits above admission_threshold of capacity.
+    bool admission_control = false;
+    double admission_threshold = 0.9;
+    /// Signal sheds upstream with a plain reverse backpressure frame so
+    /// initiators can slow down instead of retransmitting into the storm.
+    bool backpressure = false;
+  };
+  OverloadConfig overload;
 };
 
 /// What the responder's application sees for a reconstructed message.
@@ -70,6 +121,11 @@ struct ReverseDelivery {
   StreamId sid = 0;
   std::uint64_t seq = 0;
   ByteView blob;
+  /// Overload backpressure signal (no sealed core — the frame is plain, a
+  /// mid-path relay cannot originate a responder-sealed ReverseCore). When
+  /// true, `blob` is empty and `shed_class` names the shed traffic class.
+  bool backpressure = false;
+  std::uint8_t shed_class = 0;
 };
 
 class AnonRouter {
@@ -111,9 +167,12 @@ class AnonRouter {
 
   /// Sends one already-built payload onion down a path (§4.2). The blob
   /// must be the full layered payload; seq is the layer nonce the session
-  /// used for wrapping.
+  /// used for wrapping. `priority` rides a one-byte trailer header only
+  /// when overload mode is on; otherwise the wire format is the legacy one
+  /// and the argument is ignored.
   void send_payload(NodeId initiator, StreamId sid, NodeId first_relay,
-                    std::uint64_t seq, Bytes blob);
+                    std::uint64_t seq, Bytes blob,
+                    SegmentPriority priority = SegmentPriority::kInteractive);
 
   /// Combined construction + payload (§4.2 "path construction and message
   /// sending in the same time"): each relay peels its construction layer,
@@ -164,6 +223,21 @@ class AnonRouter {
   /// constructions, reverse handlers, reassembly buffers, node keys, the
   /// relay buffer pool) into the capacity byte census under "router".
   void byte_census(obs::capacity::ByteCensus& census) const;
+
+  /// Point-in-time overload snapshot (levels drained to `now` without
+  /// mutating the buckets). All zeros while overload mode is off.
+  struct OverloadStats {
+    double max_level = 0.0;    // deepest relay queue, in segments
+    double total_level = 0.0;  // sum across nodes
+    std::size_t hot_nodes = 0; // nodes above 70% of capacity
+    std::size_t capacity = 0;  // configured relay_queue_capacity
+  };
+  OverloadStats overload_stats(SimTime now) const;
+
+  /// Leaky-bucket occupancy of one relay, drained to `now` (test hook).
+  double relay_queue_level(NodeId node, SimTime now) const;
+
+  const BufferPool& pool() const { return pool_; }
 
   /// Fires when an *undelivered* reassembly record is TTL-swept — the
   /// message can no longer complete at that responder (segments that
@@ -238,7 +312,7 @@ class AnonRouter {
   void handle_reverse(NodeId from, NodeId to, ByteView payload);
   void on_construct(NodeId from, NodeId to, StreamId sid, ByteView onion_blob);
   void on_payload(NodeId from, NodeId to, StreamId sid, std::uint64_t seq,
-                  ByteView blob);
+                  ByteView blob, SegmentPriority priority);
   void on_teardown(NodeId to, StreamId sid);
   void on_retarget(NodeId to, StreamId sid, std::uint64_t seq, ByteView blob);
   void on_construct_payload(NodeId from, NodeId to, StreamId sid,
@@ -271,9 +345,25 @@ class AnonRouter {
   void finish_pending(NodeId initiator, StreamId sid, bool ok, bool timed_out);
   void record_peel_failure(NodeId node, const char* where);
 
+  // --- overload machinery (all no-ops while config_.overload.enabled is
+  // false; the leaky buckets are plain doubles, no RNG is consumed) ---
+
+  /// Drains `node`'s bucket to now and returns its level (mutating).
+  double drain_load(NodeId node);
+  /// Charges one segment to `node`'s bucket (call after drain_load).
+  void charge_load(NodeId node);
+  /// Shed decision for a payload segment arriving at a saturated relay.
+  /// Counts the shed and (optionally) signals backpressure upstream.
+  bool should_shed(NodeId node, SegmentPriority priority);
+  void count_shed(SegmentPriority priority);
+  void on_backpressure(NodeId to, StreamId sid, std::uint8_t shed_class);
+  void signal_backpressure(NodeId node, NodeId upstream, StreamId upstream_sid,
+                           SegmentPriority priority);
+
   // framing helpers
   void send_forward(NodeId from, NodeId to, std::uint8_t type, StreamId sid,
-                    std::uint64_t seq, ByteView blob);
+                    std::uint64_t seq, ByteView blob,
+                    SegmentPriority priority = SegmentPriority::kControl);
   void send_reverse(NodeId from, NodeId to, std::uint8_t type, StreamId sid,
                     std::uint64_t seq, ByteView blob);
 
@@ -290,6 +380,17 @@ class AnonRouter {
   // from here so steady-state relaying reuses warmed capacity instead of
   // allocating per message.
   BufferPool pool_;
+
+  /// One leaky bucket per node modelling its bounded forwarding queue.
+  /// Sized eagerly (16 bytes/node, zero-init, no RNG) but only read or
+  /// written behind config_.overload.enabled. Deliberately absent from the
+  /// byte census: it is fixed-size transient accounting, not a structure
+  /// that grows with load (see DESIGN.md §13).
+  struct NodeLoad {
+    double level = 0.0;
+    SimTime last_drain = 0;
+  };
+  std::vector<NodeLoad> load_;
 
   std::vector<PathStateTable> tables_;
   std::vector<std::unordered_map<StreamId, PendingConstruction>> pending_;
@@ -331,6 +432,12 @@ class AnonRouter {
   obs::Counter* auth_nacks_ctr_;
   obs::Counter* auth_fallback_ok_ctr_;
   obs::Counter* auth_fallback_failed_ctr_;
+  // Overload outcomes. Registered eagerly like every other series; they
+  // stay 0 in legacy runs. The control-class shed counter exists so the
+  // sweep gate can assert it is still zero — the code never increments it.
+  obs::Counter* shed_ctrs_[4];  // indexed by SegmentPriority
+  obs::Counter* admission_rejects_ctr_;
+  obs::Counter* backpressure_ctr_;
 };
 
 // Reverse-core payloads (sealed under R_{L+1} / the responder key).

@@ -47,6 +47,16 @@ Session::Session(AnonRouter& router, const membership::NodeCache& cache,
   quarantined_gauge_ = reg.gauge("membership_suspicion_quarantined");
   rtt_us_ = reg.histogram("session_rtt_us");
   rto_us_ = reg.histogram("session_rto_us");
+  shed_queue_ctr_ =
+      reg.counter("session_sheds_total", {{"cause", "queue_full"}});
+  shed_headroom_ctr_ =
+      reg.counter("session_sheds_total", {{"cause", "bulk_headroom"}});
+  shed_congested_ctr_ =
+      reg.counter("session_sheds_total", {{"cause", "congested_path"}});
+  bp_rx_ctr_ =
+      reg.counter("session_backpressure_total", {{"event", "received"}});
+  stall_suppressed_ctr_ = reg.counter("session_backpressure_total",
+                                      {{"event", "stall_suppressed"}});
   if (config_.staleness_aware) {
     // Registered only when the mode is on, so default-off registries stay
     // byte-identical to the pre-feature baseline.
@@ -56,6 +66,8 @@ Session::Session(AnonRouter& router, const membership::NodeCache& cache,
   paths_.resize(config_.erasure.k);
   path_info_.resize(config_.erasure.k);
   path_health_.resize(config_.erasure.k);
+  congested_until_.resize(config_.erasure.k, 0);
+  last_backpressure_.resize(config_.erasure.k, 0);
   if (config_.adaptive_timeouts || config_.retry_backoff) {
     // Forked only when a new mode is on: fork() advances rng_, and the
     // default configuration must keep every existing draw in place.
@@ -342,8 +354,31 @@ Allocation Session::make_allocation() const {
 }
 
 MessageId Session::send_message(ByteView data) {
+  return send_message(data, SegmentPriority::kInteractive);
+}
+
+MessageId Session::send_message(ByteView data, SegmentPriority priority) {
   const auto usable = usable_paths();
   if (usable.empty()) return 0;
+
+  // Bounded send queue: refuse the whole message up front when the pending
+  // ledger has no room for its segments. Bulk is refused earlier (at 3/4 of
+  // the bound) when shed_low_priority is on, keeping headroom for
+  // interactive traffic. The check precedes the id draw so a shed message
+  // costs zero RNG draws — off-state runs never reach it.
+  if (config_.max_inflight_segments > 0) {
+    std::size_t limit = config_.max_inflight_segments;
+    if (config_.shed_low_priority && priority == SegmentPriority::kBulk) {
+      limit = limit * 3 / 4;
+    }
+    if (pending_segments_.size() + config_.erasure.n > limit) {
+      ++messages_shed_;
+      const bool hard_full = pending_segments_.size() + config_.erasure.n >
+                             config_.max_inflight_segments;
+      (hard_full ? shed_queue_ctr_ : shed_headroom_ctr_)->inc();
+      return 0;
+    }
+  }
 
   MessageId id;
   do {
@@ -378,11 +413,21 @@ MessageId Session::send_message(ByteView data) {
         .add("segments", static_cast<std::uint64_t>(segments.size()));
     tracer.instant("anon", "message_send", id, args);
   }
+  const SimTime now = router_.simulator().now();
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const std::size_t path_index = alloc[s];
     if (paths_[path_index].state != PathState::kEstablished) continue;
+    if (config_.backpressure && priority == SegmentPriority::kBulk &&
+        congested_until_[path_index] > now) {
+      // A relay on this path recently shed under load: hold bulk segments
+      // back (the erasure code absorbs the loss if enough paths are clear)
+      // rather than feeding the hotspot.
+      ++segments_deferred_;
+      shed_congested_ctr_->inc();
+      continue;
+    }
     send_segment_on_path(path_index, id, segments[s], data.size(),
-                         /*retries=*/0, digest);
+                         /*retries=*/0, digest, priority);
   }
   return id;
 }
@@ -425,7 +470,8 @@ void Session::send_segment_on_path(std::size_t path_index,
                                    const erasure::Segment& segment,
                                    std::size_t original_size,
                                    std::size_t retries,
-                                   const crypto::MessageDigest& digest) {
+                                   const crypto::MessageDigest& digest,
+                                   SegmentPriority priority) {
   // Rebuild-driven resends arrive here from a construct-ack chain; pin the
   // correlation back to the message so the timeout event and the relay
   // hops below stay on the message's causal tree.
@@ -460,7 +506,7 @@ void Session::send_segment_on_path(std::size_t path_index,
     router_.onion().wrap_layer_in_place(path.relay_keys[i], seq, blob);
   }
   router_.send_payload(initiator_, path.sid, path.relays.front(), seq,
-                       std::move(blob));
+                       std::move(blob), priority);
   ++segments_sent_;
   path_info_[path_index].sends++;
   seg_sent_ctr_->inc();
@@ -484,6 +530,7 @@ void Session::send_segment_on_path(std::size_t path_index,
   pending.sent_at = router_.simulator().now();
   pending.retries = retries;
   pending.digest = digest;
+  pending.priority = priority;
   static const auto kSegmentTimerEvent =
       obs::capacity::event_type("session.timer");
   pending.timeout_event = router_.simulator().schedule_after(
@@ -504,8 +551,21 @@ void Session::on_segment_timeout(std::uint64_t key, bool fail_pending_path) {
   // Stall evidence: the path swallowed a segment without an ack or a
   // corruption verdict. Weaker than a corrupt-nack — dead relays produce
   // it too, and the liveness predictor already covers those.
-  report_path_suspicion(failed_path, config_.suspicion_stall_weight,
-                        susp_stall_ctr_);
+  //
+  // Suspicion-neutral overload accounting: if a relay on this path has
+  // signalled backpressure since the segment went out, the loss is
+  // explained by honest overload, not malice — suppress the evidence so
+  // saturated-but-honest relays are not quarantined as byzantine.
+  const bool overload_explained =
+      config_.backpressure && last_backpressure_[failed_path] != 0 &&
+      last_backpressure_[failed_path] >= it->second.sent_at;
+  if (overload_explained) {
+    ++stalls_suppressed_;
+    stall_suppressed_ctr_->inc();
+  } else {
+    report_path_suspicion(failed_path, config_.suspicion_stall_weight,
+                          susp_stall_ctr_);
+  }
 
   if (config_.adaptive_timeouts) {
     PathHealth& health = path_health_[failed_path];
@@ -532,7 +592,8 @@ void Session::on_segment_timeout(std::uint64_t key, bool fail_pending_path) {
         end_segment_span(seg, "retransmitted");
         if (declare_failed) mark_path_failed(failed_path);
         send_segment_on_path(target, seg.message_id, seg.segment,
-                             seg.original_size, seg.retries + 1, seg.digest);
+                             seg.original_size, seg.retries + 1, seg.digest,
+                             seg.priority);
         return;
       }
     }
@@ -763,7 +824,7 @@ void Session::resend_pending(std::size_t old_path_index,
     end_segment_span(pending, "resent_on_rebuild");
     send_segment_on_path(new_path_index, pending.message_id, pending.segment,
                          pending.original_size, /*retries=*/0,
-                         pending.digest);
+                         pending.digest, pending.priority);
   }
 }
 
@@ -789,6 +850,12 @@ void Session::check_predictors() {
 
 void Session::on_reverse(std::size_t path_index,
                          const ReverseDelivery& delivery) {
+  if (delivery.backpressure) {
+    // Plain (un-onioned) congestion signal from a relay on this path; it
+    // carries no payload to unwrap.
+    on_backpressure(path_index);
+    return;
+  }
   Path& path = paths_[path_index];
   // Strip the relay layers (R_1 outermost) and the responder-core layer,
   // all in place in the session-owned scratch buffer.
@@ -804,6 +871,15 @@ void Session::on_reverse(std::size_t path_index,
   const auto core = parse_reverse_core(blob);
   if (!core.has_value()) return;
   handle_reverse_core(path_index, *core);
+}
+
+void Session::on_backpressure(std::size_t path_index) {
+  ++backpressure_rx_;
+  bp_rx_ctr_->inc();
+  if (!config_.backpressure) return;
+  const SimTime now = router_.simulator().now();
+  last_backpressure_[path_index] = now;
+  congested_until_[path_index] = now + config_.backpressure_hold;
 }
 
 void Session::handle_reverse_core(std::size_t path_index,
@@ -874,7 +950,8 @@ void Session::handle_reverse_core(std::size_t path_index,
         seg_retx_ctr_->inc();
         end_segment_span(seg, "retransmitted_after_nack");
         send_segment_on_path(target, seg.message_id, seg.segment,
-                             seg.original_size, seg.retries + 1, seg.digest);
+                             seg.original_size, seg.retries + 1, seg.digest,
+                             seg.priority);
       } else {
         expire_segment(key);
       }

@@ -120,6 +120,28 @@ struct SessionConfig {
   bool staleness_aware = false;
   SimDuration staleness_stale_after = 2 * kMinute;
   double staleness_degrade_fraction = 0.5;
+
+  // --- overload resilience (default OFF: with max_inflight_segments == 0
+  // and both switches off, no bound is checked, no congestion state is
+  // consulted, and behavior, wire bytes, and RNG draws are byte-identical
+  // to the configuration above) ---
+
+  /// Bounded sender queue: send_message refuses the whole message (returns
+  /// 0) when placing its n segments would push the pending-ack ledger past
+  /// this many in-flight segments. 0 = unbounded, the legacy behavior.
+  /// Retransmissions of already-placed segments bypass the bound — they
+  /// replace ledger entries rather than adding new ones.
+  std::size_t max_inflight_segments = 0;
+  /// Priority-aware sender shedding: bulk messages are refused already at
+  /// 3/4 of the bound, keeping headroom for interactive traffic.
+  bool shed_low_priority = false;
+  /// React to relay backpressure frames: a path that signalled a shed is
+  /// held congested for backpressure_hold (bulk segments are not placed on
+  /// it), and its ack-timeout stalls are NOT reported as suspicion
+  /// evidence — an overloaded-but-honest relay must not be quarantined as
+  /// byzantine.
+  bool backpressure = false;
+  SimDuration backpressure_hold = 2 * kSecond;
 };
 
 enum class PathState { kUnbuilt, kPending, kEstablished, kFailed };
@@ -152,8 +174,13 @@ class Session {
   std::size_t established_paths() const;
 
   /// Erasure-codes `data` and sends the segments over the current paths.
-  /// Returns the message id (0 if no path is usable).
+  /// Returns the message id (0 if no path is usable, or if the bounded
+  /// sender queue refused the message under overload).
   MessageId send_message(ByteView data);
+  /// Same, carrying an explicit traffic class. The priority shapes relay
+  /// shedding (overload mode only) and the sender-side bound; the no-arg
+  /// overload sends at kInteractive, the legacy-equivalent class.
+  MessageId send_message(ByteView data, SegmentPriority priority);
 
   /// Path reuse (§4.4): re-points every established path at a new
   /// responder WITHOUT rebuilding them (no asymmetric construction cost).
@@ -221,6 +248,20 @@ class Session {
     return selector_.biased_selects();
   }
 
+  // --- overload statistics (0 unless the overload knobs are on) ---
+  /// Whole messages refused by the bounded sender queue (never entered
+  /// the segment ledger — the caller saw message id 0).
+  std::uint64_t messages_shed() const { return messages_shed_; }
+  /// Segments withheld from congested paths (bulk-on-backpressure). They
+  /// never entered the ledger, so the conservation identity still closes.
+  std::uint64_t segments_deferred() const { return segments_deferred_; }
+  /// Relay backpressure frames that reached this session. Counted even
+  /// with the reaction knob off (a legacy run never receives any).
+  std::uint64_t backpressure_signals() const { return backpressure_rx_; }
+  /// Ack-timeout stalls NOT filed as suspicion evidence because the path
+  /// had signalled overload after the segment was sent.
+  std::uint64_t stalls_suppressed() const { return stalls_suppressed_; }
+
   // Segment ledger: every send_segment_on_path call ends in exactly one of
   // {acked, expired, retransmitted} or is still pending, so
   //   segments_sent == acks_matched + segments_expired
@@ -264,6 +305,7 @@ class Session {
     SimTime sent_at = 0;            // RTT sampling (adaptive mode)
     std::size_t retries = 0;        // retransmissions so far (Karn)
     crypto::MessageDigest digest{};  // auth trailer for retransmits
+    SegmentPriority priority = SegmentPriority::kInteractive;
   };
 
   /// Per-path RTT estimator and failure streaks (adaptive mode only).
@@ -283,11 +325,13 @@ class Session {
   void build_path(std::size_t index, std::function<void(bool)> done);
   void on_reverse(std::size_t path_index, const ReverseDelivery& delivery);
   void handle_reverse_core(std::size_t path_index, const ReverseCore& core);
-  void send_segment_on_path(std::size_t path_index, MessageId message_id,
-                            const erasure::Segment& segment,
-                            std::size_t original_size,
-                            std::size_t retries = 0,
-                            const crypto::MessageDigest& digest = {});
+  void send_segment_on_path(
+      std::size_t path_index, MessageId message_id,
+      const erasure::Segment& segment, std::size_t original_size,
+      std::size_t retries = 0, const crypto::MessageDigest& digest = {},
+      SegmentPriority priority = SegmentPriority::kInteractive);
+  /// Relay backpressure signal arriving on a path's reverse handler.
+  void on_backpressure(std::size_t path_index);
   /// Fills in the corruption-resilience trailer per the session knobs
   /// (no-op with both off, keeping the wire bytes identical to the seed).
   void apply_auth_trailer(PayloadCore& core, const Path& path,
@@ -330,6 +374,12 @@ class Session {
   std::vector<Path> paths_;
   std::vector<PathInfo> path_info_;
   std::vector<PathHealth> path_health_;
+  // Overload/backpressure state per path slot (zeros while the knobs are
+  // off; sized eagerly, no RNG). congested_until_: bulk is withheld from
+  // the path until this time. last_backpressure_: suppression cutoff for
+  // suspicion-neutral stall accounting.
+  std::vector<SimTime> congested_until_;
+  std::vector<SimTime> last_backpressure_;
   std::shared_ptr<bool> alive_;  // guards async callbacks
 
   // Construction state.
@@ -384,6 +434,10 @@ class Session {
   std::uint64_t nacks_received_ = 0;
   std::uint64_t mirrored_fallbacks_ = 0;
   std::uint64_t mirrored_biased_ = 0;
+  std::uint64_t messages_shed_ = 0;
+  std::uint64_t segments_deferred_ = 0;
+  std::uint64_t backpressure_rx_ = 0;
+  std::uint64_t stalls_suppressed_ = 0;
 
   // Registry mirrors (resolved from the router's registry). The tallies
   // above stay the per-instance contract the seed tests assert; the series
@@ -401,6 +455,12 @@ class Session {
   obs::Gauge* quarantined_gauge_;
   obs::HdrHistogram* rtt_us_;
   obs::HdrHistogram* rto_us_;
+  // Overload series (eager like the corruption counters; 0 in legacy runs).
+  obs::Counter* shed_queue_ctr_;
+  obs::Counter* shed_headroom_ctr_;
+  obs::Counter* shed_congested_ctr_;
+  obs::Counter* bp_rx_ctr_;
+  obs::Counter* stall_suppressed_ctr_;
   // Null unless staleness_aware (lazy registration keeps default-off
   // registries byte-identical).
   obs::Counter* stale_fallbacks_ctr_ = nullptr;

@@ -57,11 +57,13 @@ fault::FaultPlan make_scenario_plan(ChaosScenario scenario,
     case ChaosScenario::kFlashCrowdCrash: {
       // A quarter of the network dies simultaneously mid-window and comes
       // back a quarter-window later — correlated churn far beyond the
-      // Pareto model.
-      const SimTime crash_at = start + span / 4;
-      const SimTime recover_at = crash_at + span / 4;
+      // Pareto model. The window is the shared workload::flash_crowd_window
+      // so the crash epoch and the workload engine's load spike coincide by
+      // construction.
+      const workload::FlashWindow window =
+          workload::flash_crowd_window(start, span);
       for (NodeId victim : pick_victims(num_nodes, quarter, rng)) {
-        plan.crash(victim, crash_at, recover_at);
+        plan.crash(victim, window.begin, window.end);
       }
       break;
     }
@@ -179,10 +181,16 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
     // policy rather than the retry ceiling.
     base_session.max_segment_retries = config.adaptive_segment_retries;
   }
+  if (config.path_fail_threshold > 0) {
+    base_session.path_fail_threshold = config.path_fail_threshold;
+  }
   base_session.segment_auth = config.segment_auth;
   base_session.verified_decode = config.verified_decode;
   base_session.relay_suspicion = config.relay_suspicion;
   base_session.corruption_escalation = config.corruption_escalation;
+  base_session.max_inflight_segments = config.max_inflight_segments;
+  base_session.shed_low_priority = config.shed_low_priority;
+  base_session.backpressure = config.session_backpressure;
 
   membership::NodeCache& initiator_cache =
       env.membership().cache(config.initiator);
@@ -197,14 +205,29 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
                         config.spec.session_config(base_session),
                         env.rng().fork());
 
+  // Workload engine: forked *after* the session (and gated on the knob) so
+  // legacy runs keep every existing RNG draw in place. The engine's flash
+  // window is the same [fault_start, fault_end) span the fault plan uses,
+  // so the kFlashCrowdCrash crash epoch and the load spike coincide.
+  std::unique_ptr<workload::WorkloadEngine> engine;
+  if (config.workload.enabled) {
+    engine = std::make_unique<workload::WorkloadEngine>(
+        config.workload, fault_start, fault_end - fault_start,
+        env.rng().fork());
+  }
+
   // Per-message conservation bookkeeping.
   struct Track {
     std::size_t segments_placed = 0;
     std::size_t expired = 0;
     bool delivered = false;
     bool reassembly_expired = false;
+    std::uint8_t cls = 0;      // workload::TrafficClass (workload runs only)
+    std::size_t size = 0;      // payload bytes (workload runs only)
+    SimTime sent_at = 0;
   };
   std::unordered_map<MessageId, Track> tracks;
+  std::vector<SimDuration> interactive_latencies;
 
   const Bytes expected_payload(config.message_size, 0xc7);
   env.router().set_message_handler([&](const anon::ReceivedMessage& msg) {
@@ -216,7 +239,22 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
     // Score the delivery against the bytes actually sent: a reconstruction
     // that "succeeds" with different bytes is the integrity failure the
     // auth trailer exists to turn into a closed failure.
-    if (msg.data == expected_payload) {
+    bool correct;
+    if (config.workload.enabled) {
+      correct = msg.data.size() == it->second.size &&
+                std::all_of(msg.data.begin(), msg.data.end(),
+                            [](std::uint8_t b) { return b == 0xc7; });
+      auto& cls_stats = result.per_class[it->second.cls];
+      ++cls_stats.delivered;
+      if (it->second.cls ==
+          static_cast<std::uint8_t>(workload::TrafficClass::kInteractive)) {
+        interactive_latencies.push_back(env.simulator().now() -
+                                        it->second.sent_at);
+      }
+    } else {
+      correct = msg.data == expected_payload;
+    }
+    if (correct) {
       ++result.messages_delivered_correct;
     } else {
       ++result.messages_delivered_wrong;
@@ -255,6 +293,48 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
     env.simulator().schedule_after(config.send_interval, send_one,
                                   kSendEvent);
   };
+  // Workload-driven pump: Poisson arrivals of class-tagged messages. Each
+  // send computes the next arrival from the engine and self-reschedules,
+  // exactly like send_one but with variable waits, sizes, and priorities.
+  std::function<void(workload::Arrival)> pump_send;
+  pump_send = [&](workload::Arrival arrival) {
+    env.simulator().schedule_after(
+        arrival.wait,
+        [&, arrival] {
+          const SimTime now = env.simulator().now();
+          if (now > measure_end) return;
+          const Bytes payload(arrival.size, 0xc7);
+          anon::SegmentPriority prio = anon::SegmentPriority::kInteractive;
+          switch (arrival.cls) {
+            case workload::TrafficClass::kBulk:
+              prio = anon::SegmentPriority::kBulk;
+              break;
+            case workload::TrafficClass::kStreaming:
+              prio = anon::SegmentPriority::kStreaming;
+              break;
+            case workload::TrafficClass::kInteractive:
+              break;
+          }
+          const std::uint64_t segments_before = session.segments_sent();
+          ++result.send_attempts;
+          auto& cls_stats =
+              result.per_class[static_cast<std::size_t>(arrival.cls)];
+          ++cls_stats.attempts;
+          const MessageId id = session.send_message(payload, prio);
+          if (id != 0) {
+            ++result.messages_accepted;
+            ++cls_stats.accepted;
+            Track& track = tracks[id];
+            track.segments_placed = static_cast<std::size_t>(
+                session.segments_sent() - segments_before);
+            track.cls = static_cast<std::uint8_t>(arrival.cls);
+            track.size = arrival.size;
+            track.sent_at = now;
+          }
+          pump_send(engine->next(now));
+        },
+        kSendEvent);
+  };
   env.simulator().schedule_at(
       config.warmup,
       [&] {
@@ -262,7 +342,11 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
           result.constructed = ok;
           result.construct_attempts = attempts;
           if (!ok) return;
-          send_one();
+          if (config.workload.enabled) {
+            pump_send(engine->next(env.simulator().now()));
+          } else {
+            send_one();
+          }
         });
       },
       kSendEvent);
@@ -353,6 +437,30 @@ ChaosResult run_chaos_experiment(const ChaosConfig& config) {
                         {{"evidence", "stall"}});
   result.quarantined_nodes = static_cast<std::uint64_t>(initiator_cache
           .quarantined_count(env.simulator().now()));
+  result.relay_sheds_bulk =
+      reg.counter_value("anon_overload_sheds_total", {{"class", "bulk"}});
+  result.relay_sheds_streaming =
+      reg.counter_value("anon_overload_sheds_total", {{"class", "streaming"}});
+  result.relay_sheds_interactive = reg.counter_value(
+      "anon_overload_sheds_total", {{"class", "interactive"}});
+  result.relay_sheds_control =
+      reg.counter_value("anon_overload_sheds_total", {{"class", "control"}});
+  result.admission_rejects =
+      reg.counter_value("anon_admission_rejects_total");
+  result.backpressure_signals =
+      reg.counter_value("anon_backpressure_signals_total");
+  result.session_messages_shed = session.messages_shed();
+  result.session_segments_deferred = session.segments_deferred();
+  result.session_backpressure_rx = session.backpressure_signals();
+  result.session_stalls_suppressed = session.stalls_suppressed();
+  if (!interactive_latencies.empty()) {
+    std::sort(interactive_latencies.begin(), interactive_latencies.end());
+    const std::size_t n = interactive_latencies.size();
+    result.interactive_p50_us =
+        static_cast<std::uint64_t>(interactive_latencies[n / 2]);
+    result.interactive_p99_us = static_cast<std::uint64_t>(
+        interactive_latencies[std::min(n - 1, (n * 99) / 100)]);
+  }
   if (health != nullptr) {
     health_task->cancel();
     result.health = health->summary();

@@ -25,6 +25,7 @@
 #include "fault/fault_plan.hpp"
 #include "harness/environment.hpp"
 #include "harness/health.hpp"
+#include "workload/workload.hpp"
 
 namespace p2panon::harness {
 
@@ -81,6 +82,12 @@ struct ChaosConfig {
   /// Retransmission budget per segment in adaptive mode (fixed mode's
   /// rebuild-resend loop is effectively unbounded).
   std::size_t adaptive_segment_retries = 6;
+  /// > 0 overrides SessionConfig::path_fail_threshold (consecutive
+  /// timeouts before an adaptive-mode path is declared failed). The
+  /// overload sweep raises it so background link loss is absorbed by
+  /// retransmission instead of rebuild churn, keeping offered load the
+  /// only stressor. 0 = session default.
+  std::size_t path_fail_threshold = 0;
   /// Keep constructing (topping up failed paths) until all k paths stand.
   /// Needed for clean protocol comparisons: with the default partial
   /// provisioning, SimRep(2) can start with one path and degenerate into
@@ -107,6 +114,17 @@ struct ChaosConfig {
   /// byte-identical run.
   SimDuration health_interval = 0;
   HealthConfig health;  // interval field ignored; health_interval governs
+
+  /// Workload engine (off = the classic fixed-interval 0xc7 pump, byte
+  /// identical to the pre-workload harness). On: Poisson arrivals of mixed
+  /// bulk/interactive/streaming messages shaped by `workload.shape`, driven
+  /// by a dedicated RNG stream forked after all legacy forks.
+  workload::WorkloadConfig workload;
+  // Session-side overload knobs, forwarded into SessionConfig. Relay-side
+  // knobs live in environment.router.overload. All default OFF.
+  std::size_t max_inflight_segments = 0;  ///< bounded send queue (0 = off)
+  bool shed_low_priority = false;         ///< bulk refused at 3/4 bound
+  bool session_backpressure = false;      ///< congestion hold + neutral stalls
 };
 
 struct ChaosResult {
@@ -169,6 +187,36 @@ struct ChaosResult {
   /// Populated only when config.health_interval > 0.
   HealthSummary health;
   std::string health_table;  // rendered scoreboard, empty when disabled
+
+  // ---- Overload accounting (NOT part of fingerprint(): the 38-field
+  // digest predates this PR and committed baselines pin it). All zero
+  // unless the workload/overload knobs are on.
+  struct ClassStats {
+    std::uint64_t attempts = 0;   // send_message calls for this class
+    std::uint64_t accepted = 0;   // nonzero id returned
+    std::uint64_t delivered = 0;
+    double goodput() const {
+      return attempts == 0 ? 0.0
+                           : static_cast<double>(delivered) /
+                                 static_cast<double>(attempts);
+    }
+  };
+  ClassStats per_class[3];  // indexed by workload::TrafficClass
+  /// End-to-end latency of delivered interactive messages (microseconds).
+  std::uint64_t interactive_p50_us = 0;
+  std::uint64_t interactive_p99_us = 0;
+  // Relay-side overload counters, read back from the run's registry.
+  std::uint64_t relay_sheds_bulk = 0;
+  std::uint64_t relay_sheds_streaming = 0;
+  std::uint64_t relay_sheds_interactive = 0;
+  std::uint64_t relay_sheds_control = 0;  // invariant: 0 always
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t backpressure_signals = 0;
+  // Session-side overload counters.
+  std::uint64_t session_messages_shed = 0;
+  std::uint64_t session_segments_deferred = 0;
+  std::uint64_t session_backpressure_rx = 0;
+  std::uint64_t session_stalls_suppressed = 0;
 
   double delivery_rate() const {
     return messages_accepted == 0

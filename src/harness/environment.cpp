@@ -184,6 +184,28 @@ void Environment::start() {
         kSamplerEvent);
     membership_sampler_->start();
   }
+  if (config_.overload_obs_interval > 0) {
+    obs::Gauge* max_level = metrics_->gauge("anon_overload_max_level_bp");
+    obs::Gauge* mean_level = metrics_->gauge("anon_overload_mean_level_bp");
+    obs::Gauge* hot_nodes = metrics_->gauge("anon_overload_hot_nodes");
+    overload_sampler_ = std::make_unique<sim::PeriodicTask>(
+        simulator_, config_.overload_obs_interval,
+        [this, max_level, mean_level, hot_nodes] {
+          const auto stats = router_->overload_stats(simulator_.now());
+          // Levels exported in basis points of capacity so integer gauges
+          // keep sub-percent resolution.
+          const double cap =
+              stats.capacity > 0 ? static_cast<double>(stats.capacity) : 1.0;
+          max_level->set(
+              static_cast<std::int64_t>(stats.max_level / cap * 10000.0));
+          mean_level->set(static_cast<std::int64_t>(
+              stats.total_level / cap /
+              static_cast<double>(config_.num_nodes) * 10000.0));
+          hot_nodes->set(static_cast<std::int64_t>(stats.hot_nodes));
+        },
+        kSamplerEvent);
+    overload_sampler_->start();
+  }
   if (config_.timeseries != nullptr && config_.timeseries_interval > 0) {
     timeseries_sampler_ = std::make_unique<sim::PeriodicTask>(
         simulator_, config_.timeseries_interval,

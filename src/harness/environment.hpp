@@ -99,6 +99,13 @@ struct EnvironmentConfig {
   SimDuration membership_obs_interval = 0;
   NodeId membership_obs_node = 0;
   SimDuration membership_obs_stale_after = 2 * kMinute;
+
+  /// > 0 starts a periodic sampler exporting router overload state
+  /// (leaky-bucket level gauges, hot-node count, shed/admission/
+  /// backpressure counter deltas) into the registry. Off by default for
+  /// the same reason as the samplers above: it schedules events and
+  /// lazily registers series.
+  SimDuration overload_obs_interval = 0;
 };
 
 class Environment {
@@ -145,6 +152,7 @@ class Environment {
   std::unique_ptr<sim::PeriodicTask> obs_sampler_;
   std::unique_ptr<sim::PeriodicTask> timeseries_sampler_;
   std::unique_ptr<sim::PeriodicTask> membership_sampler_;
+  std::unique_ptr<sim::PeriodicTask> overload_sampler_;
   // Last-seen merge-stat / control-stat values, so the sampler can
   // increment registry counters by delta instead of overwriting.
   membership::NodeCache::MergeStats last_merge_stats_;
